@@ -1,0 +1,72 @@
+"""Ablation A1 — the chase-variant spectrum.
+
+The introduction of the paper frames the variants by how much redundancy
+they remove (oblivious: none; core: all).  This ablation runs all five
+variants on one workload with genuine redundancy and tabulates the
+trade-off: result size (smaller = more redundancy removed) versus rule
+applications performed — the shape must be
+
+    |core result| ≤ |frugal| ≤ |restricted| ≤ |semi-oblivious| ≤ |oblivious|.
+"""
+
+from repro.chase.engine import ChaseVariant, run_chase
+from repro.logic.kb import KnowledgeBase
+from repro.logic.parser import parse_atoms, parse_rules
+from repro.util import Table
+
+from conftest import save_table
+
+
+def redundancy_workload() -> KnowledgeBase:
+    """Every person gets an invented contact and a concrete one; rules
+    also duplicate edges through a helper predicate — plenty to fold."""
+    return KnowledgeBase(
+        parse_atoms("person(ann), person(bob), ref(ann, bob)"),
+        parse_rules(
+            """
+            [ADouble]  person(X) -> ping(X, U), ping(X, V)
+            [AInvent]  person(X) -> contact(X, C), reach(X, C)
+            [ZConcrete] ref(X, Y) -> contact(X, Y), reach(X, Y)
+            [ZMirror]  reach(X, Y) -> linked(X, Y)
+            """
+        ),
+        name="redundancy-workload",
+    )
+
+
+def run_spectrum() -> list[tuple]:
+    rows = []
+    for variant in ChaseVariant.ALL:
+        result = run_chase(redundancy_workload(), variant=variant, max_steps=200)
+        rows.append(
+            (
+                variant,
+                result.terminated,
+                result.applications,
+                len(result.final_instance),
+                len(result.final_instance.variables()),
+            )
+        )
+    return rows
+
+
+def bench_ablation_variant_spectrum(benchmark):
+    rows = benchmark.pedantic(run_spectrum, rounds=1, iterations=1)
+    table = Table(
+        ["variant", "terminated", "applications", "atoms", "nulls"],
+        title="Ablation — redundancy removal across the five chase variants",
+    )
+    sizes = {}
+    for variant, terminated, applications, atoms, nulls in rows:
+        table.add_row(variant, terminated, applications, atoms, nulls)
+        assert terminated, variant
+        sizes[variant] = atoms
+    assert sizes[ChaseVariant.CORE] <= sizes[ChaseVariant.FRUGAL]
+    assert sizes[ChaseVariant.FRUGAL] <= sizes[ChaseVariant.RESTRICTED]
+    assert sizes[ChaseVariant.RESTRICTED] <= sizes[ChaseVariant.SEMI_OBLIVIOUS]
+    assert sizes[ChaseVariant.SEMI_OBLIVIOUS] <= sizes[ChaseVariant.OBLIVIOUS]
+    extra = (
+        "shape: result sizes are totally ordered by redundancy removal,\n"
+        "core <= frugal <= restricted <= semi-oblivious <= oblivious."
+    )
+    save_table("ablation_variant_spectrum", table, extra)

@@ -1,0 +1,130 @@
+"""E1 — Figure 1: the Venn diagram of decidable classes, as a verdict
+matrix over the four protagonist KBs.
+
+Per KB, the bench establishes:
+
+* **fes** — does the core chase terminate within budget (exact
+  certificate: the core chase terminates iff a finite universal model
+  exists)?
+* **tw-bounded rc** (bts evidence) — the uniform treewidth bound of the
+  measured restricted-chase prefix, *strengthened* for the two paper KBs
+  by grid lower bounds inside the closed-form restricted-chase limits
+  (``I^h`` / ``I^v``): a 4×4 grid in the limit refutes any bound ≤ 3 for
+  every fair restricted sequence (Propositions 3/5 and 6).
+* **tw-bounded cc** (core-bts evidence) — the uniform treewidth bound of
+  the measured core-chase prefix (for K_v the series grows past the
+  bound within budget; for K_h it provably never does).
+* **tw-finite universal model** — from the paper's constructions
+  (``I^v_*`` has treewidth 1; Prop. 5 rules any such model out for K_h).
+
+Expected shape — exactly the paper's Figure 1:
+
+=================  ====  ====  ========  ==========================
+KB                 fes   bts   core-bts  tw-finite universal model
+=================  ====  ====  ========  ==========================
+bts-not-fes        no    yes   yes       yes
+fes-not-bts        yes   no    yes       yes (finite)
+steepening K_h     no    no    **yes**   **no**
+inflating K_v      no    no    **no**    **yes**
+=================  ====  ====  ========  ==========================
+"""
+
+from repro.analysis import TREEWIDTH, certify_fes, profile_chase
+from repro.chase.engine import ChaseVariant
+from repro.kbs import elevator as el
+from repro.kbs import staircase as sc
+from repro.kbs.witnesses import bts_not_fes_kb, fes_not_bts_kb
+from repro.treewidth import grid_from_coordinates, treewidth
+from repro.util import Table
+
+from conftest import save_table
+
+BOUND = 2  # the paper's uniform bounds are 1 (chain/elevator) and 2 (staircase)
+
+
+def staircase_rc_lower_bound() -> int:
+    """Grid lower bound inside I^h — the restricted-chase limit of K_h
+    (Prop. 3), witnessing unbounded treewidth (Prop. 5)."""
+    window = sc.universal_model_window(9)
+    coords = sc.coordinates(window)
+    best = 0
+    for n in (2, 3, 4):
+        if grid_from_coordinates(window, coords, n, origin=(n + 1, 0)):
+            best = n
+    return best
+
+
+def elevator_rc_lower_bound() -> int:
+    """Grid lower bound inside I^v — the restricted-chase limit of K_v
+    (Prop. 6): consecutive columns overlap in ever more rows."""
+    window = el.universal_model_window(9)
+    coords = el.coordinates(window)
+    best = 0
+    for n in (2, 3, 4):
+        if grid_from_coordinates(window, coords, n, origin=(n + 2, n + 3)):
+            best = n
+    return best
+
+
+CASES = [
+    # (factory, rc steps, cc steps, rc-limit lower bound fn, tw-finite
+    #  universal model?, expected (fes, bts, core-bts))
+    (bts_not_fes_kb, 12, 12, None, True, (False, True, True)),
+    (fes_not_bts_kb, 22, 100, None, True, (True, False, True)),
+    (staircase_kb := sc.staircase_kb, 20, 40, staircase_rc_lower_bound, False, (False, False, True)),
+    (el.elevator_kb, 20, 35, elevator_rc_lower_bound, True, (False, False, False)),
+]
+
+
+def classify_all() -> list[tuple]:
+    rows = []
+    for factory, rc_budget, cc_budget, rc_limit_fn, has_model, expected in CASES:
+        kb = factory()
+        fes = certify_fes(kb, max_steps=cc_budget) is not None
+        rc_profile = profile_chase(
+            kb,
+            variant=ChaseVariant.RESTRICTED,
+            measure=TREEWIDTH,
+            max_steps=rc_budget,
+        )
+        cc_profile = profile_chase(
+            kb, variant=ChaseVariant.CORE, measure=TREEWIDTH, max_steps=cc_budget
+        )
+        rc_width = rc_profile.uniform
+        if rc_limit_fn is not None:
+            rc_width = max(rc_width, rc_limit_fn())
+        # Any *finite* (terminating) sequence is trivially uniformly
+        # bounded — Prop. 13's subsumption argument — so fes implies
+        # bounded-cc regardless of the numeric bound.
+        cc_bounded = cc_profile.terminated or cc_profile.uniform <= BOUND
+        rows.append(
+            (kb.name, fes, rc_width <= BOUND, rc_width, cc_bounded,
+             cc_profile.uniform, has_model, expected)
+        )
+    return rows
+
+
+def bench_fig1_class_landscape(benchmark):
+    rows = benchmark.pedantic(classify_all, rounds=1, iterations=1)
+    table = Table(
+        [
+            "KB",
+            "fes",
+            "tw-bounded rc (bts)",
+            "rc width evidence",
+            "tw-bounded cc (core-bts)",
+            "cc width evidence",
+            "tw-finite univ model",
+        ],
+        title="Figure 1 — class landscape over the witness KBs",
+    )
+    for name, fes, rc_b, rc_w, cc_b, cc_w, has_model, expected in rows:
+        table.add_row(name, fes, rc_b, rc_w, cc_b, cc_w, has_model)
+        assert (fes, rc_b, cc_b) == expected, name
+    extra = (
+        "shape checks (all hold): K_h is core-bts yet has no tw-finite\n"
+        "universal model; K_v has one (tw(I^v_*) = %d) yet is not core-bts;\n"
+        "fes and bts are incomparable; core-bts covers both."
+        % treewidth(el.diagonal_model(4))
+    )
+    save_table("fig1_class_landscape", table, extra)

@@ -1,0 +1,57 @@
+"""E4 — Proposition 5: no universal model of K_h has finite treewidth.
+
+The proof exhibits n×n grids inside I^h (Fact 2 then gives tw ≥ n).
+This bench regenerates the grid series: for growing windows of I^h, the
+largest verified grid — by the appendix's explicit coordinates
+(T_{n×n} anchored at column n+1) and by the generic backtracking search.
+It also re-checks the non-universality of the infinite-column model Ĩ^h
+(its long v-paths cannot map into shallow I^h windows).
+"""
+
+from repro import maps_into
+from repro.kbs import staircase as sc
+from repro.treewidth import grid_from_coordinates, grid_lower_bound
+from repro.util import Table
+
+from conftest import save_table
+
+
+def grid_series() -> list[tuple[int, int, int]]:
+    rows = []
+    for max_column, n_probe in ((3, 2), (5, 2), (7, 3), (9, 4)):
+        window = sc.universal_model_window(max_column)
+        coords = sc.coordinates(window)
+        coordinate_best = 0
+        for n in range(2, n_probe + 1):
+            if grid_from_coordinates(window, coords, n, origin=(n + 1, 0)):
+                coordinate_best = n
+        generic_best = grid_lower_bound(window, max_n=min(3, n_probe))
+        rows.append((max_column, coordinate_best, generic_best))
+    return rows
+
+
+def bench_fig2_staircase_grids(benchmark):
+    rows = benchmark.pedantic(grid_series, rounds=1, iterations=1)
+    table = Table(
+        ["I^h window (columns)", "grid via coordinates", "grid via search"],
+        title="Prop. 5 — grids inside I^h force unbounded treewidth (Fact 2)",
+    )
+    for max_column, coordinate_best, generic_best in rows:
+        table.add_row(max_column, coordinate_best, generic_best)
+
+    # shape: the coordinate-based series grows with the window
+    bests = [row[1] for row in rows]
+    assert bests == sorted(bests)
+    assert bests[-1] >= 4
+
+    # Ĩ^h (infinite column) is a model but NOT universal: it does not map
+    # into I^h once its v-path exceeds the window's columns.
+    assert not maps_into(sc.infinite_column_model(6), sc.universal_model_window(3))
+    assert maps_into(sc.infinite_column_model(2), sc.universal_model_window(4))
+
+    extra = (
+        "shape: grid size (hence the tw lower bound) grows linearly with the\n"
+        "window => every universal model of K_h has infinite treewidth.\n"
+        "Ĩ^h's infinite v-path certifies it is a model but not universal."
+    )
+    save_table("fig2_staircase_grids", table, extra)

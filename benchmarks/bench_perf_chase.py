@@ -1,0 +1,49 @@
+"""P1c — engine performance: chase throughput by variant.
+
+Applications per second across the four variants on terminating and
+diverging workloads; the core variant pays per-step core computation,
+the restricted variant pays satisfaction checks, the oblivious variants
+pay almost nothing — the classical trade-off from the introduction.
+"""
+
+import pytest
+
+from repro.chase.engine import ChaseVariant, run_chase
+from repro.kbs.generators import layered_kb
+from repro.kbs.staircase import staircase_kb
+from repro.kbs.witnesses import bts_not_fes_kb, transitive_closure_kb
+
+
+@pytest.mark.parametrize("variant", ChaseVariant.ALL)
+def bench_terminating_datalog(benchmark, variant):
+    """Transitive closure of a 5-chain under each variant."""
+    kb = transitive_closure_kb(5)
+    result = benchmark(lambda: run_chase(kb, variant=variant, max_steps=300))
+    assert result.terminated
+
+
+@pytest.mark.parametrize("variant", [ChaseVariant.RESTRICTED, ChaseVariant.CORE])
+def bench_diverging_chain(benchmark, variant):
+    """20 applications on the infinite-chain KB."""
+    kb = bts_not_fes_kb()
+    result = benchmark(lambda: run_chase(kb, variant=variant, max_steps=20))
+    assert result.applications == 20
+
+
+def bench_layered_existentials(benchmark):
+    """A 5-layer existential cascade (weakly acyclic, terminating)."""
+    kb = layered_kb(5)
+    result = benchmark(lambda: run_chase(kb, variant=ChaseVariant.RESTRICTED, max_steps=100))
+    assert result.terminated
+
+
+def bench_staircase_core_chase_short(benchmark):
+    """The headline workload: 12 core-chase applications on K_h
+    (each step folds a freshly grown staircase fragment)."""
+    kb = staircase_kb()
+    result = benchmark.pedantic(
+        lambda: run_chase(kb, variant=ChaseVariant.CORE, max_steps=12),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.applications == 12

@@ -1,0 +1,46 @@
+"""P1b — engine performance: core computation.
+
+The core chase's per-step cost is dominated by core retraction; these
+benches measure it on the canonical foldable/rigid families and on the
+paper's own structures.
+"""
+
+import pytest
+
+from repro.kbs.generators import path_with_shortcut, star_instance
+from repro.kbs.staircase import step as staircase_step
+from repro.logic.cores import core_of, core_retraction, is_core
+
+
+@pytest.mark.parametrize("rays", [6, 18])
+def bench_core_of_star(benchmark, rays):
+    """Maximally foldable: all rays collapse onto one."""
+    atoms = star_instance(rays)
+    core = benchmark(lambda: core_of(atoms))
+    assert len(core) == 1
+
+
+@pytest.mark.parametrize("length", [4, 8])
+def bench_core_of_parallel_paths(benchmark, length):
+    """The null path folds onto the constant path edge by edge."""
+    atoms = path_with_shortcut(length)
+    core = benchmark(lambda: core_of(atoms))
+    assert len(core) == length
+
+
+def bench_is_core_positive(benchmark):
+    """Certifying core-ness requires exhausting the search — the
+    expensive direction."""
+    atoms = staircase_step(2)
+    from repro.kbs.staircase import column
+
+    target = column(3)
+    assert benchmark(lambda: is_core(target))
+
+
+def bench_core_retraction_staircase_step(benchmark):
+    """The actual operation of the K_h core chase: fold a step S^h_k onto
+    its core column C^h_{k+1}."""
+    atoms = staircase_step(3)
+    retraction = benchmark(lambda: core_retraction(atoms))
+    assert retraction.apply(atoms) != atoms or len(retraction) == 0

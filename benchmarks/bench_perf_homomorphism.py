@@ -1,0 +1,60 @@
+"""P1a — engine performance: homomorphism search.
+
+Scaling of the backtracking search (the library's single semantic
+primitive) across the shapes that dominate the experiments: body-sized
+patterns into growing instances, endomorphism checks on dense instances,
+and the all-solutions iterator.
+"""
+
+import pytest
+
+from repro.kbs.generators import grid_instance, path_instance, random_instance
+from repro.kbs.staircase import universal_model_window
+from repro.logic.homomorphism import (
+    count_homomorphisms,
+    find_homomorphism,
+    maps_into,
+)
+from repro.logic.parser import parse_atoms
+
+
+@pytest.mark.parametrize("length", [20, 80])
+def bench_body_into_path(benchmark, length):
+    """Rule-body-sized pattern matched into a growing path instance."""
+    body = parse_atoms("e(X, Y), e(Y, Z), e(Z, W)")
+    target = path_instance(length)
+    result = benchmark(lambda: find_homomorphism(body, target))
+    assert result is not None
+
+
+@pytest.mark.parametrize("n", [4, 6])
+def bench_pattern_into_grid(benchmark, n):
+    """2x2 grid pattern into an n×n grid (join-heavy search)."""
+    pattern = parse_atoms("h(A, B), v(A, C), h(C, D), v(B, D)")
+    target = grid_instance(n)
+    result = benchmark(lambda: find_homomorphism(pattern, target))
+    assert result is not None
+
+
+def bench_endomorphism_check_staircase(benchmark):
+    """Self-homomorphism of an I^h window — the inner loop of the core
+    computation."""
+    window = universal_model_window(4)
+    assert benchmark(lambda: maps_into(window, window))
+
+
+def bench_count_all_homomorphisms(benchmark):
+    """All-solutions enumeration (CQ answer counting)."""
+    body = parse_atoms("e(X, Y), e(Y, Z)")
+    target = path_instance(40)
+    count = benchmark(lambda: count_homomorphisms(body, target))
+    assert count == 39  # a 40-edge path has 39 two-edge sub-walks
+
+
+def bench_failure_detection_random(benchmark):
+    """Fast failure: a pattern with an absent predicate must be rejected
+    without search."""
+    pattern = parse_atoms("missing(X, Y)")
+    target = random_instance(150, 40, seed=3)
+    result = benchmark(lambda: find_homomorphism(pattern, target))
+    assert result is None

@@ -1,0 +1,46 @@
+"""P1e — query evaluation: backtracking vs tree-decomposition DP.
+
+The decomposition-based evaluator (repro.query.decomposed) exists
+because of the paper's treewidth theme; this bench compares it with the
+plain backtracking evaluator on path queries over path instances —
+a family where both are fast — and on a crafted query whose naive
+variable order is bad, where the DP's bag-local joins shine.
+"""
+
+import pytest
+
+from repro.kbs.generators import grid_instance, path_instance
+from repro.logic.homomorphism import maps_into
+from repro.query import boolean_cq
+from repro.query.decomposed import DecomposedQuery, holds_via_decomposition
+
+PATH_QUERY = boolean_cq("e(A, B), e(B, C), e(C, D), e(D, E), e(E, F)")
+GRID_QUERY = boolean_cq(
+    "h(A, B), v(A, C), h(C, D), v(B, D), h(B, E), v(E, G), h(D, G)"
+)
+
+
+@pytest.mark.parametrize("size", [30, 100])
+def bench_backtracking_path_query(benchmark, size):
+    instance = path_instance(size)
+    assert benchmark(lambda: maps_into(PATH_QUERY.atoms, instance))
+
+
+@pytest.mark.parametrize("size", [30, 100])
+def bench_decomposed_path_query(benchmark, size):
+    instance = path_instance(size)
+    compiled = DecomposedQuery(PATH_QUERY)
+    assert benchmark(lambda: compiled.holds_in(instance))
+
+
+def bench_decomposed_compilation(benchmark):
+    compiled = benchmark(lambda: DecomposedQuery(GRID_QUERY))
+    assert compiled.width >= 1
+
+
+@pytest.mark.parametrize("n", [4, 6])
+def bench_decomposed_grid_query(benchmark, n):
+    instance = grid_instance(n)
+    compiled = DecomposedQuery(GRID_QUERY)
+    result = benchmark(lambda: compiled.holds_in(instance))
+    assert result == maps_into(GRID_QUERY.atoms, instance)

@@ -1,0 +1,54 @@
+"""P1d — engine performance: treewidth machinery.
+
+Exact solver vs heuristics vs lower bounds on grids (the hard family for
+elimination orderings) and on the paper's chase structures; plus the
+generic grid-containment search.
+"""
+
+import pytest
+
+from repro.kbs.generators import grid_instance
+from repro.kbs.staircase import universal_model_window
+from repro.treewidth import (
+    contains_grid,
+    gaifman_graph,
+    mmd_lower_bound,
+    treewidth,
+    treewidth_exact,
+    treewidth_upper_bound,
+)
+
+
+@pytest.mark.parametrize("n", [3, 4])
+def bench_exact_treewidth_grid(benchmark, n):
+    graph = gaifman_graph(grid_instance(n))
+    width = benchmark(lambda: treewidth_exact(graph))
+    assert width == n
+
+
+@pytest.mark.parametrize("n", [6, 10])
+def bench_minfill_upper_bound_grid(benchmark, n):
+    graph = gaifman_graph(grid_instance(n))
+    width, _ = benchmark(lambda: treewidth_upper_bound(graph))
+    assert width >= n
+
+
+@pytest.mark.parametrize("n", [6, 10])
+def bench_mmd_lower_bound_grid(benchmark, n):
+    graph = gaifman_graph(grid_instance(n))
+    bound = benchmark(lambda: mmd_lower_bound(graph))
+    assert bound >= 2
+
+
+def bench_exact_treewidth_staircase_window(benchmark):
+    """The per-step measurement of experiments E3/E6."""
+    window = universal_model_window(3)
+    width = benchmark(lambda: treewidth(window))
+    assert width >= 2
+
+
+@pytest.mark.parametrize("n", [2, 3])
+def bench_grid_containment_search(benchmark, n):
+    atoms = grid_instance(4)
+    found = benchmark(lambda: contains_grid(atoms, n))
+    assert found

@@ -1,0 +1,56 @@
+"""E9 — Theorems 1–2: decidable CQ entailment through the two-procedure
+race, on all four protagonist KBs.
+
+For each (KB, query, expected) case, the race must return the correct
+verdict: the "yes" side is the fair-chase prefix test (sound by
+Proposition 1/9), the "no" side the finite-countermodel search (the
+executable stand-in for the Courcelle machinery — see DESIGN.md).
+"""
+
+from repro import boolean_cq, decide_entailment
+from repro.kbs.elevator import elevator_kb
+from repro.kbs.staircase import staircase_kb
+from repro.kbs.witnesses import bts_not_fes_kb, fes_not_bts_kb, manager_kb
+from repro.util import Table
+
+from conftest import save_table
+
+CASES = [
+    ("managers", manager_kb, "mgr(ann, X)", True),
+    ("managers", manager_kb, "mgr(X, Y), mgr(Y, Z), mgr(Z, W)", True),
+    ("managers", manager_kb, "mgr(X, ann)", False),
+    ("bts-not-fes", bts_not_fes_kb, "r(X1, X2), r(X2, X3), r(X3, X4)", True),
+    ("bts-not-fes", bts_not_fes_kb, "r(X, X)", False),
+    ("fes-not-bts", fes_not_bts_kb, "r(X, X), r(X, Y)", True),
+    ("fes-not-bts", fes_not_bts_kb, "r(c, a)", False),
+    ("staircase", staircase_kb, "f(X), h(X, X)", True),
+    ("staircase", staircase_kb, "h(X, X), v(X, Y), c(Y)", True),
+    ("staircase", staircase_kb, "f(X), c(X)", False),
+    ("elevator", elevator_kb, "c(X), h(X, Y), f(Y)", True),
+    ("elevator", elevator_kb, "h(X, X)", False),
+]
+
+
+def run_all_cases() -> list[tuple]:
+    rows = []
+    for name, factory, text, expected in CASES:
+        verdict = decide_entailment(
+            factory(), boolean_cq(text), chase_budget=40, model_domain_budget=6
+        )
+        rows.append((name, text, expected, verdict.entailed, verdict.method))
+    return rows
+
+
+def bench_thm2_decidability(benchmark):
+    rows = benchmark.pedantic(run_all_cases, rounds=1, iterations=1)
+    table = Table(
+        ["KB", "query", "expected", "verdict", "method"],
+        title="Thm. 1/2 — CQ entailment decided by the two-procedure race",
+    )
+    correct = 0
+    for name, text, expected, got, method in rows:
+        table.add_row(name, text, expected, got, method)
+        assert got is expected, (name, text)
+        correct += 1
+    extra = f"all {correct}/{len(rows)} verdicts correct; no case left undecided."
+    save_table("thm2_decidability", table, extra)

@@ -1,0 +1,58 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every experiment bench (``bench_fig*`` / ``bench_prop*`` / ``bench_thm*``)
+regenerates one figure or proposition of the paper: it measures the
+relevant computation with pytest-benchmark, prints the series/verdicts
+the paper reports, asserts the expected *shape*, and archives the table
+under ``benchmarks/results/`` (the source of EXPERIMENTS.md numbers).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only            # timings + assertions
+    pytest benchmarks/ --benchmark-only -s         # + live tables
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import core_chase, restricted_chase
+from repro.kbs.elevator import elevator_kb
+from repro.kbs.staircase import staircase_kb
+from repro.util import Table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_table(name: str, table: Table, extra: str = "") -> None:
+    """Print a table and archive it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    rendered = table.render() + (extra + "\n" if extra else "")
+    print("\n" + rendered)
+    (RESULTS_DIR / f"{name}.txt").write_text(rendered)
+
+
+@pytest.fixture(scope="session")
+def staircase_core_run():
+    """A 45-application core chase of K_h (shared by E3/E7/E8)."""
+    return core_chase(staircase_kb(), max_steps=45)
+
+
+@pytest.fixture(scope="session")
+def staircase_restricted_run():
+    """A 45-application restricted chase of K_h (E2)."""
+    return restricted_chase(staircase_kb(), max_steps=45)
+
+
+@pytest.fixture(scope="session")
+def elevator_core_run():
+    """A 35-application core chase of K_v (E6)."""
+    return core_chase(elevator_kb(), max_steps=35)
+
+
+@pytest.fixture(scope="session")
+def elevator_restricted_run():
+    """A 30-application restricted chase of K_v (E5)."""
+    return restricted_chase(elevator_kb(), max_steps=30)

@@ -1,0 +1,73 @@
+"""The steepening staircase, end to end (Sections 6 and 8 of the paper).
+
+Run with::
+
+    python examples/staircase_walkthrough.py
+
+The walkthrough shows, executably, the paper's central negative result
+and its positive workaround:
+
+1. the core chase of ``K_h`` stays *uniformly treewidth-bounded by 2*
+   (Proposition 4) — we print the per-step series;
+2. the natural aggregation ``D*`` of that very chase regrows arbitrarily
+   large grids, and in fact **no** universal model of ``K_h`` has finite
+   treewidth (Proposition 5) — we exhibit the grid witnesses;
+3. the **robust aggregation** ``D⊛`` (Section 8) instead converges to the
+   infinite column ``Ĩ^h``: a model that is only *finitely* universal,
+   but has treewidth 1 and decides exactly the entailed CQs.
+"""
+
+from repro import core_chase, isomorphic, treewidth
+from repro.chase import RobustSequence
+from repro.kbs import staircase as sc
+from repro.treewidth import grid_from_coordinates
+from repro.util import Table, banner, render_coordinates
+
+
+def main() -> None:
+    kb = sc.staircase_kb()
+    print(banner("The steepening staircase K_h (Definition 7)"))
+    print(kb)
+
+    print(banner("The universal model I^h (Definition 8), first columns"))
+    window = sc.universal_model_window(5)
+    print(render_coordinates(window, sc.coordinates(window)))
+    print(f"({len(window)} atoms on {len(window.terms())} nulls)")
+
+    print(banner("Core chase: uniformly treewidth-bounded by 2 (Prop. 4)"))
+    result = core_chase(kb, max_steps=45)
+    table = Table(["step", "atoms", "treewidth"], title="core chase of K_h")
+    widths = []
+    for step in result.derivation:
+        width = treewidth(step.instance)
+        widths.append(width)
+        if step.index % 5 == 0:
+            table.add_row(step.index, len(step.instance), width)
+    table.print()
+    print(f"uniform bound over all {len(widths)} steps: {max(widths)}  (paper: 2)")
+
+    print(banner("...but the natural aggregation D* regrows grids (Prop. 5)"))
+    wide = sc.universal_model_window(9)
+    coords = sc.coordinates(wide)
+    for n in (2, 3, 4):
+        found = grid_from_coordinates(wide, coords, n, origin=(n + 1, 0))
+        print(f"I^h window contains a {n}x{n} grid: {found}  => tw >= {n} (Fact 2)")
+    print("hence no universal model of K_h has finite treewidth.")
+
+    print(banner("The robust aggregation D⊛ (Definitions 14-16)"))
+    robust = RobustSequence(result.derivation)
+    print("stabilization:", robust.stabilization_report())
+    stable = robust.stable_part(patience=len(robust) // 2)
+    print(f"stable part: {len(stable)} atoms, treewidth {treewidth(stable)}")
+    for height in range(1, 10):
+        if isomorphic(stable, sc.infinite_column_model(height)):
+            print(
+                f"stable part is ISOMORPHIC to the infinite-column model "
+                f"Ĩ^h truncated at height {height} — exactly the paper's "
+                f"Section 8 walkthrough."
+            )
+            break
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+"""repro — a reproduction of "Bounded Treewidth and the Infinite Core
+Chase: Complications and Workarounds toward Decidable Querying"
+(Baget, Mugnier & Rudolph, PODS 2023).
+
+The library implements, from first principles:
+
+* the first-order substrate of existential rules (atoms, atomsets,
+  homomorphisms, cores, rules) — :mod:`repro.logic`;
+* derivations and the four chase variants with fair scheduling, plus the
+  natural and *robust* aggregations of Sections 3 and 8 —
+  :mod:`repro.chase`;
+* the treewidth toolbox (tree decompositions, exact/heuristic widths,
+  grid lower bounds) — :mod:`repro.treewidth`;
+* rule-set analysis (weak acyclicity, guardedness, structural-measure
+  boundedness) — :mod:`repro.analysis`;
+* CQ entailment procedures including the Theorem-1-style race —
+  :mod:`repro.query`;
+* the paper's counterexample KBs (steepening staircase, inflating
+  elevator) with closed-form model generators — :mod:`repro.kbs`.
+
+Quickstart::
+
+    from repro import staircase_kb, core_chase, treewidth
+
+    kb = staircase_kb()
+    result = core_chase(kb, max_steps=50)
+    widths = [treewidth(step.instance) for step in result.derivation]
+    assert max(widths) <= 2      # Proposition 4
+"""
+
+from .analysis import (
+    certify_fes,
+    is_frontier_guarded,
+    is_guarded,
+    is_weakly_acyclic,
+    profile_chase,
+)
+from .chase import (
+    ChaseEngine,
+    ChaseResult,
+    ChaseVariant,
+    Derivation,
+    RobustSequence,
+    core_chase,
+    frugal_chase,
+    oblivious_chase,
+    restricted_chase,
+    robust_aggregation,
+    run_chase,
+    semi_oblivious_chase,
+)
+from .kbs import (
+    bts_not_fes_kb,
+    elevator_kb,
+    fes_not_bts_kb,
+    staircase_kb,
+)
+from .logic import (
+    Atom,
+    AtomSet,
+    Constant,
+    ExistentialRule,
+    Predicate,
+    RuleSet,
+    Substitution,
+    Variable,
+    atom,
+    core_of,
+    core_retraction,
+    find_homomorphism,
+    homomorphically_equivalent,
+    is_core,
+    isomorphic,
+    maps_into,
+    parse_atom,
+    parse_atoms,
+    parse_rule,
+    parse_rules,
+)
+from .logic.kb import KnowledgeBase
+from .query import (
+    ConjunctiveQuery,
+    boolean_cq,
+    decide_entailment,
+    entails_via_terminating_chase,
+    find_countermodel,
+)
+from .treewidth import (
+    TreeDecomposition,
+    contains_grid,
+    grid_lower_bound,
+    treewidth,
+    treewidth_bounds,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "AtomSet",
+    "ChaseEngine",
+    "ChaseResult",
+    "ChaseVariant",
+    "ConjunctiveQuery",
+    "Constant",
+    "Derivation",
+    "ExistentialRule",
+    "KnowledgeBase",
+    "Predicate",
+    "RobustSequence",
+    "RuleSet",
+    "Substitution",
+    "TreeDecomposition",
+    "Variable",
+    "atom",
+    "boolean_cq",
+    "bts_not_fes_kb",
+    "certify_fes",
+    "contains_grid",
+    "core_chase",
+    "core_of",
+    "core_retraction",
+    "decide_entailment",
+    "elevator_kb",
+    "entails_via_terminating_chase",
+    "fes_not_bts_kb",
+    "find_countermodel",
+    "find_homomorphism",
+    "frugal_chase",
+    "grid_lower_bound",
+    "homomorphically_equivalent",
+    "is_core",
+    "is_frontier_guarded",
+    "is_guarded",
+    "is_weakly_acyclic",
+    "isomorphic",
+    "maps_into",
+    "oblivious_chase",
+    "parse_atom",
+    "parse_atoms",
+    "parse_rule",
+    "parse_rules",
+    "profile_chase",
+    "restricted_chase",
+    "robust_aggregation",
+    "run_chase",
+    "semi_oblivious_chase",
+    "staircase_kb",
+    "treewidth",
+    "treewidth_bounds",
+]

@@ -1,0 +1,69 @@
+"""Rule-set analysis: syntactic termination/boundedness criteria (weak
+acyclicity, guardedness) and the structural-measure machinery of
+Section 5 with budgeted empirical classifiers."""
+
+from .classes import (
+    SIZE,
+    TERM_COUNT,
+    TREEWIDTH,
+    ChaseProfile,
+    StructuralMeasure,
+    certify_fes,
+    is_recurringly_bounded_prefix,
+    is_uniformly_bounded,
+    profile_chase,
+    recurring_bound_estimate,
+    uniform_bound,
+)
+from .guardedness import (
+    guard_atom,
+    is_frontier_guarded,
+    is_frontier_guarded_rule,
+    is_guarded,
+    is_guarded_rule,
+)
+from .sticky import is_sticky, sticky_marking
+from .summary import RulesetReport, analyze_ruleset
+from .rule_dependencies import (
+    atoms_may_unify,
+    is_rule_acyclic,
+    rule_dependency_edges,
+    rule_depends_on,
+    rule_strata,
+)
+from .positions import Position, positions_of_ruleset, variable_positions
+from .weak_acyclicity import DependencyGraph, dependency_graph, is_weakly_acyclic
+
+__all__ = [
+    "RulesetReport",
+    "SIZE",
+    "TERM_COUNT",
+    "TREEWIDTH",
+    "ChaseProfile",
+    "DependencyGraph",
+    "Position",
+    "StructuralMeasure",
+    "analyze_ruleset",
+    "atoms_may_unify",
+    "certify_fes",
+    "dependency_graph",
+    "guard_atom",
+    "is_frontier_guarded",
+    "is_frontier_guarded_rule",
+    "is_guarded",
+    "is_guarded_rule",
+    "is_recurringly_bounded_prefix",
+    "is_uniformly_bounded",
+    "is_rule_acyclic",
+    "is_sticky",
+    "is_weakly_acyclic",
+    "positions_of_ruleset",
+    "rule_dependency_edges",
+    "rule_depends_on",
+    "rule_strata",
+    "sticky_marking",
+    "profile_chase",
+    "recurring_bound_estimate",
+    "uniform_bound",
+    "variable_positions",
+]

@@ -1,0 +1,60 @@
+"""Guardedness — the classical sufficient conditions for bts membership.
+
+The paper's introduction recalls that the practically relevant
+treewidth-based fragments are "mostly based on varying notions of
+guardedness, which impose syntactic restrictions ensuring
+treewidth-boundedness for all chase sequences" [1, 2, 7, 16].  We
+implement the two standard ones:
+
+* a rule is **guarded** if some body atom contains *all* body variables;
+* a rule is **frontier-guarded** if some body atom contains all
+  *frontier* variables (strictly more general).
+
+Guarded ⊆ frontier-guarded ⊆ bts: every restricted chase sequence of a
+frontier-guarded rule set is treewidth-bounded (by a function of the rule
+set), so CQ entailment is decidable (Definition 6 / Proposition 2).
+"""
+
+from __future__ import annotations
+
+from ..logic.rules import ExistentialRule, RuleSet
+
+__all__ = [
+    "is_guarded_rule",
+    "is_frontier_guarded_rule",
+    "is_guarded",
+    "is_frontier_guarded",
+    "guard_atom",
+]
+
+
+def guard_atom(rule: ExistentialRule, frontier_only: bool = False):
+    """The first body atom (in deterministic order) containing all body
+    variables (or all frontier variables when ``frontier_only``), or
+    None."""
+    wanted = rule.frontier if frontier_only else rule.body.variables()
+    for at in rule.body.sorted_atoms():
+        if wanted <= at.variables():
+            return at
+    return None
+
+
+def is_guarded_rule(rule: ExistentialRule) -> bool:
+    """True iff some body atom guards all body variables."""
+    return guard_atom(rule, frontier_only=False) is not None
+
+
+def is_frontier_guarded_rule(rule: ExistentialRule) -> bool:
+    """True iff some body atom guards all frontier variables."""
+    return guard_atom(rule, frontier_only=True) is not None
+
+
+def is_guarded(rules: RuleSet) -> bool:
+    """True iff every rule of the set is guarded (sufficient for bts)."""
+    return all(is_guarded_rule(rule) for rule in rules)
+
+
+def is_frontier_guarded(rules: RuleSet) -> bool:
+    """True iff every rule of the set is frontier-guarded (sufficient for
+    bts; strictly subsumes guardedness)."""
+    return all(is_frontier_guarded_rule(rule) for rule in rules)

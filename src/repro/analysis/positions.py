@@ -1,0 +1,84 @@
+"""Predicate positions.
+
+A *position* is a pair ``(p, i)`` of a predicate and an argument index —
+the vocabulary of the weak-acyclicity dependency graph (Fagin et al.,
+cited as [10] in the paper) and of several other syntactic termination
+criteria.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+from ..logic.atoms import Predicate
+from ..logic.atomset import AtomSet
+from ..logic.rules import ExistentialRule, RuleSet
+from ..logic.terms import Variable
+
+__all__ = ["Position", "positions_of_ruleset", "variable_positions"]
+
+
+class Position:
+    """An argument position of a predicate."""
+
+    __slots__ = ("predicate", "index")
+
+    def __init__(self, predicate: Predicate, index: int):
+        if not 0 <= index < predicate.arity:
+            raise ValueError(
+                f"index {index} out of range for {predicate} (arity {predicate.arity})"
+            )
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "index", index)
+
+    def __setattr__(self, key, value):  # pragma: no cover - defensive
+        raise AttributeError("Position is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Position)
+            and other.predicate == self.predicate
+            and other.index == self.index
+        )
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash((self.predicate, self.index))
+
+    def __lt__(self, other: "Position") -> bool:
+        if not isinstance(other, Position):
+            return NotImplemented
+        return (self.predicate, self.index) < (other.predicate, other.index)
+
+    def __repr__(self) -> str:
+        return f"Position({self.predicate.name}, {self.index})"
+
+    def __str__(self) -> str:
+        return f"{self.predicate.name}[{self.index}]"
+
+
+def positions_of_ruleset(rules: RuleSet) -> list[Position]:
+    """All positions of all predicates mentioned by the rule set."""
+    result = [
+        Position(pred, index)
+        for pred in sorted(rules.predicates())
+        for index in range(pred.arity)
+    ]
+    return result
+
+
+def variable_positions(
+    atoms: AtomSet, variable: Variable
+) -> Iterator[Position]:
+    """The positions at which *variable* occurs in *atoms* (with
+    multiplicity collapsed)."""
+    seen: set[Position] = set()
+    for at in atoms.containing(variable):
+        for index, term in enumerate(at.args):
+            if term == variable:
+                position = Position(at.predicate, index)
+                if position not in seen:
+                    seen.add(position)
+                    yield position

@@ -1,0 +1,106 @@
+"""Rule dependencies and acyclicity — a coarse but useful termination
+criterion complementary to weak acyclicity.
+
+Rule ``R2`` *depends on* rule ``R1`` when an application of ``R1`` can
+enable a new application of ``R2`` — here approximated positionally:
+some head atom of ``R1`` unifies (predicate-wise, with compatible
+constants) with some body atom of ``R2``.  If the dependency graph is
+acyclic, every chase run performs at most one "wave" per stratum and
+terminates on every instance; the strata also give a useful static
+execution order for terminating KBs.
+
+This is the classical "chase graph" criterion (Fagin et al. / the
+acyclic case of rule precedence analysis); it is strictly coarser than
+weak acyclicity (any recursive datalog program is cyclic here yet weakly
+acyclic) and is exposed mainly for workload analysis and the engine
+benches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..logic.atoms import Atom
+from ..logic.rules import ExistentialRule, RuleSet
+from ..logic.terms import Constant
+
+__all__ = [
+    "atoms_may_unify",
+    "rule_depends_on",
+    "rule_dependency_edges",
+    "is_rule_acyclic",
+    "rule_strata",
+]
+
+
+def atoms_may_unify(head_atom: Atom, body_atom: Atom) -> bool:
+    """A cheap unification test: same predicate, and wherever both atoms
+    carry constants, the constants agree (variables unify with
+    anything)."""
+    if head_atom.predicate != body_atom.predicate:
+        return False
+    for produced, required in zip(head_atom.args, body_atom.args):
+        if (
+            isinstance(produced, Constant)
+            and isinstance(required, Constant)
+            and produced != required
+        ):
+            return False
+    return True
+
+
+def rule_depends_on(later: ExistentialRule, earlier: ExistentialRule) -> bool:
+    """True iff an application of *earlier* may enable *later*."""
+    return any(
+        atoms_may_unify(head_atom, body_atom)
+        for head_atom in earlier.head
+        for body_atom in later.body
+    )
+
+
+def rule_dependency_edges(
+    rules: RuleSet,
+) -> Iterator[tuple[ExistentialRule, ExistentialRule]]:
+    """All dependency edges ``(earlier, later)`` of the rule set."""
+    for earlier in rules:
+        for later in rules:
+            if rule_depends_on(later, earlier):
+                yield (earlier, later)
+
+
+def is_rule_acyclic(rules: RuleSet) -> bool:
+    """True iff the rule dependency graph is acyclic — a sufficient
+    condition for chase termination under every variant."""
+    return rule_strata(rules) is not None
+
+
+def rule_strata(rules: RuleSet) -> Optional[list[list[str]]]:
+    """Topological strata of the dependency graph (rule names grouped by
+    longest-path depth), or None when the graph has a cycle."""
+    names = rules.names()
+    successors: dict[str, set[str]] = {name: set() for name in names}
+    indegree: dict[str, int] = {name: 0 for name in names}
+    for earlier, later in rule_dependency_edges(rules):
+        if later.name not in successors[earlier.name]:
+            successors[earlier.name].add(later.name)  # type: ignore[index]
+            indegree[later.name] += 1  # type: ignore[index]
+    depth: dict[str, int] = {}
+    frontier = [name for name in names if indegree[name] == 0]
+    for name in frontier:
+        depth[name] = 0
+    processed = 0
+    queue = list(frontier)
+    while queue:
+        name = queue.pop(0)
+        processed += 1
+        for successor in sorted(successors[name]):
+            indegree[successor] -= 1
+            depth[successor] = max(depth.get(successor, 0), depth[name] + 1)
+            if indegree[successor] == 0:
+                queue.append(successor)
+    if processed != len(names):
+        return None  # a cycle survived
+    strata: dict[int, list[str]] = {}
+    for name in names:
+        strata.setdefault(depth[name], []).append(name)
+    return [strata[level] for level in sorted(strata)]

@@ -1,0 +1,81 @@
+"""Stickiness — the join-based decidable class of Calì, Gottlob & Pieris.
+
+Alongside the guardedness family (see :mod:`repro.analysis.guardedness`)
+the other major syntactic route to decidable CQ entailment is
+*stickiness*, which restricts how join variables propagate.  It is
+orthogonal to the treewidth story of the paper (sticky sets generally do
+**not** have treewidth-bounded models) and is included to round out the
+class-landscape tooling.
+
+The marking procedure:
+
+1. **Initial step** — for every rule, mark each body variable that does
+   not occur in the rule's head.
+2. **Propagation** — while changes occur: if a marked variable occurs at
+   body position ``p`` of some rule, then for every rule whose *head*
+   contains a universal (frontier) variable at position ``p``, mark all
+   body occurrences of that variable.
+
+A rule set is **sticky** iff no marked variable occurs more than once in
+the body of its rule.
+"""
+
+from __future__ import annotations
+
+from ..logic.rules import ExistentialRule, RuleSet
+from ..logic.terms import Variable
+from .positions import Position, variable_positions
+
+__all__ = ["sticky_marking", "is_sticky"]
+
+MarkKey = tuple[int, Variable]  # (rule index, variable)
+
+
+def sticky_marking(rules: RuleSet) -> set[MarkKey]:
+    """Compute the sticky marking: the set of (rule index, variable)
+    pairs whose body occurrences are marked."""
+    rule_list = list(rules)
+    marked: set[MarkKey] = set()
+    # initial step
+    for index, rule in enumerate(rule_list):
+        head_variables = rule.head.variables()
+        for var in rule.body.variables():
+            if var not in head_variables:
+                marked.add((index, var))
+
+    def marked_body_positions() -> set[Position]:
+        positions: set[Position] = set()
+        for index, var in marked:
+            positions.update(variable_positions(rule_list[index].body, var))
+        return positions
+
+    changed = True
+    while changed:
+        changed = False
+        dangerous = marked_body_positions()
+        for index, rule in enumerate(rule_list):
+            for var in rule.frontier:
+                if (index, var) in marked:
+                    continue
+                head_positions = set(variable_positions(rule.head, var))
+                if head_positions & dangerous:
+                    marked.add((index, var))
+                    changed = True
+    return marked
+
+
+def is_sticky(rules: RuleSet) -> bool:
+    """True iff the rule set is sticky: no marked variable occurs more
+    than once in its rule's body."""
+    rule_list = list(rules)
+    marking = sticky_marking(rules)
+    for index, var in marking:
+        occurrences = sum(
+            1
+            for at in rule_list[index].body
+            for term in at.args
+            if term == var
+        )
+        if occurrences > 1:
+            return False
+    return True

@@ -1,0 +1,89 @@
+"""One-call rule-set analysis summary.
+
+Aggregates every syntactic criterion the library implements into a
+single report — what the CLI's ``classify`` command and the Figure 1
+experiment both build on.  Each criterion is *sufficient* for the class
+it names; ``False`` means "not detected by this criterion", never "not
+in the class".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..logic.kb import KnowledgeBase
+from ..logic.rules import RuleSet
+from .classes import certify_fes
+from .guardedness import is_frontier_guarded, is_guarded
+from .rule_dependencies import is_rule_acyclic
+from .sticky import is_sticky
+from .weak_acyclicity import is_weakly_acyclic
+
+__all__ = ["RulesetReport", "analyze_ruleset"]
+
+
+@dataclass(frozen=True)
+class RulesetReport:
+    """The verdicts of all syntactic criteria (plus an optional budgeted
+    fes certificate when a KB was supplied)."""
+
+    rule_count: int
+    weakly_acyclic: bool
+    rule_acyclic: bool
+    guarded: bool
+    frontier_guarded: bool
+    sticky: bool
+    fes_applications: Optional[int] = None
+
+    @property
+    def terminates_all_variants(self) -> bool:
+        """Weak acyclicity or rule acyclicity certifies termination of
+        every chase variant on every instance."""
+        return self.weakly_acyclic or self.rule_acyclic
+
+    @property
+    def decidable_cq_entailment(self) -> bool:
+        """Any of the criteria certifies decidable CQ entailment (fes via
+        termination, bts via guardedness, sticky via its own rewriting
+        argument)."""
+        return (
+            self.terminates_all_variants
+            or self.frontier_guarded
+            or self.sticky
+            or self.fes_applications is not None
+        )
+
+    def as_rows(self) -> list[tuple[str, str]]:
+        """Label/value rows for tabular output."""
+        rows = [
+            ("weakly acyclic", "yes" if self.weakly_acyclic else "no"),
+            ("rule-acyclic", "yes" if self.rule_acyclic else "no"),
+            ("guarded", "yes" if self.guarded else "no"),
+            ("frontier-guarded", "yes" if self.frontier_guarded else "no"),
+            ("sticky", "yes" if self.sticky else "no"),
+        ]
+        if self.fes_applications is not None:
+            rows.append(("fes (this instance)", f"yes ({self.fes_applications} apps)"))
+        return rows
+
+
+def analyze_ruleset(
+    rules: RuleSet,
+    kb: Optional[KnowledgeBase] = None,
+    fes_budget: int = 200,
+) -> RulesetReport:
+    """Run every syntactic criterion; when *kb* is given, also attempt
+    the budgeted instance-level fes certificate."""
+    certificate = None
+    if kb is not None:
+        certificate = certify_fes(kb, max_steps=fes_budget)
+    return RulesetReport(
+        rule_count=len(rules),
+        weakly_acyclic=is_weakly_acyclic(rules),
+        rule_acyclic=is_rule_acyclic(rules),
+        guarded=is_guarded(rules),
+        frontier_guarded=is_frontier_guarded(rules),
+        sticky=is_sticky(rules),
+        fes_applications=certificate,
+    )

@@ -1,0 +1,111 @@
+"""Weak acyclicity — the classical sufficient condition for chase
+termination (hence for fes membership).
+
+The *dependency graph* of a rule set has the predicate positions as
+nodes.  For every rule, every frontier variable ``x``, and every body
+position ``p`` of ``x``:
+
+* a **regular** edge ``p → q`` for every head position ``q`` of ``x``;
+* a **special** edge ``p ⇒ q`` for every head position ``q`` of every
+  *existential* variable of the rule.
+
+A rule set is *weakly acyclic* iff no cycle goes through a special edge.
+Weak acyclicity guarantees termination of the (semi-)oblivious chase on
+every instance, a fortiori of the restricted and core chases — so weakly
+acyclic rule sets are fes (terminating core chase, the innermost class
+of the paper's Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..logic.rules import ExistentialRule, RuleSet
+from .positions import Position, variable_positions
+
+__all__ = ["DependencyGraph", "dependency_graph", "is_weakly_acyclic"]
+
+
+@dataclass
+class DependencyGraph:
+    """The position dependency graph with edge kinds."""
+
+    regular: dict[Position, set[Position]] = field(default_factory=dict)
+    special: dict[Position, set[Position]] = field(default_factory=dict)
+
+    def add_regular(self, source: Position, target: Position) -> None:
+        self.regular.setdefault(source, set()).add(target)
+
+    def add_special(self, source: Position, target: Position) -> None:
+        self.special.setdefault(source, set()).add(target)
+
+    def nodes(self) -> set[Position]:
+        result: set[Position] = set()
+        for mapping in (self.regular, self.special):
+            for source, targets in mapping.items():
+                result.add(source)
+                result.update(targets)
+        return result
+
+    def successors(self, node: Position) -> Iterator[tuple[Position, bool]]:
+        """Yield ``(target, is_special)`` pairs."""
+        for target in self.regular.get(node, ()):
+            yield (target, False)
+        for target in self.special.get(node, ()):
+            yield (target, True)
+
+    def has_cycle_through_special_edge(self) -> bool:
+        """True iff some cycle uses at least one special edge.
+
+        Equivalent formulation used here: for every special edge
+        ``p ⇒ q``, check whether ``p`` is reachable from ``q`` (any edge
+        kinds); if so the special edge closes a cycle.
+        """
+        for source, targets in self.special.items():
+            for target in targets:
+                if self._reaches(target, source):
+                    return True
+        return False
+
+    def _reaches(self, start: Position, goal: Position) -> bool:
+        if start == goal:
+            return True
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for successor, _ in self.successors(node):
+                if successor == goal:
+                    return True
+                if successor not in seen:
+                    seen.add(successor)
+                    frontier.append(successor)
+        return False
+
+
+def dependency_graph(rules: RuleSet) -> DependencyGraph:
+    """Build the dependency graph of a rule set."""
+    graph = DependencyGraph()
+    for rule in rules:
+        body_positions = {
+            var: list(variable_positions(rule.body, var)) for var in rule.frontier
+        }
+        existential_targets = [
+            position
+            for var in rule.existential
+            for position in variable_positions(rule.head, var)
+        ]
+        for var in rule.frontier:
+            head_targets = list(variable_positions(rule.head, var))
+            for source in body_positions[var]:
+                for target in head_targets:
+                    graph.add_regular(source, target)
+                for target in existential_targets:
+                    graph.add_special(source, target)
+    return graph
+
+
+def is_weakly_acyclic(rules: RuleSet) -> bool:
+    """True iff the rule set is weakly acyclic (sufficient for fes)."""
+    return not dependency_graph(rules).has_cycle_through_special_edge()

@@ -1,0 +1,52 @@
+"""Chase machinery: triggers, derivations (Definition 1), the four chase
+variants, and the natural/robust aggregations (Sections 3 and 8)."""
+
+from .aggregation import RobustSequence, default_variable_key, robust_aggregation
+from .derivation import Derivation, DerivationStep
+from .provenance import DerivationTree, ProvenanceIndex
+from .egds import (
+    EGD,
+    ChaseFailure,
+    EgdChaseResult,
+    parse_egd,
+    parse_egds,
+    standard_chase,
+)
+from .engine import ChaseEngine, ChaseResult, ChaseVariant, run_chase
+from .trigger import Trigger, apply_trigger, triggers, unsatisfied_triggers
+from .variants import (
+    core_chase,
+    frugal_chase,
+    oblivious_chase,
+    restricted_chase,
+    semi_oblivious_chase,
+)
+
+__all__ = [
+    "ChaseEngine",
+    "ChaseFailure",
+    "EGD",
+    "EgdChaseResult",
+    "parse_egd",
+    "parse_egds",
+    "standard_chase",
+    "ChaseResult",
+    "ChaseVariant",
+    "Derivation",
+    "DerivationStep",
+    "DerivationTree",
+    "ProvenanceIndex",
+    "RobustSequence",
+    "Trigger",
+    "apply_trigger",
+    "core_chase",
+    "default_variable_key",
+    "frugal_chase",
+    "oblivious_chase",
+    "restricted_chase",
+    "robust_aggregation",
+    "run_chase",
+    "semi_oblivious_chase",
+    "triggers",
+    "unsatisfied_triggers",
+]

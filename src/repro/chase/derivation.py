@@ -1,0 +1,214 @@
+"""Derivations (Definition 1) and their bookkeeping.
+
+A derivation from ``K = (F, Σ)`` is a sequence ``((tr_i, σ_i, F_i))_i``
+where ``F_0 = σ_0(F)`` and ``F_i = σ_i(α(F_{i-1}, tr_i))`` with ``tr_i`` a
+trigger for ``F_{i-1}`` not satisfied in ``F_{i-1}``, and the
+simplifications ``σ_i`` are retractions.
+
+:class:`Derivation` records, for every step, the trigger, the
+pre-simplification instance ``A_i = α(F_{i-1}, tr_i)``, the
+simplification, and the instance ``F_i`` — everything downstream
+machinery needs:
+
+* the trace homomorphisms ``σ̄_i^j = σ_j ∘ ... ∘ σ_{i+1}`` (Definition 2)
+  for transporting triggers and checking fairness (Definition 3);
+* the natural aggregation ``D* = ⋃_i F_i`` (Section 3);
+* the robust sequence/aggregation of Section 8 (built on top of this
+  record in :mod:`repro.chase.aggregation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from ..logic.atomset import AtomSet
+from ..logic.kb import KnowledgeBase
+from ..logic.substitution import Substitution
+from .trigger import Trigger, triggers
+
+__all__ = ["DerivationStep", "Derivation"]
+
+
+@dataclass(frozen=True)
+class DerivationStep:
+    """One element of a derivation.
+
+    Attributes
+    ----------
+    index:
+        Step number ``i`` (0 is the initial simplification of the facts).
+    trigger:
+        The trigger ``tr_i`` applied to ``F_{i-1}`` (None at index 0).
+    pre_instance:
+        ``A_i = α(F_{i-1}, tr_i)`` — the instance before simplification
+        (equals the raw fact set at index 0).
+    simplification:
+        The retraction ``σ_i`` with ``F_i = σ_i(A_i)``.
+    instance:
+        ``F_i``.
+    """
+
+    index: int
+    trigger: Optional[Trigger]
+    pre_instance: AtomSet
+    simplification: Substitution
+    instance: AtomSet
+
+    def is_identity_step(self) -> bool:
+        """True iff the simplification did nothing."""
+        return len(self.simplification.drop_trivial()) == 0
+
+
+class Derivation:
+    """The recorded derivation; validation is optional but thorough."""
+
+    def __init__(self, kb: KnowledgeBase, steps: Sequence[DerivationStep]):
+        self.kb = kb
+        self.steps: list[DerivationStep] = list(steps)
+        if not self.steps:
+            raise ValueError("a derivation has at least the initial step")
+        if self.steps[0].index != 0 or self.steps[0].trigger is not None:
+            raise ValueError("step 0 must be the initial simplification")
+        for position, step in enumerate(self.steps):
+            if step.index != position:
+                raise ValueError("step indexes must be consecutive from 0")
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self) -> Iterator[DerivationStep]:
+        return iter(self.steps)
+
+    def instance(self, index: int) -> AtomSet:
+        """``F_index``."""
+        return self.steps[index].instance
+
+    @property
+    def last_instance(self) -> AtomSet:
+        """``F_k`` for the last recorded step — the result ``D+`` of a
+        finite derivation."""
+        return self.steps[-1].instance
+
+    def instances(self) -> Iterator[AtomSet]:
+        """Iterate over ``F_0, F_1, ...``."""
+        for step in self.steps:
+            yield step.instance
+
+    def is_monotonic(self) -> bool:
+        """True iff ``F_{i-1} ⊆ F_i`` for all recorded ``i``."""
+        return all(
+            self.steps[i - 1].instance.issubset(self.steps[i].instance)
+            for i in range(1, len(self.steps))
+        )
+
+    # ------------------------------------------------------------------
+    # trace homomorphisms (Definition 2)
+    # ------------------------------------------------------------------
+
+    def trace(self, start: int, end: int) -> Substitution:
+        """``σ̄_start^end = σ_end ∘ ... ∘ σ_{start+1}`` — the homomorphism
+        from ``F_start`` to ``F_end`` (identity when start == end)."""
+        if not 0 <= start <= end < len(self.steps):
+            raise IndexError(f"trace({start}, {end}) out of range")
+        composed = Substitution.identity()
+        for index in range(start + 1, end + 1):
+            composed = self.steps[index].simplification.compose(composed)
+        return composed
+
+    def transport_trigger(self, trigger: Trigger, start: int, end: int) -> Trigger:
+        """``σ̄_start^end(tr)`` — the trigger carried from ``F_start`` to
+        ``F_end``."""
+        return trigger.transport(self.trace(start, end))
+
+    # ------------------------------------------------------------------
+    # aggregation & fairness
+    # ------------------------------------------------------------------
+
+    def natural_aggregation(self, upto: Optional[int] = None) -> AtomSet:
+        """``D* = ⋃_i F_i`` over the recorded prefix (Section 3).
+
+        For monotonic derivations this equals the last instance; in
+        general it may fail to be a model of the KB (the staircase makes
+        this dramatic) but is always universal (Proposition 1)."""
+        limit = len(self.steps) if upto is None else upto + 1
+        result = AtomSet()
+        for step in self.steps[:limit]:
+            result.update(step.instance)
+        return result
+
+    def check_fairness_prefix(self, upto: Optional[int] = None) -> list[Trigger]:
+        """Check Definition 3 on the recorded prefix.
+
+        Returns the triggers of intermediate instances whose transport is
+        *never* satisfied within the prefix — an empty list means the
+        prefix is consistent with fairness (for terminating chases on the
+        full record this is an exact fairness check, because a trigger
+        unsatisfied at the fixpoint stays unsatisfied forever).
+        """
+        limit = len(self.steps) if upto is None else upto + 1
+        offenders: list[Trigger] = []
+        last = limit - 1
+        for index in range(limit):
+            instance = self.steps[index].instance
+            for rule in self.kb.rules:
+                for trigger in triggers(rule, instance):
+                    transported = self.transport_trigger(trigger, index, last)
+                    if not any(
+                        self.transport_trigger(trigger, index, j).is_satisfied_in(
+                            self.steps[j].instance
+                        )
+                        for j in range(index, limit)
+                    ):
+                        offenders.append(transported)
+        return offenders
+
+    def validate(self, require_active: bool = True) -> None:
+        """Re-check the Definition 1 conditions on the whole record;
+        raises ``AssertionError`` with a pinpointing message otherwise.
+
+        ``require_active=False`` skips the "trigger not satisfied in
+        F_{i-1}" condition: the oblivious and semi-oblivious variants
+        deliberately apply satisfied triggers, so their records are
+        derivations only in the relaxed sense.
+
+        Intended for tests: O(steps × cost of homomorphism checks).
+        """
+        first = self.steps[0]
+        assert first.simplification.is_retraction_of(first.pre_instance), (
+            "σ_0 is not a retraction of F"
+        )
+        assert first.simplification.apply(first.pre_instance) == first.instance, (
+            "F_0 != σ_0(F)"
+        )
+        for index in range(1, len(self.steps)):
+            step = self.steps[index]
+            previous = self.steps[index - 1].instance
+            trigger = step.trigger
+            assert trigger is not None, f"step {index} lacks a trigger"
+            assert trigger.is_trigger_for(previous), (
+                f"step {index}: not a trigger for F_{index - 1}"
+            )
+            if require_active:
+                assert not trigger.is_satisfied_in(previous), (
+                    f"step {index}: trigger already satisfied in F_{index - 1}"
+                )
+            assert previous.issubset(step.pre_instance), (
+                f"step {index}: A_{index} does not extend F_{index - 1}"
+            )
+            assert step.simplification.is_retraction_of(step.pre_instance), (
+                f"step {index}: σ_{index} is not a retraction of A_{index}"
+            )
+            assert step.simplification.apply(step.pre_instance) == step.instance, (
+                f"step {index}: F_{index} != σ_{index}(A_{index})"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Derivation({len(self.steps)} steps, last instance "
+            f"{len(self.last_instance)} atoms)"
+        )

@@ -1,0 +1,327 @@
+"""The generic chase engine.
+
+One engine drives all four variants (Section 3 / the introduction):
+
+=================  =============================  =========================
+variant            activity of a trigger          simplification σ_i
+=================  =============================  =========================
+oblivious          never applied before (same π)  identity
+semi-oblivious     never applied before with the  identity
+                   same frontier image (skolem)
+restricted         not satisfied in current F_i   identity
+core               not satisfied in current F_i   retraction to a core
+=================  =============================  =========================
+
+Fair scheduling
+---------------
+Definition 3 requires every trigger to be eventually satisfied.  The
+engine enumerates the active triggers of the current instance before
+every application and picks the *oldest* one (age = step at which a
+trigger with that canonical key was first seen, keys transported through
+simplifications), breaking ties deterministically.  An unsatisfied
+trigger therefore cannot be postponed forever: only the finitely many
+older triggers can precede it, and each selection either satisfies or
+retires one of them.
+
+Termination
+-----------
+A chase run terminates when no active trigger remains; for the restricted
+and core variants the final instance then satisfies all triggers, i.e. it
+is a (finite) model of the KB — and, being the result of a fair
+derivation, a universal one (Proposition 1).  The core chase terminates
+exactly when the KB has a finite universal model (Deutsch, Nash & Remmel
+2008), which is what the fes experiments check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..logic.atomset import AtomSet
+from ..logic.cores import core_retraction
+from ..logic.kb import KnowledgeBase
+from ..logic.substitution import Substitution
+from ..logic.terms import FreshVariableSource
+from .derivation import Derivation, DerivationStep
+from .trigger import Trigger, apply_trigger, triggers
+
+__all__ = ["ChaseVariant", "ChaseResult", "ChaseEngine", "run_chase"]
+
+
+class ChaseVariant:
+    """String constants naming the chase variants.
+
+    ``FRUGAL`` is the variant of Konstantinidis & Ambite (reference [15]
+    of the paper) that Section 3 points out also fits the derivation
+    framework: it applies unsatisfied triggers like the restricted chase,
+    but each simplification retracts only the *freshly created* nulls
+    (never touching older terms).  It removes some — not all —
+    redundancy, sitting strictly between the restricted and core chases,
+    and its derivations are monotonic.
+    """
+
+    OBLIVIOUS = "oblivious"
+    SEMI_OBLIVIOUS = "semi_oblivious"
+    RESTRICTED = "restricted"
+    FRUGAL = "frugal"
+    CORE = "core"
+
+    ALL = (OBLIVIOUS, SEMI_OBLIVIOUS, RESTRICTED, FRUGAL, CORE)
+
+
+@dataclass
+class ChaseResult:
+    """Outcome of a chase run.
+
+    Attributes
+    ----------
+    derivation:
+        The full Definition-1 record of the run.
+    terminated:
+        True iff a fixpoint was reached (no active trigger left) within
+        the step budget.
+    variant:
+        Which chase variant ran.
+    applications:
+        Number of rule applications performed (= len(derivation) - 1).
+    """
+
+    derivation: Derivation
+    terminated: bool
+    variant: str
+
+    @property
+    def applications(self) -> int:
+        return len(self.derivation) - 1
+
+    @property
+    def final_instance(self) -> AtomSet:
+        """The last instance — for a terminated restricted/core run this
+        is a finite universal model of the KB."""
+        return self.derivation.last_instance
+
+    def __repr__(self) -> str:
+        status = "terminated" if self.terminated else "budget-exhausted"
+        return (
+            f"ChaseResult({self.variant}, {status}, "
+            f"{self.applications} applications, "
+            f"{len(self.final_instance)} atoms)"
+        )
+
+
+class ChaseEngine:
+    """A configurable chase driver.
+
+    Parameters
+    ----------
+    kb:
+        The knowledge base to chase.
+    variant:
+        One of :class:`ChaseVariant`.
+    core_every:
+        For the core variant: retract to a core after every ``k``-th rule
+        application (default 1 — the canonical "each σ_i produces a core"
+        reading; any finite value is a legitimate core chase per
+        Section 3).
+    fresh_prefix:
+        Name prefix for invented nulls.
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        variant: str = ChaseVariant.RESTRICTED,
+        core_every: int = 1,
+        fresh_prefix: str = "_n",
+    ):
+        if variant not in ChaseVariant.ALL:
+            raise ValueError(f"unknown chase variant {variant!r}")
+        if core_every < 1:
+            raise ValueError("core_every must be >= 1")
+        self.kb = kb
+        self.variant = variant
+        self.core_every = core_every
+        self._fresh = FreshVariableSource(prefix=fresh_prefix)
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        max_steps: int = 1000,
+        on_step: Optional[Callable[[DerivationStep], None]] = None,
+    ) -> ChaseResult:
+        """Run up to *max_steps* rule applications from the facts.
+
+        ``on_step`` (if given) is invoked with every recorded step —
+        the experiment harness uses it to measure per-step treewidths
+        without retaining anything extra.  The engine keeps its state
+        afterward, so :meth:`resume` can continue the same derivation.
+        """
+        raw_facts = self.kb.facts.copy()
+        if self.variant == ChaseVariant.CORE:
+            sigma0 = core_retraction(raw_facts)
+        else:
+            sigma0 = Substitution.identity()
+        current = sigma0.apply(raw_facts)
+        self._steps = [DerivationStep(0, None, raw_facts, sigma0, current)]
+        self._current = current
+        self._applied_keys: set = set()  # oblivious / semi-oblivious memory
+        self._ages: dict = {}  # canonical trigger key -> birth step
+        self._terminated = False
+        self._applications_since_core = 0
+        if on_step is not None:
+            on_step(self._steps[0])
+        return self._advance(max_steps, on_step)
+
+    def resume(
+        self,
+        extra_steps: int,
+        on_step: Optional[Callable[[DerivationStep], None]] = None,
+    ) -> ChaseResult:
+        """Continue the previous :meth:`run` for *extra_steps* more rule
+        applications; the returned result covers the whole derivation.
+
+        The continuation is seamless: fresh-variable numbering, fair
+        scheduling ages, and the oblivious memory all carry over, so
+        ``run(a); resume(b)`` records the same derivation as
+        ``run(a + b)``.
+        """
+        if not hasattr(self, "_steps"):
+            raise RuntimeError("resume() requires a prior run()")
+        return self._advance(extra_steps, on_step)
+
+    def _advance(
+        self,
+        budget: int,
+        on_step: Optional[Callable[[DerivationStep], None]],
+    ) -> ChaseResult:
+        performed = 0
+        while performed < budget and not self._terminated:
+            active = self._active_triggers(self._current, self._applied_keys)
+            if not active:
+                self._terminated = True
+                break
+            step_index = len(self._steps)
+            for trigger in active:
+                self._ages.setdefault(self._age_key(trigger), step_index)
+            chosen = min(
+                active,
+                key=lambda tr: (self._ages[self._age_key(tr)], tr.sort_key()),
+            )
+            pre_instance, _ = apply_trigger(self._current, chosen, self._fresh)
+            self._applied_keys.add(self._memory_key(chosen))
+
+            self._applications_since_core += 1
+            if (
+                self.variant == ChaseVariant.CORE
+                and self._applications_since_core >= self.core_every
+            ):
+                sigma = core_retraction(pre_instance)
+                self._applications_since_core = 0
+            elif self.variant == ChaseVariant.FRUGAL:
+                sigma = _frugal_retraction(pre_instance, self._current.terms())
+            else:
+                sigma = Substitution.identity()
+            self._current = sigma.apply(pre_instance)
+            step = DerivationStep(
+                step_index, chosen, pre_instance, sigma, self._current
+            )
+            self._steps.append(step)
+            performed += 1
+            if on_step is not None:
+                on_step(step)
+            if len(sigma.drop_trivial()):
+                self._ages = self._transport_ages(self._ages, sigma)
+
+        derivation = Derivation(self.kb, list(self._steps))
+        return ChaseResult(derivation, self._terminated, self.variant)
+
+    # ------------------------------------------------------------------
+    # variant plumbing
+    # ------------------------------------------------------------------
+
+    def _active_triggers(self, instance: AtomSet, applied_keys: set) -> list[Trigger]:
+        active: list[Trigger] = []
+        for rule in self.kb.rules:
+            for trigger in triggers(rule, instance):
+                if self.variant == ChaseVariant.OBLIVIOUS:
+                    if self._memory_key(trigger) not in applied_keys:
+                        active.append(trigger)
+                elif self.variant == ChaseVariant.SEMI_OBLIVIOUS:
+                    if self._memory_key(trigger) not in applied_keys:
+                        active.append(trigger)
+                else:  # restricted / core
+                    if not trigger.is_satisfied_in(instance):
+                        active.append(trigger)
+        return active
+
+    def _memory_key(self, trigger: Trigger):
+        """What the oblivious variants remember about an application."""
+        if self.variant == ChaseVariant.SEMI_OBLIVIOUS:
+            return (trigger.rule.name, trigger.frontier_image())
+        return (trigger.rule.name, trigger.full_image())
+
+    @staticmethod
+    def _age_key(trigger: Trigger):
+        """Canonical identity of a trigger for age tracking."""
+        return (trigger.rule.name, trigger.full_image())
+
+    @staticmethod
+    def _transport_ages(ages: dict, sigma: Substitution) -> dict:
+        """Carry trigger ages across a simplification: the transported
+        trigger ``σ(tr)`` inherits the age of ``tr`` (keeping the oldest
+        when several collapse onto the same key)."""
+        transported: dict = {}
+        for (rule_name, image), age in ages.items():
+            new_image = tuple(
+                (var, sigma.apply_term(term)) for var, term in image
+            )
+            key = (rule_name, new_image)
+            if key not in transported or transported[key] > age:
+                transported[key] = age
+        return transported
+
+
+def _frugal_retraction(pre_instance: AtomSet, old_terms) -> Substitution:
+    """The frugal simplification: a retraction of the post-application
+    instance that is the identity on the pre-existing terms and folds
+    away redundant *fresh* nulls (greedily, one at a time).
+
+    Because old terms are pinned, frugal derivations are monotonic; they
+    remove strictly less redundancy than a core retraction (which may
+    fold old structure onto new, as the staircase shows)."""
+    from ..logic.homomorphism import find_homomorphism
+    from ..logic.terms import Variable
+
+    old_variables = {t for t in old_terms if isinstance(t, Variable)}
+    pinned = Substitution({v: v for v in old_variables})
+    current = pre_instance
+    total = Substitution.identity()
+    fresh = sorted(
+        (v for v in pre_instance.variables() if v not in old_variables),
+        key=lambda v: (v.rank, v.name),
+    )
+    for null in fresh:
+        hom = find_homomorphism(
+            current, current, partial=pinned, forbidden_images=[null]
+        )
+        if hom is None:
+            continue
+        total = hom.compose(total)
+        current = hom.apply(current)
+    if not total:
+        return total
+    return total.fold_to_retraction(pre_instance)
+
+
+def run_chase(
+    kb: KnowledgeBase,
+    variant: str = ChaseVariant.RESTRICTED,
+    max_steps: int = 1000,
+    core_every: int = 1,
+    on_step: Optional[Callable[[DerivationStep], None]] = None,
+) -> ChaseResult:
+    """One-shot convenience wrapper around :class:`ChaseEngine`."""
+    engine = ChaseEngine(kb, variant=variant, core_every=core_every)
+    return engine.run(max_steps=max_steps, on_step=on_step)

@@ -1,0 +1,82 @@
+"""Named entry points for the four chase variants.
+
+Thin wrappers around :class:`repro.chase.engine.ChaseEngine`; kept
+separate so call sites read like the paper ("run the core chase on
+``K_h`` for 200 steps").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..logic.kb import KnowledgeBase
+from .derivation import DerivationStep
+from .engine import ChaseEngine, ChaseResult, ChaseVariant
+
+__all__ = [
+    "frugal_chase",
+    "oblivious_chase",
+    "semi_oblivious_chase",
+    "restricted_chase",
+    "core_chase",
+]
+
+StepHook = Optional[Callable[[DerivationStep], None]]
+
+
+def oblivious_chase(
+    kb: KnowledgeBase, max_steps: int = 1000, on_step: StepHook = None
+) -> ChaseResult:
+    """The oblivious chase: apply every trigger once, never check for
+    redundancy.  The most lavish baseline of the introduction."""
+    return ChaseEngine(kb, variant=ChaseVariant.OBLIVIOUS).run(
+        max_steps=max_steps, on_step=on_step
+    )
+
+
+def semi_oblivious_chase(
+    kb: KnowledgeBase, max_steps: int = 1000, on_step: StepHook = None
+) -> ChaseResult:
+    """The semi-oblivious (skolem) chase: apply at most one trigger per
+    rule and frontier image."""
+    return ChaseEngine(kb, variant=ChaseVariant.SEMI_OBLIVIOUS).run(
+        max_steps=max_steps, on_step=on_step
+    )
+
+
+def restricted_chase(
+    kb: KnowledgeBase, max_steps: int = 1000, on_step: StepHook = None
+) -> ChaseResult:
+    """The restricted (standard) chase: apply only unsatisfied triggers;
+    all simplifications are the identity, so the derivation is monotonic
+    (Section 3)."""
+    return ChaseEngine(kb, variant=ChaseVariant.RESTRICTED).run(
+        max_steps=max_steps, on_step=on_step
+    )
+
+
+def frugal_chase(
+    kb: KnowledgeBase, max_steps: int = 1000, on_step: StepHook = None
+) -> ChaseResult:
+    """The frugal chase [15]: apply only unsatisfied triggers and fold
+    away redundant *freshly created* nulls after each application —
+    strictly between the restricted and core chases in redundancy
+    removal, and (unlike the core chase) monotonic."""
+    return ChaseEngine(kb, variant=ChaseVariant.FRUGAL).run(
+        max_steps=max_steps, on_step=on_step
+    )
+
+
+def core_chase(
+    kb: KnowledgeBase,
+    max_steps: int = 1000,
+    core_every: int = 1,
+    on_step: StepHook = None,
+) -> ChaseResult:
+    """The core chase: apply only unsatisfied triggers and retract to a
+    core every ``core_every`` applications (Section 3).  Terminates iff
+    the KB has a finite universal model, which is then the final
+    instance."""
+    return ChaseEngine(kb, variant=ChaseVariant.CORE, core_every=core_every).run(
+        max_steps=max_steps, on_step=on_step
+    )

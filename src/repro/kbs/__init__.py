@@ -1,0 +1,33 @@
+"""The paper's knowledge bases (steepening staircase, inflating
+elevator), the Proposition 13 witness rule sets, and synthetic workload
+generators."""
+
+from . import elevator, generators, ontology, staircase, witnesses
+from .elevator import elevator_kb
+from .ontology import academia_kb
+from .staircase import staircase_kb
+from .witnesses import (
+    bts_not_fes_kb,
+    fes_not_bts_kb,
+    guarded_chain_kb,
+    manager_kb,
+    transitive_closure_kb,
+    weakly_acyclic_kb,
+)
+
+__all__ = [
+    "academia_kb",
+    "bts_not_fes_kb",
+    "elevator",
+    "elevator_kb",
+    "fes_not_bts_kb",
+    "generators",
+    "guarded_chain_kb",
+    "manager_kb",
+    "ontology",
+    "staircase",
+    "staircase_kb",
+    "transitive_closure_kb",
+    "weakly_acyclic_kb",
+    "witnesses",
+]

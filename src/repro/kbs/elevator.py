@@ -1,0 +1,223 @@
+"""The inflating elevator KB ``K_v`` (Section 7, Definition 9).
+
+``K_v`` is the paper's second counterexample: it has a universal model
+``I^v_*`` of treewidth 1 (Definition 11, Proposition 7), yet **every**
+core chase sequence for ``K_v`` contains structures of ever-growing
+treewidth (Proposition 8, Corollary 1): the cores ``I^v_n`` — with
+``tw(I^v_n) ≥ ⌊n/3⌋ + 1`` — are forced to appear.
+
+Window generators provided, all with coordinate-named nulls ``Xv_i_j``
+(column ``i``, row ``j``; terms exist for ``i - 1 ≤ j ≤ 2i``, ``j ≥ 0``):
+
+* ``I^v`` (Definition 10) — the universal model produced by the
+  restricted chase;
+* ``I^v_*`` (Definition 11) — the treewidth-1 universal model: the
+  diagonal chain of the ``X^i_{2i}``;
+* ``I^v_n`` (Definition 12) — the family of cores of growing treewidth;
+* a finite *capped* model of ``K_v`` for universality tests.
+
+Atoms of ``I^v`` (Definition 10), for all ``i, j`` such that the
+mentioned nulls exist:
+
+* ``d(X^i_j)`` and ``f(X^i_j)`` everywhere;
+* ``c(X^i_{2i})`` (the diagonal tops);
+* ``h(X^i_j, X^{i+1}_j)``;
+* ``h(X^i_{2i}, X^{i+1}_{2i+1})`` and ``h(X^i_{2i}, X^{i+1}_{2i+2})``;
+* ``v(X^i_j, X^i_{j+1})``;
+* ``v(X^i_j, X^i_j)`` for ``j ≥ i``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..logic.atoms import Atom, atom
+from ..logic.atomset import AtomSet
+from ..logic.kb import KnowledgeBase
+from ..logic.parser import parse_atoms, parse_rules
+from ..logic.terms import Term, Variable
+
+__all__ = [
+    "elevator_kb",
+    "universal_model_window",
+    "diagonal_model",
+    "core_family_member",
+    "capped_model",
+    "coordinates",
+    "term_at",
+    "grid_block_origin",
+]
+
+_RULES_TEXT = """
+# Definition 9 / Figure 3 of the paper.
+[Rv1] c(X), h(X,Y) -> v(Y,Yp), v(Yp,Ypp), c(Ypp)
+[Rv2] d(X), f(X), v(X,Xp) -> h(Xp,Yp), f(Yp)
+[Rv3] v(X,Xp), h(X,Y) -> v(Y,Yp), h(Xp,Yp)
+[Rv4] c(X) -> d(X)
+[Rv5] v(X,Xp), d(Xp) -> d(X)
+[Rv6] h(X,Y), d(Y), f(Y) -> f(X), v(X,X)
+[Rv7] c(X), h(X,Y), v(Y,Yp), f(Yp) -> h(X,Yp)
+"""
+
+_FACTS_TEXT = "c(Xv_0_0), d(Xv_0_0), h(Xv_0_0, Xv_1_0), f(Xv_1_0)"
+
+
+def elevator_kb() -> KnowledgeBase:
+    """The inflating elevator KB ``K_v = (F_v, Σ_v)``."""
+    return KnowledgeBase(
+        parse_atoms(_FACTS_TEXT), parse_rules(_RULES_TEXT), name="inflating-elevator"
+    )
+
+
+def term_at(i: int, j: int) -> Variable:
+    """The null ``X^i_j`` (requires ``max(0, i - 1) ≤ j ≤ 2i``)."""
+    if not _exists(i, j):
+        raise ValueError(f"no elevator term at column {i}, row {j}")
+    return Variable(f"Xv_{i}_{j}")
+
+
+def _exists(i: int, j: int) -> bool:
+    return i >= 0 and max(0, i - 1) <= j <= 2 * i
+
+
+def _atoms_for_columns(max_column: int) -> Iterable[Atom]:
+    for i in range(max_column + 1):
+        low = max(0, i - 1)
+        for j in range(low, 2 * i + 1):
+            term = term_at(i, j)
+            yield atom("d", term)
+            yield atom("f", term)
+            if j == 2 * i:
+                yield atom("c", term)
+            if j >= i:
+                yield atom("v", term, term)
+            if j + 1 <= 2 * i:
+                yield atom("v", term, term_at(i, j + 1))
+            if i + 1 <= max_column:
+                if _exists(i + 1, j):
+                    yield atom("h", term, term_at(i + 1, j))
+                if j == 2 * i:
+                    yield atom("h", term, term_at(i + 1, 2 * i + 1))
+                    yield atom("h", term, term_at(i + 1, 2 * i + 2))
+
+
+def universal_model_window(max_column: int) -> AtomSet:
+    """The induced substructure of ``I^v`` on columns ``0..max_column``."""
+    if max_column < 0:
+        raise ValueError("max_column must be >= 0")
+    return AtomSet(_atoms_for_columns(max_column))
+
+
+def diagonal_model(length: int) -> AtomSet:
+    """A prefix of ``I^v_*`` (Definition 11): the diagonal chain on the
+    terms ``X^i_{2i}`` for ``i ≤ length`` — ``c``, ``d``, ``f`` and a
+    v-loop on every element, plus ``h`` along the chain.  The full
+    infinite structure is a universal model of ``K_v`` of treewidth 1
+    (Proposition 7)."""
+    if length < 0:
+        raise ValueError("length must be >= 0")
+    atoms = AtomSet()
+    for i in range(length + 1):
+        term = term_at(i, 2 * i)
+        atoms.add(atom("c", term))
+        atoms.add(atom("d", term))
+        atoms.add(atom("f", term))
+        atoms.add(atom("v", term, term))
+        if i + 1 <= length:
+            atoms.add(atom("h", term, term_at(i + 1, 2 * i + 2)))
+    return atoms
+
+
+def core_family_member(n: int) -> AtomSet:
+    """``I^v_n`` (Definition 12): the substructure of ``I^v`` induced by
+
+    ``{X^i_{2i} | i ≤ ⌊n/2⌋} ∪ {X^i_j | i ≤ n + 1, j ≥ n}``
+
+    with the following atoms removed: ``v(X^i_j, X^i_j)`` and
+    ``f(X^i_j)`` for ``j > n``, and ``h(X^i_j, X^{i+1}_k)`` for
+    ``k > j`` and ``k > n``.
+
+    ``I^v_0 = F_v``.  Every ``I^v_n`` is a core (Proposition 8(1)) and
+    contains a ``(⌊n/3⌋+1) × (⌊n/3⌋+1)`` grid (Proposition 8(2)), hence
+    has treewidth ≥ ``⌊n/3⌋ + 1`` by Fact 2.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if n == 0:
+        return elevator_kb().facts.copy()
+    keep: set[Term] = set()
+    for i in range(0, n // 2 + 1):
+        keep.add(term_at(i, 2 * i))
+    for i in range(0, n + 2):
+        low = max(max(0, i - 1), n)
+        for j in range(low, 2 * i + 1):
+            keep.add(term_at(i, j))
+    window = universal_model_window(n + 2)
+    induced = window.induced(keep)
+    coords = coordinates(induced)
+    pruned = AtomSet()
+    for at in induced:
+        name = at.predicate.name
+        if name in ("v", "f"):
+            j_values = [coords[t][1] for t in at.term_set()]
+            if name == "f" and j_values[0] > n:
+                continue
+            if name == "v" and len(at.term_set()) == 1 and j_values[0] > n:
+                continue
+        if name == "h":
+            (i1, j1) = coords[at.args[0]]
+            (i2, k) = coords[at.args[1]]
+            if k > j1 and k > n:
+                continue
+        pruned.add(at)
+    return pruned
+
+
+def grid_block_origin(n: int) -> tuple[int, int]:
+    """The anchor ``(i, k)`` of the Proposition 8(2) grid witness inside
+    ``I^v_n``: rows ``2n//3 + 1 .. n + 1`` and columns ``n .. n + m - 1``
+    where ``m = n//3 + 2`` is the block side length."""
+    return (2 * n // 3 + 1, n)
+
+
+def capped_model(max_column: int) -> AtomSet:
+    """A **finite model** of ``K_v``: a window of ``I^v`` capped with a
+    saturated element ``omega``.
+
+    ``omega`` carries every unary predicate plus h/v self-loops; every
+    window term gets a ``v`` edge into ``omega``, and terms with a v-loop
+    (``j ≥ i``, exactly those that rule ``Rv6`` could fire back on) also
+    get an ``h`` edge into ``omega``.  Restricting the h-cap this way is
+    what keeps ``Rv6`` satisfied — an ``h`` edge out of a loop-less
+    bottom-row term would force a v-loop the window does not have.
+    """
+    window = universal_model_window(max_column)
+    coords = coordinates(window)
+    omega = Variable("Omega_v")
+    capped = window.copy()
+    for pred in ("c", "d", "f"):
+        capped.add(atom(pred, omega))
+    capped.add(atom("h", omega, omega))
+    capped.add(atom("v", omega, omega))
+    for term in window.terms():
+        capped.add(atom("v", term, omega))
+        i, j = coords[term]
+        if j >= i:
+            capped.add(atom("h", term, omega))
+    return capped
+
+
+def coordinates(atoms: AtomSet) -> dict[Term, tuple[int, int]]:
+    """Recover the cartesian coordinates of generator-named terms
+    (``Xv_i_j``); other terms are skipped."""
+    coords: dict[Term, tuple[int, int]] = {}
+    for term in atoms.terms():
+        name = term.name
+        if not name.startswith("Xv_"):
+            continue
+        try:
+            _, i_text, j_text = name.split("_")
+            coords[term] = (int(i_text), int(j_text))
+        except ValueError:
+            continue
+    return coords

@@ -1,0 +1,137 @@
+"""Synthetic workload generators for tests and performance benchmarks.
+
+The paper has no benchmark datasets; the scaling benches need
+parameterized families of instances and KBs with known structure:
+paths, cycles, grids, stars, random sparse instances, and layered KBs
+whose chase depth is controlled.  All generators are deterministic
+(seeded) so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..logic.atoms import atom
+from ..logic.atomset import AtomSet
+from ..logic.kb import KnowledgeBase
+from ..logic.parser import parse_rules
+from ..logic.terms import Constant, Variable
+
+__all__ = [
+    "path_instance",
+    "cycle_instance",
+    "grid_instance",
+    "star_instance",
+    "random_instance",
+    "layered_kb",
+    "path_with_shortcut",
+]
+
+
+def path_instance(length: int, predicate: str = "e", null_nodes: bool = False) -> AtomSet:
+    """A directed path of *length* edges; nodes are constants unless
+    ``null_nodes`` (then homomorphisms may fold the path)."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    make = (lambda i: Variable(f"N{i}")) if null_nodes else (lambda i: Constant(f"n{i}"))
+    return AtomSet(
+        atom(predicate, make(i), make(i + 1)) for i in range(length)
+    )
+
+
+def cycle_instance(length: int, predicate: str = "e", null_nodes: bool = True) -> AtomSet:
+    """A directed cycle of *length* edges."""
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    make = (lambda i: Variable(f"C{i}")) if null_nodes else (lambda i: Constant(f"c{i}"))
+    return AtomSet(
+        atom(predicate, make(i), make((i + 1) % length)) for i in range(length)
+    )
+
+
+def grid_instance(n: int, horizontal: str = "h", vertical: str = "v") -> AtomSet:
+    """An n × n grid over null nodes — treewidth exactly n and an n×n
+    grid witness in the sense of Definition 5 (used to calibrate the
+    treewidth and grid-detection substrates)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    nodes = [[Variable(f"G{i}_{j}") for j in range(n)] for i in range(n)]
+    atoms = AtomSet()
+    for i in range(n):
+        for j in range(n):
+            if i + 1 < n:
+                atoms.add(atom(horizontal, nodes[i][j], nodes[i + 1][j]))
+            if j + 1 < n:
+                atoms.add(atom(vertical, nodes[i][j], nodes[i][j + 1]))
+    if n == 1:
+        atoms.add(atom("node", nodes[0][0]))
+    return atoms
+
+
+def star_instance(rays: int, predicate: str = "e") -> AtomSet:
+    """A star: one hub with *rays* out-edges to nulls (treewidth 1,
+    highly foldable — a stress case for core computation)."""
+    if rays < 1:
+        raise ValueError("rays must be >= 1")
+    hub = Constant("hub")
+    return AtomSet(atom(predicate, hub, Variable(f"R{i}")) for i in range(rays))
+
+
+def random_instance(
+    atom_count: int,
+    term_pool: int,
+    predicates: tuple[str, ...] = ("p", "q"),
+    arity: int = 2,
+    seed: int = 0,
+) -> AtomSet:
+    """A random instance: *atom_count* atoms over a pool of *term_pool*
+    nulls, uniform predicate/argument choice with the given *seed*."""
+    rng = random.Random(seed)
+    pool = [Variable(f"T{i}") for i in range(term_pool)]
+    atoms = AtomSet()
+    while len(atoms) < atom_count:
+        predicate = rng.choice(predicates)
+        args = [rng.choice(pool) for _ in range(arity)]
+        atoms.add(atom(predicate, *args))
+    return atoms
+
+
+def layered_kb(layers: int, fanout: int = 1) -> KnowledgeBase:
+    """A KB whose chase performs exactly ``layers`` waves of existential
+    rule applications: ``l0(a)`` and rules ``l_i(X) → ∃Y. r(X,Y) ∧
+    l_{i+1}(Y)`` (× *fanout* parallel rules per layer).  Weakly acyclic,
+    so every variant terminates; total applications scale as
+    ``fanout ** layers``-ish for the oblivious variants — a scaling dial
+    for the engine benches."""
+    if layers < 1:
+        raise ValueError("layers must be >= 1")
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    lines = []
+    for i in range(layers):
+        for k in range(fanout):
+            lines.append(f"[L{i}f{k}] l{i}(X) -> r{k}(X,Y), l{i + 1}(Y)")
+    rules = parse_rules("\n".join(lines))
+    return KnowledgeBase(
+        AtomSet([atom("l0", Constant("a"))]), rules, name=f"layered-{layers}x{fanout}"
+    )
+
+
+def path_with_shortcut(length: int) -> AtomSet:
+    """Two parallel directed paths of *length* edges from ``s`` to ``t``:
+    one over constants, one over nulls.  The canonical non-core — the
+    null path folds edge-by-edge onto the constant path, so the core is
+    the constant path alone.  Used by core computation tests and benches
+    (the core must remove exactly ``length - 1`` nulls)."""
+    if length < 2:
+        raise ValueError("length must be >= 2")
+    start = Constant("s")
+    end = Constant("t")
+    rigid = [start] + [Constant(f"m{i}") for i in range(1, length)] + [end]
+    foldable = [start] + [Variable(f"P{i}") for i in range(1, length)] + [end]
+    atoms = AtomSet()
+    for i in range(length):
+        atoms.add(atom("e", rigid[i], rigid[i + 1]))
+        atoms.add(atom("e", foldable[i], foldable[i + 1]))
+    return atoms

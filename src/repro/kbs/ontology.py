@@ -1,0 +1,51 @@
+"""A small academic-domain ontology — a realistic guarded workload.
+
+The introduction of the paper motivates treewidth-based decidability
+with "many existential rule fragments of high practical relevance,
+mostly based on varying notions of guardedness".  This module provides a
+compact but non-toy ontology in that spirit: all rules are guarded (one
+body atom carries all body variables), so the rule set is **bts** — its
+restricted chase stays treewidth-bounded — even though the chase does
+not terminate (supervisors acquire supervisors forever).
+
+Schema: ``prof(X)``, ``phd(X)``, ``teaches(X, C)``, ``course(C)``,
+``supervises(X, Y)``, ``memberOf(X, D)``, ``dept(D)``, ``colleague(X, Y)``.
+"""
+
+from __future__ import annotations
+
+from ..logic.kb import KnowledgeBase
+from ..logic.parser import parse_atoms, parse_rules
+
+__all__ = ["academia_kb"]
+
+_RULES = """
+# every professor teaches some course
+[TeachesSomething] prof(X) -> teaches(X, C), course(C)
+# every PhD student is supervised by a professor
+[HasSupervisor] phd(X) -> supervises(Y, X), prof(Y)
+# professors belong to a department
+[HasDept] prof(X) -> memberOf(X, D), dept(D)
+# a supervisor of a department member is a colleague of its members
+[SupIsStaff] supervises(X, Y) -> memberOf(X, D), dept(D)
+# teaching staff of a course are professors
+[TeacherIsProf] teaches(X, C) -> prof(X)
+# supervision is between people of the university
+[SupervisedIsPhd] supervises(X, Y) -> phd(Y)
+# every professor has a (more senior) mentor professor: the source of
+# non-termination — mentor chains grow forever, but stay paths (tw 1)
+[HasMentor] prof(X) -> mentor(X, Y), prof(Y)
+"""
+
+_FACTS = """
+prof(turing), phd(kleene), teaches(turing, computability),
+course(computability), supervises(church, kleene)
+"""
+
+
+def academia_kb() -> KnowledgeBase:
+    """The academia ontology KB (guarded, hence bts; not fes: the
+    supervision chain never closes)."""
+    return KnowledgeBase(
+        parse_atoms(_FACTS), parse_rules(_RULES), name="academia"
+    )

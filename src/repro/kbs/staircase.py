@@ -1,0 +1,199 @@
+"""The steepening staircase KB ``K_h`` (Section 6, Definition 7).
+
+``K_h`` is the paper's first counterexample: its core chase is uniformly
+treewidth-bounded by 2 (Proposition 4), yet **no** universal model of
+``K_h`` has finite treewidth (Proposition 5) — every universal model
+contains arbitrarily large grids.
+
+Besides the KB itself this module provides closed-form window generators
+for the structures the paper reasons about:
+
+* ``I^h`` (Definition 8) — the infinite universal model obtained as the
+  natural aggregation of the restricted chase; windows are its induced
+  substructures on the first columns.
+* the columns ``C^h_k``, steps ``S^h_k``, and prefixes ``P^h_k`` used in
+  the proofs of Propositions 3–5;
+* ``Ĩ^h`` — the infinite-column model that is *not* universal but
+  satisfies exactly the entailed CQs (it is the shape of the robust
+  aggregation of the core chase, Section 8's walkthrough);
+* a finite *capped* model of ``K_h`` used as a homomorphism target when
+  testing universality claims on finite prefixes.
+
+Naming: the null with cartesian coordinates ``(i, j)`` (column ``i``,
+row ``j``) is ``Xh_i_j``; coordinates are recoverable via
+:func:`coordinates`.  Terms exist for ``0 ≤ j ≤ i + 1``.
+
+Atoms of ``I^h`` (reconstructed from Definition 8 together with the
+derivation of Proposition 3 — the typeset condition on the h-loops is
+ambiguous in the source, but the rules force loops exactly on the
+column-proper elements ``j ≤ i``):
+
+* ``f(X^i_0)`` for all ``i``;
+* ``c(X^i_j)`` for ``1 ≤ j ≤ i``;
+* ``h(X^i_j, X^i_j)`` for ``j ≤ i``;
+* ``h(X^i_j, X^{i+1}_j)`` for ``j ≤ i + 1``;
+* ``v(X^i_j, X^i_{j+1})`` for ``j ≤ i``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..logic.atoms import Atom, atom
+from ..logic.atomset import AtomSet
+from ..logic.kb import KnowledgeBase
+from ..logic.parser import parse_atoms, parse_rules
+from ..logic.terms import Term, Variable
+
+__all__ = [
+    "staircase_kb",
+    "universal_model_window",
+    "prefix",
+    "column",
+    "step",
+    "infinite_column_model",
+    "capped_model",
+    "coordinates",
+    "term_at",
+]
+
+_RULES_TEXT = """
+# Definition 7 / Figure 2 of the paper.
+[Rh1] h(X,X) -> h(X,Y), v(X,Xp), h(Xp,Yp), v(Y,Yp), c(Yp)
+[Rh2] h(X,X), v(X,Xp), h(Xp,Xp), h(Xp,Yp) -> c(Yp), h(X,Y), v(Y,Yp)
+[Rh3] f(X), h(X,X), h(X,Y) -> f(Y), h(Y,Y)
+[Rh4] h(X,X), v(X,Xp), c(Xp) -> h(Xp,Xp)
+"""
+
+_FACTS_TEXT = "f(Xh_0_0), h(Xh_0_0, Xh_0_0)"
+
+
+def staircase_kb() -> KnowledgeBase:
+    """The steepening staircase KB ``K_h = (F_h, Σ_h)``."""
+    return KnowledgeBase(
+        parse_atoms(_FACTS_TEXT), parse_rules(_RULES_TEXT), name="steepening-staircase"
+    )
+
+
+def term_at(i: int, j: int) -> Variable:
+    """The null ``X^i_j`` (requires ``0 ≤ j ≤ i + 1``)."""
+    if i < 0 or j < 0 or j > i + 1:
+        raise ValueError(f"no staircase term at column {i}, row {j}")
+    return Variable(f"Xh_{i}_{j}")
+
+
+def _exists(i: int, j: int) -> bool:
+    return i >= 0 and 0 <= j <= i + 1
+
+
+def _atoms_for_columns(max_column: int) -> Iterable[Atom]:
+    """All atoms of ``I^h`` among terms with column index ≤ max_column."""
+    for i in range(max_column + 1):
+        yield atom("f", term_at(i, 0))
+        for j in range(0, i + 2):
+            if 1 <= j <= i:
+                yield atom("c", term_at(i, j))
+            if j <= i:
+                yield atom("h", term_at(i, j), term_at(i, j))
+                yield atom("v", term_at(i, j), term_at(i, j + 1))
+            if i + 1 <= max_column and _exists(i + 1, j):
+                yield atom("h", term_at(i, j), term_at(i + 1, j))
+
+
+def universal_model_window(max_column: int) -> AtomSet:
+    """The induced substructure of ``I^h`` on columns ``0..max_column``
+    — the paper's ``P^h_{max_column}`` including the column tops."""
+    if max_column < 0:
+        raise ValueError("max_column must be >= 0")
+    return AtomSet(_atoms_for_columns(max_column))
+
+
+def prefix(k: int) -> AtomSet:
+    """``P^h_k`` — alias of :func:`universal_model_window`."""
+    return universal_model_window(k)
+
+
+def column(k: int) -> AtomSet:
+    """``C^h_k``: the substructure of ``I^h`` induced by the k-th column
+    minus its top element (terms ``X^k_j`` with ``j ≤ k``)."""
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    window = universal_model_window(k)
+    terms = {term_at(k, j) for j in range(k + 1)}
+    return window.induced(terms)
+
+
+def step(k: int) -> AtomSet:
+    """``S^h_k``: the substructure induced by ``C_k ∪ C_{k+1} ∪
+    {X^k_{k+1}}`` — one "step" of the staircase, the repeating unit of
+    the core chase (its core is ``C^h_{k+1}``)."""
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    window = universal_model_window(k + 1)
+    terms = {term_at(k, j) for j in range(k + 2)}
+    terms |= {term_at(k + 1, j) for j in range(k + 2)}
+    return window.induced(terms)
+
+
+def infinite_column_model(height: int) -> AtomSet:
+    """A height-``height`` prefix of ``Ĩ^h`` — the infinite-column model
+    of Figure 2 (right): ``f`` at the bottom, an h-loop everywhere, a
+    ``v``-chain upward, and ``c`` everywhere above the bottom.
+
+    The full infinite structure is a model of ``K_h`` but *not*
+    universal (its infinite v-path cannot map into ``I^h``); it is the
+    shape the robust aggregation of the core chase converges to.
+    """
+    if height < 0:
+        raise ValueError("height must be >= 0")
+    rows = [Variable(f"Yh_{j}") for j in range(height + 1)]
+    atoms = AtomSet()
+    atoms.add(atom("f", rows[0]))
+    for j, row in enumerate(rows):
+        atoms.add(atom("h", row, row))
+        if j >= 1:
+            atoms.add(atom("c", row))
+        if j + 1 <= height:
+            atoms.add(atom("v", row, rows[j + 1]))
+    return atoms
+
+
+def capped_model(max_column: int) -> AtomSet:
+    """A **finite model** of ``K_h``: a window of ``I^h`` capped with a
+    saturated element ``omega``.
+
+    ``omega`` carries every unary predicate and h/v self-loops, and every
+    window term gets ``h``/``v`` edges into ``omega``, so each trigger
+    that would grow the staircase beyond the window is satisfied inside
+    ``omega`` instead.  The result is a model — but of course not a
+    universal one (it satisfies strictly more CQs than ``K_h`` entails),
+    which is exactly what makes it a useful homomorphism *target*: every
+    universal (prefix) structure must map into it.
+    """
+    window = universal_model_window(max_column)
+    omega = Variable("Omega_h")
+    capped = window.copy()
+    capped.add(atom("f", omega))
+    capped.add(atom("c", omega))
+    capped.add(atom("h", omega, omega))
+    capped.add(atom("v", omega, omega))
+    for term in window.terms():
+        capped.add(atom("h", term, omega))
+        capped.add(atom("v", term, omega))
+    return capped
+
+
+def coordinates(atoms: AtomSet) -> dict[Term, tuple[int, int]]:
+    """Recover the cartesian coordinates of the generator-named terms of
+    *atoms* (terms named ``Xh_i_j``); other terms are skipped."""
+    coords: dict[Term, tuple[int, int]] = {}
+    for term in atoms.terms():
+        name = term.name
+        if not name.startswith("Xh_"):
+            continue
+        try:
+            _, i_text, j_text = name.split("_")
+            coords[term] = (int(i_text), int(j_text))
+        except ValueError:
+            continue
+    return coords

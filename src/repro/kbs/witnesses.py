@@ -1,0 +1,109 @@
+"""Witness rule sets for the class landscape of Figure 1 / Proposition 13.
+
+The proof of Proposition 13 exhibits two singleton rule sets showing
+that fes and bts are incomparable:
+
+* :func:`bts_not_fes_kb` — ``r(X,Y) → ∃Z. r(Y,Z)``: every restricted
+  chase builds a simple path (treewidth 1, so bts), but the core chase
+  never terminates (no finite universal model, so not fes);
+* :func:`fes_not_bts_kb` — ``r(X,Y) ∧ r(Y,Z) → ∃V. r(X,X) ∧ r(X,Z) ∧
+  r(Z,V)``: the core chase terminates quickly (fes), while restricted
+  chase sequences keep inventing fresh tails.
+
+Both are core-bts (Proposition 13: core-bts subsumes fes and bts), as is
+the steepening staircase ``K_h`` (uniformly treewidth-2 core chase,
+Proposition 4); the inflating elevator ``K_v`` is in none of the chase-
+based classes yet has a treewidth-1 universal model (Section 7).
+
+The module also ships assorted small KBs used across tests and examples:
+weakly acyclic, guarded, datalog-only, and plain terminating fixtures.
+"""
+
+from __future__ import annotations
+
+from ..logic.kb import KnowledgeBase
+from ..logic.parser import parse_atoms, parse_rules
+
+__all__ = [
+    "bts_not_fes_kb",
+    "fes_not_bts_kb",
+    "transitive_closure_kb",
+    "guarded_chain_kb",
+    "weakly_acyclic_kb",
+    "manager_kb",
+]
+
+
+def bts_not_fes_kb() -> KnowledgeBase:
+    """``{r(X,Y) → ∃Z. r(Y,Z)}`` on ``r(a,b)`` — bts but not fes
+    (Proposition 13's first witness)."""
+    return KnowledgeBase(
+        parse_atoms("r(a,b)"),
+        parse_rules("[Succ] r(X,Y) -> r(Y,Z)"),
+        name="bts-not-fes",
+    )
+
+
+def fes_not_bts_kb() -> KnowledgeBase:
+    """``{r(X,Y) ∧ r(Y,Z) → ∃V. r(X,X) ∧ r(X,Z) ∧ r(Z,V)}`` on
+    ``r(a,b), r(b,c)`` — fes but not bts (Proposition 13's second
+    witness)."""
+    return KnowledgeBase(
+        parse_atoms("r(a,b), r(b,c)"),
+        parse_rules("[Fold] r(X,Y), r(Y,Z) -> r(X,X), r(X,Z), r(Z,V)"),
+        name="fes-not-bts",
+    )
+
+
+def transitive_closure_kb(chain_length: int = 4) -> KnowledgeBase:
+    """Datalog transitive closure over a chain — terminating under every
+    variant, weakly acyclic, guarded-free baseline."""
+    if chain_length < 1:
+        raise ValueError("chain_length must be >= 1")
+    facts = ", ".join(f"e(v{i}, v{i + 1})" for i in range(chain_length))
+    return KnowledgeBase(
+        parse_atoms(facts),
+        parse_rules("[Trans] e(X,Y), e(Y,Z) -> e(X,Z)"),
+        name=f"transitive-closure-{chain_length}",
+    )
+
+
+def guarded_chain_kb() -> KnowledgeBase:
+    """A guarded rule set (every body is a single atom) generating an
+    infinite chain of alternating predicates — bts via guardedness."""
+    return KnowledgeBase(
+        parse_atoms("p(a,b)"),
+        parse_rules(
+            """
+            [PtoQ] p(X,Y) -> q(Y,Z)
+            [QtoP] q(X,Y) -> p(Y,Z)
+            """
+        ),
+        name="guarded-chain",
+    )
+
+
+def weakly_acyclic_kb() -> KnowledgeBase:
+    """A weakly acyclic set: existential edges never feed back into their
+    own creating positions, so every chase variant terminates."""
+    return KnowledgeBase(
+        parse_atoms("person(alice), person(bob)"),
+        parse_rules(
+            """
+            [HasId] person(X) -> id(X,I)
+            [IdRec] id(X,I) -> recorded(I)
+            """
+        ),
+        name="weakly-acyclic",
+    )
+
+
+def manager_kb() -> KnowledgeBase:
+    """The folklore "every employee has a manager who is an employee"
+    KB: non-terminating restricted chase of treewidth 1 (bts, not fes) —
+    a friendlier cousin of :func:`bts_not_fes_kb` for the examples."""
+    return KnowledgeBase(
+        parse_atoms("emp(ann)"),
+        parse_rules("[Mgr] emp(X) -> mgr(X,Y), emp(Y)"),
+        name="managers",
+    )

@@ -1,0 +1,82 @@
+"""First-order substrate: terms, atoms, atomsets, substitutions,
+homomorphisms, isomorphisms, cores, rules, and the text DSL.
+
+Everything else in the library is built on this package; see Section 2 of
+the paper for the corresponding definitions.
+"""
+
+from .atoms import Atom, Predicate, atom, make_term
+from .atomset import AtomSet
+from .cores import core_of, core_retraction, is_core, retracts_to
+from .homomorphism import (
+    count_homomorphisms,
+    find_homomorphism,
+    homomorphically_equivalent,
+    homomorphisms,
+    maps_into,
+)
+from .isomorphism import (
+    automorphisms,
+    canonical_form,
+    find_isomorphism,
+    invariant_fingerprint,
+    isomorphic,
+)
+from .parser import ParseError, parse_atom, parse_atoms, parse_rule, parse_rules
+from .rules import ExistentialRule, RuleSet
+from .serialization import (
+    dump_instance,
+    dump_kb,
+    dump_ruleset,
+    load_instance,
+    load_kb,
+    load_kb_file,
+    load_ruleset,
+    save_kb,
+)
+from .substitution import Substitution
+from .terms import Constant, FreshVariableSource, Term, Variable, is_constant, is_variable
+
+__all__ = [
+    "Atom",
+    "AtomSet",
+    "Constant",
+    "ExistentialRule",
+    "FreshVariableSource",
+    "ParseError",
+    "Predicate",
+    "RuleSet",
+    "Substitution",
+    "Term",
+    "Variable",
+    "atom",
+    "automorphisms",
+    "canonical_form",
+    "core_of",
+    "dump_instance",
+    "dump_kb",
+    "dump_ruleset",
+    "core_retraction",
+    "count_homomorphisms",
+    "find_homomorphism",
+    "find_isomorphism",
+    "homomorphically_equivalent",
+    "homomorphisms",
+    "invariant_fingerprint",
+    "is_constant",
+    "is_core",
+    "is_variable",
+    "isomorphic",
+    "load_instance",
+    "load_kb",
+    "load_kb_file",
+    "load_ruleset",
+    "make_term",
+    "maps_into",
+    "parse_atom",
+    "parse_atoms",
+    "parse_rule",
+    "parse_rules",
+    "retracts_to",
+    "save_kb",
+]

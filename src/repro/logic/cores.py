@@ -1,0 +1,107 @@
+"""Cores and retractions of finite atomsets.
+
+A finite atomset ``A`` is a *core* if its only retraction is the identity
+(Section 2).  Every finite atomset retracts to a core, unique up to
+isomorphism, called *the* core of ``A``.
+
+The core chase (Section 3) needs more than the core itself: Definition 1
+requires each simplification ``σ_i`` to be a genuine *retraction* — an
+endomorphism that is the identity on the terms of its image — and the
+robust renaming of Definition 14 consumes the fibers ``σ⁻¹(X)`` of that
+retraction.  :func:`core_retraction` therefore returns the folding
+retraction, not just the retract.
+
+Algorithm
+---------
+``core_retraction`` repeatedly looks for an endomorphism of the current
+retract that avoids some null in its image (found via homomorphism search
+with a forbidden image); the composition of all such steps is an
+endomorphism of the original atomset onto a retract from which no null
+can be removed — a core.  The composition is then folded to idempotence
+(see :meth:`Substitution.fold_to_retraction`), which makes it a
+retraction.  The search is exponential in the worst case (deciding
+core-ness is co-NP-hard) but behaves well on chase-sized instances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .atomset import AtomSet
+from .homomorphism import find_homomorphism
+from .substitution import Substitution
+from .terms import Term, Variable
+
+__all__ = ["is_core", "core_retraction", "core_of", "retracts_to"]
+
+
+def _removable_variable(atoms: AtomSet) -> Optional[Substitution]:
+    """Find an endomorphism of *atoms* whose image avoids some variable.
+
+    Variables are tried in a deterministic order (by rank, then name) so
+    that core computation — and with it every core chase run — is
+    reproducible.
+    """
+    for var in sorted(atoms.variables(), key=lambda v: (v.rank, v.name)):
+        hom = find_homomorphism(atoms, atoms, forbidden_images=[var])
+        if hom is not None:
+            return hom
+    return None
+
+
+def is_core(atoms: AtomSet) -> bool:
+    """True iff *atoms* is a core (no proper retraction exists).
+
+    A finite atomset has a proper retraction iff it has an endomorphism
+    missing some term of the atomset in its image; constants are always in
+    the image (they are fixed), so only variables need checking.
+    """
+    return _removable_variable(atoms) is None
+
+
+def core_retraction(atoms: AtomSet) -> Substitution:
+    """A retraction of *atoms* whose image is a core of *atoms*.
+
+    Returns the identity substitution when *atoms* is already a core.
+    The result ``σ`` satisfies:
+
+    * ``σ`` is a retraction of *atoms* (idempotent endomorphism);
+    * ``σ(atoms)`` is a core.
+    """
+    current = atoms
+    total = Substitution.identity()
+    while True:
+        shrink = _removable_variable(current)
+        if shrink is None:
+            break
+        total = shrink.compose(total)
+        current = shrink.apply(current)
+    if not total:
+        return total
+    return total.fold_to_retraction(atoms)
+
+
+def core_of(atoms: AtomSet) -> AtomSet:
+    """The core of *atoms* (the retract of :func:`core_retraction`)."""
+    return core_retraction(atoms).apply(atoms)
+
+
+def retracts_to(atoms: AtomSet, target: AtomSet) -> Optional[Substitution]:
+    """A retraction of *atoms* with image exactly *target*, or None.
+
+    *target* must be a subset of *atoms*.  Used by tests to verify the
+    paper's concrete claims of the form "``S^h_k`` retracts to
+    ``C^h_{k+1}``" (Section 6).
+    """
+    if not target.issubset(atoms):
+        return None
+    fixed = Substitution(
+        {t: t for t in target.terms() if isinstance(t, Variable)}
+    )
+    hom = find_homomorphism(atoms, target, partial=fixed)
+    if hom is None:
+        return None
+    retraction = hom.drop_trivial()
+    if retraction.apply(atoms) == target:
+        return retraction
+    return None

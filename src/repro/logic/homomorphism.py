@@ -1,0 +1,229 @@
+"""Homomorphism search between atomsets.
+
+A homomorphism from atomset ``A`` to atomset ``B`` is a substitution ``π``
+with ``π(A) ⊆ B`` (Section 2).  Homomorphisms are the single semantic
+primitive of the paper: modelhood, universality, CQ entailment, trigger
+existence and trigger satisfaction, cores — all reduce to (variants of)
+the search implemented here.
+
+The search is plain backtracking over the atoms of the source, made
+practical by:
+
+* candidate pools from the target's predicate index;
+* a connectivity-driven atom order (most-constrained atom first, then
+  atoms sharing terms with the already-matched region), which keeps the
+  partial assignment propagating instead of guessing;
+* cheap pre-checks (every source predicate must occur in the target).
+
+Three extra knobs cover every use in the library:
+
+``partial``
+    A substitution fixing the images of some source variables — trigger
+    satisfaction (extend ``π`` from the body to body ∪ head) and CQ
+    answering with distinguished variables use this.
+``forbidden_images``
+    Target terms that may not be used as images — the core computation
+    asks for endomorphisms avoiding a given null.
+``injective``
+    Demand an injective term mapping — the isomorphism search builds on
+    this.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+from .atoms import Atom
+from .atomset import AtomSet
+from .substitution import Substitution
+from .terms import Constant, Term, Variable
+
+__all__ = [
+    "find_homomorphism",
+    "homomorphisms",
+    "count_homomorphisms",
+    "maps_into",
+    "homomorphically_equivalent",
+]
+
+AtomsLike = Union[AtomSet, Iterable[Atom]]
+
+
+def _as_atom_list(atoms: AtomsLike) -> list[Atom]:
+    if isinstance(atoms, AtomSet):
+        return atoms.sorted_atoms()
+    return sorted(set(atoms))
+
+
+def homomorphisms(
+    source: AtomsLike,
+    target: AtomSet,
+    partial: Optional[Substitution] = None,
+    forbidden_images: Iterable[Term] = (),
+    injective: bool = False,
+) -> Iterator[Substitution]:
+    """Iterate over all homomorphisms from *source* into *target*.
+
+    Every yielded substitution has exactly the variables of *source* in
+    its domain (bindings of *partial* for variables outside the source are
+    re-attached so callers can keep composing).
+    """
+    if not isinstance(target, AtomSet):
+        target = AtomSet(target)
+    source_atoms = _as_atom_list(source)
+    forbidden = set(forbidden_images)
+
+    assignment: dict[Variable, Term] = {}
+    if partial is not None:
+        for var, term in partial.items():
+            assignment[var] = term
+    if forbidden and any(t in forbidden for t in assignment.values()):
+        return
+    if injective and len(set(assignment.values())) < len(assignment):
+        return
+
+    # Fail fast: a predicate of the source absent from the target kills
+    # every candidate branch.
+    for at in source_atoms:
+        if target.count_with_predicate(at.predicate) == 0:
+            return
+
+    used_images: set[Term] = set(assignment.values()) if injective else set()
+    source_vars = set()
+    for at in source_atoms:
+        source_vars.update(at.variables())
+
+    def candidates(at: Atom) -> list[Atom]:
+        """Candidate target atoms for *at* under the current assignment,
+        narrowed through the target's term index: every already-decided
+        argument (constant or bound variable) restricts the pool to the
+        atoms containing its image."""
+        pool: Optional[set[Atom]] = None
+        for src_term in at.args:
+            if isinstance(src_term, Constant):
+                image: Optional[Term] = src_term
+            else:
+                image = assignment.get(src_term)
+            if image is None:
+                continue
+            bucket = target._containing_raw(image)
+            pool = bucket if pool is None else (pool & bucket)
+            if not pool:
+                return []
+        if pool is None:
+            pool = target._with_predicate_raw(at.predicate)
+        matching = [cand for cand in pool if cand.predicate == at.predicate]
+        matching.sort()
+        return matching
+
+    def match_atom(at: Atom, candidate: Atom) -> Optional[list[Variable]]:
+        """Try to extend the assignment so that ``at ↦ candidate``.
+        Return the list of newly bound variables, or None on clash."""
+        newly_bound: list[Variable] = []
+        for src_term, tgt_term in zip(at.args, candidate.args):
+            if isinstance(src_term, Constant):
+                if src_term != tgt_term:
+                    _undo(newly_bound)
+                    return None
+                continue
+            bound_value = assignment.get(src_term)
+            if bound_value is not None:
+                if bound_value != tgt_term:
+                    _undo(newly_bound)
+                    return None
+                continue
+            if tgt_term in forbidden:
+                _undo(newly_bound)
+                return None
+            if injective and tgt_term in used_images:
+                _undo(newly_bound)
+                return None
+            assignment[src_term] = tgt_term
+            if injective:
+                used_images.add(tgt_term)
+            newly_bound.append(src_term)
+        return newly_bound
+
+    def _undo(newly_bound: list[Variable]) -> None:
+        for var in newly_bound:
+            value = assignment.pop(var)
+            if injective:
+                used_images.discard(value)
+
+    remaining = list(source_atoms)
+
+    def search() -> Iterator[Substitution]:
+        if not remaining:
+            yield Substitution(
+                {v: t for v, t in assignment.items() if v in source_vars}
+            )
+            return
+        # Most-constrained-first: pick the remaining atom with the
+        # smallest candidate pool (recomputed under the current
+        # assignment — this is what makes dense instances tractable).
+        best_index = 0
+        best_pool: Optional[list[Atom]] = None
+        for index, at in enumerate(remaining):
+            pool = candidates(at)
+            if best_pool is None or len(pool) < len(best_pool):
+                best_index, best_pool = index, pool
+                if not pool:
+                    return  # dead end, no candidate for some atom
+                if len(pool) == 1:
+                    break
+        chosen = remaining.pop(best_index)
+        assert best_pool is not None
+        for candidate in best_pool:
+            newly_bound = match_atom(chosen, candidate)
+            if newly_bound is None:
+                continue
+            yield from search()
+            _undo(newly_bound)
+        remaining.insert(best_index, chosen)
+
+    yield from search()
+
+
+def find_homomorphism(
+    source: AtomsLike,
+    target: AtomSet,
+    partial: Optional[Substitution] = None,
+    forbidden_images: Iterable[Term] = (),
+    injective: bool = False,
+) -> Optional[Substitution]:
+    """Return one homomorphism from *source* to *target*, or None.
+
+    The search is deterministic, so repeated calls return the same
+    witness — the chase engine depends on this for reproducible runs.
+    """
+    for hom in homomorphisms(
+        source,
+        target,
+        partial=partial,
+        forbidden_images=forbidden_images,
+        injective=injective,
+    ):
+        return hom
+    return None
+
+
+def count_homomorphisms(source: AtomsLike, target: AtomSet) -> int:
+    """Count all homomorphisms from *source* to *target*."""
+    return sum(1 for _ in homomorphisms(source, target))
+
+
+def maps_into(source: AtomsLike, target: AtomSet) -> bool:
+    """True iff *source* (homomorphically) maps to *target* — i.e.
+    ``target ⊨ source`` when both are read as existentially closed
+    conjunctions (Section 2)."""
+    return find_homomorphism(source, target) is not None
+
+
+def homomorphically_equivalent(left: AtomSet, right: AtomSet) -> bool:
+    """True iff the two atomsets map into each other.
+
+    Homomorphic equivalence is the right notion of "same content" for
+    universal models: any two universal models of a KB are equivalent in
+    this sense (used, e.g., in the proof of Proposition 5).
+    """
+    return maps_into(left, right) and maps_into(right, left)

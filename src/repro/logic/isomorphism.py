@@ -1,0 +1,171 @@
+"""Isomorphisms between atomsets.
+
+An isomorphism from ``A`` to ``B`` is a bijective homomorphism whose
+inverse is a homomorphism from ``B`` to ``A`` (Section 2).  For atomsets
+(relational structures given as sets of atoms) an injective term mapping
+``h`` with ``h(A) = B`` is exactly such an isomorphism, which is what the
+search below looks for.
+
+The module also provides a cheap *invariant fingerprint* used to refute
+isomorphism without search, and a canonical labelling for hashing small
+atomsets up to isomorphism (used by chase-termination detection for the
+semi-oblivious variant and by test assertions).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Iterable, Optional, Union
+
+from .atoms import Atom
+from .atomset import AtomSet
+from .homomorphism import homomorphisms
+from .substitution import Substitution
+from .terms import Constant, Term, Variable
+
+__all__ = [
+    "find_isomorphism",
+    "isomorphic",
+    "automorphisms",
+    "invariant_fingerprint",
+    "canonical_form",
+]
+
+
+def invariant_fingerprint(atoms: AtomSet) -> tuple:
+    """An isomorphism-invariant fingerprint of an atomset.
+
+    Isomorphic atomsets share the fingerprint; the converse does not hold,
+    so this is only a refutation filter.  Components: atom count, term and
+    variable counts, per-predicate atom counts, the multiset of constants
+    (constants are rigid), and the sorted multiset of per-term incidence
+    signatures (for each term: the multiset of ``(predicate, position)``
+    slots it fills).
+    """
+    incidence: dict[Term, list[tuple[str, int, int]]] = {}
+    for at in atoms:
+        for position, term in enumerate(at.args):
+            incidence.setdefault(term, []).append(
+                (at.predicate.name, at.predicate.arity, position)
+            )
+    signatures = sorted(
+        (
+            isinstance(term, Constant) and term.name or "",
+            tuple(sorted(slots)),
+        )
+        for term, slots in incidence.items()
+    )
+    histogram = tuple(sorted(atoms.predicate_histogram().items()))
+    return (
+        len(atoms),
+        len(atoms.terms()),
+        len(atoms.variables()),
+        histogram,
+        tuple(signatures),
+    )
+
+
+def find_isomorphism(left: AtomSet, right: AtomSet) -> Optional[Substitution]:
+    """Return an isomorphism from *left* to *right*, or None.
+
+    Strategy: refute with the invariant fingerprint, then search for an
+    injective homomorphism.  Because the term mapping is injective and the
+    atomsets have equal cardinality, the induced atom mapping is an
+    injection between equinumerous finite sets, hence a bijection with
+    ``h(left) = right``; its inverse is then automatically a homomorphism.
+    """
+    if invariant_fingerprint(left) != invariant_fingerprint(right):
+        return None
+    for hom in homomorphisms(left, right, injective=True):
+        # Injectivity on terms makes the atom map injective; with equal
+        # atom counts the image covers right entirely.
+        return hom
+    return None
+
+
+def isomorphic(left: AtomSet, right: AtomSet) -> bool:
+    """True iff the two atomsets are isomorphic."""
+    return find_isomorphism(left, right) is not None
+
+
+def automorphisms(atoms: AtomSet):
+    """Iterate over all automorphisms of *atoms*.
+
+    On a finite core every endomorphism is an automorphism, so this
+    iterator enumerates exactly the endomorphisms there (a fact the core
+    machinery exploits when folding endomorphisms to retractions).
+    """
+    yield from homomorphisms(atoms, atoms, injective=True)
+
+
+def canonical_form(atoms: AtomSet) -> tuple:
+    """A canonical, hashable form of an atomset: equal for isomorphic
+    atomsets, distinct otherwise.
+
+    The labelling is computed by trying, in a deterministic order, every
+    assignment of canonical indexes to variables compatible with a greedy
+    refinement of the incidence signatures, and picking the
+    lexicographically least resulting atom tuple.  Exponential in the
+    worst case, intended for the small structures in tests and
+    termination caches.
+    """
+    variables = sorted(
+        atoms.variables(), key=lambda v: _variable_signature(atoms, v)
+    )
+    best: Optional[tuple] = None
+    used = [False] * len(variables)
+    labels: dict[Variable, int] = {}
+
+    grouped: dict[tuple, list[Variable]] = {}
+    for var in variables:
+        grouped.setdefault(_variable_signature(atoms, var), []).append(var)
+
+    def render() -> tuple:
+        rendered = []
+        for at in atoms:
+            args = tuple(
+                ("c", t.name) if isinstance(t, Constant) else ("v", labels[t])
+                for t in at.args
+            )
+            rendered.append((at.predicate.name, at.predicate.arity, args))
+        return tuple(sorted(rendered))
+
+    def assign(groups: list[list[Variable]], next_label: int) -> None:
+        nonlocal best
+        if not groups:
+            candidate = render()
+            if best is None or candidate < best:
+                best = candidate
+            return
+        head, *rest = groups
+        if not head:
+            assign(rest, next_label)
+            return
+        for index, var in enumerate(head):
+            remaining = head[:index] + head[index + 1 :]
+            labels[var] = next_label
+            assign([remaining] + rest, next_label + 1)
+            del labels[var]
+
+    ordered_groups = [grouped[key] for key in sorted(grouped)]
+    assign(ordered_groups, 0)
+    assert best is not None or not variables
+    if best is None:
+        best = tuple(
+            sorted(
+                (at.predicate.name, at.predicate.arity, tuple(("c", t.name) for t in at.args))
+                for at in atoms
+            )
+        )
+    return best
+
+
+def _variable_signature(atoms: AtomSet, var: Variable) -> tuple:
+    """The incidence signature of a variable (isomorphism-invariant)."""
+    slots = sorted(
+        (at.predicate.name, at.predicate.arity, position)
+        for at in atoms.containing(var)
+        for position, term in enumerate(at.args)
+        if term == var
+    )
+    return tuple(slots)

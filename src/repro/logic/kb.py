@@ -1,0 +1,82 @@
+"""Knowledge bases.
+
+A knowledge base is a pair ``K = (F, Σ)`` of a finite instance and a
+finite rule set (Section 2).  The class is a thin immutable pairing plus
+the modelhood predicates the experiments keep re-checking: whether a
+given instance is a model of ``F``, of the rules, and of the KB.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from .atoms import Atom
+from .atomset import AtomSet
+from .homomorphism import find_homomorphism, maps_into
+from .rules import ExistentialRule, RuleSet
+from .substitution import Substitution
+
+__all__ = ["KnowledgeBase"]
+
+
+class KnowledgeBase:
+    """An immutable pair of facts and rules."""
+
+    __slots__ = ("facts", "rules", "name")
+
+    def __init__(
+        self,
+        facts: Union[AtomSet, Iterable[Atom]],
+        rules: Union[RuleSet, Iterable[ExistentialRule]],
+        name: Optional[str] = None,
+    ):
+        facts_set = facts if isinstance(facts, AtomSet) else AtomSet(facts)
+        rule_set = rules if isinstance(rules, RuleSet) else RuleSet(rules)
+        if not facts_set:
+            raise ValueError("a knowledge base needs a nonempty fact set")
+        object.__setattr__(self, "facts", facts_set.copy())
+        object.__setattr__(self, "rules", rule_set)
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, key, value):  # pragma: no cover - defensive
+        raise AttributeError("KnowledgeBase is immutable")
+
+    # ------------------------------------------------------------------
+    # modelhood (Section 2)
+    # ------------------------------------------------------------------
+
+    def rule_violations(self, instance: AtomSet):
+        """Iterate over unsatisfied triggers ``(rule, π)`` of *instance*.
+
+        An instance is a model of a rule iff it satisfies every trigger
+        for it; this generator yields the counterexamples.
+        """
+        from ..chase.trigger import triggers  # local import to avoid a cycle
+
+        for rule in self.rules:
+            for trigger in triggers(rule, instance):
+                if not trigger.is_satisfied_in(instance):
+                    yield (rule, trigger.mapping)
+
+    def is_model_of_rules(self, instance: AtomSet) -> bool:
+        """True iff *instance* satisfies every rule of the KB."""
+        for _ in self.rule_violations(instance):
+            return False
+        return True
+
+    def is_model(self, instance: AtomSet) -> bool:
+        """True iff *instance* is a model of the KB: the facts map into it
+        and it satisfies every rule."""
+        return maps_into(self.facts, instance) and self.is_model_of_rules(instance)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"KnowledgeBase({label} {len(self.facts)} facts, "
+            f"{len(self.rules)} rules)"
+        )
+
+    def __str__(self) -> str:
+        lines = [f"facts: {self.facts}"]
+        lines.extend(f"{rule.name}: {rule}" for rule in self.rules)
+        return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""A small text DSL for atoms, atomsets, rules, and knowledge bases.
+
+Grammar (whitespace-insensitive)::
+
+    term      ::=  NAME                      # leading uppercase or '_': variable
+    atom      ::=  NAME '(' term (',' term)* ')'  |  NAME  # 0-ary
+    atomset   ::=  atom (',' atom)*
+    rule      ::=  atomset '->' atomset
+    program   ::=  (line)*                   # one rule or fact-atomset per line,
+                                             # '#' starts a comment, blank lines ok
+    named rule::=  '[' NAME ']' rule
+
+Examples::
+
+    parse_atom("h(X, Y)")
+    parse_atoms("f(X0), h(X0, X0)")
+    parse_rule("h(X,X) -> h(X,Y), v(X,Xp), h(Xp,Yp), v(Y,Yp), c(Yp)")
+    parse_rules('''
+        [R1] c(X), h(X,Y) -> v(Y,Yp), v(Yp,Ypp), c(Ypp)
+        [R4] c(X) -> d(X)
+    ''')
+
+The convention of :func:`repro.logic.atoms.make_term` applies: names whose
+first character is uppercase or an underscore are variables, everything
+else is a constant.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from .atoms import Atom, Predicate, make_term
+from .atomset import AtomSet
+from .rules import ExistentialRule, RuleSet
+
+__all__ = [
+    "ParseError",
+    "parse_atom",
+    "parse_atoms",
+    "parse_rule",
+    "parse_rules",
+]
+
+_NAME = r"[A-Za-z_][A-Za-z0-9_']*"
+_ATOM_RE = re.compile(rf"\s*({_NAME})\s*(?:\(([^()]*)\))?\s*")
+_LABEL_RE = re.compile(rf"^\s*\[\s*({_NAME})\s*\]\s*(.*)$")
+
+
+class ParseError(ValueError):
+    """Raised on malformed input; the message pinpoints the offending
+    fragment."""
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom such as ``"h(X, Y)"`` or a 0-ary ``"halt"``."""
+    match = _ATOM_RE.fullmatch(text)
+    if match is None:
+        raise ParseError(f"malformed atom: {text!r}")
+    name, args_text = match.group(1), match.group(2)
+    if args_text is None:
+        return Atom(Predicate(name, 0), ())
+    raw_args = [piece.strip() for piece in args_text.split(",")]
+    if raw_args == [""]:
+        raw_args = []
+    for piece in raw_args:
+        if not re.fullmatch(_NAME, piece):
+            raise ParseError(f"malformed term {piece!r} in atom {text!r}")
+    terms = tuple(make_term(piece) for piece in raw_args)
+    return Atom(Predicate(name, len(terms)), terms)
+
+
+def _split_atoms(text: str) -> list[str]:
+    """Split a comma-separated atom list at parenthesis depth zero."""
+    pieces: list[str] = []
+    depth = 0
+    start = 0
+    for index, char in enumerate(text):
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+            if depth < 0:
+                raise ParseError(f"unbalanced ')' in {text!r}")
+        elif char == "," and depth == 0:
+            pieces.append(text[start:index])
+            start = index + 1
+    if depth != 0:
+        raise ParseError(f"unbalanced '(' in {text!r}")
+    pieces.append(text[start:])
+    return [p for p in (piece.strip() for piece in pieces) if p]
+
+
+def parse_atoms(text: str) -> AtomSet:
+    """Parse a comma-separated conjunction of atoms into an atomset."""
+    pieces = _split_atoms(text)
+    if not pieces:
+        raise ParseError(f"expected at least one atom in {text!r}")
+    return AtomSet(parse_atom(piece) for piece in pieces)
+
+
+def parse_rule(text: str, name: str | None = None) -> ExistentialRule:
+    """Parse one rule ``body -> head`` (optionally ``[label] body -> head``)."""
+    label_match = _LABEL_RE.match(text)
+    if label_match is not None:
+        if name is not None:
+            raise ParseError(f"rule has both inline label and name= argument: {text!r}")
+        name = label_match.group(1)
+        text = label_match.group(2)
+    parts = text.split("->")
+    if len(parts) != 2:
+        raise ParseError(f"expected exactly one '->' in rule {text!r}")
+    body = parse_atoms(parts[0])
+    head = parse_atoms(parts[1])
+    return ExistentialRule(body, head, name=name)
+
+
+def parse_rules(text: str) -> RuleSet:
+    """Parse a multi-line program of rules into a :class:`RuleSet`.
+
+    Lines starting with ``#`` (after stripping) and blank lines are
+    ignored.  Each remaining line must contain one rule, optionally
+    prefixed with a ``[label]``.
+    """
+    ruleset = RuleSet()
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            ruleset.add(parse_rule(line))
+        except ParseError as error:
+            raise ParseError(f"line {line_number}: {error}") from error
+    if not len(ruleset):
+        raise ParseError("program contains no rules")
+    return ruleset

@@ -1,0 +1,222 @@
+"""Existential rules (tuple-generating dependencies) and rule sets.
+
+An existential rule ``R = B → H`` has nonempty finite atomsets as body and
+head; its variables split into *frontier* (shared), *nonfrontier
+universal* (body only) and *existential* (head only) — Section 2.  Rule
+application is defined in :mod:`repro.chase.trigger`; this module is the
+static side: well-formedness, variable classification, renaming-apart,
+and the :class:`RuleSet` container the chase engine consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+from .atoms import Atom
+from .atomset import AtomSet
+from .substitution import Substitution
+from .terms import Constant, Variable
+
+__all__ = ["ExistentialRule", "RuleSet"]
+
+
+class ExistentialRule:
+    """An existential rule ``B → H``.
+
+    Parameters
+    ----------
+    body, head:
+        Nonempty collections of atoms.
+    name:
+        Optional label (the paper's ``R^h_1`` etc.); auto-assigned inside
+        a :class:`RuleSet` when omitted.
+    """
+
+    __slots__ = ("body", "head", "name", "_frontier", "_existential", "_universal")
+
+    def __init__(
+        self,
+        body: Union[AtomSet, Iterable[Atom]],
+        head: Union[AtomSet, Iterable[Atom]],
+        name: Optional[str] = None,
+    ):
+        body_set = body if isinstance(body, AtomSet) else AtomSet(body)
+        head_set = head if isinstance(head, AtomSet) else AtomSet(head)
+        if not body_set:
+            raise ValueError("rule body must be nonempty")
+        if not head_set:
+            raise ValueError("rule head must be nonempty")
+        object.__setattr__(self, "body", body_set.copy())
+        object.__setattr__(self, "head", head_set.copy())
+        object.__setattr__(self, "name", name)
+        body_vars = self.body.variables()
+        head_vars = self.head.variables()
+        object.__setattr__(self, "_frontier", frozenset(body_vars & head_vars))
+        object.__setattr__(self, "_existential", frozenset(head_vars - body_vars))
+        object.__setattr__(self, "_universal", frozenset(body_vars))
+
+    def __setattr__(self, key, value):  # pragma: no cover - defensive
+        raise AttributeError("ExistentialRule is immutable")
+
+    # ------------------------------------------------------------------
+    # variable classification (Section 2)
+    # ------------------------------------------------------------------
+
+    @property
+    def frontier(self) -> frozenset[Variable]:
+        """Variables occurring in both body and head."""
+        return self._frontier
+
+    @property
+    def existential(self) -> frozenset[Variable]:
+        """Variables occurring only in the head."""
+        return self._existential
+
+    @property
+    def universal(self) -> frozenset[Variable]:
+        """All body variables (frontier + nonfrontier universal)."""
+        return self._universal
+
+    @property
+    def nonfrontier_universal(self) -> frozenset[Variable]:
+        """Body-only variables."""
+        return frozenset(self._universal - self._frontier)
+
+    def has_existential(self) -> bool:
+        """True iff the rule invents nulls when applied."""
+        return bool(self._existential)
+
+    def is_datalog(self) -> bool:
+        """True iff the rule has no existential variable."""
+        return not self._existential
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    def predicates(self) -> frozenset:
+        """All predicates mentioned by the rule."""
+        return self.body.predicates() | self.head.predicates()
+
+    def constants(self) -> frozenset[Constant]:
+        """All constants mentioned by the rule."""
+        return self.body.constants() | self.head.constants()
+
+    def rename_apart(self, suffix: str) -> "ExistentialRule":
+        """A variant of the rule with every variable renamed by *suffix*.
+
+        Used to keep rule variables disjoint from instance nulls when the
+        same symbol names happen to be reused across inputs.
+        """
+        renaming = Substitution(
+            {
+                v: Variable(f"{v.name}{suffix}")
+                for v in self.body.variables() | self.head.variables()
+            }
+        )
+        return ExistentialRule(
+            renaming.apply(self.body), renaming.apply(self.head), name=self.name
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ExistentialRule)
+            and other.body == self.body
+            and other.head == self.head
+        )
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash((self.body.atoms(), self.head.atoms()))
+
+    def __repr__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        return f"Rule({label}{self!s})"
+
+    def __str__(self) -> str:
+        body_text = ", ".join(str(a) for a in self.body.sorted_atoms())
+        head_text = ", ".join(str(a) for a in self.head.sorted_atoms())
+        return f"{body_text} -> {head_text}"
+
+
+class RuleSet:
+    """An ordered, name-indexed collection of existential rules.
+
+    Rule order matters operationally (the chase engine breaks ties in
+    rule order), so insertion order is preserved; duplicate rule names are
+    rejected to keep experiment logs unambiguous.
+    """
+
+    __slots__ = ("_rules", "_by_name")
+
+    def __init__(self, rules: Iterable[ExistentialRule] = ()):
+        self._rules: list[ExistentialRule] = []
+        self._by_name: dict[str, ExistentialRule] = {}
+        for rule in rules:
+            self.add(rule)
+
+    def add(self, rule: ExistentialRule) -> ExistentialRule:
+        """Append a rule; assign a positional name if it has none."""
+        if not isinstance(rule, ExistentialRule):
+            raise TypeError(f"expected ExistentialRule, got {rule!r}")
+        if rule.name is None:
+            rule = ExistentialRule(rule.body, rule.head, name=f"R{len(self._rules) + 1}")
+        if rule.name in self._by_name:
+            raise ValueError(f"duplicate rule name {rule.name!r}")
+        self._rules.append(rule)
+        self._by_name[rule.name] = rule
+        return rule
+
+    def __iter__(self) -> Iterator[ExistentialRule]:
+        return iter(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __getitem__(self, key: Union[int, str]) -> ExistentialRule:
+        if isinstance(key, int):
+            return self._rules[key]
+        return self._by_name[key]
+
+    def __contains__(self, key: object) -> bool:
+        if isinstance(key, str):
+            return key in self._by_name
+        return key in self._rules
+
+    def names(self) -> list[str]:
+        """Rule names in insertion order."""
+        return [rule.name for rule in self._rules]  # type: ignore[misc]
+
+    def predicates(self) -> frozenset:
+        """All predicates mentioned by any rule."""
+        result: frozenset = frozenset()
+        for rule in self._rules:
+            result |= rule.predicates()
+        return result
+
+    def datalog_rules(self) -> list[ExistentialRule]:
+        """The rules without existential variables."""
+        return [rule for rule in self._rules if rule.is_datalog()]
+
+    def existential_rules(self) -> list[ExistentialRule]:
+        """The rules with at least one existential variable."""
+        return [rule for rule in self._rules if rule.has_existential()]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RuleSet):
+            return NotImplemented
+        return self._rules == other._rules
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self) -> str:
+        return f"RuleSet({self.names()})"
+
+    def __str__(self) -> str:
+        return "\n".join(f"{rule.name}: {rule}" for rule in self._rules)

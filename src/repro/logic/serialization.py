@@ -1,0 +1,124 @@
+"""Text serialization of instances, rule sets, and knowledge bases.
+
+The on-disk format reuses the parser DSL with a light section structure,
+so serialized files are also human-editable fixtures::
+
+    # repro knowledge base
+    [facts]
+    p(a), q(a, X0)
+
+    [rules]
+    [R1] p(X) -> e(X, Y)
+    [R2] e(X, Y) -> q(X, Y)
+
+Round-tripping is exact for rule sets and exact-up-to-atom-order for
+instances (atomsets are sets).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Union
+
+from .atomset import AtomSet
+from .kb import KnowledgeBase
+from .parser import ParseError, parse_atoms, parse_rules
+from .rules import RuleSet
+
+__all__ = [
+    "dump_instance",
+    "load_instance",
+    "dump_ruleset",
+    "load_ruleset",
+    "dump_kb",
+    "load_kb",
+    "save_kb",
+    "load_kb_file",
+]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def dump_instance(atoms: AtomSet) -> str:
+    """Serialize an instance: one atom per line (deterministic order)."""
+    return "\n".join(str(at) for at in atoms.sorted_atoms()) + "\n"
+
+
+def load_instance(text: str) -> AtomSet:
+    """Parse an instance serialized by :func:`dump_instance` (also
+    accepts comma-separated and commented input)."""
+    lines = [
+        line.strip()
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    ]
+    if not lines:
+        raise ParseError("no atoms in instance text")
+    return parse_atoms(", ".join(lines))
+
+
+def dump_ruleset(rules: RuleSet) -> str:
+    """Serialize a rule set, one labelled rule per line."""
+    return "\n".join(f"[{rule.name}] {rule}" for rule in rules) + "\n"
+
+
+def load_ruleset(text: str) -> RuleSet:
+    """Parse a rule set serialized by :func:`dump_ruleset`."""
+    return parse_rules(text)
+
+
+def dump_kb(kb: KnowledgeBase) -> str:
+    """Serialize a knowledge base in the sectioned format."""
+    parts = ["# repro knowledge base"]
+    if kb.name:
+        parts.append(f"# name: {kb.name}")
+    parts.append("[facts]")
+    parts.append(dump_instance(kb.facts).rstrip())
+    parts.append("")
+    parts.append("[rules]")
+    parts.append(dump_ruleset(kb.rules).rstrip())
+    return "\n".join(parts) + "\n"
+
+
+def load_kb(text: str) -> KnowledgeBase:
+    """Parse a knowledge base serialized by :func:`dump_kb`."""
+    name = None
+    section = None
+    fact_lines: list[str] = []
+    rule_lines: list[str] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if line.startswith("# name:"):
+            name = line.split(":", 1)[1].strip()
+            continue
+        if not line or line.startswith("#"):
+            continue
+        if line == "[facts]":
+            section = "facts"
+            continue
+        if line == "[rules]":
+            section = "rules"
+            continue
+        if section == "facts":
+            fact_lines.append(line)
+        elif section == "rules":
+            rule_lines.append(line)
+        else:
+            raise ParseError(f"content before any section: {line!r}")
+    if not fact_lines:
+        raise ParseError("missing or empty [facts] section")
+    if not rule_lines:
+        raise ParseError("missing or empty [rules] section")
+    facts = load_instance("\n".join(fact_lines))
+    rules = parse_rules("\n".join(rule_lines))
+    return KnowledgeBase(facts, rules, name=name)
+
+
+def save_kb(kb: KnowledgeBase, path: PathLike) -> None:
+    """Write a KB to *path*."""
+    pathlib.Path(path).write_text(dump_kb(kb))
+
+
+def load_kb_file(path: PathLike) -> KnowledgeBase:
+    """Read a KB from *path*."""
+    return load_kb(pathlib.Path(path).read_text())

@@ -1,0 +1,33 @@
+"""Conjunctive queries and CQ-entailment decision procedures
+(Propositions 1/9, Theorems 1–2)."""
+
+from .certain import active_domain, certain_answers, certain_answers_over
+from .cq import ConjunctiveQuery, boolean_cq
+from .decomposed import DecomposedQuery, holds_via_decomposition
+from .entailment import (
+    EntailmentVerdict,
+    chase_entails_prefix,
+    decide_entailment,
+    entails_via_terminating_chase,
+)
+from .modelfinder import ModelSearchResult, find_countermodel, find_finite_model
+from .ucq import UnionQuery, decide_union_entailment
+
+__all__ = [
+    "ConjunctiveQuery",
+    "DecomposedQuery",
+    "active_domain",
+    "certain_answers",
+    "certain_answers_over",
+    "holds_via_decomposition",
+    "EntailmentVerdict",
+    "ModelSearchResult",
+    "boolean_cq",
+    "chase_entails_prefix",
+    "decide_entailment",
+    "entails_via_terminating_chase",
+    "UnionQuery",
+    "decide_union_entailment",
+    "find_countermodel",
+    "find_finite_model",
+]

@@ -1,0 +1,100 @@
+"""Conjunctive queries.
+
+A Boolean CQ is a finite atomset read as the existential closure of the
+conjunction of its atoms (Section 2); ``K ⊨ Q`` iff ``Q`` maps into some
+(equivalently, every) universal model of ``K``, and by Proposition 9 a
+*finitely universal* model works just as well.
+
+:class:`ConjunctiveQuery` additionally supports distinguished (answer)
+variables, evaluated by enumerating homomorphisms — the standard notion
+of certain-answer candidates over a single instance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+from ..logic.atoms import Atom
+from ..logic.atomset import AtomSet
+from ..logic.homomorphism import find_homomorphism, homomorphisms
+from ..logic.parser import parse_atoms
+from ..logic.substitution import Substitution
+from ..logic.terms import Term, Variable
+
+__all__ = ["ConjunctiveQuery", "boolean_cq"]
+
+
+class ConjunctiveQuery:
+    """A conjunctive query with optional answer variables.
+
+    Parameters
+    ----------
+    atoms:
+        The query body (a finite atomset, or DSL text).
+    answer_variables:
+        Distinguished variables, in output order; empty means Boolean.
+    name:
+        Optional label for experiment logs.
+    """
+
+    __slots__ = ("atoms", "answer_variables", "name")
+
+    def __init__(
+        self,
+        atoms: Union[AtomSet, Iterable[Atom], str],
+        answer_variables: Sequence[Variable] = (),
+        name: Optional[str] = None,
+    ):
+        if isinstance(atoms, str):
+            atoms = parse_atoms(atoms)
+        atom_set = atoms if isinstance(atoms, AtomSet) else AtomSet(atoms)
+        if not atom_set:
+            raise ValueError("a conjunctive query needs at least one atom")
+        for var in answer_variables:
+            if var not in atom_set.variables():
+                raise ValueError(f"answer variable {var} does not occur in the query")
+        object.__setattr__(self, "atoms", atom_set.copy())
+        object.__setattr__(self, "answer_variables", tuple(answer_variables))
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, key, value):  # pragma: no cover - defensive
+        raise AttributeError("ConjunctiveQuery is immutable")
+
+    @property
+    def is_boolean(self) -> bool:
+        return not self.answer_variables
+
+    # ------------------------------------------------------------------
+    # evaluation over a single instance
+    # ------------------------------------------------------------------
+
+    def holds_in(self, instance: AtomSet) -> bool:
+        """``instance ⊨ Q`` (Boolean reading: some homomorphism exists)."""
+        return find_homomorphism(self.atoms, instance) is not None
+
+    def answers(self, instance: AtomSet) -> Iterator[tuple[Term, ...]]:
+        """Enumerate the distinct answer tuples over *instance*."""
+        seen: set[tuple[Term, ...]] = set()
+        for hom in homomorphisms(self.atoms, instance):
+            answer = tuple(hom.apply_term(var) for var in self.answer_variables)
+            if answer not in seen:
+                seen.add(answer)
+                yield answer
+
+    def witness(self, instance: AtomSet) -> Optional[Substitution]:
+        """One homomorphism witnessing ``instance ⊨ Q``, or None."""
+        return find_homomorphism(self.atoms, instance)
+
+    def __repr__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        answer = (
+            "(" + ", ".join(v.name for v in self.answer_variables) + ") "
+            if self.answer_variables
+            else ""
+        )
+        return f"CQ({label}{answer}{self.atoms})"
+
+
+def boolean_cq(text: str, name: Optional[str] = None) -> ConjunctiveQuery:
+    """Parse a Boolean CQ from DSL text: ``boolean_cq("f(X), c(X)")``."""
+    return ConjunctiveQuery(text, name=name)

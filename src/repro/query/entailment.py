@@ -1,0 +1,147 @@
+"""CQ entailment procedures, including the Theorem-1-style race.
+
+Three procedures, in increasing generality:
+
+1. :func:`entails_via_terminating_chase` — when the core chase
+   terminates, its result is a finite universal model and entailment is
+   a single homomorphism test (the fes situation).
+2. :func:`chase_entails_prefix` — the "yes" semi-procedure: run a fair
+   chase and test the query against the natural aggregation after every
+   step (Proposition 1(3): ``K ⊨ Q`` iff ``Q`` maps into ``D*`` for any
+   fair derivation, and a mapping into a finite prefix certifies it).
+3. :func:`decide_entailment` — the race of Theorem 1: interleave the
+   "yes" side (2) with the "no" side (a bounded finite-countermodel
+   search standing in for the Courcelle machinery; see
+   :mod:`repro.query.modelfinder` and DESIGN.md for the substitution
+   argument).  Returns a verdict with the certificate that settled it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..chase.engine import ChaseVariant, run_chase
+from ..logic.atomset import AtomSet
+from ..logic.kb import KnowledgeBase
+from .cq import ConjunctiveQuery
+from .modelfinder import find_countermodel
+
+__all__ = [
+    "EntailmentVerdict",
+    "entails_via_terminating_chase",
+    "chase_entails_prefix",
+    "decide_entailment",
+]
+
+
+@dataclass
+class EntailmentVerdict:
+    """The outcome of a decision attempt.
+
+    ``entailed`` is None when neither side settled within its budget
+    (a genuine possibility: the procedure simulates two semi-decision
+    procedures with finite budgets).
+    """
+
+    entailed: Optional[bool]
+    method: str
+    chase_steps: int = 0
+    countermodel: Optional[AtomSet] = None
+    witness_instance: Optional[AtomSet] = None
+
+    @property
+    def decided(self) -> bool:
+        return self.entailed is not None
+
+
+def entails_via_terminating_chase(
+    kb: KnowledgeBase, query: ConjunctiveQuery, max_steps: int = 500
+) -> EntailmentVerdict:
+    """Decide entailment through a terminating core chase.
+
+    If the core chase reaches a fixpoint, the final instance is the
+    (unique, smallest) finite universal model and the answer is exact;
+    otherwise the verdict is undecided.
+    """
+    result = run_chase(kb, variant=ChaseVariant.CORE, max_steps=max_steps)
+    if not result.terminated:
+        return EntailmentVerdict(None, "core-chase-budget-exhausted", max_steps)
+    holds = query.holds_in(result.final_instance)
+    return EntailmentVerdict(
+        holds,
+        "terminating-core-chase",
+        result.applications,
+        witness_instance=result.final_instance,
+    )
+
+
+def chase_entails_prefix(
+    kb: KnowledgeBase,
+    query: ConjunctiveQuery,
+    max_steps: int = 200,
+    variant: str = ChaseVariant.RESTRICTED,
+) -> EntailmentVerdict:
+    """The "yes" semi-procedure: chase fairly and test the query against
+    the growing natural aggregation.
+
+    A hit certifies ``K ⊨ Q`` (the aggregation prefix is universal —
+    Proposition 1(1) — so the query maps onward into every model).  No
+    hit within budget leaves the question open unless the chase
+    terminated, in which case the answer is an exact "no".
+    """
+    aggregation = AtomSet()
+    hit = [False]
+    steps_until_hit = [0]
+
+    def on_step(step) -> None:
+        if hit[0]:
+            return
+        aggregation.update(step.instance)
+        if query.holds_in(aggregation):
+            hit[0] = True
+            steps_until_hit[0] = step.index
+
+    result = run_chase(kb, variant=variant, max_steps=max_steps, on_step=on_step)
+    if hit[0]:
+        return EntailmentVerdict(True, "chase-prefix-hit", steps_until_hit[0])
+    if result.terminated:
+        return EntailmentVerdict(
+            False,
+            "chase-fixpoint-miss",
+            result.applications,
+            witness_instance=result.final_instance,
+        )
+    return EntailmentVerdict(None, "chase-budget-exhausted", result.applications)
+
+
+def decide_entailment(
+    kb: KnowledgeBase,
+    query: ConjunctiveQuery,
+    chase_budget: int = 200,
+    model_domain_budget: int = 8,
+    chase_variant: str = ChaseVariant.RESTRICTED,
+) -> EntailmentVerdict:
+    """The Theorem-1 race, executably.
+
+    Runs the "yes" semi-procedure (fair chase + query test per step) and,
+    if it does not fire, the "no" side (iterative-deepening finite
+    countermodel search).  Either side's success is a sound certificate.
+    The race can end undecided when both budgets run out — unavoidable,
+    since the exact procedure of Theorem 1 is not executable (see
+    DESIGN.md).
+    """
+    yes = chase_entails_prefix(
+        kb, query, max_steps=chase_budget, variant=chase_variant
+    )
+    if yes.decided:
+        return yes
+    no = find_countermodel(kb, query, max_domain=model_domain_budget)
+    if no.found:
+        return EntailmentVerdict(
+            False,
+            "finite-countermodel",
+            chase_budget,
+            countermodel=no.model,
+        )
+    return EntailmentVerdict(None, "race-undecided", chase_budget)

@@ -1,0 +1,80 @@
+"""Treewidth substrate: graphs, Gaifman graphs, tree decompositions,
+heuristic and exact treewidth, lower bounds, and grid containment.
+
+The package-level helpers :func:`treewidth` and :func:`treewidth_bounds`
+are the entry points used by the chase experiments: they take atomsets
+(not graphs) and go through the Gaifman graph (Definition 4 treewidth of
+an atomset equals primal-graph treewidth).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from ..logic.atoms import Atom
+from ..logic.atomset import AtomSet
+from .decomposition import TreeDecomposition
+from .elimination import (
+    decomposition_from_order,
+    eliminate_in_order,
+    min_degree_order,
+    min_fill_order,
+    treewidth_upper_bound,
+)
+from .exact import SearchBudgetExceeded, has_width_at_most, treewidth_exact
+from .gaifman import co_occurrence_pairs, gaifman_graph
+from .graph import Graph
+from .grids import contains_grid, find_grid, grid_from_coordinates, grid_lower_bound
+from .hypertree import bag_cover_number, hypertree_width_upper_bound
+from .nice import NiceNode, NiceTreeDecomposition, make_nice
+from .lowerbounds import degeneracy, mmd_lower_bound
+
+__all__ = [
+    "Graph",
+    "NiceNode",
+    "NiceTreeDecomposition",
+    "bag_cover_number",
+    "hypertree_width_upper_bound",
+    "make_nice",
+    "SearchBudgetExceeded",
+    "TreeDecomposition",
+    "co_occurrence_pairs",
+    "contains_grid",
+    "decomposition_from_order",
+    "degeneracy",
+    "eliminate_in_order",
+    "find_grid",
+    "gaifman_graph",
+    "grid_from_coordinates",
+    "grid_lower_bound",
+    "has_width_at_most",
+    "min_degree_order",
+    "min_fill_order",
+    "mmd_lower_bound",
+    "treewidth",
+    "treewidth_bounds",
+    "treewidth_exact",
+    "treewidth_upper_bound",
+]
+
+AtomsLike = Union[AtomSet, Iterable[Atom]]
+
+
+def treewidth(atoms: AtomsLike, state_budget: int = 2_000_000) -> int:
+    """The exact treewidth of an atomset (Definition 4).
+
+    Computed as the treewidth of the Gaifman graph.  Returns -1 for the
+    empty atomset, 0 for nonempty atomsets whose atoms are all unary.
+    May raise :class:`SearchBudgetExceeded` on structures beyond the
+    exact solver; use :func:`treewidth_bounds` there.
+    """
+    return treewidth_exact(gaifman_graph(atoms), state_budget=state_budget)
+
+
+def treewidth_bounds(atoms: AtomsLike) -> tuple[int, int]:
+    """A cheap (lower, upper) treewidth bracket for an atomset:
+    MMD lower bound and min-fill upper bound on the Gaifman graph."""
+    graph = gaifman_graph(atoms)
+    if len(graph) == 0:
+        return (-1, -1)
+    return (mmd_lower_bound(graph), treewidth_upper_bound(graph, "min_fill")[0])

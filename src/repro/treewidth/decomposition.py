@@ -1,0 +1,149 @@
+"""Tree decompositions (Definition 4) and their validation.
+
+A tree decomposition of an atomset ``A`` is a tree whose vertices ("bags")
+are sets of terms such that (i) each atom's terms are jointly contained in
+some bag and (ii) for each term, the bags containing it induce a connected
+subtree.  The width is the largest bag size minus one.
+
+:class:`TreeDecomposition` stores bags and tree edges explicitly and can
+validate itself against either an atomset or a plain graph; the validator
+is used pervasively in tests as the ground-truth check for every
+treewidth algorithm in this package.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional, Sequence, Union
+
+from ..logic.atoms import Atom
+from ..logic.atomset import AtomSet
+from .graph import Graph
+
+__all__ = ["TreeDecomposition"]
+
+BagId = int
+
+
+class TreeDecomposition:
+    """A tree decomposition: indexed bags plus tree edges.
+
+    Parameters
+    ----------
+    bags:
+        A sequence of term collections; bag ids are their positions.
+    edges:
+        Pairs of bag ids forming a tree (or forest; validation demands a
+        forest whose connectivity respects condition (ii)).
+    """
+
+    __slots__ = ("bags", "edges")
+
+    def __init__(
+        self,
+        bags: Sequence[Iterable[Hashable]],
+        edges: Iterable[tuple[BagId, BagId]] = (),
+    ):
+        object.__setattr__(self, "bags", [frozenset(bag) for bag in bags])
+        object.__setattr__(self, "edges", [tuple(edge) for edge in edges])
+        for u, v in self.edges:
+            if not (0 <= u < len(self.bags) and 0 <= v < len(self.bags)):
+                raise ValueError(f"edge ({u}, {v}) references a missing bag")
+
+    def __setattr__(self, key, value):  # pragma: no cover - defensive
+        raise AttributeError("TreeDecomposition is immutable")
+
+    @property
+    def width(self) -> int:
+        """Largest bag size minus one; -1 for the empty decomposition
+        (matching the convention ``tw(∅) = -1``)."""
+        if not self.bags:
+            return -1
+        return max(len(bag) for bag in self.bags) - 1
+
+    def __len__(self) -> int:
+        return len(self.bags)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def is_tree(self) -> bool:
+        """True iff the bag graph is acyclic (a forest).  Condition (ii)
+        then forces the relevant connectivity per term."""
+        parent: dict[BagId, BagId] = {i: i for i in range(len(self.bags))}
+
+        def find(x: BagId) -> BagId:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for u, v in self.edges:
+            ru, rv = find(u), find(v)
+            if ru == rv:
+                return False
+            parent[ru] = rv
+        return True
+
+    def covers_atom(self, at: Atom) -> bool:
+        """Condition (i) for one atom: some bag contains all its terms."""
+        terms = at.term_set()
+        return any(terms <= bag for bag in self.bags)
+
+    def covers_edge(self, u: Hashable, v: Hashable) -> bool:
+        """Graph version of condition (i): some bag contains both ends."""
+        return any(u in bag and v in bag for bag in self.bags)
+
+    def term_bags_connected(self, term: Hashable) -> bool:
+        """Condition (ii) for one term: the bags containing it induce a
+        connected subgraph of the (forest) bag tree."""
+        holding = [i for i, bag in enumerate(self.bags) if term in bag]
+        if len(holding) <= 1:
+            return bool(holding)
+        holding_set = set(holding)
+        adjacency: dict[BagId, list[BagId]] = {i: [] for i in holding}
+        for u, v in self.edges:
+            if u in holding_set and v in holding_set:
+                adjacency[u].append(v)
+                adjacency[v].append(u)
+        reached = {holding[0]}
+        frontier = [holding[0]]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in adjacency[node]:
+                if neighbor not in reached:
+                    reached.add(neighbor)
+                    frontier.append(neighbor)
+        return reached == holding_set
+
+    def validate_for_atoms(self, atoms: Union[AtomSet, Iterable[Atom]]) -> bool:
+        """Full Definition 4 check against an atomset."""
+        atom_list = list(atoms)
+        if not self.is_tree():
+            return False
+        if not all(self.covers_atom(at) for at in atom_list):
+            return False
+        terms: set[Hashable] = set()
+        for at in atom_list:
+            terms.update(at.term_set())
+        return all(self.term_bags_connected(term) for term in terms)
+
+    def validate_for_graph(self, graph: Graph) -> bool:
+        """Check against a plain graph: every vertex in some bag, every
+        edge covered, per-vertex connectivity, acyclicity."""
+        if not self.is_tree():
+            return False
+        bag_union: set[Hashable] = set()
+        for bag in self.bags:
+            bag_union.update(bag)
+        if not set(graph.vertices()) <= bag_union:
+            return False
+        for u, v in graph.edges():
+            if not self.covers_edge(u, v):
+                return False
+        return all(self.term_bags_connected(v) for v in graph.vertices())
+
+    def __repr__(self) -> str:
+        return (
+            f"TreeDecomposition({len(self.bags)} bags, width {self.width})"
+        )

@@ -1,0 +1,56 @@
+"""Gaifman (primal) graphs of atomsets.
+
+The treewidth of an atomset (Definition 4) — minimum over tree
+decompositions whose bags cover every atom's terms and satisfy the
+connectedness condition per term — equals the treewidth of its *Gaifman
+graph*: the graph on ``terms(A)`` with an edge between any two terms that
+co-occur in an atom.  (Each atom's terms must share a bag, which is
+exactly the clique-cover condition on the primal graph, and conversely a
+primal-graph decomposition covers every atom because the atom's terms
+form a clique.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from ..logic.atoms import Atom
+from ..logic.atomset import AtomSet
+from .graph import Graph
+
+__all__ = ["gaifman_graph", "co_occurrence_pairs"]
+
+AtomsLike = Union[AtomSet, Iterable[Atom]]
+
+
+def gaifman_graph(atoms: AtomsLike) -> Graph:
+    """The Gaifman graph of an atomset.
+
+    Every term occurring in the atomset becomes a vertex (also terms of
+    unary atoms, as isolated vertices if they co-occur with nothing), and
+    the distinct terms of each atom are made pairwise adjacent.
+    """
+    graph = Graph()
+    for at in atoms:
+        terms = list(at.term_set())
+        for term in terms:
+            graph.add_vertex(term)
+        graph.add_clique(terms)
+    return graph
+
+
+def co_occurrence_pairs(atoms: AtomsLike):
+    """Iterate over the distinct unordered term pairs sharing an atom.
+
+    Used by the grid-containment search (Definition 5 only requires
+    co-occurrence in *some* atom, which is exactly Gaifman adjacency).
+    """
+    seen: set[frozenset] = set()
+    for at in atoms:
+        terms = list(at.term_set())
+        for i, u in enumerate(terms):
+            for v in terms[i + 1 :]:
+                pair = frozenset((u, v))
+                if pair not in seen:
+                    seen.add(pair)
+                    yield (u, v)

@@ -1,0 +1,168 @@
+"""A minimal undirected simple graph.
+
+The treewidth machinery needs only adjacency sets, vertex/edge iteration,
+and cheap copies; rolling our own (~100 lines) keeps the substrate
+self-contained and the elimination algorithms free of external API
+assumptions.  Vertices may be any hashable objects — in practice they are
+:class:`repro.logic.terms.Term` instances (Gaifman graphs) or plain ints
+(synthetic benchmark graphs).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+__all__ = ["Graph"]
+
+Vertex = Hashable
+
+
+class Graph:
+    """An undirected simple graph backed by adjacency sets."""
+
+    __slots__ = ("_adj",)
+
+    def __init__(self, edges: Iterable[tuple[Vertex, Vertex]] = ()):
+        self._adj: dict[Vertex, set[Vertex]] = {}
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, v: Vertex) -> None:
+        """Ensure *v* is present (possibly isolated)."""
+        self._adj.setdefault(v, set())
+
+    def add_edge(self, u: Vertex, v: Vertex) -> None:
+        """Add the edge ``{u, v}``; self-loops are ignored (they never
+        affect treewidth)."""
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if u == v:
+            return
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def add_clique(self, vertices: Iterable[Vertex]) -> None:
+        """Make the given vertices pairwise adjacent."""
+        vs = list(vertices)
+        for v in vs:
+            self.add_vertex(v)
+        for i, u in enumerate(vs):
+            for v in vs[i + 1 :]:
+                self.add_edge(u, v)
+
+    def remove_vertex(self, v: Vertex) -> None:
+        """Delete *v* and its incident edges."""
+        for u in self._adj.pop(v, set()):
+            self._adj[u].discard(v)
+
+    def eliminate(self, v: Vertex) -> int:
+        """Eliminate *v*: make its neighborhood a clique, then delete it.
+        Returns the degree of *v* at elimination time (the bag size minus
+        one of the corresponding tree-decomposition bag)."""
+        neighbors = list(self._adj.get(v, ()))
+        self.add_clique(neighbors)
+        self.remove_vertex(v)
+        return len(neighbors)
+
+    def copy(self) -> "Graph":
+        """An independent copy."""
+        clone = Graph()
+        clone._adj = {v: set(ns) for v, ns in self._adj.items()}
+        return clone
+
+    def subgraph(self, vertices: Iterable[Vertex]) -> "Graph":
+        """The induced subgraph on *vertices*."""
+        keep = set(vertices)
+        sub = Graph()
+        for v in keep:
+            if v in self._adj:
+                sub.add_vertex(v)
+                for u in self._adj[v]:
+                    if u in keep:
+                        sub.add_edge(v, u)
+        return sub
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __contains__(self, v: object) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def vertex_set(self) -> frozenset[Vertex]:
+        return frozenset(self._adj)
+
+    def edges(self) -> Iterator[tuple[Vertex, Vertex]]:
+        """Each undirected edge exactly once (orientation arbitrary)."""
+        seen: set[Vertex] = set()
+        for v, neighbors in self._adj.items():
+            for u in neighbors:
+                if u not in seen:
+                    yield (v, u)
+            seen.add(v)
+
+    def edge_count(self) -> int:
+        return sum(len(ns) for ns in self._adj.values()) // 2
+
+    def neighbors(self, v: Vertex) -> frozenset[Vertex]:
+        return frozenset(self._adj.get(v, frozenset()))
+
+    def degree(self, v: Vertex) -> int:
+        return len(self._adj.get(v, ()))
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        return v in self._adj.get(u, ())
+
+    def min_degree_vertex(self) -> Vertex:
+        """A vertex of minimum degree (deterministic tie-break by repr)."""
+        return min(self._adj, key=lambda v: (len(self._adj[v]), repr(v)))
+
+    def is_clique(self, vertices: Iterable[Vertex]) -> bool:
+        """True iff the given vertices are pairwise adjacent."""
+        vs = list(vertices)
+        for i, u in enumerate(vs):
+            for v in vs[i + 1 :]:
+                if not self.has_edge(u, v):
+                    return False
+        return True
+
+    def fill_in_count(self, v: Vertex) -> int:
+        """Number of edges that eliminating *v* would add."""
+        neighbors = list(self._adj.get(v, ()))
+        missing = 0
+        for i, u in enumerate(neighbors):
+            for w in neighbors[i + 1 :]:
+                if w not in self._adj[u]:
+                    missing += 1
+        return missing
+
+    def connected_components(self) -> list[frozenset[Vertex]]:
+        """The vertex sets of the connected components."""
+        remaining = set(self._adj)
+        components: list[frozenset[Vertex]] = []
+        while remaining:
+            start = next(iter(remaining))
+            component = {start}
+            frontier = [start]
+            while frontier:
+                v = frontier.pop()
+                for u in self._adj[v]:
+                    if u not in component:
+                        component.add(u)
+                        frontier.append(u)
+            remaining -= component
+            components.append(frozenset(component))
+        return components
+
+    def __repr__(self) -> str:
+        return f"Graph({len(self)} vertices, {self.edge_count()} edges)"

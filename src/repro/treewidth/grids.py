@@ -1,0 +1,163 @@
+"""Grid containment (Definition 5) and the grid lower bound (Fact 2).
+
+An atomset *contains an n × n grid* when it has n² distinct terms
+``t^i_j`` such that vertically and horizontally consecutive ones co-occur
+in an atom.  Fact 2 then gives ``tw(A) ≥ n`` — this is exactly the lower
+bound technique of the paper's Propositions 5 and 8(2), and both
+counterexample KBs are engineered around it.
+
+Two detection modes are provided:
+
+* :func:`contains_grid` — generic backtracking subgraph search on the
+  co-occurrence (Gaifman) graph; exponential, fine for small ``n``;
+* :func:`grid_from_coordinates` — when the caller knows term coordinates
+  (our generators for ``I^h`` and ``I^v_n`` do), verify the Definition 5
+  conditions directly for an explicitly proposed witness; linear time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Mapping, Optional, Sequence, Union
+
+from ..logic.atoms import Atom
+from ..logic.atomset import AtomSet
+from ..logic.terms import Term
+from .gaifman import gaifman_graph
+from .graph import Graph
+
+__all__ = [
+    "contains_grid",
+    "find_grid",
+    "grid_lower_bound",
+    "grid_from_coordinates",
+]
+
+AtomsLike = Union[AtomSet, Iterable[Atom]]
+
+
+def find_grid(
+    atoms: AtomsLike, n: int, node_budget: int = 2_000_000
+) -> Optional[list[list[Term]]]:
+    """Search for an n × n grid witness in *atoms*.
+
+    Returns the witness matrix ``[[t^1_1 ... t^1_n], ...]`` (row i = the
+    terms with first index i) or None.  Rows are filled in row-major
+    order; each new term must co-occur with its left and upper neighbor
+    and must be distinct from all previously placed terms.  Pattern
+    degrees prune candidates (an interior grid vertex needs Gaifman
+    degree ≥ 4).
+    """
+    if n <= 0:
+        raise ValueError("grid size must be positive")
+    graph = gaifman_graph(atoms)
+    if len(graph) < n * n:
+        return None
+    if n == 1:
+        for vertex in sorted(graph.vertices(), key=repr):
+            return [[vertex]]
+        return None
+
+    def needed_degree(i: int, j: int) -> int:
+        return (2 if 0 < i < n - 1 else 1) + (2 if 0 < j < n - 1 else 1)
+
+    vertices = sorted(graph.vertices(), key=repr)
+    placed: list[Term] = []
+    used: set[Term] = set()
+    budget = [node_budget]
+
+    def candidates(i: int, j: int) -> Iterable[Term]:
+        if i == 0 and j == 0:
+            return vertices
+        pools = []
+        if j > 0:
+            pools.append(graph.neighbors(placed[i * n + j - 1]))
+        if i > 0:
+            pools.append(graph.neighbors(placed[(i - 1) * n + j]))
+        pool = pools[0]
+        for extra in pools[1:]:
+            pool = pool & extra
+        return sorted(pool, key=repr)
+
+    def place(position: int) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        if position == n * n:
+            return True
+        i, j = divmod(position, n)
+        need = needed_degree(i, j)
+        for vertex in candidates(i, j):
+            if vertex in used or graph.degree(vertex) < need:
+                continue
+            placed.append(vertex)
+            used.add(vertex)
+            if place(position + 1):
+                return True
+            placed.pop()
+            used.remove(vertex)
+        return False
+
+    if place(0):
+        return [placed[i * n : (i + 1) * n] for i in range(n)]
+    return None
+
+
+def contains_grid(atoms: AtomsLike, n: int, node_budget: int = 2_000_000) -> bool:
+    """True iff *atoms* contains an n × n grid (Definition 5)."""
+    return find_grid(atoms, n, node_budget=node_budget) is not None
+
+
+def grid_lower_bound(
+    atoms: AtomsLike, max_n: int = 6, node_budget: int = 2_000_000
+) -> int:
+    """The largest ``n ≤ max_n`` such that *atoms* contains an n × n grid
+    — hence a treewidth lower bound by Fact 2 (0 when not even a 1 × 1
+    grid, i.e. no terms, is present)."""
+    best = 0
+    for n in range(1, max_n + 1):
+        if contains_grid(atoms, n, node_budget=node_budget):
+            best = n
+        else:
+            break
+    return best
+
+
+def grid_from_coordinates(
+    atoms: AtomsLike,
+    coordinates: Mapping[Term, tuple[int, int]],
+    n: int,
+    origin: tuple[int, int] = (0, 0),
+) -> bool:
+    """Verify an explicitly proposed grid witness in linear time.
+
+    *coordinates* assigns distinct plane coordinates to terms; the witness
+    is the n × n block anchored at *origin*: the terms with coordinates
+    ``(origin_x + i, origin_y + j)`` for ``i, j < n``.  Returns True iff
+    all n² terms exist, are distinct, and all consecutive pairs co-occur
+    in an atom of *atoms* — i.e. the Definition 5 conditions hold for this
+    particular labelling.
+    """
+    graph = gaifman_graph(atoms)
+    by_coordinate: dict[tuple[int, int], Term] = {}
+    for term, coordinate in coordinates.items():
+        if coordinate in by_coordinate and by_coordinate[coordinate] != term:
+            raise ValueError(f"duplicate coordinate {coordinate}")
+        by_coordinate[coordinate] = term
+    ox, oy = origin
+    block: list[list[Optional[Term]]] = [
+        [by_coordinate.get((ox + i, oy + j)) for j in range(n)] for i in range(n)
+    ]
+    terms_seen: set[Term] = set()
+    for i in range(n):
+        for j in range(n):
+            term = block[i][j]
+            if term is None or term not in graph or term in terms_seen:
+                return False
+            terms_seen.add(term)
+    for i in range(n):
+        for j in range(n):
+            if i + 1 < n and not graph.has_edge(block[i][j], block[i + 1][j]):
+                return False
+            if j + 1 < n and not graph.has_edge(block[i][j], block[i][j + 1]):
+                return False
+    return True

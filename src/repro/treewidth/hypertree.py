@@ -1,0 +1,119 @@
+"""Generalized hypertree width — upper bounds via edge covers.
+
+Section 5 of the paper remarks that the staircase/elevator
+counterexamples "immediately work for other measures, such as
+cliquewidth or (generalized) hypertreewidth", because they are grid
+based.  To make that remark checkable we provide an executable upper
+bound for *generalized hypertree width* (ghw): take a tree decomposition
+and cover each bag with as few atoms (hyperedges) as possible; the
+maximum cover size over the bags is the width of the resulting
+generalized hypertree decomposition, hence ``ghw ≤`` that maximum.
+
+Covers are computed exactly for small bags (branch and bound over the
+candidate atoms) with a greedy fallback; both directions are sound for
+an *upper* bound.  Terms covered by no atom cannot occur (every term of
+an atomset lives in an atom), so covers always exist.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from ..logic.atoms import Atom
+from ..logic.atomset import AtomSet
+from .decomposition import TreeDecomposition
+from .elimination import decomposition_from_order, min_fill_order
+from .gaifman import gaifman_graph
+
+__all__ = ["bag_cover_number", "hypertree_width_upper_bound"]
+
+AtomsLike = Union[AtomSet, Iterable[Atom]]
+
+
+def bag_cover_number(
+    bag: frozenset,
+    atoms: AtomSet,
+    exact_limit: int = 12,
+) -> int:
+    """The minimum number of atoms whose terms jointly cover *bag*.
+
+    Exact branch-and-bound when the candidate pool is at most
+    ``exact_limit`` atoms; greedy set cover otherwise (still an upper
+    bound).  An empty bag costs 0.
+    """
+    targets = set(bag)
+    if not targets:
+        return 0
+    candidates = []
+    seen_coverages: set[frozenset] = set()
+    for term in targets:
+        for at in atoms.containing(term):
+            coverage = frozenset(at.term_set() & targets)
+            if coverage and coverage not in seen_coverages:
+                seen_coverages.add(coverage)
+                candidates.append(coverage)
+    if not candidates:
+        raise ValueError("bag contains terms absent from the atomset")
+    # drop dominated candidates
+    candidates = [
+        c
+        for c in candidates
+        if not any(c < other for other in candidates)
+    ]
+    candidates.sort(key=len, reverse=True)
+
+    greedy = _greedy_cover(targets, candidates)
+    if len(candidates) > exact_limit:
+        return greedy
+    best = [greedy]
+
+    def search(remaining: frozenset, used: int, start: int) -> None:
+        if not remaining:
+            best[0] = min(best[0], used)
+            return
+        if used + 1 >= best[0]:
+            return
+        for index in range(start, len(candidates)):
+            coverage = candidates[index]
+            if coverage & remaining:
+                search(remaining - coverage, used + 1, index + 1)
+
+    search(frozenset(targets), 0, 0)
+    return best[0]
+
+
+def _greedy_cover(targets: set, candidates: list[frozenset]) -> int:
+    remaining = set(targets)
+    used = 0
+    while remaining:
+        chosen = max(candidates, key=lambda c: len(c & remaining))
+        gained = chosen & remaining
+        if not gained:
+            raise ValueError("cover does not exist")  # pragma: no cover
+        remaining -= gained
+        used += 1
+    return used
+
+
+def hypertree_width_upper_bound(
+    atoms: AtomsLike,
+    decomposition: Optional[TreeDecomposition] = None,
+) -> int:
+    """An upper bound on the generalized hypertree width of an atomset.
+
+    Uses the min-fill tree decomposition of the Gaifman graph unless one
+    is supplied, and covers each bag with atoms.  ``ghw(A) ≤`` the
+    returned value; for the treewidth-1 structures of the paper (the
+    diagonal ``I^v_*``, the column ``Ĩ^h``) the bound is 1, while the
+    grid-bearing windows grow — the Section 5 remark, executably.
+    """
+    atom_set = atoms if isinstance(atoms, AtomSet) else AtomSet(atoms)
+    if not atom_set:
+        return 0
+    if decomposition is None:
+        graph = gaifman_graph(atom_set)
+        decomposition = decomposition_from_order(graph, min_fill_order(graph))
+    width = 0
+    for bag in decomposition.bags:
+        width = max(width, bag_cover_number(bag, atom_set))
+    return width

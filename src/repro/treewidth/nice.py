@@ -1,0 +1,189 @@
+"""Nice tree decompositions.
+
+Courcelle-style dynamic programming (the engine behind Theorem 1's
+bounded-treewidth satisfiability step) is formulated over *nice*
+decompositions, where every node is one of:
+
+* a **leaf** with an empty bag;
+* an **introduce** node: bag = child's bag plus one vertex;
+* a **forget** node: bag = child's bag minus one vertex;
+* a **join** node: two children with identical bags.
+
+:func:`make_nice` normalizes any valid tree decomposition into a nice
+one of the same width (empty-bag root and leaves included), and
+:class:`NiceTreeDecomposition` validates the shape — the library's
+executable stand-in for "we could now run Courcelle", and a useful
+substrate in its own right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+from .decomposition import TreeDecomposition
+
+__all__ = ["NiceNode", "NiceTreeDecomposition", "make_nice"]
+
+Vertex = Hashable
+
+
+@dataclass
+class NiceNode:
+    """A node of a nice tree decomposition."""
+
+    kind: str  # "leaf" | "introduce" | "forget" | "join"
+    bag: frozenset
+    children: list[int] = field(default_factory=list)
+    vertex: Optional[Vertex] = None  # the introduced/forgotten vertex
+
+    def __post_init__(self):
+        if self.kind not in ("leaf", "introduce", "forget", "join"):
+            raise ValueError(f"unknown nice node kind {self.kind!r}")
+
+
+class NiceTreeDecomposition:
+    """A rooted nice tree decomposition (node 0 is not necessarily the
+    root; see :attr:`root`)."""
+
+    def __init__(self, nodes: list[NiceNode], root: int):
+        self.nodes = nodes
+        self.root = root
+
+    @property
+    def width(self) -> int:
+        if not self.nodes:
+            return -1
+        return max(len(node.bag) for node in self.nodes) - 1
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def validate_shape(self) -> bool:
+        """Check the structural nice-ness conditions."""
+        for node in self.nodes:
+            children = [self.nodes[c] for c in node.children]
+            if node.kind == "leaf":
+                if children or node.bag:
+                    return False
+            elif node.kind == "introduce":
+                if len(children) != 1 or node.vertex is None:
+                    return False
+                if node.bag != children[0].bag | {node.vertex}:
+                    return False
+                if node.vertex in children[0].bag:
+                    return False
+            elif node.kind == "forget":
+                if len(children) != 1 or node.vertex is None:
+                    return False
+                if node.bag != children[0].bag - {node.vertex}:
+                    return False
+                if node.vertex not in children[0].bag:
+                    return False
+            elif node.kind == "join":
+                if len(children) != 2:
+                    return False
+                if any(child.bag != node.bag for child in children):
+                    return False
+        return True
+
+    def to_tree_decomposition(self) -> TreeDecomposition:
+        """Flatten back to a plain :class:`TreeDecomposition` (for the
+        generic validators)."""
+        bags = [node.bag for node in self.nodes]
+        edges = [
+            (index, child)
+            for index, node in enumerate(self.nodes)
+            for child in node.children
+        ]
+        return TreeDecomposition(bags, edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"NiceTreeDecomposition({len(self.nodes)} nodes, "
+            f"width {self.width})"
+        )
+
+
+def make_nice(decomposition: TreeDecomposition) -> NiceTreeDecomposition:
+    """Normalize a (valid, connected-per-term) tree decomposition into a
+    nice one of the same width.
+
+    Strategy: root the decomposition at bag 0, binarize high-degree
+    nodes with join chains, and splice introduce/forget chains between
+    every parent/child bag pair; finish with a forget chain down to an
+    empty-bag root and introduce chains up from empty-bag leaves.
+    """
+    if not decomposition.bags:
+        return NiceTreeDecomposition([NiceNode("leaf", frozenset())], 0)
+
+    adjacency: dict[int, list[int]] = {i: [] for i in range(len(decomposition.bags))}
+    for u, v in decomposition.edges:
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+
+    nodes: list[NiceNode] = []
+
+    def add(node: NiceNode) -> int:
+        nodes.append(node)
+        return len(nodes) - 1
+
+    def leaf_chain_to(bag: frozenset) -> int:
+        """leaf -> introduce ... introduce until *bag*."""
+        current = add(NiceNode("leaf", frozenset()))
+        so_far: set = set()
+        for vertex in sorted(bag, key=repr):
+            so_far.add(vertex)
+            current = add(
+                NiceNode("introduce", frozenset(so_far), [current], vertex=vertex)
+            )
+        return current
+
+    def splice(child_index: int, from_bag: frozenset, to_bag: frozenset) -> int:
+        """forget (from−to) then introduce (to−from), returning the top
+        node index whose bag is *to_bag*."""
+        current = child_index
+        bag = set(from_bag)
+        for vertex in sorted(from_bag - to_bag, key=repr):
+            bag.discard(vertex)
+            current = add(
+                NiceNode("forget", frozenset(bag), [current], vertex=vertex)
+            )
+        for vertex in sorted(to_bag - from_bag, key=repr):
+            bag.add(vertex)
+            current = add(
+                NiceNode("introduce", frozenset(bag), [current], vertex=vertex)
+            )
+        return current
+
+    visited: set[int] = set()
+
+    def build(bag_index: int, parent: int) -> int:
+        """Return the index of a nice node with this bag's content."""
+        visited.add(bag_index)
+        bag = decomposition.bags[bag_index]
+        child_tops = [
+            splice(build(child, bag_index), decomposition.bags[child], bag)
+            for child in adjacency[bag_index]
+            if child != parent and child not in visited
+        ]
+        if not child_tops:
+            return leaf_chain_to(bag)
+        while len(child_tops) > 1:
+            left = child_tops.pop()
+            right = child_tops.pop()
+            child_tops.append(add(NiceNode("join", bag, [left, right])))
+        return child_tops[0]
+
+    # forests: join components through empty-bag forget chains
+    component_tops: list[int] = []
+    for start in range(len(decomposition.bags)):
+        if start in visited:
+            continue
+        top = build(start, -1)
+        top = splice(top, decomposition.bags[start], frozenset())
+        component_tops.append(top)
+    root = component_tops[0]
+    for other in component_tops[1:]:
+        root = add(NiceNode("join", frozenset(), [root, other]))
+    return NiceTreeDecomposition(nodes, root)

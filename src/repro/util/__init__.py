@@ -1,0 +1,19 @@
+"""Utilities: variable orders for the robust renaming, experiment
+tables, and ASCII structure rendering."""
+
+from .dot import decomposition_to_dot, derivation_to_dot, instance_to_dot
+from .orders import coordinate_row_major_order, creation_rank_order, name_order
+from .render import render_coordinates
+from .reporting import Table, banner
+
+__all__ = [
+    "Table",
+    "decomposition_to_dot",
+    "derivation_to_dot",
+    "instance_to_dot",
+    "banner",
+    "coordinate_row_major_order",
+    "creation_rank_order",
+    "name_order",
+    "render_coordinates",
+]

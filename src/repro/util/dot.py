@@ -1,0 +1,99 @@
+"""GraphViz DOT export for the library's structures.
+
+Three renderers, all returning plain DOT text (write it to a file and
+run ``dot -Tsvg``):
+
+* :func:`instance_to_dot` — an atomset as a graph: terms are nodes
+  (constants boxed), binary atoms are labelled edges, unary atoms become
+  node annotations, wider atoms get a hyperedge node;
+* :func:`decomposition_to_dot` — a tree decomposition with bag contents;
+* :func:`derivation_to_dot` — the step chain of a chase run with rule
+  labels and instance sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..chase.derivation import Derivation
+from ..logic.atomset import AtomSet
+from ..logic.terms import Constant, Term
+from ..treewidth.decomposition import TreeDecomposition
+
+__all__ = ["instance_to_dot", "decomposition_to_dot", "derivation_to_dot"]
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def instance_to_dot(atoms: AtomSet, name: str = "instance") -> str:
+    """Render an atomset as a DOT digraph."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    annotations: dict[Term, list[str]] = {}
+    for at in atoms.sorted_atoms():
+        if at.predicate.arity == 1:
+            annotations.setdefault(at.args[0], []).append(at.predicate.name)
+    for term in sorted(atoms.terms(), key=lambda t: t.name):
+        label = term.name
+        extras = annotations.get(term)
+        if extras:
+            label += "\\n" + ",".join(sorted(extras))
+        shape = "box" if isinstance(term, Constant) else "ellipse"
+        lines.append(f"  {_quote(term.name)} [label={_quote(label)} shape={shape}];")
+    hyper_index = 0
+    for at in atoms.sorted_atoms():
+        if at.predicate.arity == 2:
+            source, target = at.args
+            lines.append(
+                f"  {_quote(source.name)} -> {_quote(target.name)} "
+                f"[label={_quote(at.predicate.name)}];"
+            )
+        elif at.predicate.arity > 2:
+            hyper = f"__hyper{hyper_index}"
+            hyper_index += 1
+            lines.append(
+                f"  {_quote(hyper)} [label={_quote(at.predicate.name)} shape=diamond];"
+            )
+            for position, term in enumerate(at.args):
+                lines.append(
+                    f"  {_quote(hyper)} -> {_quote(term.name)} "
+                    f"[label={_quote(str(position))}];"
+                )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def decomposition_to_dot(
+    decomposition: TreeDecomposition, name: str = "decomposition"
+) -> str:
+    """Render a tree decomposition: one node per bag."""
+    lines = [f"graph {name} {{", "  node [shape=box];"]
+    for index, bag in enumerate(decomposition.bags):
+        content = ", ".join(sorted(str(t) for t in bag)) or "(empty)"
+        lines.append(f"  b{index} [label={_quote(f'{index}: {{{content}}}')}];")
+    for u, v in decomposition.edges:
+        lines.append(f"  b{u} -- b{v};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def derivation_to_dot(derivation: Derivation, name: str = "derivation") -> str:
+    """Render a derivation as a step chain annotated with the applied
+    rule, the simplification kind, and the instance size."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;", "  node [shape=box];"]
+    for step in derivation:
+        if step.trigger is None:
+            label = f"F_0\\n{len(step.instance)} atoms"
+        else:
+            simplification = "id" if step.is_identity_step() else "retract"
+            label = (
+                f"F_{step.index}\\n{step.trigger.rule.name} / {simplification}"
+                f"\\n{len(step.instance)} atoms"
+            )
+        lines.append(f"  s{step.index} [label={_quote(label)}];")
+        if step.index > 0:
+            lines.append(f"  s{step.index - 1} -> s{step.index};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,54 @@
+"""Variable orders for the robust renaming (Section 8).
+
+Definition 14 fixes an arbitrary bijection ``rank`` of the variables with
+``N`` and orders variables by rank.  The *choice* of order never affects
+the correctness results (Propositions 10–12 hold for any order), but it
+decides which concrete names survive the renaming — the paper's
+Section 8 walkthrough of the staircase uses an order in which lower rows
+come first so that the robust aggregation literally materializes the
+infinite column with the expected names.
+
+Orders are represented as sort keys on variables (smaller key = smaller
+variable), the format :class:`repro.chase.aggregation.RobustSequence`
+accepts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..logic.terms import Term, Variable
+
+__all__ = ["creation_rank_order", "coordinate_row_major_order", "name_order"]
+
+VariableKey = Callable[[Variable], tuple]
+
+
+def creation_rank_order(var: Variable) -> tuple:
+    """The default order: global creation rank (older variables are
+    smaller, so renamings drift toward the oldest ancestor of a row)."""
+    return (var.rank, var.name)
+
+
+def name_order(var: Variable) -> tuple:
+    """Plain lexicographic order on names — useful to make small tests
+    readable."""
+    return (var.name,)
+
+
+def coordinate_row_major_order(
+    coordinates: Mapping[Term, tuple[int, int]],
+) -> VariableKey:
+    """The staircase walkthrough's order: sort by row first, then column
+    (``j < k ⇒ X^i_j <_X X^i_k``, and within a row earlier columns are
+    smaller).  Variables without coordinates sort after all coordinated
+    ones, by creation rank."""
+
+    def key(var: Variable) -> tuple:
+        coordinate = coordinates.get(var)
+        if coordinate is None:
+            return (1, 0, 0, var.rank, var.name)
+        column, row = coordinate
+        return (0, row, column, var.rank, var.name)
+
+    return key

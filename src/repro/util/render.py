@@ -1,0 +1,54 @@
+"""ASCII rendering of the coordinate-named paper structures.
+
+Figure 2 (staircase) and Figures 3–4 (elevator) depict the structures on
+a grid; :func:`render_coordinates` reproduces the layout in text, one
+character cell per term, annotated with the unary predicates it carries:
+
+* ``F`` — floor, ``C`` — ceiling, ``D`` — done;
+* lowercase ``o`` — a term with none of the above;
+* ``@`` — a term carrying both ``f`` and ``c`` (does not occur in the
+  paper's structures; shown defensively).
+
+Binary atoms are not drawn (the coordinate layout itself encodes h/v
+adjacency); the experiment logs print them separately when needed.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..logic.atomset import AtomSet
+from ..logic.terms import Term
+
+__all__ = ["render_coordinates"]
+
+
+def render_coordinates(
+    atoms: AtomSet, coordinates: Mapping[Term, tuple[int, int]]
+) -> str:
+    """Render the coordinated terms of *atoms* as an ASCII grid (row 0 at
+    the bottom, as in the paper's figures)."""
+    placed = {t: c for t, c in coordinates.items() if t in atoms.terms()}
+    if not placed:
+        return "(no coordinated terms)"
+    max_col = max(c for c, _ in placed.values())
+    max_row = max(r for _, r in placed.values())
+    grid = [[" " for _ in range(max_col + 1)] for _ in range(max_row + 1)]
+    for term, (col, row) in placed.items():
+        has_f = any(at.predicate.name == "f" for at in atoms.containing(term))
+        has_c = any(at.predicate.name == "c" for at in atoms.containing(term))
+        if has_f and has_c:
+            mark = "@"
+        elif has_f:
+            mark = "F"
+        elif has_c:
+            mark = "C"
+        elif any(at.predicate.name == "d" for at in atoms.containing(term)):
+            mark = "D"
+        else:
+            mark = "o"
+        grid[row][col] = mark
+    lines = []
+    for row in range(max_row, -1, -1):
+        lines.append("".join(grid[row]).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Plain-text experiment tables.
+
+The benchmark harness prints, for every reproduced figure/proposition,
+the series the paper reports.  :class:`Table` renders aligned monospace
+tables (and CSV for post-processing) without pulling in any dependency.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Sequence
+
+__all__ = ["Table", "banner"]
+
+
+class Table:
+    """A simple column-aligned text table."""
+
+    def __init__(self, headers: Sequence[str], title: str = ""):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells) -> None:
+        """Append a row (cells are str()-ed; length-checked)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([_render_cell(c) for c in cells])
+
+    def render(self) -> str:
+        """The aligned text rendering."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        out = io.StringIO()
+        if self.title:
+            out.write(self.title + "\n")
+        header_line = "  ".join(
+            h.ljust(widths[i]) for i, h in enumerate(self.headers)
+        )
+        out.write(header_line + "\n")
+        out.write("  ".join("-" * w for w in widths) + "\n")
+        for row in self.rows:
+            out.write(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+                + "\n"
+            )
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """A minimal CSV rendering (cells never contain commas here)."""
+        lines = [",".join(self.headers)]
+        lines.extend(",".join(row) for row in self.rows)
+        return "\n".join(lines) + "\n"
+
+    def print(self) -> None:
+        print(self.render())
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    return str(value)
+
+
+def banner(text: str) -> str:
+    """A section banner for experiment output."""
+    bar = "=" * max(len(text), 8)
+    return f"\n{bar}\n{text}\n{bar}"

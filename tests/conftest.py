@@ -1,0 +1,58 @@
+"""Shared fixtures.
+
+Expensive chase runs on the paper's KBs are session-scoped so the many
+per-claim tests can share one derivation record.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import core_chase, restricted_chase
+from repro.kbs import elevator as elevator_mod
+from repro.kbs import staircase as staircase_mod
+from repro.kbs.witnesses import (
+    bts_not_fes_kb,
+    fes_not_bts_kb,
+    transitive_closure_kb,
+)
+
+
+@pytest.fixture(scope="session")
+def staircase_kb_fixture():
+    return staircase_mod.staircase_kb()
+
+
+@pytest.fixture(scope="session")
+def elevator_kb_fixture():
+    return elevator_mod.elevator_kb()
+
+
+@pytest.fixture(scope="session")
+def staircase_core_run(staircase_kb_fixture):
+    """A 40-application core chase of K_h (shared across claims)."""
+    return core_chase(staircase_kb_fixture, max_steps=40)
+
+
+@pytest.fixture(scope="session")
+def staircase_restricted_run(staircase_kb_fixture):
+    """A 40-application restricted chase of K_h."""
+    return restricted_chase(staircase_kb_fixture, max_steps=40)
+
+
+@pytest.fixture(scope="session")
+def elevator_core_run(elevator_kb_fixture):
+    """A 30-application core chase of K_v."""
+    return core_chase(elevator_kb_fixture, max_steps=30)
+
+
+@pytest.fixture(scope="session")
+def elevator_restricted_run(elevator_kb_fixture):
+    """A 30-application restricted chase of K_v."""
+    return restricted_chase(elevator_kb_fixture, max_steps=30)
+
+
+@pytest.fixture(scope="session")
+def terminating_run():
+    """A terminating core chase (transitive closure)."""
+    return core_chase(transitive_closure_kb(4), max_steps=100)

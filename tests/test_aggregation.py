@@ -1,0 +1,128 @@
+"""Tests for repro.chase.aggregation (Definitions 14–16, Prop. 10–12)."""
+
+from repro.chase import RobustSequence, core_chase, restricted_chase, robust_aggregation
+from repro.kbs.witnesses import bts_not_fes_kb, fes_not_bts_kb, transitive_closure_kb
+from repro.logic.homomorphism import maps_into
+from repro.logic.isomorphism import isomorphic
+from repro.logic.terms import Variable
+
+
+class TestRobustSequenceInvariants:
+    def test_g_i_isomorphic_to_f_i(self):
+        """Definition 15: every G_i is isomorphic to F_i (via ρ_i)."""
+        result = core_chase(fes_not_bts_kb(), max_steps=50)
+        sequence = RobustSequence(result.derivation)
+        for index, step in enumerate(result.derivation.steps):
+            assert isomorphic(sequence.instances[index], step.instance), index
+
+    def test_rho_is_the_witnessing_isomorphism(self):
+        result = core_chase(fes_not_bts_kb(), max_steps=50)
+        sequence = RobustSequence(result.derivation)
+        for index, step in enumerate(result.derivation.steps):
+            image = sequence.rho[index].apply(step.instance)
+            assert image == sequence.instances[index], index
+
+    def test_tau_maps_g_prev_into_g_next(self):
+        """τ_i maps G_{i-1} into G_i (Definition 15's last remark)."""
+        result = core_chase(fes_not_bts_kb(), max_steps=50)
+        sequence = RobustSequence(result.derivation)
+        for index in range(1, len(sequence)):
+            previous = sequence.instances[index - 1]
+            current = sequence.instances[index]
+            assert sequence.tau[index].is_homomorphism(previous, current), index
+
+    def test_tau_between_composes(self):
+        result = core_chase(fes_not_bts_kb(), max_steps=50)
+        sequence = RobustSequence(result.derivation)
+        last = len(sequence) - 1
+        composed = sequence.tau_between(0, last)
+        assert composed.is_homomorphism(
+            sequence.instances[0], sequence.instances[last]
+        )
+
+    def test_renaming_never_increases_rank(self):
+        """Definition 14: ρ_σ(X) is the <-smallest of the fiber, so
+        composite images never exceed the original variable."""
+        result = core_chase(bts_not_fes_kb(), max_steps=12)
+        sequence = RobustSequence(result.derivation)
+        last = len(sequence) - 1
+        for var in sequence.instances[0].variables():
+            image = sequence.tau_between(0, last).apply_term(var)
+            if isinstance(image, Variable):
+                assert image.rank <= var.rank
+
+    def test_monotonic_run_has_trivial_renaming(self):
+        result = restricted_chase(bts_not_fes_kb(), max_steps=10)
+        sequence = RobustSequence(result.derivation)
+        assert sequence.last == result.derivation.last_instance
+
+
+class TestStability:
+    def test_stable_since_monotone_terms_never_reset(self):
+        result = restricted_chase(bts_not_fes_kb(), max_steps=10)
+        sequence = RobustSequence(result.derivation)
+        # in a monotonic run, a term is stable from its creation step
+        for term, since in sequence.stable_since.items():
+            assert 0 <= since < len(sequence)
+
+    def test_stable_part_subset_of_aggregate(self):
+        result = core_chase(bts_not_fes_kb(), max_steps=12)
+        sequence = RobustSequence(result.derivation)
+        assert sequence.stable_part(2).issubset(sequence.aggregate())
+
+    def test_larger_patience_smaller_part(self):
+        result = core_chase(bts_not_fes_kb(), max_steps=12)
+        sequence = RobustSequence(result.derivation)
+        small = sequence.stable_part(patience=6)
+        large = sequence.stable_part(patience=1)
+        assert small.issubset(large)
+
+    def test_stabilization_report_keys(self):
+        result = core_chase(bts_not_fes_kb(), max_steps=8)
+        report = RobustSequence(result.derivation).stabilization_report()
+        assert set(report) == {
+            "steps",
+            "terms_in_G_S",
+            "atoms_in_G_S",
+            "terms_stable_half_run",
+            "atoms_stable_part",
+        }
+
+
+class TestSemantics:
+    def test_robust_aggregation_of_terminating_run_is_model(self):
+        """Proposition 11(2) on a terminating run: D⊛ is a model."""
+        kb = fes_not_bts_kb()
+        result = core_chase(kb, max_steps=100)
+        assert result.terminated
+        aggregate = RobustSequence(result.derivation).aggregate()
+        assert kb.is_model(aggregate)
+
+    def test_robust_aggregation_prefix_is_universal(self):
+        """Proposition 11(1) on prefixes: the stable part maps into every
+        model of the KB (here: the terminating chase result itself)."""
+        kb = bts_not_fes_kb()
+        infinite = core_chase(kb, max_steps=12)
+        stable = robust_aggregation(infinite.derivation, patience=2)
+        # build a finite model of the KB: close the chain into a cycle
+        from repro.logic.parser import parse_atoms
+
+        model = parse_atoms("r(a, b), r(b, b)")
+        assert kb.is_model(model)
+        assert maps_into(stable, model)
+
+    def test_chain_robust_aggregation_is_chain(self):
+        """On the monotone chain KB the robust aggregation is just the
+        chain — no renaming happens."""
+        result = core_chase(bts_not_fes_kb(), max_steps=10)
+        sequence = RobustSequence(result.derivation)
+        stable = sequence.stable_part(1)
+        assert maps_into(stable, sequence.last)
+
+    def test_custom_variable_order_changes_names_not_shape(self):
+        from repro.util.orders import name_order
+
+        result = core_chase(fes_not_bts_kb(), max_steps=50)
+        default_sequence = RobustSequence(result.derivation)
+        named_sequence = RobustSequence(result.derivation, variable_key=name_order)
+        assert isomorphic(default_sequence.last, named_sequence.last)

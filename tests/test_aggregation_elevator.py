@@ -1,0 +1,64 @@
+"""Robust aggregation on the *elevator* core chase — the complementary
+case to the staircase: K_v's core chase is NOT treewidth-bounded, so
+Proposition 12's bound transfer does not apply, but Propositions 10–11
+still do: the robust sequence stays isomorphic to the chase, variables
+stabilize, and the stable part is finitely universal."""
+
+import pytest
+
+from repro.chase import RobustSequence
+from repro.kbs import elevator as el
+from repro.logic.homomorphism import maps_into
+from repro.logic.isomorphism import isomorphic
+
+
+@pytest.fixture(scope="module")
+def robust(elevator_core_run):
+    return RobustSequence(elevator_core_run.derivation)
+
+
+class TestRobustSequenceOnElevator:
+    def test_g_isomorphic_to_f(self, robust, elevator_core_run):
+        last = len(robust) - 1
+        for index in (0, last // 2, last):
+            assert isomorphic(
+                robust.instances[index],
+                elevator_core_run.derivation.instance(index),
+            ), index
+
+    def test_tau_chains_compose(self, robust):
+        last = len(robust) - 1
+        composed = robust.tau_between(0, last)
+        assert composed.is_homomorphism(
+            robust.instances[0], robust.instances[last]
+        )
+
+    def test_stability_grows(self, robust):
+        report = robust.stabilization_report()
+        assert report["terms_stable_half_run"] >= 1
+
+    def test_stable_part_maps_into_capped_model(self, robust):
+        """Finite universality (Prop. 11): the stable part must map into
+        every finite model of K_v, capped windows included."""
+        stable = robust.stable_part(patience=len(robust) // 2)
+        assert maps_into(stable, el.capped_model(4))
+
+    def test_stable_part_contains_the_start(self, robust):
+        """The original facts' images stabilize early: some d/c atoms
+        are present from the first steps on."""
+        stable = robust.stable_part(patience=len(robust) // 2)
+        names = {at.predicate.name for at in stable}
+        assert "c" in names or "d" in names
+
+
+class TestNaturalAggregationUniversality:
+    def test_prefix_universal_for_kv(self, elevator_core_run):
+        """Proposition 1(1) on the prefix: D* maps into every model."""
+        aggregation = elevator_core_run.derivation.natural_aggregation()
+        assert maps_into(aggregation, el.capped_model(5))
+
+    def test_prefix_not_a_model(self, elevator_core_run, elevator_kb_fixture):
+        """Proposition 1's caveat for non-monotonic chases: D* need not
+        be (and here, mid-construction, is not) a model."""
+        aggregation = elevator_core_run.derivation.natural_aggregation()
+        assert not elevator_kb_fixture.is_model(aggregation)

@@ -1,0 +1,106 @@
+"""Tests for repro.logic.atoms."""
+
+import pytest
+
+from repro.logic.atoms import Atom, Predicate, atom, make_term
+from repro.logic.terms import Constant, Variable
+
+
+class TestPredicate:
+    def test_equality(self):
+        assert Predicate("p", 2) == Predicate("p", 2)
+
+    def test_arity_distinguishes(self):
+        assert Predicate("p", 2) != Predicate("p", 3)
+
+    def test_callable_builds_atom(self):
+        p = Predicate("p", 2)
+        at = p("X", "a")
+        assert at.predicate == p
+        assert at.args == (Variable("X"), Constant("a"))
+
+    def test_negative_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Predicate("p", -1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Predicate("", 1)
+
+    def test_str(self):
+        assert str(Predicate("p", 2)) == "p/2"
+
+    def test_order_deterministic(self):
+        assert Predicate("a", 1) < Predicate("b", 1)
+        assert Predicate("a", 1) < Predicate("a", 2)
+
+
+class TestMakeTerm:
+    def test_uppercase_is_variable(self):
+        assert make_term("X") == Variable("X")
+
+    def test_underscore_is_variable(self):
+        assert make_term("_n3") == Variable("_n3")
+
+    def test_lowercase_is_constant(self):
+        assert make_term("alice") == Constant("alice")
+
+    def test_term_passthrough(self):
+        v = Variable("X")
+        assert make_term(v) is v
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeError):
+            make_term(3.14)  # type: ignore[arg-type]
+
+
+class TestAtom:
+    def test_arity_checked(self):
+        with pytest.raises(ValueError):
+            Atom(Predicate("p", 2), (Variable("X"),))
+
+    def test_non_term_argument_rejected(self):
+        with pytest.raises(TypeError):
+            Atom(Predicate("p", 1), ("X",))  # type: ignore[arg-type]
+
+    def test_equality_and_hash(self):
+        a1 = atom("p", "X", "a")
+        a2 = atom("p", "X", "a")
+        assert a1 == a2
+        assert hash(a1) == hash(a2)
+
+    def test_argument_order_matters(self):
+        assert atom("p", "X", "Y") != atom("p", "Y", "X")
+
+    def test_terms_with_repetition(self):
+        at = atom("p", "X", "X")
+        assert list(at.terms()) == [Variable("X"), Variable("X")]
+        assert at.term_set() == {Variable("X")}
+
+    def test_variables_and_constants(self):
+        at = atom("p", "X", "a")
+        assert at.variables() == {Variable("X")}
+        assert at.constants() == {Constant("a")}
+
+    def test_is_ground(self):
+        assert atom("p", "a", "b").is_ground()
+        assert not atom("p", "a", "X").is_ground()
+
+    def test_zero_ary_atom(self):
+        at = Atom(Predicate("halt", 0), ())
+        assert at.is_ground()
+        assert at.term_set() == frozenset()
+
+    def test_str_rendering(self):
+        assert str(atom("p", "X", "a")) == "p(X, a)"
+
+    def test_sort_key_total_order(self):
+        atoms = [atom("q", "X"), atom("p", "Y"), atom("p", "X")]
+        ordered = sorted(atoms)
+        assert ordered[0].predicate.name == "p"
+        assert ordered[-1].predicate.name == "q"
+
+    def test_immutable(self):
+        at = atom("p", "X")
+        with pytest.raises(AttributeError):
+            at.args = ()

@@ -1,0 +1,139 @@
+"""Tests for repro.logic.atomset."""
+
+import pytest
+
+from repro.logic.atoms import Predicate, atom
+from repro.logic.atomset import AtomSet
+from repro.logic.parser import parse_atoms
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Variable
+
+
+class TestContainer:
+    def test_add_and_contains(self):
+        atoms = AtomSet()
+        assert atoms.add(atom("p", "X"))
+        assert atom("p", "X") in atoms
+
+    def test_add_duplicate_returns_false(self):
+        atoms = AtomSet([atom("p", "X")])
+        assert not atoms.add(atom("p", "X"))
+        assert len(atoms) == 1
+
+    def test_discard(self):
+        atoms = AtomSet([atom("p", "X")])
+        assert atoms.discard(atom("p", "X"))
+        assert not atoms
+        assert not atoms.discard(atom("p", "X"))
+
+    def test_update_counts_new(self):
+        atoms = AtomSet([atom("p", "X")])
+        added = atoms.update([atom("p", "X"), atom("q", "Y")])
+        assert added == 1
+
+    def test_len_and_bool(self):
+        assert not AtomSet()
+        assert len(AtomSet([atom("p", "X")])) == 1
+
+    def test_equality_ignores_insertion_order(self):
+        a = AtomSet([atom("p", "X"), atom("q", "Y")])
+        b = AtomSet([atom("q", "Y"), atom("p", "X")])
+        assert a == b
+
+    def test_equality_with_plain_set(self):
+        assert AtomSet([atom("p", "X")]) == {atom("p", "X")}
+
+    def test_subset_relations(self):
+        small = parse_atoms("p(X)")
+        large = parse_atoms("p(X), q(Y)")
+        assert small <= large
+        assert small < large
+        assert large >= small
+        assert small.issubset(large)
+
+
+class TestIndexes:
+    def test_with_predicate(self):
+        atoms = parse_atoms("p(X), p(Y), q(X)")
+        assert len(atoms.with_predicate(Predicate("p", 1))) == 2
+
+    def test_count_with_predicate(self):
+        atoms = parse_atoms("p(X), p(Y), q(X)")
+        assert atoms.count_with_predicate(Predicate("p", 1)) == 2
+        assert atoms.count_with_predicate(Predicate("r", 1)) == 0
+
+    def test_containing(self):
+        atoms = parse_atoms("p(X, Y), q(Y), r(Z)")
+        assert len(atoms.containing(Variable("Y"))) == 2
+
+    def test_index_maintained_after_discard(self):
+        atoms = parse_atoms("p(X, Y), q(Y)")
+        atoms.discard(atom("q", "Y"))
+        assert atoms.containing(Variable("Y")) == {atom("p", "X", "Y")}
+
+    def test_remove_term_drops_all_incident_atoms(self):
+        atoms = parse_atoms("p(X, Y), q(Y), r(Z)")
+        removed = atoms.remove_term(Variable("Y"))
+        assert removed == 2
+        assert atoms == parse_atoms("r(Z)")
+
+    def test_terms_variables_constants(self):
+        atoms = parse_atoms("p(X, a), q(b)")
+        assert atoms.terms() == {Variable("X"), Constant("a"), Constant("b")}
+        assert atoms.variables() == {Variable("X")}
+        assert atoms.constants() == {Constant("a"), Constant("b")}
+
+    def test_predicates(self):
+        atoms = parse_atoms("p(X), q(X, Y)")
+        assert atoms.predicates() == {Predicate("p", 1), Predicate("q", 2)}
+
+
+class TestStructuralOps:
+    def test_copy_is_independent(self):
+        original = parse_atoms("p(X)")
+        clone = original.copy()
+        clone.add(atom("q", "Y"))
+        assert len(original) == 1
+
+    def test_union(self):
+        a = parse_atoms("p(X)")
+        b = parse_atoms("q(Y)")
+        assert a.union(b) == parse_atoms("p(X), q(Y)")
+        assert len(a) == 1  # union is non-destructive
+
+    def test_intersection_and_difference(self):
+        a = parse_atoms("p(X), q(Y)")
+        b = parse_atoms("q(Y), r(Z)")
+        assert a.intersection(b) == parse_atoms("q(Y)")
+        assert a.difference(b) == parse_atoms("p(X)")
+
+    def test_induced_substructure(self):
+        atoms = parse_atoms("p(X, Y), p(Y, Z), q(X)")
+        induced = atoms.induced([Variable("X"), Variable("Y")])
+        assert induced == parse_atoms("p(X, Y), q(X)")
+
+    def test_apply_substitution(self):
+        atoms = parse_atoms("p(X, Y)")
+        sigma = Substitution({Variable("X"): Constant("a")})
+        assert atoms.apply(sigma) == parse_atoms("p(a, Y)")
+
+    def test_restrict_predicates(self):
+        atoms = parse_atoms("p(X), q(X), r(X)")
+        kept = atoms.restrict_predicates([Predicate("p", 1), Predicate("r", 1)])
+        assert kept == parse_atoms("p(X), r(X)")
+
+    def test_predicate_histogram(self):
+        atoms = parse_atoms("p(X), p(Y), q(X)")
+        assert atoms.predicate_histogram() == {"p/1": 2, "q/1": 1}
+
+    def test_sorted_atoms_deterministic(self):
+        atoms = parse_atoms("q(Y), p(X)")
+        names = [a.predicate.name for a in atoms.sorted_atoms()]
+        assert names == ["p", "q"]
+
+    def test_str_rendering(self):
+        assert str(parse_atoms("p(X)")) == "{p(X)}"
+
+    def test_add_rejects_non_atoms(self):
+        with pytest.raises(TypeError):
+            AtomSet().add("p(X)")  # type: ignore[arg-type]

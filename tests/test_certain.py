@@ -1,0 +1,84 @@
+"""Tests for certain-answer computation (repro.query.certain)."""
+
+import pytest
+
+from repro.chase import core_chase, restricted_chase
+from repro.kbs.witnesses import manager_kb, transitive_closure_kb
+from repro.logic.terms import Constant, Variable
+from repro.query import (
+    ConjunctiveQuery,
+    active_domain,
+    boolean_cq,
+    certain_answers,
+    certain_answers_over,
+)
+
+X = Variable("X")
+
+
+class TestActiveDomain:
+    def test_fact_constants_collected(self):
+        domain = active_domain(transitive_closure_kb(2))
+        assert [c.name for c in domain] == ["v0", "v1", "v2"]
+
+    def test_rule_constants_collected(self):
+        from repro.logic.kb import KnowledgeBase
+        from repro.logic.parser import parse_atoms, parse_rules
+
+        kb = KnowledgeBase(
+            parse_atoms("p(a)"), parse_rules("[R] p(X) -> e(X, special)")
+        )
+        assert Constant("special") in active_domain(kb)
+
+
+class TestOverUniversalStructure:
+    def test_reachability_answers(self):
+        kb = transitive_closure_kb(3)
+        run = core_chase(kb, max_steps=100)
+        q = ConjunctiveQuery("e(X, v3)", answer_variables=[X])
+        answers = set(certain_answers_over(q, run.final_instance))
+        assert answers == {
+            (Constant("v0"),),
+            (Constant("v1"),),
+            (Constant("v2"),),
+        }
+
+    def test_null_valued_answers_filtered(self):
+        kb = manager_kb()
+        run = restricted_chase(kb, max_steps=10)
+        q = ConjunctiveQuery("mgr(X, Y)", answer_variables=[Variable("Y")])
+        # all managers are nulls: no certain answer tuples
+        assert list(certain_answers_over(q, run.final_instance)) == []
+
+    def test_boolean_query_rejected(self):
+        with pytest.raises(ValueError):
+            list(certain_answers_over(boolean_cq("p(X)"), None))  # type: ignore[arg-type]
+
+
+class TestDecidedCertainAnswers:
+    def test_transitive_closure(self):
+        kb = transitive_closure_kb(3)
+        q = ConjunctiveQuery("e(X, v3)", answer_variables=[X])
+        verdicts = certain_answers(kb, q, chase_budget=100)
+        expected = {"v0": True, "v1": True, "v2": True, "v3": False}
+        assert {k[0].name: v for k, v in verdicts.items()} == expected
+
+    def test_non_terminating_kb(self):
+        kb = manager_kb()
+        q = ConjunctiveQuery("mgr(X, Y)", answer_variables=[X])
+        verdicts = certain_answers(kb, q, chase_budget=20)
+        # ann certainly manages someone; the manager Y itself is a null,
+        # but X = ann is a certain answer to exists Y mgr(X, Y)
+        assert verdicts[(Constant("ann"),)] is True
+
+    def test_explicit_candidates(self):
+        kb = transitive_closure_kb(2)
+        q = ConjunctiveQuery("e(v0, X)", answer_variables=[X])
+        verdicts = certain_answers(
+            kb, q, candidates=[(Constant("v2"),)], chase_budget=50
+        )
+        assert verdicts == {(Constant("v2"),): True}
+
+    def test_boolean_query_rejected(self):
+        with pytest.raises(ValueError):
+            certain_answers(transitive_closure_kb(2), boolean_cq("e(X, Y)"))

@@ -1,0 +1,164 @@
+"""Cross-variant theory invariants (Deutsch-Nash-Remmel / Fagin et al.,
+the classical facts the paper builds on).
+
+For a KB on which the chase terminates:
+
+* the final instance of every variant is a **universal model**: a model
+  of the KB that maps into every other variant's result;
+* in particular all results are homomorphically equivalent;
+* the core-chase result is (isomorphic to) the **core** of every other
+  result — the unique smallest universal model;
+* results are independent of scheduling (determinism aside, re-runs and
+  different variants agree up to homomorphic equivalence).
+"""
+
+import pytest
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chase.engine import ChaseVariant, run_chase
+from repro.kbs.generators import layered_kb
+from repro.kbs.witnesses import (
+    fes_not_bts_kb,
+    transitive_closure_kb,
+    weakly_acyclic_kb,
+)
+from repro.logic.atoms import atom
+from repro.logic.atomset import AtomSet
+from repro.logic.cores import core_of, is_core
+from repro.logic.homomorphism import homomorphically_equivalent, maps_into
+from repro.logic.isomorphism import isomorphic
+from repro.logic.kb import KnowledgeBase
+from repro.logic.parser import parse_atoms, parse_rules
+from repro.logic.terms import Constant
+
+# KBs on which *every* variant terminates (weakly acyclic / datalog);
+# the fes witness terminates only under the core chase and is covered
+# separately in test_witnesses.py.
+TERMINATING_KBS = [
+    transitive_closure_kb(3),
+    weakly_acyclic_kb(),
+    layered_kb(3),
+    KnowledgeBase(
+        parse_atoms("p(a), q(a)"),
+        parse_rules(
+            """
+            [TwoNulls] p(X) -> e(X, Y), e(X, Z)
+            [Const] q(X) -> e(X, b)
+            """
+        ),
+        name="foldable",
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def all_results():
+    results = {}
+    for kb in TERMINATING_KBS:
+        per_variant = {}
+        for variant in ChaseVariant.ALL:
+            result = run_chase(kb, variant=variant, max_steps=300)
+            assert result.terminated, (kb.name, variant)
+            per_variant[variant] = result.final_instance
+        results[kb.name] = (kb, per_variant)
+    return results
+
+
+class TestUniversality:
+    def test_every_result_is_a_model(self, all_results):
+        for name, (kb, per_variant) in all_results.items():
+            for variant, instance in per_variant.items():
+                assert kb.is_model(instance), (name, variant)
+
+    def test_all_results_hom_equivalent(self, all_results):
+        for name, (kb, per_variant) in all_results.items():
+            reference = per_variant[ChaseVariant.RESTRICTED]
+            for variant, instance in per_variant.items():
+                assert homomorphically_equivalent(reference, instance), (
+                    name,
+                    variant,
+                )
+
+    def test_core_result_is_core(self, all_results):
+        for name, (kb, per_variant) in all_results.items():
+            assert is_core(per_variant[ChaseVariant.CORE]), name
+
+    def test_core_result_is_core_of_all_others(self, all_results):
+        for name, (kb, per_variant) in all_results.items():
+            core_result = per_variant[ChaseVariant.CORE]
+            for variant, instance in per_variant.items():
+                assert isomorphic(core_result, core_of(instance)), (
+                    name,
+                    variant,
+                )
+
+    def test_core_result_is_smallest(self, all_results):
+        for name, (kb, per_variant) in all_results.items():
+            smallest = len(per_variant[ChaseVariant.CORE])
+            for variant, instance in per_variant.items():
+                assert smallest <= len(instance), (name, variant)
+
+
+class TestSchedulingIndependence:
+    @pytest.mark.parametrize("variant", ChaseVariant.ALL)
+    def test_reruns_agree(self, variant):
+        kb = transitive_closure_kb(3)
+        first = run_chase(kb, variant=variant, max_steps=300)
+        second = run_chase(kb, variant=variant, max_steps=300)
+        assert first.final_instance == second.final_instance
+
+
+# ---------------------------------------------------------------------------
+# property-based: random ground facts under a fixed terminating program
+# ---------------------------------------------------------------------------
+
+CONSTS = [Constant(c) for c in "abcd"]
+
+
+@st.composite
+def ground_edges(draw):
+    edges = draw(
+        st.lists(
+            st.tuples(st.sampled_from(CONSTS), st.sampled_from(CONSTS)),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    return AtomSet(atom("e", u, v) for u, v in edges)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ground_edges())
+def test_variants_agree_on_random_datalog_inputs(facts):
+    kb = KnowledgeBase(facts, parse_rules("[T] e(X, Y), e(Y, Z) -> e(X, Z)"))
+    results = {}
+    for variant in ChaseVariant.ALL:
+        result = run_chase(kb, variant=variant, max_steps=400)
+        assert result.terminated
+        results[variant] = result.final_instance
+    # datalog: all variants compute the same (ground) closure
+    reference = results[ChaseVariant.RESTRICTED]
+    for variant, instance in results.items():
+        assert instance == reference, variant
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ground_edges())
+def test_existential_variants_hom_equivalent_on_random_inputs(facts):
+    kb = KnowledgeBase(
+        facts, parse_rules("[Wit] e(X, Y) -> w(X, W), tag(W)")
+    )
+    results = {}
+    for variant in (ChaseVariant.SEMI_OBLIVIOUS, ChaseVariant.RESTRICTED, ChaseVariant.CORE):
+        result = run_chase(kb, variant=variant, max_steps=400)
+        assert result.terminated
+        results[variant] = result.final_instance
+    assert homomorphically_equivalent(
+        results[ChaseVariant.RESTRICTED], results[ChaseVariant.CORE]
+    )
+    assert homomorphically_equivalent(
+        results[ChaseVariant.RESTRICTED], results[ChaseVariant.SEMI_OBLIVIOUS]
+    )
+    assert maps_into(facts, results[ChaseVariant.CORE])

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.kbs.generators import grid_instance
+from repro.kbs.witnesses import manager_kb, transitive_closure_kb
+from repro.logic.serialization import dump_instance, save_kb
+
+
+@pytest.fixture()
+def kb_file(tmp_path):
+    path = tmp_path / "tc.repro"
+    save_kb(transitive_closure_kb(3), path)
+    return str(path)
+
+
+@pytest.fixture()
+def manager_file(tmp_path):
+    path = tmp_path / "mgr.repro"
+    save_kb(manager_kb(), path)
+    return str(path)
+
+
+class TestChaseCommand:
+    def test_terminating_run(self, kb_file, capsys):
+        code = main(["chase", kb_file, "--variant", "core", "--steps", "50"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "terminated" in out
+        assert "e(v0, v3)" in out
+
+    def test_quiet_mode(self, kb_file, capsys):
+        main(["chase", kb_file, "--quiet"])
+        out = capsys.readouterr().out
+        assert "e(v0, v3)" not in out
+        assert out.startswith("#")
+
+    def test_budget_exhaustion_reported(self, manager_file, capsys):
+        main(["chase", manager_file, "--steps", "5"])
+        assert "budget-exhausted" in capsys.readouterr().out
+
+    def test_variant_validated(self, kb_file):
+        with pytest.raises(SystemExit):
+            main(["chase", kb_file, "--variant", "turbo"])
+
+
+class TestEntailCommand:
+    def test_entailed_returns_zero(self, manager_file, capsys):
+        code = main(["entail", manager_file, "mgr(ann, X)"])
+        assert code == 0
+        assert "ENTAILED" in capsys.readouterr().out
+
+    def test_not_entailed_returns_one(self, manager_file, capsys):
+        code = main(["entail", manager_file, "mgr(X, ann)"])
+        assert code == 1
+        assert "NOT ENTAILED" in capsys.readouterr().out
+
+    def test_undecided_returns_two(self, tmp_path, capsys):
+        # force undecidedness with starvation budgets on a KB whose
+        # countermodels are out of reach for a 1-element domain
+        from repro.kbs.staircase import staircase_kb
+
+        path = tmp_path / "kh.repro"
+        save_kb(staircase_kb(), path)
+        code = main(
+            [
+                "entail",
+                str(path),
+                "f(X), c(X)",
+                "--chase-budget",
+                "1",
+                "--model-budget",
+                "1",
+            ]
+        )
+        assert code == 2
+        assert "UNDECIDED" in capsys.readouterr().out
+
+
+class TestClassifyCommand:
+    def test_reports_all_criteria(self, kb_file, capsys):
+        code = main(["classify", kb_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        for needle in ("weakly acyclic", "guarded", "rule-acyclic", "fes"):
+            assert needle in out
+
+    def test_fes_certificate_shown(self, kb_file, capsys):
+        main(["classify", kb_file])
+        assert "core chase terminated" in capsys.readouterr().out
+
+
+class TestTreewidthCommand:
+    def test_grid_width(self, tmp_path, capsys):
+        path = tmp_path / "grid.atoms"
+        path.write_text(dump_instance(grid_instance(3)))
+        code = main(["treewidth", str(path)])
+        assert code == 0
+        assert "treewidth: 3" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_help_builds(self):
+        parser = build_parser()
+        assert "chase" in parser.format_help()

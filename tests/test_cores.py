@@ -1,0 +1,109 @@
+"""Tests for repro.logic.cores."""
+
+from repro.kbs.generators import path_with_shortcut, star_instance
+from repro.logic.cores import core_of, core_retraction, is_core, retracts_to
+from repro.logic.homomorphism import homomorphically_equivalent
+from repro.logic.parser import parse_atoms
+
+
+class TestIsCore:
+    def test_single_ground_atom_is_core(self):
+        assert is_core(parse_atoms("p(a)"))
+
+    def test_single_variable_atom_is_core(self):
+        assert is_core(parse_atoms("p(X)"))
+
+    def test_duplicate_pattern_is_not_core(self):
+        assert not is_core(parse_atoms("p(X), p(Y)"))
+
+    def test_directed_null_path_is_a_core(self):
+        # a directed path cannot fold onto itself: no endomorphism
+        # avoids an endpoint, so it is a core despite being all nulls
+        assert is_core(parse_atoms("e(X, Y), e(Y, Z)"))
+
+    def test_fork_is_not_core(self):
+        # two parallel rays fold onto one
+        assert not is_core(parse_atoms("e(X, Y), e(X, Z)"))
+
+    def test_path_of_constants_is_core(self):
+        assert is_core(parse_atoms("e(a, b), e(b, c)"))
+
+    def test_odd_cycle_is_core(self):
+        assert is_core(parse_atoms("e(X, Y), e(Y, Z), e(Z, X)"))
+
+    def test_loop_plus_tail_is_not_core(self):
+        assert not is_core(parse_atoms("e(X, X), e(X, Y)"))
+
+    def test_shortcut_path_is_not_core(self):
+        assert not is_core(path_with_shortcut(4))
+
+    def test_star_is_not_core(self):
+        assert not is_core(star_instance(5))
+
+
+class TestCoreComputation:
+    def test_core_is_core(self):
+        atoms = path_with_shortcut(5)
+        assert is_core(core_of(atoms))
+
+    def test_core_is_hom_equivalent(self):
+        atoms = path_with_shortcut(5)
+        assert homomorphically_equivalent(atoms, core_of(atoms))
+
+    def test_core_of_star_is_single_ray(self):
+        core = core_of(star_instance(6))
+        assert len(core) == 1
+
+    def test_core_of_core_is_identity(self):
+        atoms = parse_atoms("e(a, b), e(b, c)")
+        retraction = core_retraction(atoms)
+        assert len(retraction) == 0  # identity substitution
+
+    def test_retraction_is_retraction(self):
+        atoms = path_with_shortcut(5)
+        retraction = core_retraction(atoms)
+        assert retraction.is_retraction_of(atoms)
+
+    def test_retraction_image_matches_core(self):
+        atoms = path_with_shortcut(5)
+        retraction = core_retraction(atoms)
+        assert retraction.apply(atoms) == core_of(atoms)
+
+    def test_retraction_idempotent(self):
+        atoms = star_instance(4)
+        retraction = core_retraction(atoms)
+        assert retraction.compose(retraction).drop_trivial() == retraction
+
+    def test_core_preserves_constants(self):
+        atoms = parse_atoms("e(a, X), e(X, b)")
+        core = core_of(atoms)
+        assert {t.name for t in core.constants()} == {"a", "b"}
+
+    def test_core_deterministic(self):
+        atoms = path_with_shortcut(4)
+        assert core_of(atoms) == core_of(atoms)
+
+    def test_core_of_subsumed_query_pattern(self):
+        # p(X,Y) subsumed by p(a,Y'): the core keeps the more specific atom
+        atoms = parse_atoms("p(a, Y), p(X, Z)")
+        core = core_of(atoms)
+        assert len(core) == 1
+        assert next(iter(core)).args[0].name == "a"
+
+
+class TestRetractsTo:
+    def test_null_path_retracts_to_constant_path(self):
+        atoms = path_with_shortcut(3)
+        target = atoms.induced(atoms.constants())
+        retraction = retracts_to(atoms, target)
+        assert retraction is not None
+        assert retraction.apply(atoms) == target
+
+    def test_no_retraction_to_non_subset(self):
+        atoms = parse_atoms("e(X, Y)")
+        assert retracts_to(atoms, parse_atoms("e(a, b)")) is None
+
+    def test_no_retraction_to_disconnected_part(self):
+        atoms = parse_atoms("e(a, b), e(c, d)")
+        target = parse_atoms("e(a, b)")
+        assert retracts_to(atoms, target) is None

@@ -1,0 +1,106 @@
+"""Tests for the Datalog fixpoint evaluator, including cross-validation
+against the chase engine (two independent implementations must agree)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chase import restricted_chase
+from repro.datalog import DatalogProgram, naive_fixpoint, seminaive_fixpoint
+from repro.kbs.witnesses import transitive_closure_kb
+from repro.logic.atoms import atom
+from repro.logic.atomset import AtomSet
+from repro.logic.kb import KnowledgeBase
+from repro.logic.parser import parse_atoms, parse_rules
+from repro.logic.terms import Constant
+
+
+class TestProgramValidation:
+    def test_existential_rules_rejected(self):
+        with pytest.raises(ValueError):
+            DatalogProgram(parse_rules("[R] p(X) -> q(X, Y)"))
+
+    def test_datalog_accepted(self):
+        program = DatalogProgram(parse_rules("[R] p(X, Y) -> q(Y, X)"))
+        assert len(program) == 1
+
+
+class TestFixpoints:
+    def test_transitive_closure(self):
+        program = DatalogProgram(parse_rules("[T] e(X, Y), e(Y, Z) -> e(X, Z)"))
+        facts = parse_atoms("e(a, b), e(b, c), e(c, d)")
+        result = seminaive_fixpoint(program, facts)
+        assert len(result) == 6
+        assert atom("e", "a", "d") in result
+
+    def test_naive_and_seminaive_agree(self):
+        program = DatalogProgram(
+            parse_rules(
+                """
+                [T] e(X, Y), e(Y, Z) -> e(X, Z)
+                [Sym] e(X, Y) -> u(X, Y), u(Y, X)
+                [Reach] u(X, Y) -> reach(Y)
+                """
+            )
+        )
+        facts = parse_atoms("e(a, b), e(b, c)")
+        assert naive_fixpoint(program, facts) == seminaive_fixpoint(program, facts)
+
+    def test_facts_not_mutated(self):
+        program = DatalogProgram(parse_rules("[R] p(X) -> q(X)"))
+        facts = parse_atoms("p(a)")
+        seminaive_fixpoint(program, facts)
+        assert facts == parse_atoms("p(a)")
+
+    def test_no_applicable_rules(self):
+        program = DatalogProgram(parse_rules("[R] z(X) -> w(X)"))
+        facts = parse_atoms("p(a)")
+        assert seminaive_fixpoint(program, facts) == facts
+
+    def test_multi_round_propagation(self):
+        program = DatalogProgram(
+            parse_rules("[Step] succ(X, Y), even(X) -> odd(Y)\n[Back] succ(X, Y), odd(X) -> even(Y)")
+        )
+        facts = parse_atoms("succ(n0, n1), succ(n1, n2), succ(n2, n3), even(n0)")
+        result = seminaive_fixpoint(program, facts)
+        assert atom("odd", "n1") in result
+        assert atom("even", "n2") in result
+        assert atom("odd", "n3") in result
+
+
+class TestCrossValidationWithChase:
+    def test_agrees_with_chase_on_closure(self):
+        kb = transitive_closure_kb(4)
+        chase = restricted_chase(kb, max_steps=500)
+        assert chase.terminated
+        fixpoint = seminaive_fixpoint(DatalogProgram(kb.rules), kb.facts)
+        assert fixpoint == chase.final_instance
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from([Constant(c) for c in "abcd"]),
+                st.sampled_from([Constant(c) for c in "abcd"]),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_random_graphs_agree(self, edges):
+        facts = AtomSet(atom("e", u, v) for u, v in edges)
+        rules = parse_rules(
+            """
+            [T] e(X, Y), e(Y, Z) -> e(X, Z)
+            [Mark] e(X, X) -> cyclic(X)
+            """
+        )
+        kb = KnowledgeBase(facts, rules)
+        chase = restricted_chase(kb, max_steps=500)
+        assert chase.terminated
+        fixpoint = seminaive_fixpoint(DatalogProgram(rules), facts)
+        assert fixpoint == chase.final_instance

@@ -1,0 +1,129 @@
+"""Tests for decomposition-based CQ evaluation (repro.query.decomposed),
+including property-based equivalence with the backtracking search."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.kbs.generators import grid_instance, path_instance
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.atomset import AtomSet
+from repro.logic.homomorphism import maps_into
+from repro.logic.parser import parse_atoms
+from repro.logic.terms import Constant, Variable
+from repro.query import ConjunctiveQuery, boolean_cq
+from repro.query.decomposed import DecomposedQuery, holds_via_decomposition
+
+
+class TestCorrectnessCases:
+    def test_single_atom(self):
+        q = boolean_cq("p(X)")
+        assert holds_via_decomposition(q, parse_atoms("p(a)"))
+        assert not holds_via_decomposition(q, parse_atoms("q(a)"))
+
+    def test_join_through_atom_free_bag(self):
+        """The soundness trap: X is shared between two atoms whose bags
+        connect through a bag without X-atoms — join-projection must
+        propagate the binding."""
+        q = boolean_cq("p(X, A), q(X, B)")
+        assert holds_via_decomposition(q, parse_atoms("p(a, c), q(a, d)"))
+        assert not holds_via_decomposition(q, parse_atoms("p(a, c), q(b, c)"))
+
+    def test_triangle_query(self):
+        q = boolean_cq("e(X, Y), e(Y, Z), e(Z, X)")
+        assert holds_via_decomposition(q, parse_atoms("e(a, b), e(b, c), e(c, a)"))
+        assert not holds_via_decomposition(q, parse_atoms("e(a, b), e(b, c)"))
+
+    def test_long_path_query(self):
+        q = boolean_cq("e(A, B), e(B, C), e(C, D), e(D, E)")
+        assert holds_via_decomposition(q, path_instance(6))
+        assert not holds_via_decomposition(q, path_instance(3))
+
+    def test_constants_in_query(self):
+        q = boolean_cq("e(n0, X), e(X, n2)")
+        assert holds_via_decomposition(q, path_instance(4))
+        q_bad = boolean_cq("e(n2, X), e(X, n1)")
+        assert not holds_via_decomposition(q_bad, path_instance(4))
+
+    def test_grid_pattern(self):
+        q = boolean_cq("h(A, B), v(A, C), h(C, D), v(B, D)")
+        assert holds_via_decomposition(q, grid_instance(3))
+
+    def test_width_of_path_query_is_1(self):
+        dq = DecomposedQuery(boolean_cq("e(A, B), e(B, C), e(C, D)"))
+        assert dq.width == 1
+
+    def test_satisfying_assignment_is_homomorphism(self):
+        q = boolean_cq("e(X, Y), e(Y, Z)")
+        instance = parse_atoms("e(a, b), e(b, c)")
+        assignment = DecomposedQuery(q).satisfying_assignment(instance)
+        assert assignment is not None
+        assert assignment.is_homomorphism(q.atoms, instance)
+
+    def test_satisfying_assignment_none_when_absent(self):
+        q = boolean_cq("e(X, X)")
+        assert DecomposedQuery(q).satisfying_assignment(parse_atoms("e(a, b)")) is None
+
+    def test_disconnected_query(self):
+        q = boolean_cq("p(X), q(Y)")
+        assert holds_via_decomposition(q, parse_atoms("p(a), q(b)"))
+        assert not holds_via_decomposition(q, parse_atoms("p(a)"))
+
+
+# ---------------------------------------------------------------------------
+# property-based equivalence with the backtracking evaluator
+# ---------------------------------------------------------------------------
+
+VARIABLES = [Variable(f"Q{i}") for i in range(4)]
+CONSTANTS = [Constant(c) for c in "ab"]
+PREDICATES = [Predicate("p", 1), Predicate("e", 2)]
+
+
+@st.composite
+def query_strategy(draw):
+    atoms = draw(
+        st.lists(
+            st.builds(
+                lambda pred, args: Atom(pred, tuple(args[: pred.arity])),
+                st.sampled_from(PREDICATES),
+                st.lists(
+                    st.sampled_from(VARIABLES), min_size=2, max_size=2
+                ),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    return ConjunctiveQuery(AtomSet(atoms))
+
+
+@st.composite
+def instance_strategy(draw):
+    atoms = draw(
+        st.lists(
+            st.builds(
+                lambda pred, args: Atom(pred, tuple(args[: pred.arity])),
+                st.sampled_from(PREDICATES),
+                st.lists(st.sampled_from(CONSTANTS), min_size=2, max_size=2),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    return AtomSet(atoms)
+
+
+@settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(query_strategy(), instance_strategy())
+def test_decomposed_agrees_with_backtracking(query, instance):
+    expected = maps_into(query.atoms, instance)
+    assert holds_via_decomposition(query, instance) == expected
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(query_strategy(), instance_strategy())
+def test_decomposed_assignment_is_valid_when_found(query, instance):
+    assignment = DecomposedQuery(query).satisfying_assignment(instance)
+    if assignment is not None:
+        assert assignment.is_homomorphism(query.atoms, instance)
+    else:
+        assert not maps_into(query.atoms, instance)

@@ -1,0 +1,121 @@
+"""Tests for repro.chase.derivation."""
+
+import pytest
+
+from repro.chase import core_chase, restricted_chase
+from repro.chase.derivation import Derivation, DerivationStep
+from repro.kbs.witnesses import bts_not_fes_kb, fes_not_bts_kb, transitive_closure_kb
+from repro.logic.parser import parse_atoms
+from repro.logic.substitution import Substitution
+
+
+class TestRecordShape:
+    def test_step_zero_has_no_trigger(self):
+        result = restricted_chase(transitive_closure_kb(2), max_steps=10)
+        assert result.derivation.steps[0].trigger is None
+        assert result.derivation.steps[0].index == 0
+
+    def test_indexes_consecutive(self):
+        result = restricted_chase(transitive_closure_kb(3), max_steps=10)
+        for position, step in enumerate(result.derivation):
+            assert step.index == position
+
+    def test_len_and_instance_access(self):
+        result = restricted_chase(transitive_closure_kb(2), max_steps=10)
+        derivation = result.derivation
+        assert len(derivation) == result.applications + 1
+        assert derivation.instance(0) == derivation.steps[0].instance
+        assert derivation.last_instance == derivation.steps[-1].instance
+
+    def test_requires_initial_step(self):
+        kb = transitive_closure_kb(2)
+        with pytest.raises(ValueError):
+            Derivation(kb, [])
+
+    def test_rejects_bad_indexes(self):
+        kb = transitive_closure_kb(2)
+        step0 = DerivationStep(
+            0, None, kb.facts, Substitution.identity(), kb.facts
+        )
+        step_bad = DerivationStep(
+            2, None, kb.facts, Substitution.identity(), kb.facts
+        )
+        with pytest.raises(ValueError):
+            Derivation(kb, [step0, step_bad])
+
+    def test_identity_step_detection(self):
+        result = restricted_chase(transitive_closure_kb(2), max_steps=10)
+        assert all(step.is_identity_step() for step in result.derivation)
+
+
+class TestTraces:
+    def test_trace_identity_at_same_index(self):
+        result = core_chase(fes_not_bts_kb(), max_steps=50)
+        trace = result.derivation.trace(1, 1)
+        assert len(trace) == 0
+
+    def test_trace_composes_simplifications(self):
+        result = core_chase(fes_not_bts_kb(), max_steps=50)
+        derivation = result.derivation
+        last = len(derivation) - 1
+        trace = derivation.trace(0, last)
+        # the trace must be a homomorphism from F_0 into F_last
+        assert trace.is_homomorphism(derivation.instance(0), derivation.last_instance)
+
+    def test_trace_out_of_range(self):
+        result = restricted_chase(transitive_closure_kb(2), max_steps=10)
+        with pytest.raises(IndexError):
+            result.derivation.trace(0, 99)
+        with pytest.raises(IndexError):
+            result.derivation.trace(2, 1)
+
+    def test_monotonic_traces_are_identity(self):
+        result = restricted_chase(bts_not_fes_kb(), max_steps=8)
+        derivation = result.derivation
+        trace = derivation.trace(0, len(derivation) - 1)
+        assert len(trace.drop_trivial()) == 0
+
+
+class TestAggregationAndFairness:
+    def test_natural_aggregation_of_monotonic_run_is_last_instance(self):
+        result = restricted_chase(bts_not_fes_kb(), max_steps=8)
+        derivation = result.derivation
+        assert derivation.natural_aggregation() == derivation.last_instance
+
+    def test_natural_aggregation_of_core_run_is_superset(self):
+        result = core_chase(fes_not_bts_kb(), max_steps=50)
+        aggregation = result.derivation.natural_aggregation()
+        assert result.derivation.last_instance.issubset(aggregation)
+
+    def test_natural_aggregation_prefix_parameter(self):
+        result = restricted_chase(bts_not_fes_kb(), max_steps=8)
+        partial = result.derivation.natural_aggregation(upto=2)
+        full = result.derivation.natural_aggregation()
+        assert partial.issubset(full)
+        assert len(partial) < len(full)
+
+    def test_fairness_clean_on_terminating_runs(self):
+        result = core_chase(transitive_closure_kb(3), max_steps=100)
+        assert result.derivation.check_fairness_prefix() == []
+
+    def test_monotonicity_detection(self):
+        restricted = restricted_chase(fes_not_bts_kb(), max_steps=8)
+        assert restricted.derivation.is_monotonic()
+        core = core_chase(fes_not_bts_kb(), max_steps=50)
+        # the fes witness folds atoms away, so the core run is non-monotonic
+        assert not core.derivation.is_monotonic()
+
+    def test_validate_catches_tampered_instances(self):
+        result = restricted_chase(transitive_closure_kb(2), max_steps=10)
+        steps = list(result.derivation.steps)
+        tampered = DerivationStep(
+            steps[-1].index,
+            steps[-1].trigger,
+            steps[-1].pre_instance,
+            steps[-1].simplification,
+            parse_atoms("bogus(x)"),
+        )
+        steps[-1] = tampered
+        broken = Derivation(result.derivation.kb, steps)
+        with pytest.raises(AssertionError):
+            broken.validate()

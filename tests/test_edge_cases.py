@@ -1,0 +1,170 @@
+"""Edge cases and failure-injection tests across the library."""
+
+import pytest
+
+from repro.chase import ChaseEngine, restricted_chase, run_chase, triggers
+from repro.chase.engine import ChaseVariant
+from repro.logic.atoms import Atom, Predicate, atom
+from repro.logic.atomset import AtomSet
+from repro.logic.cores import core_of, is_core
+from repro.logic.homomorphism import find_homomorphism
+from repro.logic.kb import KnowledgeBase
+from repro.logic.parser import parse_atom, parse_atoms, parse_rule, parse_rules
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Variable
+from repro.treewidth import treewidth
+
+
+class TestZeroArityPredicates:
+    def test_parse_and_chase(self):
+        kb = KnowledgeBase(
+            parse_atoms("start"),
+            parse_rules("[Go] start -> done"),
+        )
+        result = restricted_chase(kb, max_steps=10)
+        assert result.terminated
+        assert parse_atom("done") in result.final_instance
+
+    def test_zero_ary_treewidth(self):
+        assert treewidth(parse_atoms("halted")) == -1  # no terms at all
+
+    def test_zero_ary_homomorphism(self):
+        assert find_homomorphism(parse_atoms("go"), parse_atoms("go")) is not None
+        assert find_homomorphism(parse_atoms("go"), parse_atoms("stop")) is None
+
+
+class TestPrimedVariableNames:
+    def test_parser_accepts_primes(self):
+        at = parse_atom("h(X', Y'')")
+        names = sorted(v.name for v in at.variables())
+        assert names == ["X'", "Y''"]
+
+    def test_rule_with_primes(self):
+        rule = parse_rule("h(X, X) -> v(X, X'), c(X')")
+        assert Variable("X'") in rule.existential
+
+
+class TestConstantsInRuleHeads:
+    def test_head_constant_created(self):
+        kb = KnowledgeBase(
+            parse_atoms("p(x1)"),
+            parse_rules("[Tag] p(X) -> labelled(X, gold)"),
+        )
+        result = restricted_chase(kb, max_steps=10)
+        assert parse_atom("labelled(x1, gold)") in result.final_instance
+
+    def test_body_constant_filters_triggers(self):
+        rule = parse_rule("[R] p(X, special) -> q(X)")
+        instance = parse_atoms("p(a, special), p(b, other)")
+        assert len(list(triggers(rule, instance))) == 1
+
+
+class TestNullsInFacts:
+    def test_facts_may_contain_nulls(self):
+        # the paper's own F_h / F_v are null-based fact sets
+        kb = KnowledgeBase(
+            parse_atoms("p(N0, N1)"),
+            parse_rules("[R] p(X, Y) -> p(Y, X)"),
+        )
+        result = restricted_chase(kb, max_steps=10)
+        assert result.terminated
+        assert len(result.final_instance) == 2
+
+    def test_fresh_nulls_never_collide_with_fact_nulls(self):
+        kb = KnowledgeBase(
+            parse_atoms("p(N0)"),
+            parse_rules("[R] p(X) -> q(X, Y)"),
+        )
+        result = restricted_chase(kb, max_steps=10)
+        new_vars = result.final_instance.variables() - kb.facts.variables()
+        assert all(v.name.startswith("_n") for v in new_vars)
+
+
+class TestOnStepHookErrors:
+    def test_hook_exception_propagates(self):
+        kb = KnowledgeBase(parse_atoms("p(a)"), parse_rules("[R] p(X) -> q(X)"))
+
+        def explode(step):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_chase(kb, max_steps=5, on_step=explode)
+
+
+class TestSelfJoinBodies:
+    def test_body_with_repeated_predicate(self):
+        rule = parse_rule("[R] e(X, Y), e(Y, X) -> mutual(X, Y)")
+        instance = parse_atoms("e(a, b), e(b, a), e(a, c)")
+        found = list(triggers(rule, instance))
+        assert len(found) == 2  # (a,b) and (b,a)
+
+    def test_body_atom_with_repeated_variable(self):
+        rule = parse_rule("[R] e(X, X) -> loop(X)")
+        instance = parse_atoms("e(a, a), e(a, b)")
+        assert len(list(triggers(rule, instance))) == 1
+
+
+class TestCoreEdgeCases:
+    def test_core_of_disconnected_components(self):
+        # each component cores independently; the fork folds, the
+        # constant edge stays
+        atoms = parse_atoms("e(X, Y), e(X, Z), f(a, b)")
+        core = core_of(atoms)
+        assert len(core) == 2
+
+    def test_core_with_zero_ary_atoms(self):
+        atoms = parse_atoms("flag, p(X), p(Y)")
+        core = core_of(atoms)
+        assert parse_atom("flag") in core
+        assert len(core) == 2
+
+    def test_single_atom_sets(self):
+        assert is_core(parse_atoms("p(X, X, X)"))
+
+
+class TestSubstitutionEdgeCases:
+    def test_apply_to_zero_ary_atom(self):
+        sigma = Substitution({Variable("X"): Constant("a")})
+        at = Atom(Predicate("go", 0), ())
+        assert sigma.apply_atom(at) == at
+
+    def test_identity_substitution_reuses_atoms(self):
+        at = atom("p", "X")
+        assert Substitution.identity().apply_atom(at) is at
+
+    def test_chained_renaming_composes_to_constant(self):
+        X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+        step1 = Substitution({X: Y})
+        step2 = Substitution({Y: Z})
+        step3 = Substitution({Z: Constant("end")})
+        total = step3.compose(step2.compose(step1))
+        assert total.apply_term(X) == Constant("end")
+
+
+class TestEngineWithMultipleRulesSharingPredicates:
+    def test_interleaving_is_deterministic_and_fair(self):
+        kb = KnowledgeBase(
+            parse_atoms("a(x1), b(x1)"),
+            parse_rules(
+                """
+                [FromA] a(X) -> c(X)
+                [FromB] b(X) -> c(X), d(X)
+                [FromC] c(X) -> e(X)
+                """
+            ),
+        )
+        result = run_chase(kb, variant=ChaseVariant.RESTRICTED, max_steps=50)
+        assert result.terminated
+        assert parse_atom("e(x1)") in result.final_instance
+
+    def test_large_head_single_application(self):
+        kb = KnowledgeBase(
+            parse_atoms("seed(s)"),
+            parse_rules(
+                "[Big] seed(X) -> n1(X, A), n2(A, B), n3(B, C), n4(C, D)"
+            ),
+        )
+        result = restricted_chase(kb, max_steps=5)
+        assert result.terminated
+        assert result.applications == 1
+        assert len(result.final_instance.variables()) == 4

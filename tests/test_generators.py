@@ -1,0 +1,86 @@
+"""Tests for repro.kbs.generators (the synthetic workload substrate)."""
+
+import pytest
+
+from repro.chase import restricted_chase
+from repro.kbs.generators import (
+    cycle_instance,
+    grid_instance,
+    layered_kb,
+    path_instance,
+    path_with_shortcut,
+    random_instance,
+    star_instance,
+)
+from repro.logic.cores import core_of, is_core
+from repro.treewidth import treewidth
+
+
+class TestInstances:
+    def test_path_sizes(self):
+        atoms = path_instance(5)
+        assert len(atoms) == 5
+        assert len(atoms.terms()) == 6
+
+    def test_path_constant_vs_null_nodes(self):
+        assert not path_instance(3).variables()
+        assert path_instance(3, null_nodes=True).variables()
+
+    def test_cycle(self):
+        atoms = cycle_instance(4)
+        assert len(atoms) == 4
+        assert len(atoms.terms()) == 4
+
+    def test_grid_treewidth(self):
+        assert treewidth(grid_instance(3)) == 3
+
+    def test_grid_of_one(self):
+        atoms = grid_instance(1)
+        assert len(atoms.terms()) == 1
+
+    def test_star(self):
+        atoms = star_instance(4)
+        assert len(atoms) == 4
+        assert len(core_of(atoms)) == 1
+
+    def test_random_deterministic(self):
+        assert random_instance(20, 8, seed=7) == random_instance(20, 8, seed=7)
+
+    def test_random_size(self):
+        atoms = random_instance(25, 10, seed=1)
+        assert len(atoms) == 25
+        assert len(atoms.terms()) <= 10
+
+    def test_path_with_shortcut_core(self):
+        atoms = path_with_shortcut(4)
+        core = core_of(atoms)
+        assert len(core) == 4  # the constant path
+        assert not core.variables()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            path_instance(0)
+        with pytest.raises(ValueError):
+            grid_instance(0)
+        with pytest.raises(ValueError):
+            star_instance(0)
+        with pytest.raises(ValueError):
+            path_with_shortcut(1)
+
+
+class TestLayeredKb:
+    def test_terminates_with_expected_depth(self):
+        kb = layered_kb(3)
+        result = restricted_chase(kb, max_steps=100)
+        assert result.terminated
+        assert result.applications == 3
+
+    def test_fanout_multiplies_rules(self):
+        kb = layered_kb(2, fanout=3)
+        assert len(kb.rules) == 6
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            layered_kb(0)
+        with pytest.raises(ValueError):
+            layered_kb(1, fanout=0)

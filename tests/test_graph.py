@@ -1,0 +1,93 @@
+"""Tests for repro.treewidth.graph."""
+
+from repro.treewidth.graph import Graph
+
+
+def path_graph(n: int) -> Graph:
+    return Graph((i, i + 1) for i in range(n - 1))
+
+
+def complete_graph(n: int) -> Graph:
+    g = Graph()
+    g.add_clique(range(n))
+    return g
+
+
+class TestConstruction:
+    def test_add_edge_adds_vertices(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert 1 in g and 2 in g
+        assert g.has_edge(1, 2) and g.has_edge(2, 1)
+
+    def test_self_loops_ignored(self):
+        g = Graph()
+        g.add_edge(1, 1)
+        assert 1 in g
+        assert g.degree(1) == 0
+
+    def test_add_clique(self):
+        g = complete_graph(4)
+        assert g.edge_count() == 6
+        assert g.is_clique(range(4))
+
+    def test_isolated_vertex(self):
+        g = Graph()
+        g.add_vertex("x")
+        assert len(g) == 1
+        assert g.degree("x") == 0
+
+    def test_remove_vertex(self):
+        g = path_graph(3)
+        g.remove_vertex(1)
+        assert len(g) == 2
+        assert not g.has_edge(0, 2)
+
+    def test_copy_independent(self):
+        g = path_graph(3)
+        clone = g.copy()
+        clone.add_edge(0, 2)
+        assert not g.has_edge(0, 2)
+
+    def test_subgraph(self):
+        g = complete_graph(4)
+        sub = g.subgraph([0, 1, 2])
+        assert len(sub) == 3
+        assert sub.edge_count() == 3
+
+
+class TestElimination:
+    def test_eliminate_returns_degree(self):
+        g = path_graph(3)
+        assert g.eliminate(1) == 2
+        assert g.has_edge(0, 2)  # fill edge added
+
+    def test_eliminate_leaf(self):
+        g = path_graph(3)
+        assert g.eliminate(0) == 1
+        assert len(g) == 2
+
+
+class TestQueries:
+    def test_min_degree_vertex_deterministic(self):
+        g = Graph([(1, 2), (2, 3), (3, 1), (3, 4)])
+        assert g.min_degree_vertex() == 4
+
+    def test_fill_in_count(self):
+        g = path_graph(3)
+        assert g.fill_in_count(1) == 1
+        assert g.fill_in_count(0) == 0
+
+    def test_edges_each_once(self):
+        g = complete_graph(3)
+        assert len(list(g.edges())) == 3
+
+    def test_connected_components(self):
+        g = Graph([(1, 2), (3, 4)])
+        g.add_vertex(5)
+        components = sorted(g.connected_components(), key=lambda c: min(c))
+        assert components == [frozenset({1, 2}), frozenset({3, 4}), frozenset({5})]
+
+    def test_neighbors_frozen(self):
+        g = path_graph(3)
+        assert g.neighbors(1) == {0, 2}

@@ -1,0 +1,97 @@
+"""Tests for grid containment (Definition 5 / Fact 2)."""
+
+import pytest
+
+from repro.kbs.generators import grid_instance, path_instance
+from repro.logic.parser import parse_atoms
+from repro.treewidth import treewidth
+from repro.treewidth.grids import (
+    contains_grid,
+    find_grid,
+    grid_from_coordinates,
+    grid_lower_bound,
+)
+
+
+class TestGenericSearch:
+    def test_grid_contains_itself(self):
+        atoms = grid_instance(3)
+        assert contains_grid(atoms, 3)
+
+    def test_grid_does_not_contain_larger(self):
+        atoms = grid_instance(3)
+        assert not contains_grid(atoms, 4)
+
+    def test_smaller_grids_contained(self):
+        atoms = grid_instance(3)
+        assert contains_grid(atoms, 1)
+        assert contains_grid(atoms, 2)
+
+    def test_path_contains_no_2_grid(self):
+        assert not contains_grid(path_instance(6), 2)
+
+    def test_one_grid_is_any_term(self):
+        assert contains_grid(parse_atoms("p(X)"), 1)
+
+    def test_witness_is_well_formed(self):
+        atoms = grid_instance(3)
+        witness = find_grid(atoms, 2)
+        assert witness is not None
+        flattened = [t for row in witness for t in row]
+        assert len(set(flattened)) == 4
+
+    def test_wide_atoms_count_as_co_occurrence(self):
+        # Definition 5 only needs the pair to share an atom — a ternary
+        # atom connecting all three works too.
+        atoms = parse_atoms(
+            "t(A1, A2, B1), t(A2, B2, B1), t(A1, B1, X), t(A2, B2, X)"
+        )
+        assert contains_grid(atoms, 2)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            contains_grid(grid_instance(2), 0)
+
+
+class TestLowerBound:
+    def test_grid_lower_bound_matches_size(self):
+        assert grid_lower_bound(grid_instance(3), max_n=5) == 3
+
+    def test_lower_bound_respects_fact_2(self):
+        """Fact 2: an n×n grid forces treewidth ≥ n."""
+        atoms = grid_instance(3)
+        assert treewidth(atoms) >= grid_lower_bound(atoms, max_n=4)
+
+    def test_lower_bound_zero_on_empty_cooccurrence(self):
+        from repro.logic.atomset import AtomSet
+
+        assert grid_lower_bound(AtomSet(), max_n=3) == 0
+
+
+class TestCoordinateWitness:
+    def test_coordinate_grid_verified(self):
+        atoms = grid_instance(4)
+        coords = {}
+        for term in atoms.terms():
+            _, rest = term.name.split("G")
+            i, j = rest.split("_")
+            coords[term] = (int(i), int(j))
+        assert grid_from_coordinates(atoms, coords, 4)
+        assert grid_from_coordinates(atoms, coords, 2, origin=(1, 1))
+
+    def test_out_of_range_origin_fails(self):
+        atoms = grid_instance(3)
+        coords = {}
+        for term in atoms.terms():
+            _, rest = term.name.split("G")
+            i, j = rest.split("_")
+            coords[term] = (int(i), int(j))
+        assert not grid_from_coordinates(atoms, coords, 3, origin=(1, 1))
+
+    def test_missing_adjacency_fails(self):
+        # a 2x2 block with one missing edge is not a grid witness
+        atoms = parse_atoms("h(A, B), v(A, C)")  # no edge C-D, D missing
+        coords = {t: (0, 0) for t in atoms.terms()}
+        # coordinates must be distinct
+        with pytest.raises(ValueError):
+            grid_from_coordinates(atoms, coords, 1)

@@ -1,0 +1,75 @@
+"""Tests for repro.logic.kb."""
+
+import pytest
+
+from repro.logic.kb import KnowledgeBase
+from repro.logic.parser import parse_atoms, parse_rules
+
+
+def simple_kb() -> KnowledgeBase:
+    return KnowledgeBase(
+        parse_atoms("p(a)"),
+        parse_rules("[Step] p(X) -> e(X, Y), p(Y)"),
+    )
+
+
+class TestConstruction:
+    def test_empty_facts_rejected(self):
+        with pytest.raises(ValueError):
+            KnowledgeBase([], parse_rules("[R] p(X) -> q(X)"))
+
+    def test_facts_are_copied(self):
+        facts = parse_atoms("p(a)")
+        kb = KnowledgeBase(facts, parse_rules("[R] p(X) -> q(X)"))
+        facts.add(next(iter(parse_atoms("p(b)"))))
+        assert len(kb.facts) == 1
+
+    def test_rules_coercible_from_iterable(self):
+        from repro.logic.parser import parse_rule
+
+        kb = KnowledgeBase(parse_atoms("p(a)"), [parse_rule("p(X) -> q(X)")])
+        assert len(kb.rules) == 1
+
+    def test_immutable(self):
+        kb = simple_kb()
+        with pytest.raises(AttributeError):
+            kb.facts = parse_atoms("p(b)")
+
+
+class TestModelhood:
+    def test_facts_alone_are_not_a_model(self):
+        kb = simple_kb()
+        assert not kb.is_model(kb.facts)
+
+    def test_saturated_instance_is_model(self):
+        kb = simple_kb()
+        model = parse_atoms("p(a), e(a, a)")
+        assert kb.is_model(model)
+
+    def test_model_must_embed_facts(self):
+        kb = simple_kb()
+        # satisfies the rule vacuously but has no p(a)
+        assert not kb.is_model(parse_atoms("q(b)"))
+
+    def test_rule_violations_enumerated(self):
+        kb = simple_kb()
+        violations = list(kb.rule_violations(kb.facts))
+        assert len(violations) == 1
+        rule, mapping = violations[0]
+        assert rule.name == "Step"
+
+    def test_no_violations_on_model(self):
+        kb = simple_kb()
+        assert list(kb.rule_violations(parse_atoms("p(a), e(a, a)"))) == []
+
+    def test_homomorphic_fact_embedding_suffices(self):
+        kb = KnowledgeBase(
+            parse_atoms("p(X)"),  # a null fact
+            parse_rules("[R] p(X) -> p(X)"),
+        )
+        assert kb.is_model(parse_atoms("p(b)"))
+
+    def test_str_and_repr(self):
+        kb = simple_kb()
+        assert "Step" in str(kb)
+        assert "1 facts" in repr(kb)

@@ -1,0 +1,156 @@
+"""Tests for nice tree decompositions and hypertree-width upper bounds."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.kbs import elevator as el
+from repro.kbs import staircase as sc
+from repro.kbs.generators import grid_instance, path_instance
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.atomset import AtomSet
+from repro.logic.parser import parse_atoms
+from repro.logic.terms import Variable
+from repro.treewidth import (
+    bag_cover_number,
+    decomposition_from_order,
+    gaifman_graph,
+    hypertree_width_upper_bound,
+    make_nice,
+    min_fill_order,
+)
+from repro.treewidth.decomposition import TreeDecomposition
+from repro.treewidth.nice import NiceNode, NiceTreeDecomposition
+
+
+def _nice_of(atoms: AtomSet) -> tuple:
+    graph = gaifman_graph(atoms)
+    decomposition = decomposition_from_order(graph, min_fill_order(graph))
+    return graph, decomposition, make_nice(decomposition)
+
+
+class TestNiceDecomposition:
+    @pytest.mark.parametrize(
+        "atoms_factory",
+        [
+            lambda: grid_instance(3),
+            lambda: path_instance(6),
+            lambda: sc.step(2),
+            lambda: el.diagonal_model(3),
+            lambda: parse_atoms("t(X, Y, Z)"),
+        ],
+    )
+    def test_nice_shape_and_validity(self, atoms_factory):
+        atoms = atoms_factory()
+        graph, decomposition, nice = _nice_of(atoms)
+        assert nice.validate_shape()
+        assert nice.to_tree_decomposition().validate_for_graph(graph)
+        assert nice.width == decomposition.width
+
+    def test_root_bag_empty(self):
+        _, _, nice = _nice_of(path_instance(3))
+        assert nice.nodes[nice.root].bag == frozenset()
+
+    def test_leaves_empty(self):
+        _, _, nice = _nice_of(grid_instance(2))
+        for node in nice.nodes:
+            if node.kind == "leaf":
+                assert node.bag == frozenset()
+
+    def test_forest_input(self):
+        atoms = parse_atoms("e(A, B), e(C, D)")
+        graph, decomposition, nice = _nice_of(atoms)
+        assert nice.validate_shape()
+        assert nice.to_tree_decomposition().validate_for_graph(graph)
+
+    def test_empty_decomposition(self):
+        nice = make_nice(TreeDecomposition([]))
+        assert nice.width <= 0
+        assert nice.validate_shape()
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            NiceNode("magic", frozenset())
+
+    def test_shape_validator_catches_bad_join(self):
+        leaf1 = NiceNode("leaf", frozenset())
+        leaf2 = NiceNode("leaf", frozenset())
+        bad_join = NiceNode("join", frozenset({"x"}), [0, 1])
+        nice = NiceTreeDecomposition([leaf1, leaf2, bad_join], 2)
+        assert not nice.validate_shape()
+
+
+class TestBagCover:
+    def test_empty_bag(self):
+        assert bag_cover_number(frozenset(), parse_atoms("p(X)")) == 0
+
+    def test_single_atom_covers_its_terms(self):
+        atoms = parse_atoms("t(X, Y, Z)")
+        bag = frozenset(atoms.terms())
+        assert bag_cover_number(bag, atoms) == 1
+
+    def test_two_binary_atoms_needed(self):
+        atoms = parse_atoms("e(X, Y), e(Y, Z)")
+        bag = frozenset(atoms.terms())
+        assert bag_cover_number(bag, atoms) == 2
+
+    def test_missing_term_rejected(self):
+        with pytest.raises(ValueError):
+            bag_cover_number(frozenset({Variable("Nowhere")}), parse_atoms("p(X)"))
+
+    def test_greedy_fallback_still_covers(self):
+        atoms = grid_instance(4)
+        bag = frozenset(list(atoms.terms())[:6])
+        exact_ish = bag_cover_number(bag, atoms, exact_limit=0)
+        assert exact_ish >= 1
+
+
+class TestHypertreeWidth:
+    def test_paper_section5_remark(self):
+        """Grid-based structures have growing ghw; the paper's
+        treewidth-1 models have ghw 1."""
+        assert hypertree_width_upper_bound(el.diagonal_model(5)) == 1
+        assert hypertree_width_upper_bound(sc.infinite_column_model(5)) == 1
+        assert hypertree_width_upper_bound(grid_instance(2)) >= 2
+        assert hypertree_width_upper_bound(grid_instance(3)) >= 3
+
+    def test_wide_atoms_cover_cheaply(self):
+        # one ternary atom covers a whole bag: ghw bound 1 despite tw 2
+        atoms = parse_atoms("t(X, Y, Z)")
+        assert hypertree_width_upper_bound(atoms) == 1
+
+    def test_empty_atomset(self):
+        assert hypertree_width_upper_bound(AtomSet()) == 0
+
+    def test_supplied_decomposition_used(self):
+        atoms = parse_atoms("e(X, Y), e(Y, Z)")
+        terms = {t.name: t for t in atoms.terms()}
+        decomposition = TreeDecomposition(
+            [[terms["X"], terms["Y"], terms["Z"]]], []
+        )
+        assert hypertree_width_upper_bound(atoms, decomposition) == 2
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.lists(
+        st.builds(
+            lambda args: Atom(Predicate("e", 2), tuple(args)),
+            st.lists(
+                st.sampled_from([Variable(f"N{i}") for i in range(5)]),
+                min_size=2,
+                max_size=2,
+            ),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_nice_normalization_preserves_width_and_validity(atom_list):
+    atoms = AtomSet(atom_list)
+    graph = gaifman_graph(atoms)
+    decomposition = decomposition_from_order(graph, min_fill_order(graph))
+    nice = make_nice(decomposition)
+    assert nice.validate_shape()
+    assert nice.width == decomposition.width
+    assert nice.to_tree_decomposition().validate_for_graph(graph)

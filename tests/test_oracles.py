@@ -1,0 +1,139 @@
+"""Brute-force oracle tests.
+
+Two core algorithms are validated against exhaustive reference
+implementations on tiny inputs:
+
+* exact treewidth vs. minimization over **all** elimination orders;
+* homomorphism counting vs. enumeration of **all** variable assignments.
+
+These oracles are exponential, but on 5–6 element inputs they are
+absolute ground truth — any divergence is a genuine bug in the
+optimized implementations.
+"""
+
+from itertools import permutations, product
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.atomset import AtomSet
+from repro.logic.homomorphism import count_homomorphisms, find_homomorphism
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Variable
+from repro.treewidth import eliminate_in_order, treewidth_exact
+from repro.treewidth.graph import Graph
+
+SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# ---------------------------------------------------------------------------
+# treewidth oracle
+# ---------------------------------------------------------------------------
+
+
+def brute_force_treewidth(graph: Graph) -> int:
+    """Minimum elimination width over all vertex orders."""
+    vertices = list(graph.vertices())
+    if not vertices:
+        return -1
+    best = len(vertices)
+    for order in permutations(vertices):
+        best = min(best, eliminate_in_order(graph, order))
+    return best
+
+
+@SETTINGS
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5)),
+        min_size=1,
+        max_size=9,
+    )
+)
+def test_exact_treewidth_matches_brute_force(edges):
+    graph = Graph()
+    for u, v in edges:
+        graph.add_edge(u, v)
+    assert treewidth_exact(graph) == brute_force_treewidth(graph)
+
+
+def test_exact_on_known_hard_small_graphs():
+    # wheel W5: hub + 5-cycle, treewidth 3
+    wheel = Graph()
+    for i in range(5):
+        wheel.add_edge(i, (i + 1) % 5)
+        wheel.add_edge(i, "hub")
+    assert treewidth_exact(wheel) == brute_force_treewidth(wheel) == 3
+
+    # complete bipartite K_{2,3}: treewidth 2
+    k23 = Graph()
+    for left in ("l0", "l1"):
+        for right in ("r0", "r1", "r2"):
+            k23.add_edge(left, right)
+    assert treewidth_exact(k23) == brute_force_treewidth(k23) == 2
+
+
+# ---------------------------------------------------------------------------
+# homomorphism oracle
+# ---------------------------------------------------------------------------
+
+
+def brute_force_homomorphism_count(source: AtomSet, target: AtomSet) -> int:
+    """Enumerate every assignment of source variables to target terms."""
+    variables = sorted(source.variables(), key=lambda v: v.name)
+    terms = sorted(target.terms(), key=lambda t: t.name)
+    if not variables:
+        return 1 if all(at in target for at in source) else 0
+    if not terms:
+        return 0
+    count = 0
+    for values in product(terms, repeat=len(variables)):
+        sigma = Substitution(dict(zip(variables, values)))
+        if all(sigma.apply_atom(at) in target for at in source):
+            count += 1
+    return count
+
+
+VARS = [Variable(f"O{i}") for i in range(3)]
+CONSTS = [Constant(c) for c in "ab"]
+PREDS = [Predicate("p", 1), Predicate("e", 2)]
+
+
+@st.composite
+def small_atomset(draw, pool, max_size):
+    atoms = draw(
+        st.lists(
+            st.builds(
+                lambda pred, args: Atom(pred, tuple(args[: pred.arity])),
+                st.sampled_from(PREDS),
+                st.lists(st.sampled_from(pool), min_size=2, max_size=2),
+            ),
+            min_size=1,
+            max_size=max_size,
+        )
+    )
+    return AtomSet(atoms)
+
+
+@SETTINGS
+@given(
+    small_atomset(VARS + CONSTS, 3),
+    small_atomset(CONSTS + [Constant("c")], 5),
+)
+def test_homomorphism_count_matches_brute_force(source, target):
+    assert count_homomorphisms(source, target) == brute_force_homomorphism_count(
+        source, target
+    )
+
+
+@SETTINGS
+@given(
+    small_atomset(VARS + CONSTS, 3),
+    small_atomset(CONSTS + [Constant("c")], 5),
+)
+def test_find_agrees_with_count(source, target):
+    found = find_homomorphism(source, target) is not None
+    assert found == (brute_force_homomorphism_count(source, target) > 0)

@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis) for the core data structures and
+the paper's foundational invariants."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.atomset import AtomSet
+from repro.logic.cores import core_of, core_retraction, is_core
+from repro.logic.homomorphism import (
+    find_homomorphism,
+    homomorphically_equivalent,
+    maps_into,
+)
+from repro.logic.isomorphism import canonical_form, isomorphic
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Variable
+from repro.treewidth import (
+    decomposition_from_order,
+    gaifman_graph,
+    min_fill_order,
+    mmd_lower_bound,
+    treewidth,
+    treewidth_upper_bound,
+)
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+VARIABLES = [Variable(f"V{i}") for i in range(6)]
+CONSTANTS = [Constant(c) for c in "abc"]
+PREDICATES = [Predicate("p", 1), Predicate("e", 2), Predicate("t", 3)]
+
+terms_strategy = st.sampled_from(VARIABLES + CONSTANTS)
+variables_strategy = st.sampled_from(VARIABLES)
+
+
+@st.composite
+def atoms_strategy(draw):
+    predicate = draw(st.sampled_from(PREDICATES))
+    args = tuple(draw(terms_strategy) for _ in range(predicate.arity))
+    return Atom(predicate, args)
+
+
+@st.composite
+def atomsets_strategy(draw, min_size=1, max_size=7):
+    atoms = draw(
+        st.lists(atoms_strategy(), min_size=min_size, max_size=max_size)
+    )
+    return AtomSet(atoms)
+
+
+@st.composite
+def substitutions_strategy(draw):
+    domain = draw(st.lists(variables_strategy, unique=True, max_size=4))
+    return Substitution({var: draw(terms_strategy) for var in domain})
+
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# substitution algebra
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(substitutions_strategy(), substitutions_strategy(), atomsets_strategy())
+def test_composition_agrees_with_sequential_application(s1, s2, atoms):
+    composed = s2.compose(s1)
+    assert composed.apply(atoms) == s2.apply(s1.apply(atoms))
+
+
+@SETTINGS
+@given(substitutions_strategy(), atomsets_strategy())
+def test_identity_composition_neutral(sigma, atoms):
+    identity = Substitution.identity()
+    assert sigma.compose(identity).apply(atoms) == sigma.apply(atoms)
+    assert identity.compose(sigma).apply(atoms) == sigma.apply(atoms)
+
+
+@SETTINGS
+@given(substitutions_strategy())
+def test_restrict_then_merge_recovers(sigma):
+    domain = list(sigma.domain())
+    left = sigma.restrict(domain[: len(domain) // 2])
+    right = sigma.without(domain[: len(domain) // 2])
+    assert left.merge(right) == sigma
+
+
+# ---------------------------------------------------------------------------
+# homomorphisms
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(atomsets_strategy())
+def test_identity_is_endomorphism(atoms):
+    assert maps_into(atoms, atoms)
+
+
+@SETTINGS
+@given(atomsets_strategy(), substitutions_strategy())
+def test_substitution_image_receives_homomorphism(atoms, sigma):
+    """σ itself witnesses atoms -> σ(atoms)."""
+    image = sigma.apply(atoms)
+    assert maps_into(atoms, image)
+
+
+@SETTINGS
+@given(atomsets_strategy(), atomsets_strategy())
+def test_found_homomorphisms_are_homomorphisms(source, target):
+    hom = find_homomorphism(source, target)
+    if hom is not None:
+        assert hom.is_homomorphism(source, target)
+
+
+@SETTINGS
+@given(atomsets_strategy(), atomsets_strategy())
+def test_subset_maps_into_superset(small, large):
+    union = small.union(large)
+    assert maps_into(small, union)
+
+
+# ---------------------------------------------------------------------------
+# cores (Section 2 invariants)
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(atomsets_strategy(max_size=6))
+def test_core_is_always_core(atoms):
+    assert is_core(core_of(atoms))
+
+
+@SETTINGS
+@given(atomsets_strategy(max_size=6))
+def test_core_hom_equivalent_to_original(atoms):
+    assert homomorphically_equivalent(atoms, core_of(atoms))
+
+
+@SETTINGS
+@given(atomsets_strategy(max_size=6))
+def test_core_retraction_is_retraction(atoms):
+    retraction = core_retraction(atoms)
+    assert retraction.is_retraction_of(atoms)
+    assert retraction.apply(atoms) == core_of(atoms)
+
+
+@SETTINGS
+@given(atomsets_strategy(max_size=6))
+def test_core_is_subset(atoms):
+    assert core_of(atoms).issubset(atoms)
+
+
+@SETTINGS
+@given(atomsets_strategy(max_size=5))
+def test_core_idempotent_up_to_isomorphism(atoms):
+    once = core_of(atoms)
+    twice = core_of(once)
+    assert once == twice
+
+
+# ---------------------------------------------------------------------------
+# isomorphism / canonical forms
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(atomsets_strategy(max_size=5))
+def test_renaming_preserves_canonical_form(atoms):
+    renaming = Substitution(
+        {v: Variable(f"W{i}") for i, v in enumerate(sorted(atoms.variables(), key=lambda t: t.name))}
+    )
+    renamed = renaming.apply(atoms)
+    if len(renamed.terms()) == len(atoms.terms()):  # injective renaming
+        assert isomorphic(atoms, renamed)
+        assert canonical_form(atoms) == canonical_form(renamed)
+
+
+# ---------------------------------------------------------------------------
+# treewidth (Definition 4, Fact 1)
+# ---------------------------------------------------------------------------
+
+
+@SETTINGS
+@given(atomsets_strategy(max_size=6), atomsets_strategy(max_size=4))
+def test_fact_1_treewidth_monotone(atoms, extra):
+    """Fact 1: A ⊆ B implies tw(A) ≤ tw(B)."""
+    union = atoms.union(extra)
+    assert treewidth(atoms) <= treewidth(union)
+
+
+@SETTINGS
+@given(atomsets_strategy(max_size=7))
+def test_exact_between_bounds(atoms):
+    graph = gaifman_graph(atoms)
+    exact = treewidth(atoms)
+    assert mmd_lower_bound(graph) <= exact
+    assert exact <= treewidth_upper_bound(graph)[0]
+
+
+@SETTINGS
+@given(atomsets_strategy(max_size=7))
+def test_min_fill_decomposition_validates(atoms):
+    graph = gaifman_graph(atoms)
+    decomposition = decomposition_from_order(graph, min_fill_order(graph))
+    assert decomposition.validate_for_atoms(atoms)
+    assert decomposition.validate_for_graph(graph)

@@ -1,0 +1,124 @@
+"""Tests for chase provenance and DOT export."""
+
+import pytest
+
+from repro.chase import (
+    ProvenanceIndex,
+    core_chase,
+    frugal_chase,
+    restricted_chase,
+)
+from repro.kbs.witnesses import fes_not_bts_kb, transitive_closure_kb
+from repro.logic.kb import KnowledgeBase
+from repro.logic.parser import parse_atom, parse_atoms, parse_rules
+from repro.treewidth import decomposition_from_order, gaifman_graph, min_fill_order
+from repro.util import decomposition_to_dot, derivation_to_dot, instance_to_dot
+
+
+class TestProvenance:
+    @pytest.fixture(scope="class")
+    def closure_run(self):
+        return restricted_chase(transitive_closure_kb(3), max_steps=50)
+
+    def test_facts_have_no_rule(self, closure_run):
+        prov = ProvenanceIndex(closure_run.derivation)
+        step, rule = prov.creator(parse_atom("e(v0, v1)"))
+        assert step == 0 and rule is None
+
+    def test_derived_atoms_attributed(self, closure_run):
+        prov = ProvenanceIndex(closure_run.derivation)
+        step, rule = prov.creator(parse_atom("e(v0, v2)"))
+        assert rule == "Trans" and step >= 1
+
+    def test_explanation_tree_grounded_in_facts(self, closure_run):
+        prov = ProvenanceIndex(closure_run.derivation)
+        tree = prov.explain(parse_atom("e(v0, v3)"))
+        leaves = []
+
+        def collect(node):
+            if not node.premises:
+                leaves.append(node)
+            for premise in node.premises:
+                collect(premise)
+
+        collect(tree)
+        assert all(leaf.is_fact for leaf in leaves)
+        assert tree.depth() >= 1
+
+    def test_premise_steps_decrease(self, closure_run):
+        prov = ProvenanceIndex(closure_run.derivation)
+        tree = prov.explain(parse_atom("e(v0, v3)"))
+
+        def check(node):
+            for premise in node.premises:
+                assert premise.step < node.step
+                check(premise)
+
+        check(tree)
+
+    def test_every_final_atom_indexed(self, closure_run):
+        prov = ProvenanceIndex(closure_run.derivation)
+        for at in closure_run.final_instance:
+            prov.creator(at)  # must not raise
+
+    def test_unknown_atom_rejected(self, closure_run):
+        prov = ProvenanceIndex(closure_run.derivation)
+        with pytest.raises(KeyError):
+            prov.explain(parse_atom("missing(x)"))
+
+    def test_core_chase_refused(self):
+        run = core_chase(fes_not_bts_kb(), max_steps=30)
+        with pytest.raises(ValueError):
+            ProvenanceIndex(run.derivation)
+
+    def test_frugal_runs_supported(self):
+        kb = KnowledgeBase(
+            parse_atoms("p(a)"), parse_rules("[R] p(X) -> e(X, Y), e(X, Z)")
+        )
+        run = frugal_chase(kb, max_steps=10)
+        prov = ProvenanceIndex(run.derivation)
+        assert len(prov) == len(run.derivation.natural_aggregation())
+
+    def test_created_at_step_partition(self, closure_run):
+        prov = ProvenanceIndex(closure_run.derivation)
+        total = sum(
+            len(prov.created_at_step(i))
+            for i in range(len(closure_run.derivation))
+        )
+        assert total == len(prov)
+
+    def test_render_mentions_rule(self, closure_run):
+        prov = ProvenanceIndex(closure_run.derivation)
+        rendered = prov.explain(parse_atom("e(v0, v2)")).render()
+        assert "Trans@" in rendered and "[fact]" in rendered
+
+
+class TestDotExport:
+    def test_instance_dot_structure(self):
+        dot = instance_to_dot(parse_atoms("e(a, X), p(a), t(a, X, b)"))
+        assert dot.startswith("digraph")
+        assert '"a"' in dot and "shape=box" in dot  # constants boxed
+        assert "diamond" in dot  # ternary atom hyperedge
+        assert dot.rstrip().endswith("}")
+
+    def test_unary_atoms_annotate_nodes(self):
+        dot = instance_to_dot(parse_atoms("p(a), q(a)"))
+        assert "p,q" in dot
+
+    def test_decomposition_dot(self):
+        atoms = parse_atoms("e(X, Y), e(Y, Z)")
+        graph = gaifman_graph(atoms)
+        decomposition = decomposition_from_order(graph, min_fill_order(graph))
+        dot = decomposition_to_dot(decomposition)
+        assert dot.startswith("graph")
+        assert "--" in dot
+
+    def test_derivation_dot(self):
+        run = restricted_chase(transitive_closure_kb(2), max_steps=20)
+        dot = derivation_to_dot(run.derivation)
+        assert "s0" in dot and "Trans" in dot
+        assert dot.count("->") == len(run.derivation) - 1
+
+    def test_quoting_special_characters(self):
+        dot = instance_to_dot(parse_atoms("e(X', Y'')"))
+        assert "X'" in dot

@@ -1,0 +1,104 @@
+"""Property-based tests for the robust renaming (Definition 14) laws,
+using genuine retractions obtained from core computations on random
+atomsets."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chase.aggregation import RobustSequence, default_variable_key
+from repro.chase.derivation import Derivation, DerivationStep
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.atomset import AtomSet
+from repro.logic.cores import core_retraction
+from repro.logic.isomorphism import isomorphic
+from repro.logic.kb import KnowledgeBase
+from repro.logic.parser import parse_rules
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Variable
+
+VARIABLES = [Variable(f"R{i}") for i in range(5)]
+CONSTANTS = [Constant(c) for c in "ab"]
+PREDICATES = [Predicate("p", 1), Predicate("e", 2)]
+
+SETTINGS = settings(
+    max_examples=50, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@st.composite
+def atomsets(draw):
+    atoms = draw(
+        st.lists(
+            st.builds(
+                lambda pred, args: Atom(pred, tuple(args[: pred.arity])),
+                st.sampled_from(PREDICATES),
+                st.lists(
+                    st.sampled_from(VARIABLES + CONSTANTS),
+                    min_size=2,
+                    max_size=2,
+                ),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    return AtomSet(atoms)
+
+
+def robust_renaming_of(retraction: Substitution, pre_instance: AtomSet):
+    """Expose the Definition 14 renaming through a one-step derivation."""
+    kb = KnowledgeBase(pre_instance, parse_rules("[Noop] p(X) -> p(X)"))
+    image = retraction.apply(pre_instance)
+    step0 = DerivationStep(0, None, pre_instance, retraction, image)
+    sequence = RobustSequence(Derivation(kb, [step0]))
+    return sequence
+
+
+@SETTINGS
+@given(atomsets())
+def test_g0_isomorphic_to_f0(atoms):
+    """ρ_σ is an isomorphism from σ(A) to τ_σ(A)."""
+    retraction = core_retraction(atoms)
+    sequence = robust_renaming_of(retraction, atoms)
+    assert isomorphic(sequence.instances[0], retraction.apply(atoms))
+
+
+@SETTINGS
+@given(atomsets())
+def test_renaming_never_increases_the_order(atoms):
+    """For any variable X of A: τ_σ(X) is a constant or τ_σ(X) ≤_X X."""
+    retraction = core_retraction(atoms)
+    sequence = robust_renaming_of(retraction, atoms)
+    tau0 = sequence.tau[0]
+    for var in atoms.variables():
+        image = tau0.apply_term(var)
+        if isinstance(image, Variable):
+            assert default_variable_key(image) <= default_variable_key(var)
+
+
+@SETTINGS
+@given(atomsets())
+def test_renamed_image_variables_are_fiber_minima(atoms):
+    """ρ_σ(X) is the <_X-smallest variable of σ⁻¹(X)."""
+    retraction = core_retraction(atoms)
+    image = retraction.apply(atoms)
+    sequence = robust_renaming_of(retraction, atoms)
+    tau0 = sequence.tau[0]
+    fibers: dict = {}
+    for var in atoms.variables():
+        fibers.setdefault(retraction.apply_term(var), []).append(var)
+    for image_var, fiber in fibers.items():
+        if not isinstance(image_var, Variable):
+            continue
+        expected = min(fiber, key=default_variable_key)
+        assert tau0.apply_term(image_var) == expected
+
+
+@SETTINGS
+@given(atomsets())
+def test_rho_is_isomorphism_witness(atoms):
+    """ρ_0 maps F_0 exactly onto G_0."""
+    retraction = core_retraction(atoms)
+    image = retraction.apply(atoms)
+    sequence = robust_renaming_of(retraction, atoms)
+    assert sequence.rho[0].apply(image) == sequence.instances[0]

@@ -1,0 +1,76 @@
+"""Tests for repro.analysis.rule_dependencies."""
+
+from repro.analysis.rule_dependencies import (
+    atoms_may_unify,
+    is_rule_acyclic,
+    rule_dependency_edges,
+    rule_depends_on,
+    rule_strata,
+)
+from repro.chase import run_chase
+from repro.chase.engine import ChaseVariant
+from repro.kbs.generators import layered_kb
+from repro.kbs.staircase import staircase_kb
+from repro.kbs.witnesses import (
+    bts_not_fes_kb,
+    transitive_closure_kb,
+    weakly_acyclic_kb,
+)
+from repro.logic.parser import parse_atom, parse_rule, parse_rules
+
+
+class TestUnification:
+    def test_same_predicate_variables_unify(self):
+        assert atoms_may_unify(parse_atom("p(X, Y)"), parse_atom("p(U, V)"))
+
+    def test_different_predicates_do_not(self):
+        assert not atoms_may_unify(parse_atom("p(X)"), parse_atom("q(X)"))
+
+    def test_constant_clash_detected(self):
+        assert not atoms_may_unify(parse_atom("p(a, X)"), parse_atom("p(b, Y)"))
+
+    def test_constant_variable_unify(self):
+        assert atoms_may_unify(parse_atom("p(a)"), parse_atom("p(X)"))
+
+
+class TestDependencies:
+    def test_head_feeding_body(self):
+        r1 = parse_rule("[R1] p(X) -> q(X)")
+        r2 = parse_rule("[R2] q(X) -> r(X)")
+        assert rule_depends_on(r2, r1)
+        assert not rule_depends_on(r1, r2)
+
+    def test_self_dependency_of_recursive_rule(self):
+        rule = parse_rule("[T] e(X, Y), e(Y, Z) -> e(X, Z)")
+        assert rule_depends_on(rule, rule)
+
+    def test_edge_enumeration(self):
+        rules = parse_rules("[A] p(X) -> q(X)\n[B] q(X) -> r(X)")
+        edges = {(e.name, l.name) for e, l in rule_dependency_edges(rules)}
+        assert edges == {("A", "B")}
+
+
+class TestAcyclicity:
+    def test_pipeline_is_acyclic(self):
+        assert is_rule_acyclic(weakly_acyclic_kb().rules)
+
+    def test_layered_kb_is_acyclic(self):
+        assert is_rule_acyclic(layered_kb(4).rules)
+
+    def test_recursive_rules_cyclic(self):
+        assert not is_rule_acyclic(transitive_closure_kb(2).rules)
+        assert not is_rule_acyclic(bts_not_fes_kb().rules)
+        assert not is_rule_acyclic(staircase_kb().rules)
+
+    def test_strata_ordering(self):
+        strata = rule_strata(layered_kb(3).rules)
+        assert strata is not None
+        assert [s[0] for s in strata] == ["L0f0", "L1f0", "L2f0"]
+
+    def test_strata_none_on_cycle(self):
+        assert rule_strata(transitive_closure_kb(2).rules) is None
+
+    def test_acyclic_kbs_terminate_under_all_variants(self):
+        kb = layered_kb(3)
+        for variant in ChaseVariant.ALL:
+            assert run_chase(kb, variant=variant, max_steps=100).terminated

@@ -1,0 +1,146 @@
+"""Tests for repro.logic.rules and repro.logic.parser."""
+
+import pytest
+
+from repro.logic.atoms import Predicate
+from repro.logic.parser import (
+    ParseError,
+    parse_atom,
+    parse_atoms,
+    parse_rule,
+    parse_rules,
+)
+from repro.logic.rules import ExistentialRule, RuleSet
+from repro.logic.terms import Constant, Variable
+
+
+class TestParser:
+    def test_parse_atom_with_variables_and_constants(self):
+        at = parse_atom("edge(X, alice)")
+        assert at.predicate == Predicate("edge", 2)
+        assert at.args == (Variable("X"), Constant("alice"))
+
+    def test_parse_zero_ary_atom(self):
+        at = parse_atom("halted")
+        assert at.predicate.arity == 0
+
+    def test_parse_atom_rejects_garbage(self):
+        with pytest.raises(ParseError):
+            parse_atom("p(X")
+        with pytest.raises(ParseError):
+            parse_atom("p(X,)")
+        with pytest.raises(ParseError):
+            parse_atom("(X)")
+
+    def test_parse_atoms_splits_on_top_level_commas(self):
+        atoms = parse_atoms("p(X, Y), q(Y), r(Z, Z)")
+        assert len(atoms) == 3
+
+    def test_parse_atoms_rejects_empty(self):
+        with pytest.raises(ParseError):
+            parse_atoms("   ")
+
+    def test_parse_atoms_rejects_unbalanced(self):
+        with pytest.raises(ParseError):
+            parse_atoms("p(X), q(Y))")
+
+    def test_parse_rule(self):
+        rule = parse_rule("p(X, Y) -> q(Y, Z)")
+        assert rule.frontier == {Variable("Y")}
+        assert rule.existential == {Variable("Z")}
+
+    def test_parse_rule_with_label(self):
+        rule = parse_rule("[R7] p(X) -> q(X)")
+        assert rule.name == "R7"
+
+    def test_parse_rule_rejects_double_arrow(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(X) -> q(X) -> r(X)")
+
+    def test_parse_rules_program(self):
+        ruleset = parse_rules(
+            """
+            # a comment
+            [A] p(X) -> q(X)
+
+            [B] q(X) -> r(X, Y)
+            """
+        )
+        assert ruleset.names() == ["A", "B"]
+
+    def test_parse_rules_reports_line_numbers(self):
+        with pytest.raises(ParseError, match="line 2"):
+            parse_rules("[A] p(X) -> q(X)\nbroken line")
+
+    def test_parse_rules_rejects_empty_program(self):
+        with pytest.raises(ParseError):
+            parse_rules("# only a comment")
+
+
+class TestExistentialRule:
+    def test_variable_classification(self):
+        rule = parse_rule("p(X, Y), q(Y, W) -> r(Y, Z)")
+        assert rule.frontier == {Variable("Y")}
+        assert rule.existential == {Variable("Z")}
+        assert rule.universal == {Variable("X"), Variable("Y"), Variable("W")}
+        assert rule.nonfrontier_universal == {Variable("X"), Variable("W")}
+
+    def test_datalog_detection(self):
+        assert parse_rule("p(X) -> q(X)").is_datalog()
+        assert not parse_rule("p(X) -> q(X, Y)").is_datalog()
+        assert parse_rule("p(X) -> q(X, Y)").has_existential()
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            ExistentialRule([], parse_atoms("p(X)"))
+
+    def test_empty_head_rejected(self):
+        with pytest.raises(ValueError):
+            ExistentialRule(parse_atoms("p(X)"), [])
+
+    def test_equality_ignores_name(self):
+        r1 = parse_rule("[A] p(X) -> q(X)")
+        r2 = parse_rule("[B] p(X) -> q(X)")
+        assert r1 == r2
+
+    def test_rename_apart(self):
+        rule = parse_rule("p(X) -> q(X, Y)")
+        renamed = rule.rename_apart("_1")
+        assert Variable("X_1") in renamed.body.variables()
+        assert renamed.existential == {Variable("Y_1")}
+
+    def test_predicates_and_constants(self):
+        rule = parse_rule("p(X, a) -> q(X)")
+        assert {p.name for p in rule.predicates()} == {"p", "q"}
+        assert rule.constants() == {Constant("a")}
+
+
+class TestRuleSet:
+    def test_auto_naming(self):
+        ruleset = RuleSet([parse_rule("p(X) -> q(X)")])
+        assert ruleset.names() == ["R1"]
+
+    def test_duplicate_names_rejected(self):
+        ruleset = RuleSet()
+        ruleset.add(parse_rule("[A] p(X) -> q(X)"))
+        with pytest.raises(ValueError):
+            ruleset.add(parse_rule("[A] q(X) -> p(X)"))
+
+    def test_lookup_by_name_and_index(self):
+        ruleset = parse_rules("[A] p(X) -> q(X)\n[B] q(X) -> p(X)")
+        assert ruleset["A"].name == "A"
+        assert ruleset[1].name == "B"
+        assert "A" in ruleset
+
+    def test_datalog_partition(self):
+        ruleset = parse_rules("[A] p(X) -> q(X)\n[B] q(X) -> r(X, Y)")
+        assert [r.name for r in ruleset.datalog_rules()] == ["A"]
+        assert [r.name for r in ruleset.existential_rules()] == ["B"]
+
+    def test_predicates_union(self):
+        ruleset = parse_rules("[A] p(X) -> q(X)\n[B] q(X) -> r(X, Y)")
+        assert {p.name for p in ruleset.predicates()} == {"p", "q", "r"}
+
+    def test_rejects_non_rules(self):
+        with pytest.raises(TypeError):
+            RuleSet().add("p(X) -> q(X)")  # type: ignore[arg-type]

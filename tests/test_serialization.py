@@ -1,0 +1,73 @@
+"""Tests for repro.logic.serialization."""
+
+import pytest
+
+from repro.logic.parser import ParseError, parse_atoms, parse_rules
+from repro.logic.serialization import (
+    dump_instance,
+    dump_kb,
+    dump_ruleset,
+    load_instance,
+    load_kb,
+    load_kb_file,
+    load_ruleset,
+    save_kb,
+)
+from repro.kbs.staircase import staircase_kb
+from repro.kbs.witnesses import fes_not_bts_kb, weakly_acyclic_kb
+
+
+class TestInstanceRoundtrip:
+    def test_roundtrip(self):
+        atoms = parse_atoms("p(a, X), q(b), e(X, Y)")
+        assert load_instance(dump_instance(atoms)) == atoms
+
+    def test_dump_is_deterministic(self):
+        atoms = parse_atoms("q(b), p(a)")
+        assert dump_instance(atoms) == dump_instance(atoms.copy())
+
+    def test_load_accepts_comments_and_blanks(self):
+        text = "# header\np(a)\n\nq(b)\n"
+        assert load_instance(text) == parse_atoms("p(a), q(b)")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            load_instance("# nothing\n")
+
+
+class TestRulesetRoundtrip:
+    def test_roundtrip_preserves_names_and_order(self):
+        rules = parse_rules("[A] p(X) -> q(X, Y)\n[B] q(X, Y) -> p(Y)")
+        loaded = load_ruleset(dump_ruleset(rules))
+        assert loaded == rules
+        assert loaded.names() == rules.names()
+
+
+class TestKbRoundtrip:
+    @pytest.mark.parametrize(
+        "factory", [weakly_acyclic_kb, fes_not_bts_kb, staircase_kb]
+    )
+    def test_roundtrip(self, factory):
+        kb = factory()
+        loaded = load_kb(dump_kb(kb))
+        assert loaded.facts == kb.facts
+        assert loaded.rules == kb.rules
+        assert loaded.name == kb.name
+
+    def test_missing_sections_rejected(self):
+        with pytest.raises(ParseError):
+            load_kb("[facts]\np(a)\n")
+        with pytest.raises(ParseError):
+            load_kb("[rules]\n[R] p(X) -> q(X)\n")
+
+    def test_content_before_section_rejected(self):
+        with pytest.raises(ParseError):
+            load_kb("p(a)\n[facts]\np(a)\n[rules]\n[R] p(X) -> q(X)\n")
+
+    def test_file_roundtrip(self, tmp_path):
+        kb = weakly_acyclic_kb()
+        path = tmp_path / "kb.repro"
+        save_kb(kb, path)
+        loaded = load_kb_file(path)
+        assert loaded.facts == kb.facts
+        assert loaded.rules == kb.rules

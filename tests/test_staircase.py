@@ -1,0 +1,222 @@
+"""Paper claims about the steepening staircase K_h (Section 6 + the
+Section 8 walkthrough): Propositions 3, 4, 5 and the robust-aggregation
+behaviour."""
+
+import pytest
+
+from repro.chase import RobustSequence
+from repro.kbs import staircase as sc
+from repro.logic import is_core, isomorphic, maps_into
+from repro.logic.cores import retracts_to
+from repro.treewidth import (
+    grid_from_coordinates,
+    grid_lower_bound,
+    treewidth,
+    treewidth_bounds,
+)
+
+
+class TestGenerators:
+    def test_facts_match_definition_7(self):
+        kb = sc.staircase_kb()
+        assert kb.facts == sc.universal_model_window(0).induced([sc.term_at(0, 0)])
+
+    def test_rule_names(self):
+        assert sc.staircase_kb().rules.names() == ["Rh1", "Rh2", "Rh3", "Rh4"]
+
+    def test_term_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            sc.term_at(1, 3)  # j > i + 1
+        with pytest.raises(ValueError):
+            sc.term_at(-1, 0)
+
+    def test_window_growth(self):
+        sizes = [len(sc.universal_model_window(k)) for k in range(4)]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]
+
+    def test_windows_nested(self):
+        assert sc.universal_model_window(2).issubset(sc.universal_model_window(3))
+
+    def test_column_is_within_window(self):
+        assert sc.column(3).issubset(sc.universal_model_window(3))
+
+    def test_step_contains_both_columns(self):
+        step = sc.step(2)
+        assert sc.column(2).issubset(step)
+        assert sc.column(3).issubset(step)
+
+    def test_coordinates_roundtrip(self):
+        window = sc.universal_model_window(2)
+        coords = sc.coordinates(window)
+        assert coords[sc.term_at(1, 2)] == (1, 2)
+        assert len(coords) == len(window.terms())
+
+
+class TestModelhood:
+    def test_capped_window_is_finite_model(self):
+        kb = sc.staircase_kb()
+        for k in (1, 2, 3):
+            assert kb.is_model(sc.capped_model(k)), k
+
+    def test_plain_window_is_not_a_model(self):
+        # boundary triggers are unsatisfied without the cap
+        kb = sc.staircase_kb()
+        assert not kb.is_model(sc.universal_model_window(2))
+
+    def test_infinite_column_prefix_maps_into_capped_model(self):
+        # Ĩ^h is a model of K_h; its prefixes map into every model's cap
+        assert maps_into(sc.infinite_column_model(4), sc.capped_model(2))
+
+    def test_column_model_interior_satisfies_rules(self):
+        """All triggers of Ĩ^h whose satisfaction stays below the top row
+        are satisfied — the full infinite column is a model."""
+        kb = sc.staircase_kb()
+        tall = sc.infinite_column_model(8)
+        short_terms = {t for t in tall.terms() if int(t.name.split("_")[1]) <= 5}
+        from repro.chase.trigger import triggers
+
+        for rule in kb.rules:
+            for trigger in triggers(rule, tall):
+                image_terms = set(trigger.mapping.image())
+                if image_terms <= short_terms:
+                    assert trigger.is_satisfied_in(tall), (rule.name, trigger)
+
+
+class TestProposition3:
+    """I^h is a result of the restricted chase on K_h."""
+
+    def test_restricted_prefix_embeds_into_capped_window(
+        self, staircase_restricted_run
+    ):
+        final = staircase_restricted_run.final_instance
+        assert maps_into(final, sc.capped_model(6))
+
+    def test_restricted_run_is_monotonic(self, staircase_restricted_run):
+        assert staircase_restricted_run.derivation.is_monotonic()
+
+    def test_restricted_run_validates(self, staircase_restricted_run):
+        staircase_restricted_run.derivation.validate()
+
+    def test_restricted_chase_does_not_terminate(self, staircase_restricted_run):
+        assert not staircase_restricted_run.terminated
+
+    def test_window_maps_into_restricted_aggregation_eventually(
+        self, staircase_restricted_run
+    ):
+        """The chase is fair, so early windows of I^h appear (up to
+        homomorphism) in the aggregation."""
+        aggregation = staircase_restricted_run.derivation.natural_aggregation()
+        assert maps_into(sc.universal_model_window(1), aggregation)
+
+
+class TestProposition4:
+    """The core chase of K_h is uniformly treewidth-bounded by 2."""
+
+    def test_every_step_has_treewidth_at_most_2(self, staircase_core_run):
+        for step in staircase_core_run.derivation:
+            assert treewidth(step.instance) <= 2, step.index
+
+    def test_core_run_does_not_terminate(self, staircase_core_run):
+        assert not staircase_core_run.terminated
+
+    def test_core_run_validates(self, staircase_core_run):
+        staircase_core_run.derivation.validate()
+
+    def test_steps_stay_small(self, staircase_core_run):
+        """The core chase keeps instances within step-sized bounds while
+        the restricted chase grows without folding."""
+        core_sizes = [len(s.instance) for s in staircase_core_run.derivation]
+        assert max(core_sizes) <= len(sc.step(10))
+
+    def test_paper_retraction_claim(self):
+        """Section 6: C^h_{k+1} is a retract of S^h_k that is a core."""
+        for k in (0, 1, 2, 3):
+            retraction = retracts_to(sc.step(k), sc.column(k + 1))
+            assert retraction is not None, k
+            assert is_core(sc.column(k + 1)), k
+
+    def test_steps_have_treewidth_2(self):
+        for k in (1, 2, 3):
+            assert treewidth(sc.step(k)) == 2, k
+
+
+class TestProposition5:
+    """No universal model of K_h has finite treewidth: I^h contains
+    arbitrarily large grids, and any universal model is homomorphically
+    equivalent to I^h."""
+
+    def test_windows_contain_growing_grids(self):
+        window = sc.universal_model_window(6)
+        coords = sc.coordinates(window)
+        # the n×n block anchored at column n+1, rows 0..n-1 (from the
+        # appendix proof: T_{n×n} = {X^i_j | n+1 ≤ i ≤ 2n, 0 ≤ j ≤ n-1})
+        for n in (2, 3):
+            assert grid_from_coordinates(
+                window, coords, n, origin=(n + 1, 0)
+            ), n
+
+    def test_generic_grid_search_agrees(self):
+        assert grid_lower_bound(sc.universal_model_window(4), max_n=3) == 3
+
+    def test_window_treewidth_grows(self):
+        """Grid-based lower bounds (Fact 2) grow with the window — the
+        MMD/degeneracy bound saturates at 2 on grids, so the paper's own
+        grid technique is the one that witnesses the growth."""
+        window = sc.universal_model_window(6)
+        coords = sc.coordinates(window)
+        witnessed = [
+            n
+            for n in (2, 3)
+            if grid_from_coordinates(window, coords, n, origin=(n + 1, 0))
+        ]
+        assert witnessed == [2, 3]
+        assert treewidth_bounds(window)[1] >= 3
+
+    def test_column_model_is_not_universal(self):
+        """Ĩ^h does not map into I^h windows once its v-path is longer
+        than any finite v-path of the window (v-paths of I^h have length
+        ≤ column height)."""
+        tall_column = sc.infinite_column_model(6)
+        window = sc.universal_model_window(3)
+        assert not maps_into(tall_column, window)
+
+
+class TestSection8Walkthrough:
+    """The robust aggregation of the staircase core chase materializes
+    the infinite column Ĩ^h (finitely universal, treewidth 1)."""
+
+    @pytest.fixture(scope="class")
+    def robust(self, staircase_core_run):
+        return RobustSequence(staircase_core_run.derivation)
+
+    def test_stable_part_is_column_prefix(self, robust):
+        stable = robust.stable_part(patience=len(robust) // 2)
+        matches = [
+            h
+            for h in range(1, 8)
+            if isomorphic(stable, sc.infinite_column_model(h))
+        ]
+        assert len(matches) == 1
+
+    def test_stable_part_has_treewidth_at_most_1(self, robust):
+        stable = robust.stable_part(patience=len(robust) // 2)
+        assert treewidth(stable) <= 1
+
+    def test_aggregate_treewidth_bounded_by_2(self, robust):
+        """Proposition 12(2): the robust aggregation inherits the bound 2
+        (the prefix reading: G_S ≅ F_S has tw ≤ 2)."""
+        assert treewidth(robust.aggregate()) <= 2
+
+    def test_natural_aggregation_grows_beyond_robust(self, staircase_core_run):
+        """The contrast of Section 9: D* regrows structure the core chase
+        pruned, D⊛ does not."""
+        natural = staircase_core_run.derivation.natural_aggregation()
+        robust = RobustSequence(staircase_core_run.derivation).aggregate()
+        assert len(natural) > len(robust)
+
+    def test_stable_part_universal_for_prefix(self, robust, staircase_kb_fixture):
+        """Finite universality in action: the stable part maps into the
+        capped finite models of K_h."""
+        stable = robust.stable_part(patience=len(robust) // 2)
+        assert maps_into(stable, sc.capped_model(2))

@@ -1,0 +1,98 @@
+"""Tests for stickiness analysis and union queries."""
+
+import pytest
+
+from repro.analysis import is_sticky, sticky_marking
+from repro.kbs.staircase import staircase_kb
+from repro.kbs.witnesses import bts_not_fes_kb, transitive_closure_kb
+from repro.kbs.witnesses import manager_kb
+from repro.logic.parser import parse_atoms, parse_rules
+from repro.logic.terms import Variable
+from repro.query import (
+    ConjunctiveQuery,
+    UnionQuery,
+    boolean_cq,
+    decide_union_entailment,
+)
+
+
+class TestStickyMarking:
+    def test_initial_marking_of_dropped_variables(self):
+        rules = parse_rules("[R] p(X, Y) -> q(X)")
+        marking = sticky_marking(rules)
+        assert (0, Variable("Y")) in marking
+        assert (0, Variable("X")) not in marking
+
+    def test_propagation_through_positions(self):
+        # R2 drops V (marked); V sits at b[1]; R1's head has frontier Y at
+        # b[1], so Y gets marked in R1 as well.
+        rules = parse_rules(
+            """
+            [R1] a(X, Y) -> b(X, Y)
+            [R2] b(U, V) -> d(U)
+            """
+        )
+        marking = sticky_marking(rules)
+        assert (1, Variable("V")) in marking
+        assert (0, Variable("Y")) in marking
+
+
+class TestIsSticky:
+    def test_linear_rules_are_sticky(self):
+        assert is_sticky(bts_not_fes_kb().rules)
+
+    def test_transitive_closure_not_sticky(self):
+        # the join variable Y is dropped from the head and repeats
+        assert not is_sticky(transitive_closure_kb(2).rules)
+
+    def test_join_preserved_in_head_is_sticky(self):
+        rules = parse_rules("[R] p(X, Y), q(Y, Z) -> s(X, Y, Z)")
+        assert is_sticky(rules)
+
+    def test_join_dropped_from_head_not_sticky(self):
+        rules = parse_rules("[R] p(X, Y), q(Y, Z) -> s(X, Z)")
+        assert not is_sticky(rules)
+
+    def test_staircase_not_sticky(self):
+        # K_h's rules join loop variables heavily
+        assert not is_sticky(staircase_kb().rules)
+
+    def test_repeated_unmarked_variable_is_fine(self):
+        # X repeats in the body but is fully propagated to the head
+        rules = parse_rules("[R] p(X, X) -> q(X, X)")
+        assert is_sticky(rules)
+
+
+class TestUnionQuery:
+    def test_empty_union_rejected(self):
+        with pytest.raises(ValueError):
+            UnionQuery([])
+
+    def test_non_boolean_disjunct_rejected(self):
+        q = ConjunctiveQuery("p(X)", answer_variables=[Variable("X")])
+        with pytest.raises(ValueError):
+            UnionQuery([q])
+
+    def test_holds_if_any_disjunct_holds(self):
+        union = UnionQuery([boolean_cq("p(X)"), boolean_cq("q(X)")])
+        assert union.holds_in(parse_atoms("q(a)"))
+        assert not union.holds_in(parse_atoms("r(a)"))
+
+    def test_entailed_union_decided_yes(self):
+        union = UnionQuery([boolean_cq("mgr(X, ann)"), boolean_cq("mgr(ann, X)")])
+        verdict = decide_union_entailment(manager_kb(), union, chase_budget=20)
+        assert verdict.entailed is True
+
+    def test_refuted_union_needs_joint_countermodel(self):
+        union = UnionQuery(
+            [boolean_cq("mgr(X, ann)"), boolean_cq("emp(X), mgr(X, X)")]
+        )
+        verdict = decide_union_entailment(manager_kb(), union, chase_budget=15)
+        assert verdict.entailed is False
+        assert verdict.countermodel is not None
+        assert not union.holds_in(verdict.countermodel)
+
+    def test_singleton_union_behaves_like_cq(self):
+        kb = transitive_closure_kb(3)
+        union = UnionQuery([boolean_cq("e(v0, v3)")])
+        assert decide_union_entailment(kb, union).entailed is True

@@ -1,0 +1,167 @@
+"""Tests for repro.logic.substitution."""
+
+import pytest
+
+from repro.logic.atoms import atom
+from repro.logic.parser import parse_atoms
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b = Constant("a"), Constant("b")
+
+
+class TestBasics:
+    def test_identity_applies_nothing(self):
+        assert Substitution.identity().apply_term(X) == X
+
+    def test_apply_bound_variable(self):
+        assert Substitution({X: a}).apply_term(X) == a
+
+    def test_apply_unbound_variable_is_identity(self):
+        assert Substitution({X: a}).apply_term(Y) == Y
+
+    def test_apply_constant_is_identity(self):
+        assert Substitution({X: a}).apply_term(b) == b
+
+    def test_apply_atom(self):
+        sigma = Substitution({X: a})
+        assert sigma.apply_atom(atom("p", X, Y)) == atom("p", a, Y)
+
+    def test_apply_atomset(self):
+        sigma = Substitution({X: Y})
+        assert sigma.apply(parse_atoms("p(X), q(X, Y)")) == parse_atoms("p(Y), q(Y, Y)")
+
+    def test_constant_keys_rejected(self):
+        with pytest.raises(TypeError):
+            Substitution({a: b})  # type: ignore[dict-item]
+
+    def test_non_term_values_rejected(self):
+        with pytest.raises(TypeError):
+            Substitution({X: "a"})  # type: ignore[dict-item]
+
+    def test_bind_is_persistent_copy(self):
+        base = Substitution({X: a})
+        extended = base.bind(Y, b)
+        assert Y not in base
+        assert extended[Y] == b
+
+    def test_restrict_and_without(self):
+        sigma = Substitution({X: a, Y: b})
+        assert sigma.restrict([X]).domain() == {X}
+        assert sigma.without([X]).domain() == {Y}
+
+    def test_drop_trivial(self):
+        sigma = Substitution({X: X, Y: b})
+        assert sigma.drop_trivial().domain() == {Y}
+
+    def test_equality_and_hash(self):
+        assert Substitution({X: a}) == Substitution({X: a})
+        assert hash(Substitution({X: a})) == hash(Substitution({X: a}))
+
+
+class TestComposition:
+    def test_compose_paper_convention(self):
+        # (σ' • σ)(X) = σ'+(σ+(X)): first σ, then σ'.
+        sigma = Substitution({X: Y})
+        sigma_prime = Substitution({Y: a})
+        composed = sigma_prime.compose(sigma)
+        assert composed.apply_term(X) == a
+
+    def test_compose_domain_is_union(self):
+        composed = Substitution({Y: a}).compose(Substitution({X: Y}))
+        assert composed.domain() == {X, Y}
+
+    def test_then_is_reversed_compose(self):
+        sigma = Substitution({X: Y})
+        sigma_prime = Substitution({Y: a})
+        assert sigma.then(sigma_prime) == sigma_prime.compose(sigma)
+
+    def test_compatible_when_agreeing(self):
+        assert Substitution({X: a}).compatible_with(Substitution({X: a, Y: b}))
+
+    def test_incompatible_on_clash(self):
+        assert not Substitution({X: a}).compatible_with(Substitution({X: b}))
+
+    def test_merge_compatible(self):
+        merged = Substitution({X: a}).merge(Substitution({Y: b}))
+        assert merged.domain() == {X, Y}
+
+    def test_merge_incompatible_raises(self):
+        with pytest.raises(ValueError):
+            Substitution({X: a}).merge(Substitution({X: b}))
+
+
+class TestFibersAndInverse:
+    def test_fibers_collect_preimages(self):
+        sigma = Substitution({X: Z, Y: Z})
+        fibers = sigma.fibers()
+        assert fibers[Z] == {X, Y, Z}  # Z itself is unbound, so fixed
+
+    def test_fibers_exclude_rebound_image(self):
+        sigma = Substitution({X: Y, Y: Z})
+        fibers = sigma.fibers()
+        assert Y not in fibers[Y]  # Y moved away, so not in its own fiber
+
+    def test_is_injective_on(self):
+        sigma = Substitution({X: Z, Y: Z})
+        assert not sigma.is_injective_on([X, Y])
+        assert sigma.is_injective_on([X])
+
+    def test_inverse_on(self):
+        sigma = Substitution({X: Y})
+        inverse = sigma.inverse_on([X])
+        assert inverse.apply_term(Y) == X
+
+    def test_inverse_on_non_injective_raises(self):
+        sigma = Substitution({X: Z, Y: Z})
+        with pytest.raises(ValueError):
+            sigma.inverse_on([X, Y])
+
+    def test_inverse_on_constant_image_raises(self):
+        with pytest.raises(ValueError):
+            Substitution({X: a}).inverse_on([X])
+
+
+class TestSemanticPredicates:
+    def test_is_homomorphism(self):
+        source = parse_atoms("p(X, Y)")
+        target = parse_atoms("p(a, b)")
+        assert Substitution({X: a, Y: b}).is_homomorphism(source, target)
+        assert not Substitution({X: b, Y: a}).is_homomorphism(source, target)
+
+    def test_is_retraction(self):
+        atoms = parse_atoms("e(a, X), e(X, a), e(a, Y)")
+        fold = Substitution({Y: X})
+        assert fold.is_retraction_of(atoms)
+
+    def test_endomorphism_not_retraction(self):
+        # X -> Y, Y -> X swaps a symmetric pair: endo but not retraction.
+        atoms = parse_atoms("e(X, Y), e(Y, X)")
+        swap = Substitution({X: Y, Y: X})
+        assert swap.is_endomorphism_of(atoms)
+        assert not swap.is_retraction_of(atoms)
+
+    def test_is_identity_on(self):
+        sigma = Substitution({X: a})
+        assert sigma.is_identity_on([Y, b])
+        assert not sigma.is_identity_on([X])
+
+    def test_fold_to_retraction_on_swap(self):
+        atoms = parse_atoms("e(X, Y), e(Y, X)")
+        swap = Substitution({X: Y, Y: X})
+        folded = swap.fold_to_retraction(atoms)
+        assert folded.is_retraction_of(atoms)
+
+    def test_fold_to_retraction_on_shift(self):
+        # X->Y->Z->Z chain: already idempotent after enough iterations.
+        atoms = parse_atoms("p(X), p(Y), p(Z)")
+        shift = Substitution({X: Y, Y: Z})
+        folded = shift.fold_to_retraction(atoms)
+        assert folded.is_retraction_of(atoms)
+        assert folded.apply_term(X) == Z
+
+    def test_fold_requires_endomorphism(self):
+        atoms = parse_atoms("p(X)")
+        with pytest.raises(ValueError):
+            Substitution({X: Y}).fold_to_retraction(atoms)

@@ -1,0 +1,120 @@
+"""Tests for repro.logic.terms."""
+
+import pytest
+
+from repro.logic.terms import (
+    Constant,
+    FreshVariableSource,
+    Term,
+    Variable,
+    is_constant,
+    is_variable,
+)
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+
+    def test_inequality_different_names(self):
+        assert Variable("X") != Variable("Y")
+
+    def test_not_equal_to_constant_with_same_name(self):
+        assert Variable("X") != Constant("X")
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Variable("X")) == hash(Variable("X"))
+
+    def test_hash_distinct_from_same_named_constant(self):
+        assert hash(Variable("a")) != hash(Constant("a"))
+
+    def test_rank_stable_across_recreation(self):
+        first = Variable("RankStable")
+        second = Variable("RankStable")
+        assert first.rank == second.rank
+
+    def test_rank_orders_by_creation(self):
+        older = Variable("RankOlder_unique_1")
+        newer = Variable("RankNewer_unique_2")
+        assert older.rank < newer.rank
+        assert older < newer
+
+    def test_str_is_name(self):
+        assert str(Variable("X")) == "X"
+
+    def test_repr_mentions_class(self):
+        assert "Variable" in repr(Variable("X"))
+
+    def test_immutable(self):
+        var = Variable("X")
+        with pytest.raises(AttributeError):
+            var.name = "Y"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable(42)  # type: ignore[arg-type]
+
+
+class TestConstant:
+    def test_equality_by_name(self):
+        assert Constant("a") == Constant("a")
+
+    def test_inequality(self):
+        assert Constant("a") != Constant("b")
+
+    def test_ordering_lexicographic(self):
+        assert Constant("a") < Constant("b")
+
+    def test_is_a_term(self):
+        assert isinstance(Constant("a"), Term)
+
+    def test_immutable(self):
+        const = Constant("a")
+        with pytest.raises(AttributeError):
+            const.name = "b"
+
+
+class TestPredicates:
+    def test_is_variable(self):
+        assert is_variable(Variable("X"))
+        assert not is_variable(Constant("a"))
+
+    def test_is_constant(self):
+        assert is_constant(Constant("a"))
+        assert not is_constant(Variable("X"))
+
+
+class TestFreshVariableSource:
+    def test_fresh_variables_are_distinct(self):
+        source = FreshVariableSource()
+        names = {source.fresh().name for _ in range(50)}
+        assert len(names) == 50
+
+    def test_fresh_count_tracks(self):
+        source = FreshVariableSource()
+        source.fresh()
+        source.fresh()
+        assert source.count == 2
+
+    def test_hint_appears_in_name(self):
+        source = FreshVariableSource()
+        var = source.fresh(hint=Variable("Z"))
+        assert "Z" in var.name
+
+    def test_prefix_respected(self):
+        source = FreshVariableSource(prefix="_xyz")
+        assert source.fresh().name.startswith("_xyz")
+
+    def test_fresh_is_a_variable(self):
+        assert is_variable(FreshVariableSource().fresh())
+
+    def test_two_sources_with_same_prefix_collide_by_design(self):
+        # Same prefix + same counter means same names: callers must use
+        # one source per chase run, which the engine does.
+        a = FreshVariableSource(prefix="_p")
+        b = FreshVariableSource(prefix="_p")
+        assert a.fresh().name == b.fresh().name

@@ -1,0 +1,203 @@
+"""Tests for the treewidth substrate: decompositions, heuristics, exact
+solver, lower bounds."""
+
+import pytest
+
+from repro.kbs.generators import grid_instance
+from repro.logic.atomset import AtomSet
+from repro.logic.parser import parse_atoms
+from repro.treewidth import (
+    SearchBudgetExceeded,
+    TreeDecomposition,
+    decomposition_from_order,
+    gaifman_graph,
+    has_width_at_most,
+    min_degree_order,
+    min_fill_order,
+    mmd_lower_bound,
+    treewidth,
+    treewidth_bounds,
+    treewidth_exact,
+    treewidth_upper_bound,
+)
+from repro.treewidth.graph import Graph
+
+
+def path_graph(n: int) -> Graph:
+    return Graph((i, i + 1) for i in range(n - 1))
+
+
+def cycle_graph(n: int) -> Graph:
+    return Graph(((i, (i + 1) % n) for i in range(n)))
+
+
+def complete_graph(n: int) -> Graph:
+    g = Graph()
+    g.add_clique(range(n))
+    return g
+
+
+def grid_graph(n: int) -> Graph:
+    return gaifman_graph(grid_instance(n))
+
+
+class TestGaifman:
+    def test_atom_terms_form_clique(self):
+        atoms = parse_atoms("t(X, Y, Z)")
+        g = gaifman_graph(atoms)
+        assert g.edge_count() == 3
+
+    def test_unary_atoms_isolated(self):
+        g = gaifman_graph(parse_atoms("p(X), q(Y)"))
+        assert len(g) == 2
+        assert g.edge_count() == 0
+
+    def test_shared_terms_connect(self):
+        g = gaifman_graph(parse_atoms("e(X, Y), e(Y, Z)"))
+        assert g.has_edge(*(t for t in parse_atoms("e(X, Y)").terms()))
+
+
+class TestDecomposition:
+    def test_width_computation(self):
+        dec = TreeDecomposition([["a", "b"], ["b", "c", "d"]], [(0, 1)])
+        assert dec.width == 2
+
+    def test_empty_decomposition_width(self):
+        assert TreeDecomposition([]).width == -1
+
+    def test_tree_check_rejects_cycle(self):
+        dec = TreeDecomposition(
+            [["a"], ["a"], ["a"]], [(0, 1), (1, 2), (2, 0)]
+        )
+        assert not dec.is_tree()
+
+    def test_edge_reference_validation(self):
+        with pytest.raises(ValueError):
+            TreeDecomposition([["a"]], [(0, 5)])
+
+    def test_valid_path_decomposition(self):
+        atoms = parse_atoms("e(X, Y), e(Y, Z)")
+        X, Y, Z = (t for t in sorted(atoms.terms(), key=lambda t: t.name))
+        dec = TreeDecomposition([[X, Y], [Y, Z]], [(0, 1)])
+        assert dec.validate_for_atoms(atoms)
+
+    def test_connectivity_violation_detected(self):
+        atoms = parse_atoms("e(X, Y), e(Y, Z)")
+        X, Y, Z = (t for t in sorted(atoms.terms(), key=lambda t: t.name))
+        # Y appears in bags 0 and 2, which are not adjacent
+        dec = TreeDecomposition([[X, Y], [X, Z], [Y, Z]], [(0, 1), (1, 2)])
+        assert not dec.validate_for_atoms(atoms)
+
+    def test_coverage_violation_detected(self):
+        atoms = parse_atoms("t(X, Y, Z)")
+        X, Y, Z = (t for t in sorted(atoms.terms(), key=lambda t: t.name))
+        dec = TreeDecomposition([[X, Y], [Y, Z]], [(0, 1)])
+        assert not dec.validate_for_atoms(atoms)
+
+
+class TestHeuristics:
+    @pytest.mark.parametrize("order_fn", [min_degree_order, min_fill_order])
+    def test_orders_cover_all_vertices(self, order_fn):
+        g = cycle_graph(6)
+        order = order_fn(g)
+        assert sorted(order) == sorted(g.vertices())
+
+    @pytest.mark.parametrize("order_fn", [min_degree_order, min_fill_order])
+    def test_induced_decomposition_validates(self, order_fn):
+        g = grid_graph(3)
+        dec = decomposition_from_order(g, order_fn(g))
+        assert dec.validate_for_graph(g)
+
+    def test_heuristic_on_tree_is_exact(self):
+        g = path_graph(8)
+        width, dec = treewidth_upper_bound(g)
+        assert width == 1
+        assert dec.validate_for_graph(g)
+
+    def test_heuristic_upper_bounds_exact(self):
+        g = grid_graph(4)
+        upper, _ = treewidth_upper_bound(g)
+        assert upper >= 4
+
+    def test_unknown_heuristic_rejected(self):
+        with pytest.raises(ValueError):
+            treewidth_upper_bound(path_graph(3), "magic")
+
+
+class TestLowerBounds:
+    def test_mmd_on_clique(self):
+        assert mmd_lower_bound(complete_graph(5)) == 4
+
+    def test_mmd_on_tree(self):
+        assert mmd_lower_bound(path_graph(6)) == 1
+
+    def test_mmd_on_grid(self):
+        assert mmd_lower_bound(grid_graph(4)) >= 2
+
+    def test_mmd_never_exceeds_exact(self):
+        for g in (path_graph(5), cycle_graph(5), complete_graph(4), grid_graph(3)):
+            assert mmd_lower_bound(g) <= treewidth_exact(g)
+
+
+class TestExact:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (path_graph(6), 1),
+            (cycle_graph(5), 2),
+            (complete_graph(4), 3),
+            (complete_graph(6), 5),
+            (grid_graph(2), 2),
+            (grid_graph(3), 3),
+            (grid_graph(4), 4),
+        ],
+    )
+    def test_known_treewidths(self, graph, expected):
+        assert treewidth_exact(graph) == expected
+
+    def test_empty_graph(self):
+        assert treewidth_exact(Graph()) == -1
+
+    def test_single_vertex(self):
+        g = Graph()
+        g.add_vertex(0)
+        assert treewidth_exact(g) == 0
+
+    def test_disconnected_components_take_max(self):
+        g = complete_graph(4)
+        for i in range(10, 14):
+            g.add_edge(i, i + 1)
+        assert treewidth_exact(g) == 3
+
+    def test_has_width_at_most(self):
+        g = cycle_graph(6)
+        assert not has_width_at_most(g, 1)
+        assert has_width_at_most(g, 2)
+
+    def test_budget_exhaustion_raises(self):
+        g = grid_graph(5)
+        with pytest.raises(SearchBudgetExceeded):
+            treewidth_exact(g, state_budget=3)
+
+
+class TestAtomsetEntryPoints:
+    def test_treewidth_of_atomsets(self):
+        assert treewidth(parse_atoms("e(X, Y), e(Y, Z)")) == 1
+        assert treewidth(parse_atoms("t(X, Y, Z)")) == 2
+        assert treewidth(AtomSet()) == -1
+        assert treewidth(parse_atoms("p(X)")) == 0
+
+    def test_treewidth_monotone_under_subset(self):
+        """Fact 1 of the paper."""
+        small = parse_atoms("e(X, Y)")
+        large = parse_atoms("e(X, Y), e(Y, Z), e(Z, X)")
+        assert treewidth(small) <= treewidth(large)
+
+    def test_bounds_bracket_exact(self):
+        atoms = grid_instance(3)
+        low, high = treewidth_bounds(atoms)
+        exact = treewidth(atoms)
+        assert low <= exact <= high
+
+    def test_bounds_of_empty(self):
+        assert treewidth_bounds(AtomSet()) == (-1, -1)

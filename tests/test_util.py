@@ -1,0 +1,95 @@
+"""Tests for repro.util: orders, reporting tables, ASCII rendering."""
+
+import pytest
+
+from repro.kbs import elevator as el
+from repro.kbs import staircase as sc
+from repro.logic.terms import Variable
+from repro.util.orders import (
+    coordinate_row_major_order,
+    creation_rank_order,
+    name_order,
+)
+from repro.util.render import render_coordinates
+from repro.util.reporting import Table, banner
+
+
+class TestOrders:
+    def test_creation_rank_orders_by_age(self):
+        older = Variable("OrderTestOlder_1")
+        newer = Variable("OrderTestNewer_2")
+        assert creation_rank_order(older) < creation_rank_order(newer)
+
+    def test_name_order(self):
+        assert name_order(Variable("A")) < name_order(Variable("B"))
+
+    def test_coordinate_row_major(self):
+        coords = {
+            Variable("CA"): (0, 0),
+            Variable("CB"): (1, 0),
+            Variable("CC"): (0, 1),
+        }
+        key = coordinate_row_major_order(coords)
+        # row 0 before row 1; within a row, smaller column first
+        assert key(Variable("CA")) < key(Variable("CB"))
+        assert key(Variable("CB")) < key(Variable("CC"))
+
+    def test_uncoordinated_variables_sort_last(self):
+        coords = {Variable("CA"): (5, 5)}
+        key = coordinate_row_major_order(coords)
+        assert key(Variable("CA")) < key(Variable("Unplaced"))
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["name", "value"], title="demo")
+        table.add_row("a", 1)
+        table.add_row("long-name", 22)
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "demo"
+        assert "long-name" in rendered
+        # all data lines equally wide header separation
+        assert lines[2].startswith("-")
+
+    def test_row_length_checked(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_bool_and_float_rendering(self):
+        table = Table(["x"])
+        table.add_row(True)
+        table.add_row(1.23456)
+        rendered = table.render()
+        assert "yes" in rendered
+        assert "1.235" in rendered
+
+    def test_csv(self):
+        table = Table(["a", "b"])
+        table.add_row(1, 2)
+        assert table.to_csv() == "a,b\n1,2\n"
+
+    def test_banner(self):
+        assert "hello" in banner("hello")
+
+
+class TestRender:
+    def test_staircase_rendering_shape(self):
+        window = sc.universal_model_window(3)
+        art = render_coordinates(window, sc.coordinates(window))
+        lines = art.splitlines()
+        # bottom row is the floor: all f-marked
+        assert set(lines[-1]) == {"F"}
+        # ceilings appear above
+        assert any("C" in line for line in lines[:-1])
+
+    def test_elevator_rendering_shape(self):
+        window = el.universal_model_window(3)
+        art = render_coordinates(window, el.coordinates(window))
+        assert "@" in art or "F" in art
+
+    def test_empty_rendering(self):
+        from repro.logic.atomset import AtomSet
+
+        assert "no coordinated terms" in render_coordinates(AtomSet(), {})

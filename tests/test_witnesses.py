@@ -1,0 +1,137 @@
+"""The Figure 1 / Proposition 13 class landscape, demonstrated on the
+witness KBs.
+
+fes  = terminating core chase;
+bts  = some treewidth-bounded restricted chase sequence;
+core-bts = some recurringly treewidth-bounded core chase sequence.
+
+The four protagonists:
+
+================  ====  ====  ========  =======================
+KB                fes   bts   core-bts  tw-finite universal model
+================  ====  ====  ========  =======================
+bts-not-fes        no   yes     yes      yes (infinite path)
+fes-not-bts        yes  no      yes      yes (finite!)
+steepening K_h     no   no      yes      NO
+inflating  K_v     no   no      no       yes (the diagonal)
+================  ====  ====  ========  =======================
+"""
+
+import pytest
+
+from repro.analysis import TREEWIDTH, certify_fes, profile_chase
+from repro.chase.engine import ChaseVariant
+from repro.kbs.staircase import staircase_kb
+from repro.kbs.elevator import elevator_kb
+from repro.kbs.witnesses import bts_not_fes_kb, fes_not_bts_kb
+
+
+class TestBtsNotFes:
+    def test_core_chase_diverges(self):
+        assert certify_fes(bts_not_fes_kb(), max_steps=15) is None
+
+    def test_restricted_chase_treewidth_1(self):
+        profile = profile_chase(
+            bts_not_fes_kb(),
+            variant=ChaseVariant.RESTRICTED,
+            measure=TREEWIDTH,
+            max_steps=12,
+        )
+        assert profile.uniform == 1
+
+    def test_core_chase_treewidth_1(self):
+        profile = profile_chase(
+            bts_not_fes_kb(),
+            variant=ChaseVariant.CORE,
+            measure=TREEWIDTH,
+            max_steps=12,
+        )
+        assert profile.uniform == 1  # core-bts with uniform bound 1
+
+
+class TestFesNotBts:
+    def test_core_chase_terminates(self):
+        assert certify_fes(fes_not_bts_kb(), max_steps=100) is not None
+
+    def test_restricted_chase_treewidth_grows(self):
+        profile = profile_chase(
+            fes_not_bts_kb(),
+            variant=ChaseVariant.RESTRICTED,
+            measure=TREEWIDTH,
+            max_steps=25,
+        )
+        assert not profile.terminated
+        assert profile.uniform > profile.values[0]
+
+    def test_core_chase_treewidth_stays_bounded(self):
+        profile = profile_chase(
+            fes_not_bts_kb(),
+            variant=ChaseVariant.CORE,
+            measure=TREEWIDTH,
+            max_steps=100,
+        )
+        assert profile.terminated  # fes: trivially uniformly bounded
+
+
+class TestStaircaseClassification:
+    def test_not_fes(self):
+        assert certify_fes(staircase_kb(), max_steps=25) is None
+
+    def test_core_chase_uniformly_2_bounded(self, staircase_core_run):
+        from repro.treewidth import treewidth
+
+        widths = [treewidth(s.instance) for s in staircase_core_run.derivation]
+        assert max(widths) <= 2
+
+    def test_restricted_chase_unbounded(self, staircase_restricted_run):
+        """Not bts via this (fair) sequence: grids grow in the monotone
+        prefix — and Prop. 5 says *no* universal model (hence no fair
+        restricted sequence) avoids them."""
+        from repro.treewidth import grid_lower_bound
+
+        final = staircase_restricted_run.final_instance
+        assert grid_lower_bound(final, max_n=2) == 2
+
+
+class TestElevatorClassification:
+    def test_not_fes(self):
+        assert certify_fes(elevator_kb(), max_steps=20) is None
+
+    def test_core_chase_not_bounded(self, elevator_core_run):
+        from repro.treewidth import treewidth
+
+        widths = [treewidth(s.instance) for s in elevator_core_run.derivation]
+        assert widths[-1] > widths[0]
+
+    def test_has_tw1_universal_model(self):
+        from repro.kbs import elevator as el
+        from repro.treewidth import treewidth
+
+        assert treewidth(el.diagonal_model(5)) == 1
+
+
+class TestSubsumption:
+    """Proposition 13: core-bts subsumes both fes and bts."""
+
+    def test_fes_witness_is_core_bts(self):
+        # terminating core chase => trivially uniformly bounded
+        profile = profile_chase(
+            fes_not_bts_kb(),
+            variant=ChaseVariant.CORE,
+            measure=TREEWIDTH,
+            max_steps=100,
+        )
+        assert profile.terminated
+
+    def test_bts_witness_is_core_bts(self):
+        profile = profile_chase(
+            bts_not_fes_kb(),
+            variant=ChaseVariant.CORE,
+            measure=TREEWIDTH,
+            max_steps=12,
+        )
+        assert profile.uniform == 1
+
+    def test_fes_and_bts_incomparable(self):
+        assert certify_fes(fes_not_bts_kb(), max_steps=100) is not None
+        assert certify_fes(bts_not_fes_kb(), max_steps=15) is None
