@@ -10,10 +10,16 @@ Run with::
 
     pytest benchmarks/ --benchmark-only            # timings + assertions
     pytest benchmarks/ --benchmark-only -s         # + live tables
+
+Every figure's series is archived twice: human-readable
+(``results/<name>.txt``) and machine-readable (``results/<name>.json``,
+one record per table row with raw numbers) — the JSON twins are the
+BENCH trajectory future perf PRs diff against.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -25,13 +31,22 @@ from repro.util import Table
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: Version of the results-JSON layout (bump when the shape changes).
+RESULTS_SCHEMA = 1
+
 
 def save_table(name: str, table: Table, extra: str = "") -> None:
-    """Print a table and archive it under benchmarks/results/."""
+    """Print a table and archive it (.txt + .json) under
+    benchmarks/results/."""
     RESULTS_DIR.mkdir(exist_ok=True)
     rendered = table.render() + (extra + "\n" if extra else "")
     print("\n" + rendered)
     (RESULTS_DIR / f"{name}.txt").write_text(rendered)
+    payload = table.to_json_payload(name=name, extra=extra)
+    payload["schema"] = RESULTS_SCHEMA
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
 
 
 @pytest.fixture(scope="session")

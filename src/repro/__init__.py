@@ -78,6 +78,15 @@ from .logic import (
     parse_rules,
 )
 from .logic.kb import KnowledgeBase
+from .obs import (
+    JsonlTracer,
+    MetricsRegistry,
+    Observer,
+    TracingObserver,
+    get_observer,
+    observing,
+    set_observer,
+)
 from .query import (
     ConjunctiveQuery,
     boolean_cq,
@@ -105,11 +114,15 @@ __all__ = [
     "Constant",
     "Derivation",
     "ExistentialRule",
+    "JsonlTracer",
     "KnowledgeBase",
+    "MetricsRegistry",
+    "Observer",
     "Predicate",
     "RobustSequence",
     "RuleSet",
     "Substitution",
+    "TracingObserver",
     "TreeDecomposition",
     "Variable",
     "atom",
@@ -127,6 +140,7 @@ __all__ = [
     "find_countermodel",
     "find_homomorphism",
     "frugal_chase",
+    "get_observer",
     "grid_lower_bound",
     "homomorphically_equivalent",
     "is_core",
@@ -136,6 +150,7 @@ __all__ = [
     "isomorphic",
     "maps_into",
     "oblivious_chase",
+    "observing",
     "parse_atom",
     "parse_atoms",
     "parse_rule",
@@ -145,6 +160,7 @@ __all__ = [
     "robust_aggregation",
     "run_chase",
     "semi_oblivious_chase",
+    "set_observer",
     "staircase_kb",
     "treewidth",
     "treewidth_bounds",

@@ -37,6 +37,8 @@ from typing import Callable, Optional
 from ..logic.atomset import AtomSet
 from ..logic.substitution import Substitution
 from ..logic.terms import Constant, Term, Variable
+from ..obs import observer as _observer_state
+from ..obs.observer import Observer
 from .derivation import Derivation
 
 __all__ = ["RobustSequence", "robust_aggregation", "default_variable_key"]
@@ -61,15 +63,23 @@ class RobustSequence:
         The order ``<_X`` as a sort key on variables.  Section 8's
         staircase walkthrough needs a custom order; experiments pass one
         built from coordinates (:mod:`repro.util.orders`).
+    observer:
+        Telemetry sink for per-step ``robust_step`` events (renaming
+        churn, stable-term counts); defaults to the process-global
+        observer (:mod:`repro.obs`).
     """
 
     def __init__(
         self,
         derivation: Derivation,
         variable_key: Optional[VariableKey] = None,
+        observer: Optional[Observer] = None,
     ):
         self.derivation = derivation
         self._key = variable_key or default_variable_key
+        self._observer = (
+            observer if observer is not None else _observer_state.current
+        )
         self.instances: list[AtomSet] = []  # G_i
         self.rho: list[Substitution] = []  # ρ_i : F_i → G_i (isomorphism)
         self.tau: list[Substitution] = []  # τ_i : A'_i → G_i (τ_0 : F → G_0)
@@ -115,6 +125,13 @@ class RobustSequence:
         self.tau.append(tau0)
         for term in g0.terms():
             self.stable_since[term] = 0
+        if self._observer is not None:
+            self._observer.robust_step(
+                step=0,
+                renamed=len(renaming0.drop_trivial()),
+                atoms=len(g0),
+                stable_terms=len(self.stable_since),
+            )
 
         for index in range(1, len(steps)):
             step = steps[index]
@@ -155,6 +172,17 @@ class RobustSequence:
                 if isinstance(term, Constant):
                     new_stable[term] = min(new_stable[term], 0)
             self.stable_since = new_stable
+            if self._observer is not None:
+                self._observer.robust_step(
+                    step=index,
+                    renamed=len(renaming.drop_trivial()),
+                    atoms=len(g_i),
+                    stable_terms=sum(
+                        1
+                        for since in new_stable.values()
+                        if since < index
+                    ),
+                )
 
     # ------------------------------------------------------------------
     # accessors

@@ -43,6 +43,8 @@ from ..logic.cores import core_retraction
 from ..logic.kb import KnowledgeBase
 from ..logic.substitution import Substitution
 from ..logic.terms import FreshVariableSource
+from ..obs import observer as _observer_state
+from ..obs.observer import Observer
 from .derivation import Derivation, DerivationStep
 from .trigger import Trigger, apply_trigger, triggers
 
@@ -101,6 +103,23 @@ class ChaseResult:
         is a finite universal model of the KB."""
         return self.derivation.last_instance
 
+    @property
+    def retractions(self) -> int:
+        """Steps whose simplification was a proper retraction (including
+        the initial simplification of the facts when non-trivial)."""
+        return sum(
+            1 for step in self.derivation.steps if not step.is_identity_step()
+        )
+
+    @property
+    def atoms_retracted(self) -> int:
+        """Total atoms removed by simplifications over the whole run —
+        the integral of the paper's per-step retraction series."""
+        return sum(
+            len(step.pre_instance) - len(step.instance)
+            for step in self.derivation.steps
+        )
+
     def __repr__(self) -> str:
         status = "terminated" if self.terminated else "budget-exhausted"
         return (
@@ -126,6 +145,12 @@ class ChaseEngine:
         Section 3).
     fresh_prefix:
         Name prefix for invented nulls.
+    observer:
+        An :class:`repro.obs.Observer` receiving the engine's telemetry
+        events.  Defaults to the process-global observer
+        (:func:`repro.obs.set_observer`); pass one explicitly for scoped
+        instrumentation.  When no observer is installed the engine pays
+        a single identity check per event site.
     """
 
     def __init__(
@@ -134,6 +159,7 @@ class ChaseEngine:
         variant: str = ChaseVariant.RESTRICTED,
         core_every: int = 1,
         fresh_prefix: str = "_n",
+        observer: Optional[Observer] = None,
     ):
         if variant not in ChaseVariant.ALL:
             raise ValueError(f"unknown chase variant {variant!r}")
@@ -142,6 +168,7 @@ class ChaseEngine:
         self.kb = kb
         self.variant = variant
         self.core_every = core_every
+        self.observer = observer
         self._fresh = FreshVariableSource(prefix=fresh_prefix)
 
     # ------------------------------------------------------------------
@@ -196,19 +223,37 @@ class ChaseEngine:
         budget: int,
         on_step: Optional[Callable[[DerivationStep], None]],
     ) -> ChaseResult:
+        observer = (
+            self.observer
+            if self.observer is not None
+            else _observer_state.current
+        )
         performed = 0
         while performed < budget and not self._terminated:
+            step_index = len(self._steps)
+            if observer is not None:
+                observer.chase_step_started(
+                    step=step_index,
+                    variant=self.variant,
+                    atoms=len(self._current),
+                )
             active = self._active_triggers(self._current, self._applied_keys)
             if not active:
                 self._terminated = True
                 break
-            step_index = len(self._steps)
             for trigger in active:
                 self._ages.setdefault(self._age_key(trigger), step_index)
             chosen = min(
                 active,
                 key=lambda tr: (self._ages[self._age_key(tr)], tr.sort_key()),
             )
+            if observer is not None:
+                observer.trigger_selected(
+                    step=step_index,
+                    rule=chosen.rule.name,
+                    active=len(active),
+                )
+            atoms_before = len(self._current)
             pre_instance, _ = apply_trigger(self._current, chosen, self._fresh)
             self._applied_keys.add(self._memory_key(chosen))
 
@@ -229,10 +274,32 @@ class ChaseEngine:
             )
             self._steps.append(step)
             performed += 1
+            if observer is not None:
+                observer.trigger_retired(
+                    step=step_index, rule=chosen.rule.name, reason="applied"
+                )
+                observer.chase_step_finished(
+                    step=step_index,
+                    rule=chosen.rule.name,
+                    atoms_before=atoms_before,
+                    atoms_applied=len(pre_instance),
+                    atoms_after=len(self._current),
+                    retracted=len(pre_instance) - len(self._current),
+                )
             if on_step is not None:
                 on_step(step)
             if len(sigma.drop_trivial()):
+                before_transport = len(self._ages)
                 self._ages = self._transport_ages(self._ages, sigma)
+                if observer is not None:
+                    collapsed = before_transport - len(self._ages)
+                    if collapsed:
+                        observer.trigger_retired(
+                            step=step_index,
+                            rule=None,
+                            reason="collapsed",
+                            count=collapsed,
+                        )
 
         derivation = Derivation(self.kb, list(self._steps))
         return ChaseResult(derivation, self._terminated, self.variant)
@@ -321,7 +388,10 @@ def run_chase(
     max_steps: int = 1000,
     core_every: int = 1,
     on_step: Optional[Callable[[DerivationStep], None]] = None,
+    observer: Optional[Observer] = None,
 ) -> ChaseResult:
     """One-shot convenience wrapper around :class:`ChaseEngine`."""
-    engine = ChaseEngine(kb, variant=variant, core_every=core_every)
+    engine = ChaseEngine(
+        kb, variant=variant, core_every=core_every, observer=observer
+    )
     return engine.run(max_steps=max_steps, on_step=on_step)

@@ -1,11 +1,13 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Four subcommands cover the everyday workflows on serialized knowledge
+Five subcommands cover the everyday workflows on serialized knowledge
 bases (see :mod:`repro.logic.serialization` for the file format):
 
 ``chase``
     Run a chase variant with a step budget; print the final instance
-    and a summary line.
+    and a summary line.  ``--trace FILE`` records the run as JSONL
+    telemetry (:mod:`repro.obs`), ``--metrics`` prints the metrics
+    registry afterwards, ``--json`` emits a machine-readable summary.
 ``entail``
     Decide a Boolean CQ with the Theorem-1 race.
 ``classify``
@@ -13,11 +15,16 @@ bases (see :mod:`repro.logic.serialization` for the file format):
     acyclicity) and the budgeted fes certificate.
 ``treewidth``
     Treewidth of an instance file (exact, with bounds fallback).
+``stats``
+    Replay a ``--trace`` JSONL file into summary tables (per-step
+    retraction series, search effort, totals).
 
 Examples::
 
     python -m repro chase kb.repro --variant core --steps 50
-    python -m repro entail kb.repro "mgr(ann, X)"
+    python -m repro chase kb.repro --variant core --trace run.jsonl
+    python -m repro stats run.jsonl
+    python -m repro entail kb.repro "mgr(ann, X)" --json
     python -m repro classify kb.repro
     python -m repro treewidth instance.atoms
 """
@@ -25,14 +32,25 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
 from .analysis import analyze_ruleset
 from .chase.engine import ChaseVariant, run_chase
 from .logic.serialization import load_instance, load_kb_file
+from .obs import (
+    JsonlTracer,
+    MetricsObserver,
+    MetricsRegistry,
+    TracingObserver,
+    observing,
+    read_trace,
+)
+from .obs.stats import render_summary, summarize_trace
 from .query import boolean_cq, decide_entailment
 from .treewidth import SearchBudgetExceeded, treewidth, treewidth_bounds
+from .util.reporting import Table
 
 __all__ = ["main", "build_parser"]
 
@@ -56,38 +74,127 @@ def build_parser() -> argparse.ArgumentParser:
     chase.add_argument(
         "--quiet", action="store_true", help="summary only, no instance dump"
     )
+    chase.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write JSONL telemetry of the run to FILE (replay with "
+        "'repro stats FILE')",
+    )
+    chase.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry after the run",
+    )
+    chase.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON summary instead of text",
+    )
 
     entail = commands.add_parser("entail", help="decide a Boolean CQ")
     entail.add_argument("kb", help="knowledge base file")
     entail.add_argument("query", help='query text, e.g. "e(X, Y), e(Y, X)"')
     entail.add_argument("--chase-budget", type=int, default=100)
     entail.add_argument("--model-budget", type=int, default=6)
+    entail.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON verdict instead of text",
+    )
 
     classify = commands.add_parser(
         "classify", help="syntactic analysis + fes certificate"
     )
     classify.add_argument("kb", help="knowledge base file")
     classify.add_argument("--steps", type=int, default=200)
+    classify.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the analysis report as JSON instead of text",
+    )
 
     width = commands.add_parser("treewidth", help="treewidth of an instance")
     width.add_argument("instance", help="instance file (one atom per line)")
+
+    stats = commands.add_parser(
+        "stats", help="summarize a JSONL trace written by 'chase --trace'"
+    )
+    stats.add_argument("trace", help="JSONL trace file")
+    stats.add_argument(
+        "--stride",
+        type=int,
+        default=5,
+        help="report every N-th chase step in the series table (default 5)",
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full summary (including the per-step series) as JSON",
+    )
 
     return parser
 
 
 def _cmd_chase(args: argparse.Namespace) -> int:
     kb = load_kb_file(args.kb)
-    result = run_chase(kb, variant=args.variant, max_steps=args.steps)
+    registry = MetricsRegistry() if args.metrics else None
+    sink = open(args.trace, "w") if args.trace else None
+    if sink is not None:
+        observer = TracingObserver(JsonlTracer(sink), registry=registry)
+    elif registry is not None:
+        observer = MetricsObserver(registry)
+    else:
+        observer = None
+    try:
+        with observing(observer):
+            result = run_chase(kb, variant=args.variant, max_steps=args.steps)
+    finally:
+        if sink is not None:
+            sink.close()
+
+    summary = {
+        "variant": args.variant,
+        "terminated": result.terminated,
+        "applications": result.applications,
+        "atoms": len(result.final_instance),
+        "nulls": len(result.final_instance.variables()),
+        "retractions": result.retractions,
+        "atoms_retracted": result.atoms_retracted,
+    }
+    if args.json:
+        if not args.quiet:
+            summary["instance"] = [
+                str(at) for at in result.final_instance.sorted_atoms()
+            ]
+        if registry is not None:
+            summary["metrics"] = registry.snapshot()
+        print(json.dumps(summary, indent=2))
+        return 0
+
     if not args.quiet:
         for at in result.final_instance.sorted_atoms():
             print(at)
     status = "terminated" if result.terminated else "budget-exhausted"
     print(
         f"# {args.variant} chase {status}: {result.applications} applications, "
-        f"{len(result.final_instance)} atoms, "
-        f"{len(result.final_instance.variables())} nulls"
+        f"{summary['atoms']} atoms, {summary['nulls']} nulls, "
+        f"{result.retractions} retractions, "
+        f"{result.atoms_retracted} atoms retracted"
     )
+    if registry is not None:
+        print(_metrics_table(registry).render(), end="")
     return 0
+
+
+def _metrics_table(registry: MetricsRegistry) -> Table:
+    table = Table(["metric", "kind", "value"], title="# metrics")
+    for name, snap in registry.snapshot().items():
+        if snap["kind"] in ("counter", "gauge"):
+            value = snap["value"]
+        else:  # timer / histogram
+            value = f"n={snap['count']} mean={snap['mean']:.6g}"
+        table.add_row(name, snap["kind"], value)
+    return table
 
 
 def _cmd_entail(args: argparse.Namespace) -> int:
@@ -98,6 +205,18 @@ def _cmd_entail(args: argparse.Namespace) -> int:
         chase_budget=args.chase_budget,
         model_domain_budget=args.model_budget,
     )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "query": args.query,
+                    "entailed": verdict.entailed,
+                    "method": verdict.method,
+                },
+                indent=2,
+            )
+        )
+        return 2 if verdict.entailed is None else (0 if verdict.entailed else 1)
     if verdict.entailed is None:
         print(f"UNDECIDED within budgets ({verdict.method})")
         return 2
@@ -108,6 +227,25 @@ def _cmd_entail(args: argparse.Namespace) -> int:
 def _cmd_classify(args: argparse.Namespace) -> int:
     kb = load_kb_file(args.kb)
     report = analyze_ruleset(kb.rules, kb=kb, fes_budget=args.steps)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "rules": len(kb.rules),
+                    "facts": len(kb.facts),
+                    "weakly_acyclic": report.weakly_acyclic,
+                    "guarded": report.guarded,
+                    "frontier_guarded": report.frontier_guarded,
+                    "sticky": report.sticky,
+                    "rule_acyclic": report.rule_acyclic,
+                    "fes_applications": report.fes_applications,
+                    "fes_budget": args.steps,
+                    "decidable_cq_entailment": report.decidable_cq_entailment,
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(f"rules: {len(kb.rules)}, facts: {len(kb.facts)}")
     print(f"weakly acyclic:    {report.weakly_acyclic}")
     print(f"guarded:           {report.guarded}")
@@ -130,9 +268,21 @@ def _cmd_treewidth(args: argparse.Namespace) -> int:
         atoms = load_instance(handle.read())
     try:
         print(f"treewidth: {treewidth(atoms)}")
-    except SearchBudgetExceeded:
+    except SearchBudgetExceeded as exc:
         low, high = treewidth_bounds(atoms)
+        if exc.lower is not None:
+            low = max(low, exc.lower)
         print(f"treewidth: in [{low}, {high}] (exact search exceeded budget)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    events = read_trace(args.trace)
+    summary = summarize_trace(events)
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(render_summary(summary, step_stride=max(args.stride, 1)))
     return 0
 
 
@@ -144,6 +294,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "entail": _cmd_entail,
         "classify": _cmd_classify,
         "treewidth": _cmd_treewidth,
+        "stats": _cmd_stats,
     }
     return handlers[args.command](args)
 

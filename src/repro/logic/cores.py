@@ -25,8 +25,10 @@ core-ness is co-NP-hard) but behaves well on chase-sized instances.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
+from ..obs import observer as _observer_state
 from .atomset import AtomSet
 from .homomorphism import find_homomorphism
 from .substitution import Substitution
@@ -68,6 +70,8 @@ def core_retraction(atoms: AtomSet) -> Substitution:
     * ``σ`` is a retraction of *atoms* (idempotent endomorphism);
     * ``σ(atoms)`` is a core.
     """
+    observer = _observer_state.current
+    started = time.perf_counter() if observer is not None else 0.0
     current = atoms
     total = Substitution.identity()
     while True:
@@ -76,6 +80,13 @@ def core_retraction(atoms: AtomSet) -> Substitution:
             break
         total = shrink.compose(total)
         current = shrink.apply(current)
+    if observer is not None:
+        observer.core_retraction(
+            atoms_before=len(atoms),
+            atoms_after=len(current),
+            variables_folded=len(atoms.variables()) - len(current.variables()),
+            seconds=time.perf_counter() - started,
+        )
     if not total:
         return total
     return total.fold_to_retraction(atoms)

@@ -31,8 +31,10 @@ Three extra knobs cover every use in the library:
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Iterator, Optional, Sequence, Union
 
+from ..obs import observer as _observer_state
 from .atoms import Atom
 from .atomset import AtomSet
 from .substitution import Substitution
@@ -61,17 +63,27 @@ def homomorphisms(
     partial: Optional[Substitution] = None,
     forbidden_images: Iterable[Term] = (),
     injective: bool = False,
+    _stats: Optional[dict] = None,
 ) -> Iterator[Substitution]:
     """Iterate over all homomorphisms from *source* into *target*.
 
     Every yielded substitution has exactly the variables of *source* in
     its domain (bindings of *partial* for variables outside the source are
     re-attached so callers can keep composing).
+
+    ``_stats`` is the telemetry hook: when a dict is passed, the search
+    records its problem sizes and counts every undo of a tentative atom
+    match under ``"backtracks"`` (:mod:`repro.obs`); when None — the
+    default — the only cost is one identity check per undo.
     """
     if not isinstance(target, AtomSet):
         target = AtomSet(target)
     source_atoms = _as_atom_list(source)
     forbidden = set(forbidden_images)
+    if _stats is not None:
+        _stats.setdefault("backtracks", 0)
+        _stats["source_atoms"] = len(source_atoms)
+        _stats["target_atoms"] = len(target)
 
     assignment: dict[Variable, Term] = {}
     if partial is not None:
@@ -145,6 +157,8 @@ def homomorphisms(
         return newly_bound
 
     def _undo(newly_bound: list[Variable]) -> None:
+        if _stats is not None:
+            _stats["backtracks"] += 1
         for var in newly_bound:
             value = assignment.pop(var)
             if injective:
@@ -196,15 +210,38 @@ def find_homomorphism(
     The search is deterministic, so repeated calls return the same
     witness — the chase engine depends on this for reproducible runs.
     """
+    observer = _observer_state.current
+    if observer is None:
+        for hom in homomorphisms(
+            source,
+            target,
+            partial=partial,
+            forbidden_images=forbidden_images,
+            injective=injective,
+        ):
+            return hom
+        return None
+    stats: dict = {}
+    started = time.perf_counter()
+    found: Optional[Substitution] = None
     for hom in homomorphisms(
         source,
         target,
         partial=partial,
         forbidden_images=forbidden_images,
         injective=injective,
+        _stats=stats,
     ):
-        return hom
-    return None
+        found = hom
+        break
+    observer.homomorphism_search(
+        found=found is not None,
+        backtracks=stats.get("backtracks", 0),
+        source_atoms=stats.get("source_atoms", 0),
+        target_atoms=stats.get("target_atoms", 0),
+        seconds=time.perf_counter() - started,
+    )
+    return found
 
 
 def count_homomorphisms(source: AtomsLike, target: AtomSet) -> int:

@@ -1,0 +1,79 @@
+"""Observability: metrics, structured tracing, and chase telemetry.
+
+The paper's phenomena are *trajectories* — per-step retraction sizes in
+the core chase of the inflating elevator (Section 7), grid growth in the
+staircase (Section 6), treewidth of the cores ``I^v_n`` — so the library
+exposes them as first-class data instead of burying them in a final
+:class:`~repro.chase.engine.ChaseResult`:
+
+* :mod:`repro.obs.metrics` — a dependency-free registry of counters,
+  gauges, timers and histograms with a process-global default and cheap
+  no-op instruments when disabled;
+* :mod:`repro.obs.observer` — the :class:`Observer` protocol the hot
+  paths (chase engine, core retraction, homomorphism search, exact
+  treewidth, robust aggregation) report into, plus the process-global
+  ``current`` observer those paths check with a single attribute test;
+* :mod:`repro.obs.tracer` — :class:`JsonlTracer` /
+  :class:`TracingObserver`, emitting one JSON object per event so a run
+  can be replayed offline (``repro stats``), and
+  :class:`MetricsObserver` for metrics-only accounting;
+* :mod:`repro.obs.stats` — trace replay into summary series and tables
+  (imported separately, ``from repro.obs import stats``, because it
+  pulls in :mod:`repro.util`).
+
+Nothing in this package imports the rest of the library (except
+``stats``), so the logic layer can import it without cycles.
+
+Quickstart::
+
+    from repro import core_chase, elevator_kb
+    from repro.obs import JsonlTracer, TracingObserver, observing
+
+    with open("run.jsonl", "w") as sink:
+        with observing(TracingObserver(JsonlTracer(sink))):
+            core_chase(elevator_kb(), max_steps=40)
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    get_registry,
+    set_registry,
+)
+from .observer import (
+    CompositeObserver,
+    Observer,
+    get_observer,
+    observing,
+    set_observer,
+)
+from .tracer import (
+    EVENT_KINDS,
+    JsonlTracer,
+    MetricsObserver,
+    TracingObserver,
+    read_trace,
+)
+
+__all__ = [
+    "CompositeObserver",
+    "Counter",
+    "EVENT_KINDS",
+    "Gauge",
+    "Histogram",
+    "JsonlTracer",
+    "MetricsObserver",
+    "MetricsRegistry",
+    "Observer",
+    "Timer",
+    "TracingObserver",
+    "get_observer",
+    "get_registry",
+    "observing",
+    "read_trace",
+    "set_observer",
+    "set_registry",
+]

@@ -1,0 +1,323 @@
+"""A dependency-free metrics registry.
+
+Four instrument kinds cover everything the chase telemetry needs:
+
+========== =====================================================
+counter    monotone count (events, retractions, backtracks)
+gauge      last-written value (current atom count, budget left)
+timer      count + total/min/max of durations, in seconds
+histogram  count/total/min/max plus geometric bucket counts
+========== =====================================================
+
+Instruments are handed out by a :class:`MetricsRegistry`; a process-global
+default registry (:func:`get_registry` / :func:`set_registry`) backs the
+CLI ``--metrics`` flag.  A registry can be *disabled*, in which case it
+hands out shared no-op instruments — callers keep their unconditional
+``inc()`` / ``observe()`` calls and pay only a dict lookup at
+instrument-creation time, nothing per update.
+
+Metric names are dotted paths (``chase.steps``, ``hom.backtracks``);
+:meth:`MetricsRegistry.snapshot` returns plain dicts ready for
+``json.dumps`` or a :class:`repro.util.reporting.Table`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Timer:
+    """Accumulated durations in seconds.
+
+    Use either :meth:`record` with a measured duration or the instance as
+    a context manager::
+
+        with registry.timer("core.retraction"):
+            core_retraction(atoms)
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_started")
+
+    kind = "timer"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+        self._started: Optional[float] = None
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._started is not None:
+            self.record(time.perf_counter() - self._started)
+            self._started = None
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:
+        return f"Timer({self.name}: {self.count} x, {self.total:.6f}s)"
+
+
+#: Default histogram bucket upper bounds: 1-2-5 decades, wide enough for
+#: both "atoms retracted per step" and "backtracks per search".
+DEFAULT_BOUNDS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 10000)
+
+
+class Histogram:
+    """Count/total/min/max plus cumulative-style bucket counts.
+
+    ``buckets[i]`` counts observations ``<= bounds[i]``; one overflow
+    bucket counts the rest.  Bounds are fixed at creation.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds: Sequence[float] = DEFAULT_BOUNDS):
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0,
+            "max": self.max if self.count else 0,
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}: {self.count} x, mean={self.mean:.3f})"
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument handed out by disabled registries."""
+
+    __slots__ = ()
+
+    kind = "null"
+    name = ""
+    value = 0
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def record(self, seconds: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind}
+
+
+_NULL = _NullInstrument()
+
+
+class MetricsRegistry:
+    """A named collection of instruments.
+
+    Parameters
+    ----------
+    enabled:
+        When False the registry hands out a shared no-op instrument, so
+        instrumented code needs no conditional around its updates.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._instruments: dict[str, object] = {}
+
+    # -- instrument accessors (create-on-first-use) --------------------
+
+    def _get(self, name: str, factory, *args):
+        if not self.enabled:
+            return _NULL
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory(name, *args)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, factory):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {factory.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer)
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BOUNDS
+    ) -> Histogram:
+        return self._get(name, Histogram, bounds)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop handing out live instruments (existing ones keep working
+        for whoever cached them) and drop the recorded values."""
+        self.enabled = False
+        self._instruments.clear()
+
+    def reset(self) -> None:
+        """Drop all instruments (names and values)."""
+        self._instruments.clear()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def snapshot(self) -> dict[str, dict]:
+        """All instruments as plain nested dicts, sorted by name."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }
+
+
+#: The process-global default registry.  Disabled out of the box: the
+#: telemetry layer is opt-in (CLI ``--metrics``, benchmark harness).
+_default_registry = MetricsRegistry(enabled=False)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global default registry."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-global registry; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

@@ -1,0 +1,210 @@
+"""The :class:`Observer` protocol the instrumented hot paths report into.
+
+Design constraints (ISSUE 1 / the telemetry tentpole):
+
+* **Zero-cost when off.**  Every instrumented module keeps a reference
+  to this module and tests ``observer.current is not None`` — a single
+  attribute load and identity check — before doing any accounting.  The
+  chase engine resolves the observer once per :meth:`~ChaseEngine.run`.
+* **Injectable.**  :class:`~repro.chase.engine.ChaseEngine` accepts an
+  ``observer=`` argument for scoped use; the module-global ``current``
+  (managed by :func:`set_observer` / :func:`observing`) reaches the
+  functional hot paths (homomorphism search, core retraction, exact
+  treewidth) that have no object to hang state on.
+* **No-op base class.**  Subclasses override only the callbacks they
+  care about; every callback takes keyword arguments only, so adding a
+  payload field later never breaks an observer.
+
+The callbacks mirror the paper's quantities: per-step retraction sizes
+(Section 7), homomorphism search effort (the single semantic primitive),
+treewidth search budgets (Section 4), robust-renaming churn (Section 8).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
+
+__all__ = [
+    "Observer",
+    "CompositeObserver",
+    "current",
+    "get_observer",
+    "set_observer",
+    "observing",
+]
+
+
+class Observer:
+    """No-op base observer; override the callbacks you need.
+
+    All callbacks are keyword-only.  Implementations must not mutate the
+    engine's state and should be fast — they run inline on hot paths.
+    """
+
+    __slots__ = ()
+
+    # -- chase engine (repro.chase.engine) -----------------------------
+
+    def chase_step_started(self, *, step: int, variant: str, atoms: int) -> None:
+        """A chase iteration began: the engine is about to enumerate the
+        active triggers of the current ``F_{step-1}`` (*atoms* atoms)."""
+
+    def trigger_selected(
+        self, *, step: int, rule: Optional[str], active: int
+    ) -> None:
+        """Fair scheduling picked the oldest of *active* triggers."""
+
+    def trigger_retired(
+        self,
+        *,
+        step: int,
+        rule: Optional[str],
+        reason: str,
+        count: int = 1,
+    ) -> None:
+        """*count* triggers left the active pool: ``applied`` (the
+        selected trigger was applied / is now satisfied) or
+        ``collapsed`` (a simplification folded distinct trigger keys
+        together)."""
+
+    def chase_step_finished(
+        self,
+        *,
+        step: int,
+        rule: Optional[str],
+        atoms_before: int,
+        atoms_applied: int,
+        atoms_after: int,
+        retracted: int,
+    ) -> None:
+        """Step *step* is recorded: ``F_{step-1}`` had *atoms_before*
+        atoms, the application ``A_step`` has *atoms_applied*, the
+        simplified ``F_step`` has *atoms_after*; *retracted* is the
+        difference (the paper's per-step retraction size)."""
+
+    # -- core retraction (repro.logic.cores) ---------------------------
+
+    def core_retraction(
+        self,
+        *,
+        atoms_before: int,
+        atoms_after: int,
+        variables_folded: int,
+        seconds: float,
+    ) -> None:
+        """One :func:`~repro.logic.cores.core_retraction` call finished
+        (identity retractions report ``atoms_before == atoms_after``)."""
+
+    # -- homomorphism search (repro.logic.homomorphism) ----------------
+
+    def homomorphism_search(
+        self,
+        *,
+        found: bool,
+        backtracks: int,
+        source_atoms: int,
+        target_atoms: int,
+        seconds: float,
+    ) -> None:
+        """One single-witness search finished; *backtracks* counts undo
+        operations of tentative atom matches (the search effort)."""
+
+    # -- exact treewidth (repro.treewidth.exact) -----------------------
+
+    def treewidth_search(
+        self,
+        *,
+        k: int,
+        verdict: Optional[bool],
+        budget_consumed: int,
+    ) -> None:
+        """One "width ≤ k?" decision finished; *verdict* is None when the
+        state budget ran out after *budget_consumed* states."""
+
+    # -- robust aggregation (repro.chase.aggregation) ------------------
+
+    def robust_step(
+        self,
+        *,
+        step: int,
+        renamed: int,
+        atoms: int,
+        stable_terms: int,
+    ) -> None:
+        """The robust sequence advanced to ``G_step`` (*atoms* atoms);
+        *renamed* variables were rewritten by ``ρ_{σ'}`` and
+        *stable_terms* terms of ``G_step`` are stable so far."""
+
+
+class CompositeObserver(Observer):
+    """Fan events out to several observers, in order."""
+
+    __slots__ = ("observers",)
+
+    def __init__(self, observers: Sequence[Observer]):
+        self.observers = list(observers)
+
+    def chase_step_started(self, **kw) -> None:
+        for obs in self.observers:
+            obs.chase_step_started(**kw)
+
+    def trigger_selected(self, **kw) -> None:
+        for obs in self.observers:
+            obs.trigger_selected(**kw)
+
+    def trigger_retired(self, **kw) -> None:
+        for obs in self.observers:
+            obs.trigger_retired(**kw)
+
+    def chase_step_finished(self, **kw) -> None:
+        for obs in self.observers:
+            obs.chase_step_finished(**kw)
+
+    def core_retraction(self, **kw) -> None:
+        for obs in self.observers:
+            obs.core_retraction(**kw)
+
+    def homomorphism_search(self, **kw) -> None:
+        for obs in self.observers:
+            obs.homomorphism_search(**kw)
+
+    def treewidth_search(self, **kw) -> None:
+        for obs in self.observers:
+            obs.treewidth_search(**kw)
+
+    def robust_step(self, **kw) -> None:
+        for obs in self.observers:
+            obs.robust_step(**kw)
+
+
+#: The process-global observer.  ``None`` means telemetry is off and the
+#: instrumented paths skip all accounting after one identity check.
+current: Optional[Observer] = None
+
+
+def get_observer() -> Optional[Observer]:
+    """The process-global observer, or None when telemetry is off."""
+    return current
+
+
+def set_observer(observer: Optional[Observer]) -> Optional[Observer]:
+    """Install *observer* as the process-global observer.
+
+    Returns the previous observer so callers can restore it; prefer the
+    :func:`observing` context manager for scoped installation.
+    """
+    global current
+    previous = current
+    current = observer
+    return previous
+
+
+@contextmanager
+def observing(observer: Optional[Observer]) -> Iterator[Optional[Observer]]:
+    """Temporarily install *observer* as the process-global observer."""
+    previous = set_observer(observer)
+    try:
+        yield observer
+    finally:
+        set_observer(previous)

@@ -1,0 +1,179 @@
+"""Replay a JSONL trace into summary series and tables.
+
+This is the offline half of the telemetry layer: a chase run traced with
+``--trace run.jsonl`` can be turned back into the per-step retraction
+series of Section 7 (``repro stats run.jsonl``) without re-running
+anything.  The benchmark harness and future perf PRs consume
+:func:`summarize_trace` directly.
+
+(Kept out of ``repro.obs.__init__`` because it imports
+:mod:`repro.util`, which sits above the logic layer the observer hooks
+live in.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..util.reporting import Table
+from .tracer import EVENT_KINDS
+
+__all__ = ["summarize_trace", "retraction_series", "render_summary"]
+
+
+def retraction_series(events: Iterable[dict]) -> list[dict]:
+    """The per-step series of a traced chase run.
+
+    One record per ``chase_step_finished`` event: ``step``, ``rule``,
+    ``atoms_applied`` (``|A_i|``), ``atoms`` (``|F_i|``) and
+    ``retracted`` (``|A_i| - |F_i|``) — the series Figure 4/Section 7
+    reports for the inflating elevator.
+    """
+    series = []
+    for event in events:
+        if event.get("kind") != "chase_step_finished":
+            continue
+        series.append(
+            {
+                "step": event["step"],
+                "rule": event.get("rule"),
+                "atoms_applied": event["atoms_applied"],
+                "atoms": event["atoms_after"],
+                "retracted": event["retracted"],
+            }
+        )
+    return series
+
+
+def summarize_trace(events: Iterable[dict]) -> dict:
+    """Aggregate a trace into a plain-dict summary.
+
+    Returns a dict with ``counts`` (events per kind), ``chase`` (step
+    totals plus the per-step ``series``), and per-subsystem totals for
+    ``core``, ``homomorphism``, ``treewidth`` and ``robust``.
+    """
+    events = list(events)
+    counts = {kind: 0 for kind in EVENT_KINDS}
+    for event in events:
+        kind = event.get("kind", "?")
+        counts[kind] = counts.get(kind, 0) + 1
+    counts = {kind: n for kind, n in counts.items() if n}
+
+    series = retraction_series(events)
+    chase = {
+        "steps": len(series),
+        "retractions": sum(1 for row in series if row["retracted"] > 0),
+        "atoms_retracted": sum(
+            row["retracted"] for row in series if row["retracted"] > 0
+        ),
+        "final_atoms": series[-1]["atoms"] if series else None,
+        "series": series,
+    }
+
+    core_events = [e for e in events if e.get("kind") == "core_retraction"]
+    core = {
+        "calls": len(core_events),
+        "proper": sum(
+            1 for e in core_events if e["atoms_after"] < e["atoms_before"]
+        ),
+        "atoms_folded": sum(
+            e["atoms_before"] - e["atoms_after"] for e in core_events
+        ),
+        "variables_folded": sum(e["variables_folded"] for e in core_events),
+        "seconds": sum(e.get("seconds", 0.0) for e in core_events),
+    }
+
+    hom_events = [e for e in events if e.get("kind") == "homomorphism_search"]
+    homomorphism = {
+        "searches": len(hom_events),
+        "found": sum(1 for e in hom_events if e["found"]),
+        "backtracks": sum(e["backtracks"] for e in hom_events),
+        "seconds": sum(e.get("seconds", 0.0) for e in hom_events),
+    }
+
+    tw_events = [e for e in events if e.get("kind") == "treewidth_search"]
+    treewidth = {
+        "searches": len(tw_events),
+        "budget_consumed": sum(e["budget_consumed"] for e in tw_events),
+        "exhausted": sum(1 for e in tw_events if e["verdict"] is None),
+    }
+
+    robust_events = [e for e in events if e.get("kind") == "robust_step"]
+    robust = {
+        "steps": len(robust_events),
+        "renamed": sum(e["renamed"] for e in robust_events),
+    }
+
+    return {
+        "events": len(events),
+        "counts": counts,
+        "chase": chase,
+        "core": core,
+        "homomorphism": homomorphism,
+        "treewidth": treewidth,
+        "robust": robust,
+    }
+
+
+def render_summary(summary: dict, step_stride: int = 1) -> str:
+    """Render a :func:`summarize_trace` summary as aligned text tables.
+
+    *step_stride* thins the per-step table (stride 5 matches the
+    hand-reported figures; the first and last steps always appear).
+    """
+    parts: list[str] = []
+
+    counts = Table(["event", "count"], title="Trace events")
+    for kind, n in sorted(summary["counts"].items()):
+        counts.add_row(kind, n)
+    counts.add_row("total", summary["events"])
+    parts.append(counts.render())
+
+    series = summary["chase"]["series"]
+    if series:
+        steps = Table(
+            ["step", "rule", "atoms applied", "atoms", "retracted"],
+            title="Chase steps (|A_i|, |F_i|, retraction size)",
+        )
+        last = len(series) - 1
+        for index, row in enumerate(series):
+            if index % step_stride and index != last:
+                continue
+            steps.add_row(
+                row["step"],
+                row["rule"] or "-",
+                row["atoms_applied"],
+                row["atoms"],
+                row["retracted"],
+            )
+        parts.append(steps.render())
+
+    totals = Table(["subsystem", "quantity", "value"], title="Totals")
+    chase = summary["chase"]
+    totals.add_row("chase", "applications", chase["steps"])
+    totals.add_row("chase", "retractions", chase["retractions"])
+    totals.add_row("chase", "atoms retracted", chase["atoms_retracted"])
+    core = summary["core"]
+    if core["calls"]:
+        totals.add_row("core", "retraction calls", core["calls"])
+        totals.add_row("core", "proper retractions", core["proper"])
+        totals.add_row("core", "atoms folded", core["atoms_folded"])
+        totals.add_row("core", "variables folded", core["variables_folded"])
+    hom = summary["homomorphism"]
+    if hom["searches"]:
+        totals.add_row("homomorphism", "searches", hom["searches"])
+        totals.add_row("homomorphism", "found", hom["found"])
+        totals.add_row("homomorphism", "backtracks", hom["backtracks"])
+        totals.add_row("homomorphism", "seconds", round(hom["seconds"], 4))
+    tw = summary["treewidth"]
+    if tw["searches"]:
+        totals.add_row("treewidth", "searches", tw["searches"])
+        totals.add_row("treewidth", "budget consumed", tw["budget_consumed"])
+        totals.add_row("treewidth", "budget exhaustions", tw["exhausted"])
+    robust = summary["robust"]
+    if robust["steps"]:
+        totals.add_row("robust", "steps", robust["steps"])
+        totals.add_row("robust", "variables renamed", robust["renamed"])
+    parts.append(totals.render())
+
+    return "\n".join(parts)

@@ -1,0 +1,235 @@
+"""Structured JSONL tracing and metrics-updating observers.
+
+A trace is a sequence of flat JSON objects, one per line::
+
+    {"seq": 17, "t": 0.00421, "kind": "chase_step_finished",
+     "step": 3, "rule": "Rup", "atoms_before": 10, "atoms_applied": 13,
+     "atoms_after": 11, "retracted": 2}
+
+``seq`` is a per-tracer sequence number, ``t`` the elapsed time in
+seconds since the tracer was created (monotonic clock), ``kind`` one of
+:data:`EVENT_KINDS`; the remaining fields are the event payload (see
+:class:`~repro.obs.observer.Observer` for the schema of each kind, and
+``docs/OBSERVABILITY.md`` for the full catalogue).
+
+The file format is append-only and crash-tolerant: every event is a
+complete line, so a truncated trace loses at most its last event.
+``repro stats FILE`` replays a trace into summary tables.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO, Iterable, Optional, Union
+
+from .metrics import MetricsRegistry
+from .observer import Observer
+
+__all__ = [
+    "EVENT_KINDS",
+    "JsonlTracer",
+    "TracingObserver",
+    "MetricsObserver",
+    "read_trace",
+]
+
+#: Every event kind an Observer callback can emit.
+EVENT_KINDS = (
+    "chase_step_started",
+    "trigger_selected",
+    "trigger_retired",
+    "chase_step_finished",
+    "core_retraction",
+    "homomorphism_search",
+    "treewidth_search",
+    "robust_step",
+)
+
+
+class JsonlTracer:
+    """Serialize events as JSON lines into a file-like sink.
+
+    The tracer owns sequence numbering and timestamps; it does not own
+    the sink (callers close what they open) unless :meth:`close` is
+    asked to.
+    """
+
+    def __init__(self, sink: IO[str]):
+        self.sink = sink
+        self.seq = 0
+        self._epoch = time.perf_counter()
+
+    def emit(self, kind: str, **payload) -> None:
+        record = {
+            "seq": self.seq,
+            "t": round(time.perf_counter() - self._epoch, 6),
+            "kind": kind,
+        }
+        record.update(payload)
+        self.sink.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self.seq += 1
+
+    def flush(self) -> None:
+        self.sink.flush()
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+class MetricsObserver(Observer):
+    """Update a :class:`MetricsRegistry` from the event stream.
+
+    Metric names (see ``docs/OBSERVABILITY.md``):
+
+    ======================  =========  ==================================
+    ``chase.steps``         counter    rule applications recorded
+    ``chase.retractions``   counter    steps with a proper simplification
+    ``chase.atoms_retracted``  counter  total atoms removed by retractions
+    ``chase.atoms``         gauge      atoms in the latest ``F_i``
+    ``chase.retraction_size``  histogram  per-step retraction sizes
+    ``trigger.selected``    counter    fair-scheduler selections
+    ``trigger.retired``     counter    triggers leaving the active pool
+    ``core.retractions``    counter    ``core_retraction`` calls
+    ``core.variables_folded``  counter  variables folded away by cores
+    ``core.time``           timer      time in ``core_retraction``
+    ``hom.searches``        counter    single-witness searches
+    ``hom.found``           counter    successful searches
+    ``hom.backtracks``      counter    total undo operations
+    ``hom.backtracks_per_search``  histogram  per-search backtracks
+    ``hom.time``            timer      time in the search
+    ``tw.searches``         counter    "width ≤ k?" decisions
+    ``tw.budget_consumed``  counter    states consumed by the searches
+    ``robust.steps``        counter    robust-sequence steps built
+    ``robust.renamed``      counter    variables renamed by ``ρ_σ'``
+    ======================  =========  ==================================
+    """
+
+    __slots__ = ("registry",)
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+
+    def chase_step_started(self, *, step, variant, atoms) -> None:
+        self.registry.gauge("chase.atoms").set(atoms)
+
+    def trigger_selected(self, *, step, rule, active) -> None:
+        self.registry.counter("trigger.selected").inc()
+        self.registry.gauge("chase.active_triggers").set(active)
+
+    def trigger_retired(self, *, step, rule, reason, count=1) -> None:
+        self.registry.counter("trigger.retired").inc(count)
+
+    def chase_step_finished(
+        self, *, step, rule, atoms_before, atoms_applied, atoms_after, retracted
+    ) -> None:
+        reg = self.registry
+        reg.counter("chase.steps").inc()
+        reg.gauge("chase.atoms").set(atoms_after)
+        if retracted > 0:
+            reg.counter("chase.retractions").inc()
+            reg.counter("chase.atoms_retracted").inc(retracted)
+        reg.histogram("chase.retraction_size").observe(retracted)
+
+    def core_retraction(
+        self, *, atoms_before, atoms_after, variables_folded, seconds
+    ) -> None:
+        reg = self.registry
+        reg.counter("core.retractions").inc()
+        reg.counter("core.variables_folded").inc(variables_folded)
+        reg.timer("core.time").record(seconds)
+
+    def homomorphism_search(
+        self, *, found, backtracks, source_atoms, target_atoms, seconds
+    ) -> None:
+        reg = self.registry
+        reg.counter("hom.searches").inc()
+        if found:
+            reg.counter("hom.found").inc()
+        reg.counter("hom.backtracks").inc(backtracks)
+        reg.histogram("hom.backtracks_per_search").observe(backtracks)
+        reg.timer("hom.time").record(seconds)
+
+    def treewidth_search(self, *, k, verdict, budget_consumed) -> None:
+        reg = self.registry
+        reg.counter("tw.searches").inc()
+        reg.counter("tw.budget_consumed").inc(budget_consumed)
+
+    def robust_step(self, *, step, renamed, atoms, stable_terms) -> None:
+        reg = self.registry
+        reg.counter("robust.steps").inc()
+        reg.counter("robust.renamed").inc(renamed)
+
+
+class TracingObserver(MetricsObserver):
+    """Emit every event to a :class:`JsonlTracer` (and, optionally, into
+    a metrics registry — pass ``registry=None`` to trace only)."""
+
+    __slots__ = ("tracer",)
+
+    def __init__(
+        self, tracer: JsonlTracer, registry: Optional[MetricsRegistry] = None
+    ):
+        # `registry if ... is not None`, not `registry or`: a registry
+        # with no instruments yet is empty and therefore falsy.
+        super().__init__(
+            registry if registry is not None else MetricsRegistry(enabled=False)
+        )
+        self.tracer = tracer
+
+    def chase_step_started(self, **kw) -> None:
+        self.tracer.emit("chase_step_started", **kw)
+        super().chase_step_started(**kw)
+
+    def trigger_selected(self, **kw) -> None:
+        self.tracer.emit("trigger_selected", **kw)
+        super().trigger_selected(**kw)
+
+    def trigger_retired(self, **kw) -> None:
+        self.tracer.emit("trigger_retired", **kw)
+        super().trigger_retired(**kw)
+
+    def chase_step_finished(self, **kw) -> None:
+        self.tracer.emit("chase_step_finished", **kw)
+        super().chase_step_finished(**kw)
+
+    def core_retraction(self, **kw) -> None:
+        self.tracer.emit("core_retraction", **kw)
+        super().core_retraction(**kw)
+
+    def homomorphism_search(self, **kw) -> None:
+        self.tracer.emit("homomorphism_search", **kw)
+        super().homomorphism_search(**kw)
+
+    def treewidth_search(self, **kw) -> None:
+        self.tracer.emit("treewidth_search", **kw)
+        super().treewidth_search(**kw)
+
+    def robust_step(self, **kw) -> None:
+        self.tracer.emit("robust_step", **kw)
+        super().robust_step(**kw)
+
+
+def read_trace(source: Union[str, IO[str], Iterable[str]]) -> list[dict]:
+    """Parse a JSONL trace from a path, open file, or iterable of lines.
+
+    Blank lines are skipped; a malformed *final* line (a run cut short
+    mid-write) is dropped, while malformed interior lines raise."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            lines = handle.readlines()
+    elif hasattr(source, "read"):
+        lines = source.readlines()
+    else:
+        lines = list(source)
+    stripped = [line.strip() for line in lines]
+    stripped = [line for line in stripped if line]
+    events: list[dict] = []
+    for index, line in enumerate(stripped):
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if index == len(stripped) - 1:
+                break  # torn final write
+            raise
+    return events

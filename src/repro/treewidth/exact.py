@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Hashable, Optional
 
+from ..obs import observer as _observer_state
 from .elimination import treewidth_upper_bound
 from .graph import Graph
 from .lowerbounds import mmd_lower_bound
@@ -40,8 +41,36 @@ class SearchBudgetExceeded(RuntimeError):
 
     Callers should fall back to the (lower, upper) bracket from
     :func:`repro.treewidth.lowerbounds.mmd_lower_bound` and
-    :func:`repro.treewidth.elimination.treewidth_upper_bound`.
+    :func:`repro.treewidth.elimination.treewidth_upper_bound` — or use
+    the attributes below, which report what the interrupted search had
+    already established.
+
+    Attributes
+    ----------
+    k:
+        The width being decided when the budget ran out.
+    consumed:
+        Search states consumed (equals the configured budget).
+    lower / upper:
+        Best treewidth bracket certain at interruption time (None when
+        the raising call had no bracket in hand, e.g. a bare
+        :func:`has_width_at_most`).
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        k: Optional[int] = None,
+        consumed: Optional[int] = None,
+        lower: Optional[int] = None,
+        upper: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.k = k
+        self.consumed = consumed
+        self.lower = lower
+        self.upper = upper
 
 
 def has_width_at_most(
@@ -52,7 +81,25 @@ def has_width_at_most(
         return len(graph) == 0
     budget = [state_budget]
     failed: set[frozenset] = set()
-    return _search(graph.copy(), k, failed, budget)
+    observer = _observer_state.current
+    try:
+        verdict = _search(graph.copy(), k, failed, budget)
+    except SearchBudgetExceeded as exc:
+        if observer is not None:
+            observer.treewidth_search(
+                k=k, verdict=None, budget_consumed=state_budget
+            )
+        raise SearchBudgetExceeded(
+            f"exact treewidth search exhausted its state budget "
+            f"({state_budget} states consumed) deciding width <= {k}",
+            k=k,
+            consumed=state_budget,
+        ) from exc
+    if observer is not None:
+        observer.treewidth_search(
+            k=k, verdict=verdict, budget_consumed=state_budget - budget[0]
+        )
+    return verdict
 
 
 def _greedy_safe_eliminations(graph: Graph, k: int) -> bool:
@@ -131,6 +178,19 @@ def treewidth_exact(
     )
     lower = max(lower, 0)
     for k in range(lower, upper):
-        if has_width_at_most(graph, k, state_budget=state_budget):
-            return k
+        try:
+            if has_width_at_most(graph, k, state_budget=state_budget):
+                return k
+        except SearchBudgetExceeded as exc:
+            # Every k' < k already failed, so tw > k-1 is certain; the
+            # min-fill upper bound still holds.  Report the bracket.
+            raise SearchBudgetExceeded(
+                f"exact treewidth search exhausted its state budget "
+                f"({exc.consumed} states consumed) at k={k}; "
+                f"best bounds so far: treewidth in [{k}, {upper}]",
+                k=k,
+                consumed=exc.consumed,
+                lower=k,
+                upper=upper,
+            ) from exc
     return upper

@@ -2,7 +2,8 @@
 
 The benchmark harness prints, for every reproduced figure/proposition,
 the series the paper reports.  :class:`Table` renders aligned monospace
-tables (and CSV for post-processing) without pulling in any dependency.
+tables (plus CSV and machine-readable JSON records for post-processing)
+without pulling in any dependency.
 """
 
 from __future__ import annotations
@@ -14,12 +15,18 @@ __all__ = ["Table", "banner"]
 
 
 class Table:
-    """A simple column-aligned text table."""
+    """A simple column-aligned text table.
+
+    Cells are kept twice: rendered (``rows``, for the text/CSV views)
+    and raw (for :meth:`records` / :meth:`to_json_payload`, so the
+    archived JSON keeps numbers as numbers and booleans as booleans).
+    """
 
     def __init__(self, headers: Sequence[str], title: str = ""):
         self.title = title
         self.headers = [str(h) for h in headers]
         self.rows: list[list[str]] = []
+        self.raw_rows: list[list] = []
 
     def add_row(self, *cells) -> None:
         """Append a row (cells are str()-ed; length-checked)."""
@@ -27,6 +34,7 @@ class Table:
             raise ValueError(
                 f"expected {len(self.headers)} cells, got {len(cells)}"
             )
+        self.raw_rows.append(list(cells))
         self.rows.append([_render_cell(c) for c in cells])
 
     def render(self) -> str:
@@ -56,6 +64,28 @@ class Table:
         lines.extend(",".join(row) for row in self.rows)
         return "\n".join(lines) + "\n"
 
+    def records(self) -> list[dict]:
+        """One dict per row, header → raw (JSON-coercible) value."""
+        return [
+            {
+                header: _json_cell(cell)
+                for header, cell in zip(self.headers, row)
+            }
+            for row in self.raw_rows
+        ]
+
+    def to_json_payload(self, name: str = "", extra: str = "") -> dict:
+        """The machine-readable twin of :meth:`render`, as a plain dict
+        ready for ``json.dumps`` — the benchmark harness archives this
+        next to every ``.txt`` results file."""
+        return {
+            "name": name,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": self.records(),
+            "extra": extra,
+        }
+
     def print(self) -> None:
         print(self.render())
 
@@ -65,6 +95,12 @@ def _render_cell(value) -> str:
         return f"{value:.3f}"
     if isinstance(value, bool):
         return "yes" if value else "no"
+    return str(value)
+
+
+def _json_cell(value):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
     return str(value)
 
 

@@ -1,11 +1,15 @@
 """Tests for the command-line interface (repro.cli)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
 from repro.kbs.generators import grid_instance
 from repro.kbs.witnesses import manager_kb, transitive_closure_kb
 from repro.logic.serialization import dump_instance, save_kb
+from repro.obs import get_observer
+from repro.obs.tracer import read_trace
 
 
 @pytest.fixture()
@@ -43,6 +47,56 @@ class TestChaseCommand:
     def test_variant_validated(self, kb_file):
         with pytest.raises(SystemExit):
             main(["chase", kb_file, "--variant", "turbo"])
+
+    def test_summary_reports_retractions(self, kb_file, capsys):
+        main(["chase", kb_file, "--variant", "core", "--quiet"])
+        out = capsys.readouterr().out
+        assert "retractions" in out
+        assert "atoms retracted" in out
+
+    def test_json_summary(self, kb_file, capsys):
+        code = main(["chase", kb_file, "--variant", "core", "--json"])
+        summary = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert summary["variant"] == "core"
+        assert summary["terminated"] is True
+        assert summary["applications"] >= 1
+        assert summary["retractions"] >= 0
+        assert summary["atoms_retracted"] >= 0
+        assert "e(v0, v3)" in summary["instance"]
+
+    def test_json_quiet_omits_instance(self, kb_file, capsys):
+        main(["chase", kb_file, "--json", "--quiet"])
+        summary = json.loads(capsys.readouterr().out)
+        assert "instance" not in summary
+
+    def test_trace_writes_jsonl(self, kb_file, tmp_path, capsys):
+        trace_path = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "chase",
+                kb_file,
+                "--variant",
+                "core",
+                "--quiet",
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        events = read_trace(str(trace_path))
+        kinds = {event["kind"] for event in events}
+        assert "chase_step_finished" in kinds
+        assert "core_retraction" in kinds
+        # the observer must not leak past the command
+        assert get_observer() is None
+
+    def test_metrics_table_printed(self, kb_file, capsys):
+        main(["chase", kb_file, "--variant", "core", "--quiet", "--metrics"])
+        out = capsys.readouterr().out
+        assert "# metrics" in out
+        assert "chase.steps" in out
+        assert "hom.searches" in out
 
 
 class TestEntailCommand:
@@ -98,6 +152,54 @@ class TestTreewidthCommand:
         code = main(["treewidth", str(path)])
         assert code == 0
         assert "treewidth: 3" in capsys.readouterr().out
+
+
+class TestEntailClassifyJson:
+    def test_entail_json_verdict(self, manager_file, capsys):
+        code = main(["entail", manager_file, "mgr(ann, X)", "--json"])
+        verdict = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert verdict["entailed"] is True
+        assert verdict["method"]
+
+    def test_entail_json_exit_codes(self, manager_file, capsys):
+        code = main(["entail", manager_file, "mgr(X, ann)", "--json"])
+        verdict = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert verdict["entailed"] is False
+
+    def test_classify_json_report(self, kb_file, capsys):
+        code = main(["classify", kb_file, "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["weakly_acyclic"] is True
+        assert report["fes_applications"] is not None
+
+
+class TestStatsCommand:
+    @pytest.fixture()
+    def trace_file(self, kb_file, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        main(
+            ["chase", kb_file, "--variant", "core", "--quiet", "--trace", str(path)]
+        )
+        capsys.readouterr()  # drop the chase output
+        return str(path)
+
+    def test_tables_rendered(self, trace_file, capsys):
+        code = main(["stats", trace_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Trace events" in out
+        assert "Totals" in out
+        assert "core_retraction" in out
+
+    def test_json_summary(self, trace_file, capsys):
+        code = main(["stats", trace_file, "--json"])
+        summary = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert summary["core"]["calls"] == summary["chase"]["steps"] + 1
+        assert summary["chase"]["series"], "per-step series must be present"
 
 
 class TestParser:

@@ -62,6 +62,11 @@ MODULES = [
     "repro.util.orders",
     "repro.util.reporting",
     "repro.util.render",
+    "repro.obs",
+    "repro.obs.metrics",
+    "repro.obs.observer",
+    "repro.obs.tracer",
+    "repro.obs.stats",
     "repro.datalog",
     "repro.cli",
 ]
