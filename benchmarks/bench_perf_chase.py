@@ -4,14 +4,31 @@ Applications per second across the four variants on terminating and
 diverging workloads; the core variant pays per-step core computation,
 the restricted variant pays satisfaction checks, the oblivious variants
 pay almost nothing — the classical trade-off from the introduction.
+
+``bench_perf_chase_table`` additionally archives a machine-readable
+timing table (``results/perf_chase.json``) that the CI perf gate diffs
+against the committed baseline (``baselines/perf_chase.json``) with
+``compare_results.py``.  Set ``REPRO_NAIVE=1`` to time the naive engine
+(no trigger index, no atom index, no memo) — that is how the committed
+baseline was produced; see docs/PERFORMANCE.md.
 """
+
+import os
+import time
+from contextlib import nullcontext
 
 import pytest
 
 from repro.chase.engine import ChaseVariant, run_chase
+from repro.kbs.elevator import elevator_kb
 from repro.kbs.generators import layered_kb
 from repro.kbs.staircase import staircase_kb
 from repro.kbs.witnesses import bts_not_fes_kb, transitive_closure_kb
+from repro.logic.homcache import get_cache
+from repro.logic.indexing import no_index
+from repro.util import Table
+
+from conftest import save_table
 
 
 @pytest.mark.parametrize("variant", ChaseVariant.ALL)
@@ -47,3 +64,61 @@ def bench_staircase_core_chase_short(benchmark):
         iterations=1,
     )
     assert result.applications == 12
+
+
+# ---------------------------------------------------------------------------
+# the perf-gate timing table
+# ---------------------------------------------------------------------------
+
+#: (workload, kb factory, variant, step budget) — the gate's row set.
+#: The staircase/elevator core rows are the paper's deep-retraction
+#: workloads and the ones the indexed engine must keep fast.
+PERF_CHASE_ROWS = (
+    ("staircase", staircase_kb, ChaseVariant.CORE, 45),
+    ("staircase", staircase_kb, ChaseVariant.RESTRICTED, 45),
+    ("elevator", elevator_kb, ChaseVariant.CORE, 35),
+    ("elevator", elevator_kb, ChaseVariant.RESTRICTED, 30),
+    ("layered-6x2", lambda: layered_kb(6, fanout=2), ChaseVariant.RESTRICTED, 200),
+    ("transitive-5", lambda: transitive_closure_kb(5), ChaseVariant.CORE, 300),
+)
+
+
+def _timed_chase(make_kb, variant, steps, repeats=3):
+    """Best-of-*repeats* wall time; the memo is cleared before every
+    measurement so each run is cold and comparable across processes."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        get_cache().clear()
+        kb = make_kb()
+        started = time.perf_counter()
+        result = run_chase(kb, variant=variant, max_steps=steps)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def bench_perf_chase_table():
+    """Archive the timing table the CI perf gate compares (one row per
+    workload x variant; metric column: ``seconds``)."""
+    naive = os.environ.get("REPRO_NAIVE") == "1"
+    scope = no_index() if naive else nullcontext()
+    table = Table(
+        ["workload", "variant", "steps", "applications", "seconds", "apps_per_sec"],
+        title="perf: chase wall time per workload",
+    )
+    with scope:
+        for workload, make_kb, variant, steps in PERF_CHASE_ROWS:
+            seconds, result = _timed_chase(make_kb, variant, steps)
+            table.add_row(
+                workload,
+                variant,
+                steps,
+                result.applications,
+                round(seconds, 4),
+                round(result.applications / max(seconds, 1e-9), 1),
+            )
+    extra = (
+        f"engine path: {'naive (REPRO_NAIVE=1)' if naive else 'indexed'}; "
+        "best of 3, cold homomorphism memo per measurement."
+    )
+    save_table("perf_chase", table, extra)

@@ -12,7 +12,7 @@ import pytest
 from repro.kbs.generators import grid_instance, path_instance
 from repro.logic.homomorphism import maps_into
 from repro.query import boolean_cq
-from repro.query.decomposed import DecomposedQuery, holds_via_decomposition
+from repro.query.decomposed import DecomposedQuery
 
 PATH_QUERY = boolean_cq("e(A, B), e(B, C), e(C, D), e(D, E), e(E, F)")
 GRID_QUERY = boolean_cq(

@@ -1,0 +1,158 @@
+"""Perf-regression gate: diff benchmark result tables against baselines.
+
+Compares the machine-readable tables archived by the perf benches
+(``benchmarks/results/<name>.json``) against committed reference tables
+(``benchmarks/baselines/<name>.json``) and **fails** — exit code 1 —
+when any row's metric regressed beyond the threshold (default: 2x
+slower).  Rows are matched on their non-float fields (workload,
+variant, step budget, iteration count, ...), so a behavioural drift
+that changes an application count also fails the gate, loudly, as a
+missing row.
+
+Usage (local or CI — stdlib only, no package install needed)::
+
+    python benchmarks/compare_results.py                  # all baselines
+    python benchmarks/compare_results.py perf_chase       # one table
+    python benchmarks/compare_results.py --threshold 1.5  # stricter
+
+Regenerating a table after an intentional change::
+
+    PYTHONPATH=src REPRO_NAIVE=1 python -m pytest \
+        "benchmarks/bench_perf_chase.py::bench_perf_chase_table" -q
+    cp benchmarks/results/perf_chase.json benchmarks/baselines/
+
+(The committed baselines are naive-path timings — ``REPRO_NAIVE=1`` —
+so the gate also documents the indexed engine's speedup: the printed
+ratios are the fraction of the naive time each row now takes.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).parent
+DEFAULT_BASELINES = HERE / "baselines"
+DEFAULT_RESULTS = HERE / "results"
+
+
+def load_table(path: pathlib.Path) -> dict:
+    with open(path) as handle:
+        payload = json.load(handle)
+    for field in ("headers", "rows"):
+        if field not in payload:
+            raise SystemExit(f"{path}: not a results table (missing {field!r})")
+    return payload
+
+
+def row_key(row: dict, metric: str) -> tuple:
+    """The identity of a row: every non-float field except the metric.
+    Floats are measurements; everything else (names, variants, step
+    budgets, iteration counts) pins down *what* was measured."""
+    return tuple(
+        (field, value)
+        for field, value in row.items()
+        if field != metric and not isinstance(value, float)
+    )
+
+
+def compare_table(name: str, baseline: dict, current: dict, metric: str, threshold: float):
+    """Yield (key, base_value, cur_value, ratio, ok) per baseline row;
+    a row missing from the current table yields cur_value=None, ok=False."""
+    current_rows = {row_key(row, metric): row for row in current["rows"]}
+    for base_row in baseline["rows"]:
+        key = row_key(base_row, metric)
+        base_value = base_row.get(metric)
+        if not isinstance(base_value, (int, float)):
+            raise SystemExit(f"{name}: baseline row {key} has no numeric {metric!r}")
+        cur_row = current_rows.get(key)
+        if cur_row is None:
+            yield key, base_value, None, None, False
+            continue
+        cur_value = cur_row.get(metric)
+        if not isinstance(cur_value, (int, float)):
+            yield key, base_value, None, None, False
+            continue
+        ratio = cur_value / max(base_value, 1e-9)
+        yield key, base_value, cur_value, ratio, ratio <= threshold
+
+
+def describe(key: tuple) -> str:
+    return " ".join(str(value) for _, value in key)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when benchmark rows regressed beyond a threshold"
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="table names (default: every *.json in the baselines dir)",
+    )
+    parser.add_argument("--baselines", type=pathlib.Path, default=DEFAULT_BASELINES)
+    parser.add_argument("--results", type=pathlib.Path, default=DEFAULT_RESULTS)
+    parser.add_argument(
+        "--metric", default="seconds", help="row field to compare (default: seconds)"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when current/baseline exceeds this (default: 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.names or sorted(
+        path.stem for path in args.baselines.glob("*.json")
+    )
+    if not names:
+        print(f"no baselines found under {args.baselines}", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for name in names:
+        baseline_path = args.baselines / f"{name}.json"
+        results_path = args.results / f"{name}.json"
+        if not baseline_path.exists():
+            print(f"FAIL {name}: no baseline {baseline_path}", file=sys.stderr)
+            failures += 1
+            continue
+        if not results_path.exists():
+            print(
+                f"FAIL {name}: no results {results_path} (run the bench first)",
+                file=sys.stderr,
+            )
+            failures += 1
+            continue
+        baseline = load_table(baseline_path)
+        current = load_table(results_path)
+        print(f"== {name} (metric: {args.metric}, threshold: {args.threshold}x) ==")
+        for key, base_value, cur_value, ratio, ok in compare_table(
+            name, baseline, current, args.metric, args.threshold
+        ):
+            label = describe(key)
+            if cur_value is None:
+                print(f"  FAIL {label}: row missing from current results")
+                failures += 1
+            elif not ok:
+                print(
+                    f"  FAIL {label}: {base_value:g} -> {cur_value:g} "
+                    f"({ratio:.2f}x, over {args.threshold}x)"
+                )
+                failures += 1
+            else:
+                print(
+                    f"  ok   {label}: {base_value:g} -> {cur_value:g} ({ratio:.2f}x)"
+                )
+    if failures:
+        print(f"{failures} regression(s) beyond {args.threshold}x", file=sys.stderr)
+        return 1
+    print("perf gate clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,9 @@ BENCH trajectory future perf PRs diff against.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import tempfile
 
 import pytest
 
@@ -35,17 +37,52 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 RESULTS_SCHEMA = 1
 
 
+def _current_umask() -> int:
+    mask = os.umask(0)
+    os.umask(mask)
+    return mask
+
+
+def _atomic_write_text(path: pathlib.Path, text: str) -> None:
+    """Write *text* to *path* atomically: a reader (the perf gate, a CI
+    artifact upload, a concurrent bench session) never observes a
+    truncated file — it sees the old content or the new, nothing in
+    between.  The temp file lives in the target directory so
+    ``os.replace`` stays a same-filesystem rename."""
+    handle = tempfile.NamedTemporaryFile(
+        "w",
+        dir=path.parent,
+        prefix=f".{path.name}.",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        # mkstemp-style temp files are 0600; give results the normal mode
+        os.chmod(handle.name, 0o666 & ~_current_umask())
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
 def save_table(name: str, table: Table, extra: str = "") -> None:
     """Print a table and archive it (.txt + .json) under
-    benchmarks/results/."""
+    benchmarks/results/ (atomically; see :func:`_atomic_write_text`)."""
     RESULTS_DIR.mkdir(exist_ok=True)
     rendered = table.render() + (extra + "\n" if extra else "")
     print("\n" + rendered)
-    (RESULTS_DIR / f"{name}.txt").write_text(rendered)
+    _atomic_write_text(RESULTS_DIR / f"{name}.txt", rendered)
     payload = table.to_json_payload(name=name, extra=extra)
     payload["schema"] = RESULTS_SCHEMA
-    (RESULTS_DIR / f"{name}.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
+    _atomic_write_text(
+        RESULTS_DIR / f"{name}.json", json.dumps(payload, indent=2) + "\n"
     )
 
 

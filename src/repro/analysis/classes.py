@@ -24,7 +24,7 @@ every length; the elevator's grows monotonically).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from ..chase.engine import ChaseVariant, run_chase

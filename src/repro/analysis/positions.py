@@ -8,11 +8,11 @@ criteria.
 
 from __future__ import annotations
 
-from typing import Iterator, Union
+from typing import Iterator
 
 from ..logic.atoms import Predicate
 from ..logic.atomset import AtomSet
-from ..logic.rules import ExistentialRule, RuleSet
+from ..logic.rules import RuleSet
 from ..logic.terms import Variable
 
 __all__ = ["Position", "positions_of_ruleset", "variable_positions"]

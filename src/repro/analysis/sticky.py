@@ -22,7 +22,7 @@ the body of its rule.
 
 from __future__ import annotations
 
-from ..logic.rules import ExistentialRule, RuleSet
+from ..logic.rules import RuleSet
 from ..logic.terms import Variable
 from .positions import Position, variable_positions
 

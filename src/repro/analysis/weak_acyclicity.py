@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from ..logic.rules import ExistentialRule, RuleSet
+from ..logic.rules import RuleSet
 from .positions import Position, variable_positions
 
 __all__ = ["DependencyGraph", "dependency_graph", "is_weakly_acyclic"]

@@ -20,7 +20,7 @@ setting.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional, Union
 
 from ..logic.atoms import Atom
@@ -30,7 +30,6 @@ from ..logic.parser import ParseError, parse_atoms, _NAME
 from ..logic.rules import ExistentialRule, RuleSet
 from ..logic.substitution import Substitution
 from ..logic.terms import Constant, FreshVariableSource, Term, Variable
-from .engine import ChaseVariant
 from .trigger import apply_trigger, unsatisfied_triggers
 
 __all__ = [

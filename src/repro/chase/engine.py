@@ -35,9 +35,12 @@ exactly when the KB has a finite universal model (Deutsch, Nash & Remmel
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from contextlib import nullcontext
+from dataclasses import dataclass
 from typing import Callable, Optional
 
+from ..logic import homcache as _homcache
+from ..logic import indexing as _indexing
 from ..logic.atomset import AtomSet
 from ..logic.cores import core_retraction
 from ..logic.kb import KnowledgeBase
@@ -47,6 +50,7 @@ from ..obs import observer as _observer_state
 from ..obs.observer import Observer
 from .derivation import Derivation, DerivationStep
 from .trigger import Trigger, apply_trigger, triggers
+from .trigger_index import TriggerIndex
 
 __all__ = ["ChaseVariant", "ChaseResult", "ChaseEngine", "run_chase"]
 
@@ -151,6 +155,14 @@ class ChaseEngine:
         (:func:`repro.obs.set_observer`); pass one explicitly for scoped
         instrumentation.  When no observer is installed the engine pays
         a single identity check per event site.
+    use_index:
+        When True (the default) the engine maintains the live-trigger
+        pool incrementally with a :class:`~repro.chase.trigger_index.
+        TriggerIndex` and lets the homomorphism layer use its positional
+        atom index and memo cache.  When False the engine re-enumerates
+        every trigger from scratch each step **and** scopes off the atom
+        index and memo cache for the duration of the run — the fully
+        naive reference path the differential tests compare against.
     """
 
     def __init__(
@@ -160,6 +172,7 @@ class ChaseEngine:
         core_every: int = 1,
         fresh_prefix: str = "_n",
         observer: Optional[Observer] = None,
+        use_index: bool = True,
     ):
         if variant not in ChaseVariant.ALL:
             raise ValueError(f"unknown chase variant {variant!r}")
@@ -169,6 +182,7 @@ class ChaseEngine:
         self.variant = variant
         self.core_every = core_every
         self.observer = observer
+        self.use_index = use_index
         self._fresh = FreshVariableSource(prefix=fresh_prefix)
 
     # ------------------------------------------------------------------
@@ -185,21 +199,31 @@ class ChaseEngine:
         without retaining anything extra.  The engine keeps its state
         afterward, so :meth:`resume` can continue the same derivation.
         """
-        raw_facts = self.kb.facts.copy()
-        if self.variant == ChaseVariant.CORE:
-            sigma0 = core_retraction(raw_facts)
-        else:
-            sigma0 = Substitution.identity()
-        current = sigma0.apply(raw_facts)
-        self._steps = [DerivationStep(0, None, raw_facts, sigma0, current)]
-        self._current = current
-        self._applied_keys: set = set()  # oblivious / semi-oblivious memory
-        self._ages: dict = {}  # canonical trigger key -> birth step
-        self._terminated = False
-        self._applications_since_core = 0
-        if on_step is not None:
-            on_step(self._steps[0])
-        return self._advance(max_steps, on_step)
+        with self._index_scope():
+            raw_facts = self.kb.facts.copy()
+            if self.variant == ChaseVariant.CORE:
+                sigma0 = core_retraction(raw_facts)
+            else:
+                sigma0 = Substitution.identity()
+            current = sigma0.apply(raw_facts)
+            self._steps = [DerivationStep(0, None, raw_facts, sigma0, current)]
+            self._current = current
+            self._applied_keys: set = set()  # oblivious / semi-oblivious memory
+            self._ages: dict = {}  # canonical trigger key -> birth step
+            self._terminated = False
+            self._applications_since_core = 0
+            if self.use_index:
+                self._index: Optional[TriggerIndex] = TriggerIndex(
+                    self.kb.rules,
+                    current,
+                    track_satisfaction=self.variant
+                    not in (ChaseVariant.OBLIVIOUS, ChaseVariant.SEMI_OBLIVIOUS),
+                )
+            else:
+                self._index = None
+            if on_step is not None:
+                on_step(self._steps[0])
+            return self._advance(max_steps, on_step)
 
     def resume(
         self,
@@ -216,7 +240,13 @@ class ChaseEngine:
         """
         if not hasattr(self, "_steps"):
             raise RuntimeError("resume() requires a prior run()")
-        return self._advance(extra_steps, on_step)
+        with self._index_scope():
+            return self._advance(extra_steps, on_step)
+
+    def _index_scope(self):
+        """The indexing configuration a run executes under: the ambient
+        one normally, everything scoped off for the naive path."""
+        return nullcontext() if self.use_index else _indexing.no_index()
 
     def _advance(
         self,
@@ -237,7 +267,12 @@ class ChaseEngine:
                     variant=self.variant,
                     atoms=len(self._current),
                 )
-            active = self._active_triggers(self._current, self._applied_keys)
+            if self._index is not None:
+                active = self._indexed_active_triggers()
+            else:
+                active = self._active_triggers(
+                    self._current, self._applied_keys
+                )
             if not active:
                 self._terminated = True
                 break
@@ -254,8 +289,18 @@ class ChaseEngine:
                     active=len(active),
                 )
             atoms_before = len(self._current)
-            pre_instance, _ = apply_trigger(self._current, chosen, self._fresh)
+            pre_instance, pi_safe = apply_trigger(
+                self._current, chosen, self._fresh
+            )
             self._applied_keys.add(self._memory_key(chosen))
+            delta: list = []
+            if self._index is not None:
+                seen_delta: set = set()
+                for head_atom in chosen.rule.head.sorted_atoms():
+                    atom = pi_safe.apply_atom(head_atom)
+                    if atom not in seen_delta and atom not in self._current:
+                        seen_delta.add(atom)
+                        delta.append(atom)
 
             self._applications_since_core += 1
             if (
@@ -269,6 +314,32 @@ class ChaseEngine:
             else:
                 sigma = Substitution.identity()
             self._current = sigma.apply(pre_instance)
+            proper_retraction = len(sigma.drop_trivial()) > 0
+            if self._index is not None:
+                delta_stats = self._index.apply_delta(
+                    pre_instance, delta, satisfied_hint=chosen
+                )
+                transport_stats = {"transported": 0, "collapsed": 0}
+                if proper_retraction:
+                    transport_stats = self._index.transport(sigma)
+                    if _indexing.hom_memo_enabled():
+                        # The pre-application instance is superseded for
+                        # good once a proper retraction fires.
+                        _homcache.get_cache().invalidate(
+                            pre_instance.fingerprint()
+                        )
+                if observer is not None:
+                    observer.trigger_index_update(
+                        step=step_index,
+                        delta_atoms=delta_stats["delta_atoms"],
+                        triggers_new=delta_stats["triggers_new"],
+                        triggers_reused=delta_stats["triggers_reused"],
+                        satisfaction_rechecks=delta_stats[
+                            "satisfaction_rechecks"
+                        ],
+                        transported=transport_stats["transported"],
+                        collapsed=transport_stats["collapsed"],
+                    )
             step = DerivationStep(
                 step_index, chosen, pre_instance, sigma, self._current
             )
@@ -288,7 +359,7 @@ class ChaseEngine:
                 )
             if on_step is not None:
                 on_step(step)
-            if len(sigma.drop_trivial()):
+            if proper_retraction:
                 before_transport = len(self._ages)
                 self._ages = self._transport_ages(self._ages, sigma)
                 if observer is not None:
@@ -307,6 +378,17 @@ class ChaseEngine:
     # ------------------------------------------------------------------
     # variant plumbing
     # ------------------------------------------------------------------
+
+    def _indexed_active_triggers(self) -> list[Trigger]:
+        """The active pool, read off the incremental index: the same set
+        :meth:`_active_triggers` enumerates from scratch."""
+        if self.variant in (ChaseVariant.OBLIVIOUS, ChaseVariant.SEMI_OBLIVIOUS):
+            return [
+                trigger
+                for trigger in self._index.live_triggers()
+                if self._memory_key(trigger) not in self._applied_keys
+            ]
+        return self._index.unsatisfied_triggers()
 
     def _active_triggers(self, instance: AtomSet, applied_keys: set) -> list[Trigger]:
         active: list[Trigger] = []
@@ -389,9 +471,14 @@ def run_chase(
     core_every: int = 1,
     on_step: Optional[Callable[[DerivationStep], None]] = None,
     observer: Optional[Observer] = None,
+    use_index: bool = True,
 ) -> ChaseResult:
     """One-shot convenience wrapper around :class:`ChaseEngine`."""
     engine = ChaseEngine(
-        kb, variant=variant, core_every=core_every, observer=observer
+        kb,
+        variant=variant,
+        core_every=core_every,
+        observer=observer,
+        use_index=use_index,
     )
     return engine.run(max_steps=max_steps, on_step=on_step)

@@ -17,11 +17,10 @@ misleadingly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..logic.atoms import Atom
-from ..logic.atomset import AtomSet
 from .derivation import Derivation
 
 __all__ = ["ProvenanceIndex", "DerivationTree"]

@@ -38,6 +38,7 @@ from typing import Optional, Sequence
 
 from .analysis import analyze_ruleset
 from .chase.engine import ChaseVariant, run_chase
+from .logic.homcache import get_cache
 from .logic.serialization import load_instance, load_kb_file
 from .obs import (
     JsonlTracer,
@@ -89,6 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit a machine-readable JSON summary instead of text",
+    )
+    chase.add_argument(
+        "--no-index",
+        action="store_true",
+        help="run the naive engine: no incremental trigger index, no "
+        "positional atom index, no homomorphism memo (the reference "
+        "path differential tests compare against)",
     )
 
     entail = commands.add_parser("entail", help="decide a Boolean CQ")
@@ -147,7 +155,12 @@ def _cmd_chase(args: argparse.Namespace) -> int:
         observer = None
     try:
         with observing(observer):
-            result = run_chase(kb, variant=args.variant, max_steps=args.steps)
+            result = run_chase(
+                kb,
+                variant=args.variant,
+                max_steps=args.steps,
+                use_index=not args.no_index,
+            )
     finally:
         if sink is not None:
             sink.close()
@@ -289,6 +302,10 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    # Each invocation starts with a cold homomorphism memo, so CLI runs
+    # report the same telemetry whether main() is called from a fresh
+    # process or repeatedly in one (as the test-suite does).
+    get_cache().clear()
     handlers = {
         "chase": _cmd_chase,
         "entail": _cmd_entail,

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from typing import Iterable, Union
 
-from .logic.atoms import Atom
 from .logic.atomset import AtomSet
 from .logic.homomorphism import homomorphisms
 from .logic.rules import ExistentialRule, RuleSet

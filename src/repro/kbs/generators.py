@@ -10,7 +10,6 @@ whose chase depth is controlled.  All generators are deterministic
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from ..logic.atoms import atom
 from ..logic.atomset import AtomSet
@@ -24,6 +23,7 @@ __all__ = [
     "grid_instance",
     "star_instance",
     "random_instance",
+    "random_kb",
     "layered_kb",
     "path_with_shortcut",
 ]
@@ -95,6 +95,54 @@ def random_instance(
         args = [rng.choice(pool) for _ in range(arity)]
         atoms.add(atom(predicate, *args))
     return atoms
+
+
+def random_kb(
+    rule_count: int = 3,
+    fact_count: int = 6,
+    term_pool: int = 4,
+    predicates: tuple[str, ...] = ("p", "q", "e"),
+    arity: int = 2,
+    seed: int = 0,
+) -> KnowledgeBase:
+    """A random KB: *fact_count* facts over a mixed constant/null pool
+    and *rule_count* random existential rules.
+
+    Rule bodies draw 1–2 atoms over the variables X, Y, Z; heads draw
+    1–2 atoms over the body variables plus the head-only (therefore
+    existential) variables U, W.  Termination is *not* guaranteed —
+    consumers chase with a step budget.  Deterministic in *seed*; the
+    differential index tests fuzz over seeds.
+    """
+    if rule_count < 1:
+        raise ValueError("rule_count must be >= 1")
+    if fact_count < 1:
+        raise ValueError("fact_count must be >= 1")
+    rng = random.Random(seed)
+    constants = [Constant(f"c{i}") for i in range(max(term_pool, 1))]
+    nulls = [Variable(f"N{i}") for i in range(max(term_pool // 2, 1))]
+    pool = constants + nulls
+    facts = AtomSet()
+    while len(facts) < fact_count:
+        predicate = rng.choice(predicates)
+        facts.add(atom(predicate, *(rng.choice(pool) for _ in range(arity))))
+    body_vars = ("X", "Y", "Z")
+    head_vars = body_vars + ("U", "W")
+    lines = []
+    for i in range(rule_count):
+        body = ", ".join(
+            f"{rng.choice(predicates)}"
+            f"({', '.join(rng.choice(body_vars) for _ in range(arity))})"
+            for _ in range(rng.randint(1, 2))
+        )
+        head = ", ".join(
+            f"{rng.choice(predicates)}"
+            f"({', '.join(rng.choice(head_vars) for _ in range(arity))})"
+            for _ in range(rng.randint(1, 2))
+        )
+        lines.append(f"[R{i}] {body} -> {head}")
+    rules = parse_rules("\n".join(lines))
+    return KnowledgeBase(facts, rules, name=f"random-{seed}")
 
 
 def layered_kb(layers: int, fanout: int = 1) -> KnowledgeBase:

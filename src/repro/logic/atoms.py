@@ -86,7 +86,7 @@ def make_term(value: Union[Term, str]) -> Term:
 class Atom:
     """An immutable atom ``p(t_1, ..., t_k)``."""
 
-    __slots__ = ("predicate", "args", "_hash")
+    __slots__ = ("predicate", "args", "_hash", "_key")
 
     predicate: Predicate
     args: tuple[Term, ...]
@@ -106,6 +106,7 @@ class Atom:
         object.__setattr__(self, "predicate", predicate)
         object.__setattr__(self, "args", args)
         object.__setattr__(self, "_hash", hash((predicate, args)))
+        object.__setattr__(self, "_key", None)
 
     def __setattr__(self, key, value):  # pragma: no cover - defensive
         raise AttributeError("Atom is immutable")
@@ -132,12 +133,21 @@ class Atom:
         return self.sort_key() < other.sort_key()
 
     def sort_key(self) -> tuple:
-        """Key for the deterministic atom order."""
-        return (
-            self.predicate.name,
-            self.predicate.arity,
-            tuple((is_variable(t), t.name) for t in self.args),
-        )
+        """Key for the deterministic atom order.
+
+        Computed once and cached on the (immutable) atom: candidate-pool
+        ordering in the homomorphism search sorts the same atoms over and
+        over, and this key used to dominate whole core-chase profiles.
+        """
+        key = self._key
+        if key is None:
+            key = (
+                self.predicate.name,
+                self.predicate.arity,
+                tuple((is_variable(t), t.name) for t in self.args),
+            )
+            object.__setattr__(self, "_key", key)
+        return key
 
     def terms(self) -> Iterator[Term]:
         """Iterate over the argument terms (with repetitions)."""

@@ -6,12 +6,21 @@ rule or a Boolean conjunctive query.  :class:`AtomSet` is the one mutable
 container of the library; everything else (atoms, terms, substitutions,
 rules) is immutable.
 
-Two incremental indexes are maintained:
+Three incremental indexes are maintained:
 
 * by predicate — the candidate pool for homomorphism backtracking and
   trigger enumeration;
 * by term — needed to delete all atoms involving a null, to compute
-  induced substructures, and to build Gaifman graphs.
+  induced substructures, and to build Gaifman graphs;
+* by (predicate, position, term) — the selective candidate pool of the
+  indexed homomorphism engine: once an argument of a pattern atom is
+  decided, only target atoms carrying that image *at that position* can
+  match, a strictly tighter pool than the term index gives.
+
+On top of the indexes a *fingerprint* — an order-independent combination
+of the atom hashes, maintained in O(1) per mutation — summarizes the
+current contents; it keys the homomorphism memo cache
+(:mod:`repro.logic.homcache`).
 
 Instances compare equal iff they contain the same atoms, regardless of
 insertion order.
@@ -19,7 +28,7 @@ insertion order.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Union
+from typing import TYPE_CHECKING, Iterable, Iterator, Union
 
 from .atoms import Atom, Predicate
 from .terms import Constant, Term, Variable
@@ -39,12 +48,18 @@ class AtomSet:
         Initial atoms (any iterable; duplicates collapse).
     """
 
-    __slots__ = ("_atoms", "_by_predicate", "_by_term")
+    __slots__ = ("_atoms", "_by_predicate", "_by_term", "_by_position", "_fp_xor", "_fp_sum")
+
+    #: Mask keeping the incremental fingerprint sum in one machine word.
+    _FP_MASK = (1 << 64) - 1
 
     def __init__(self, atoms: Iterable[Atom] = ()):
         self._atoms: set[Atom] = set()
         self._by_predicate: dict[Predicate, set[Atom]] = {}
         self._by_term: dict[Term, set[Atom]] = {}
+        self._by_position: dict[tuple[Predicate, int, Term], set[Atom]] = {}
+        self._fp_xor: int = 0
+        self._fp_sum: int = 0
         for at in atoms:
             self.add(at)
 
@@ -62,6 +77,13 @@ class AtomSet:
         self._by_predicate.setdefault(at.predicate, set()).add(at)
         for term in at.term_set():
             self._by_term.setdefault(term, set()).add(at)
+        for position, term in enumerate(at.args):
+            self._by_position.setdefault(
+                (at.predicate, position, term), set()
+            ).add(at)
+        h = at._hash
+        self._fp_xor ^= h
+        self._fp_sum = (self._fp_sum + h) & AtomSet._FP_MASK
         return True
 
     def update(self, atoms: Iterable[Atom]) -> int:
@@ -86,6 +108,15 @@ class AtomSet:
             bucket.remove(at)
             if not bucket:
                 del self._by_term[term]
+        for position, term in enumerate(at.args):
+            key = (at.predicate, position, term)
+            bucket = self._by_position[key]
+            bucket.remove(at)
+            if not bucket:
+                del self._by_position[key]
+        h = at._hash
+        self._fp_xor ^= h
+        self._fp_sum = (self._fp_sum - h) & AtomSet._FP_MASK
         return True
 
     def remove_term(self, term: Term) -> int:
@@ -168,6 +199,27 @@ class AtomSet:
         """All atoms whose argument list mentions *term*."""
         return frozenset(self._by_term.get(term, frozenset()))
 
+    def with_predicate_position(
+        self, predicate: Predicate, position: int, term: Term
+    ) -> frozenset[Atom]:
+        """All atoms over *predicate* carrying *term* at *position* —
+        the selective candidate pool of the indexed homomorphism engine."""
+        return frozenset(
+            self._by_position.get((predicate, position, term), frozenset())
+        )
+
+    def fingerprint(self) -> tuple[int, int, int]:
+        """An order-independent summary of the current contents.
+
+        Equal atomsets always share the fingerprint (it is a function of
+        the set of atom hashes); distinct atomsets collide only if their
+        atom-hash multisets agree under both XOR and 64-bit sum, which is
+        what makes the fingerprint usable as a memo-cache key
+        (:mod:`repro.logic.homcache`).  Maintained incrementally, so
+        reading it costs O(1).
+        """
+        return (len(self._atoms), self._fp_xor, self._fp_sum)
+
     _EMPTY: frozenset = frozenset()
 
     def _containing_raw(self, term: Term) -> set[Atom]:
@@ -177,6 +229,14 @@ class AtomSet:
     def _with_predicate_raw(self, predicate: Predicate) -> set[Atom]:
         """Internal no-copy view of the predicate index (do not mutate)."""
         return self._by_predicate.get(predicate, AtomSet._EMPTY)  # type: ignore[return-value]
+
+    def _with_position_raw(
+        self, predicate: Predicate, position: int, term: Term
+    ) -> set[Atom]:
+        """Internal no-copy view of the positional index (do not mutate)."""
+        return self._by_position.get(
+            (predicate, position, term), AtomSet._EMPTY
+        )  # type: ignore[return-value]
 
     def terms(self) -> frozenset[Term]:
         """``terms(A)`` — all terms occurring in the atomset."""

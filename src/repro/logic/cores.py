@@ -29,10 +29,12 @@ import time
 from typing import Optional
 
 from ..obs import observer as _observer_state
+from . import homcache as _homcache
+from . import indexing as _indexing
 from .atomset import AtomSet
 from .homomorphism import find_homomorphism
 from .substitution import Substitution
-from .terms import Term, Variable
+from .terms import Variable
 
 __all__ = ["is_core", "core_retraction", "core_of", "retracts_to"]
 
@@ -79,7 +81,12 @@ def core_retraction(atoms: AtomSet) -> Substitution:
         if shrink is None:
             break
         total = shrink.compose(total)
-        current = shrink.apply(current)
+        shrunk = shrink.apply(current)
+        # The intermediate retract is replaced for good; drop its memo
+        # entries (the caller's input stays cached — it is still live).
+        if current is not atoms and _indexing.hom_memo_enabled():
+            _homcache.get_cache().invalidate(current.fingerprint())
+        current = shrunk
     if observer is not None:
         observer.core_retraction(
             atoms_before=len(atoms),

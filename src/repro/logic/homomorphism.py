@@ -9,11 +9,19 @@ the search implemented here.
 The search is plain backtracking over the atoms of the source, made
 practical by:
 
-* candidate pools from the target's predicate index;
-* a connectivity-driven atom order (most-constrained atom first, then
-  atoms sharing terms with the already-matched region), which keeps the
-  partial assignment propagating instead of guessing;
-* cheap pre-checks (every source predicate must occur in the target).
+* candidate pools from the target's (predicate, position, term) index —
+  every already-decided argument of a pattern atom narrows the pool to
+  the target atoms carrying its image at that exact position (the legacy
+  term-containment pools remain reachable via
+  :func:`repro.logic.indexing.no_index` for differential testing);
+* a selectivity-driven atom order (most-constrained atom first, i.e.
+  smallest current candidate pool), which keeps the partial assignment
+  propagating instead of guessing;
+* cheap pre-checks (every source predicate must occur in the target);
+* a fingerprint-keyed memo of single-witness searches
+  (:mod:`repro.logic.homcache`), so deterministic re-runs — the
+  entailment race, repeated certain-answer chases — pay for each
+  distinct check once.
 
 Three extra knobs cover every use in the library:
 
@@ -32,9 +40,11 @@ Three extra knobs cover every use in the library:
 from __future__ import annotations
 
 import time
-from typing import Iterable, Iterator, Optional, Sequence, Union
+from typing import Iterable, Iterator, Optional, Union
 
 from ..obs import observer as _observer_state
+from . import homcache as _homcache
+from . import indexing as _indexing
 from .atoms import Atom
 from .atomset import AtomSet
 from .substitution import Substitution
@@ -105,28 +115,61 @@ def homomorphisms(
     for at in source_atoms:
         source_vars.update(at.variables())
 
-    def candidates(at: Atom) -> list[Atom]:
-        """Candidate target atoms for *at* under the current assignment,
-        narrowed through the target's term index: every already-decided
-        argument (constant or bound variable) restricts the pool to the
-        atoms containing its image."""
-        pool: Optional[set[Atom]] = None
-        for src_term in at.args:
-            if isinstance(src_term, Constant):
-                image: Optional[Term] = src_term
-            else:
-                image = assignment.get(src_term)
-            if image is None:
-                continue
-            bucket = target._containing_raw(image)
-            pool = bucket if pool is None else (pool & bucket)
-            if not pool:
-                return []
-        if pool is None:
-            pool = target._with_predicate_raw(at.predicate)
-        matching = [cand for cand in pool if cand.predicate == at.predicate]
-        matching.sort()
-        return matching
+    if _indexing.atom_index_enabled():
+
+        def candidates(at: Atom):
+            """Candidate target atoms for *at* under the current
+            assignment, narrowed through the positional index: every
+            already-decided argument (constant or bound variable)
+            restricts the pool to the atoms carrying its image at that
+            exact position.  Pools are predicate-pure by construction
+            and returned *unsorted* — only the pool of the atom the
+            search actually branches on gets ordered."""
+            pool: Optional[set[Atom]] = None
+            for position, src_term in enumerate(at.args):
+                if isinstance(src_term, Constant):
+                    image: Optional[Term] = src_term
+                else:
+                    image = assignment.get(src_term)
+                if image is None:
+                    continue
+                bucket = target._with_position_raw(at.predicate, position, image)
+                pool = bucket if pool is None else (pool & bucket)
+                if not pool:
+                    return AtomSet._EMPTY
+            if pool is None:
+                return target._with_predicate_raw(at.predicate)
+            return pool
+
+        def ordered(pool) -> list[Atom]:
+            return sorted(pool, key=Atom.sort_key)
+
+    else:
+
+        def candidates(at: Atom) -> list[Atom]:
+            """The naive pools (term-containment index, filtered to the
+            predicate, sorted eagerly) — kept reachable for differential
+            testing against the indexed path."""
+            pool: Optional[set[Atom]] = None
+            for src_term in at.args:
+                if isinstance(src_term, Constant):
+                    image: Optional[Term] = src_term
+                else:
+                    image = assignment.get(src_term)
+                if image is None:
+                    continue
+                bucket = target._containing_raw(image)
+                pool = bucket if pool is None else (pool & bucket)
+                if not pool:
+                    return []
+            if pool is None:
+                pool = target._with_predicate_raw(at.predicate)
+            matching = [cand for cand in pool if cand.predicate == at.predicate]
+            matching.sort(key=Atom.sort_key)
+            return matching
+
+        def ordered(pool: list[Atom]) -> list[Atom]:
+            return pool
 
     def match_atom(at: Atom, candidate: Atom) -> Optional[list[Variable]]:
         """Try to extend the assignment so that ``at ↦ candidate``.
@@ -176,7 +219,7 @@ def homomorphisms(
         # smallest candidate pool (recomputed under the current
         # assignment — this is what makes dense instances tractable).
         best_index = 0
-        best_pool: Optional[list[Atom]] = None
+        best_pool = None
         for index, at in enumerate(remaining):
             pool = candidates(at)
             if best_pool is None or len(pool) < len(best_pool):
@@ -187,7 +230,7 @@ def homomorphisms(
                     break
         chosen = remaining.pop(best_index)
         assert best_pool is not None
-        for candidate in best_pool:
+        for candidate in ordered(best_pool):
             newly_bound = match_atom(chosen, candidate)
             if newly_bound is None:
                 continue
@@ -208,10 +251,34 @@ def find_homomorphism(
     """Return one homomorphism from *source* to *target*, or None.
 
     The search is deterministic, so repeated calls return the same
-    witness — the chase engine depends on this for reproducible runs.
+    witness — the chase engine depends on this for reproducible runs,
+    and the memo cache depends on it for transparency: a cached answer
+    is bit-identical to what the search would have recomputed.
     """
+    cache = key = None
+    if (
+        isinstance(source, AtomSet)
+        and isinstance(target, AtomSet)
+        and _indexing.hom_memo_enabled()
+    ):
+        cache = _homcache.get_cache()
+        key = (
+            source.fingerprint(),
+            target.fingerprint(),
+            partial,
+            frozenset(forbidden_images),
+            injective,
+        )
+        hit, value = cache.lookup(key)
+        observer = _observer_state.current
+        if observer is not None:
+            observer.hom_memo_lookup(hit=hit, entries=len(cache))
+        if hit:
+            return value
+
     observer = _observer_state.current
     if observer is None:
+        found = None
         for hom in homomorphisms(
             source,
             target,
@@ -219,8 +286,11 @@ def find_homomorphism(
             forbidden_images=forbidden_images,
             injective=injective,
         ):
-            return hom
-        return None
+            found = hom
+            break
+        if cache is not None:
+            cache.store(key, found)
+        return found
     stats: dict = {}
     started = time.perf_counter()
     found: Optional[Substitution] = None
@@ -241,6 +311,8 @@ def find_homomorphism(
         target_atoms=stats.get("target_atoms", 0),
         seconds=time.perf_counter() - started,
     )
+    if cache is not None:
+        cache.store(key, found)
     return found
 
 

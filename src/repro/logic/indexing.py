@@ -1,0 +1,89 @@
+"""Process-wide switches for the indexed evaluation layer.
+
+Three accelerations sit under the chase (ISSUE 2):
+
+* the positional atom index consulted by the homomorphism search for
+  candidate selection (:mod:`repro.logic.homomorphism`);
+* the memoization of single-witness homomorphism checks
+  (:mod:`repro.logic.homcache`);
+* the incremental trigger index of the chase engine
+  (:mod:`repro.chase.trigger_index` — controlled by the engine's own
+  ``use_index`` flag, which also scopes the two switches here).
+
+All three are semantics-preserving accelerations of the same search, but
+differential testing needs the *naive* path to stay reachable: the CLI's
+``--no-index`` and :meth:`repro.chase.engine.ChaseEngine` run the legacy
+code when asked, via the :func:`no_index` scope below.  The switches are
+process-global (like :mod:`repro.obs.observer`'s ``current``) because the
+homomorphism search is a free function with no object to hang
+configuration on.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = [
+    "atom_index_enabled",
+    "hom_memo_enabled",
+    "set_atom_index",
+    "set_hom_memo",
+    "configured",
+    "no_index",
+]
+
+#: Positional-index candidate selection in ``homomorphisms()``.
+_atom_index: bool = True
+
+#: Fingerprint-keyed memoization in ``find_homomorphism()``.
+_hom_memo: bool = True
+
+
+def atom_index_enabled() -> bool:
+    """True iff the homomorphism search may consult the positional index."""
+    return _atom_index
+
+
+def hom_memo_enabled() -> bool:
+    """True iff single-witness searches may consult the memo cache."""
+    return _hom_memo
+
+
+def set_atom_index(enabled: bool) -> bool:
+    """Set the positional-index switch; returns the previous value."""
+    global _atom_index
+    previous = _atom_index
+    _atom_index = bool(enabled)
+    return previous
+
+
+def set_hom_memo(enabled: bool) -> bool:
+    """Set the memoization switch; returns the previous value."""
+    global _hom_memo
+    previous = _hom_memo
+    _hom_memo = bool(enabled)
+    return previous
+
+
+@contextmanager
+def configured(
+    atom_index: Optional[bool] = None, hom_memo: Optional[bool] = None
+) -> Iterator[None]:
+    """Temporarily override the switches (None leaves one untouched)."""
+    previous_index = set_atom_index(atom_index) if atom_index is not None else None
+    previous_memo = set_hom_memo(hom_memo) if hom_memo is not None else None
+    try:
+        yield
+    finally:
+        if previous_index is not None:
+            set_atom_index(previous_index)
+        if previous_memo is not None:
+            set_hom_memo(previous_memo)
+
+
+@contextmanager
+def no_index() -> Iterator[None]:
+    """Scope in which every layer runs the naive (pre-index) path."""
+    with configured(atom_index=False, hom_memo=False):
+        yield

@@ -14,10 +14,8 @@ semi-oblivious variant and by test assertions).
 
 from __future__ import annotations
 
-from itertools import count
-from typing import Iterable, Optional, Union
+from typing import Optional
 
-from .atoms import Atom
 from .atomset import AtomSet
 from .homomorphism import homomorphisms
 from .substitution import Substitution

@@ -12,9 +12,8 @@ from typing import Iterable, Optional, Union
 
 from .atoms import Atom
 from .atomset import AtomSet
-from .homomorphism import find_homomorphism, maps_into
+from .homomorphism import maps_into
 from .rules import ExistentialRule, RuleSet
-from .substitution import Substitution
 
 __all__ = ["KnowledgeBase"]
 

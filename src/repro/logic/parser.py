@@ -28,7 +28,6 @@ else is a constant.
 from __future__ import annotations
 
 import re
-from typing import Iterable
 
 from .atoms import Atom, Predicate, make_term
 from .atomset import AtomSet

@@ -10,7 +10,7 @@ and the :class:`RuleSet` container the chase engine consumes.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Sequence, Union
+from typing import Iterable, Iterator, Optional, Union
 
 from .atoms import Atom
 from .atomset import AtomSet

@@ -19,7 +19,7 @@ from typing import Iterable, Iterator, Mapping, Optional, Union
 
 from .atoms import Atom
 from .atomset import AtomSet
-from .terms import Constant, Term, Variable
+from .terms import Term, Variable
 
 __all__ = ["Substitution"]
 

@@ -110,6 +110,31 @@ class Observer:
         """One single-witness search finished; *backtracks* counts undo
         operations of tentative atom matches (the search effort)."""
 
+    def hom_memo_lookup(self, *, hit: bool, entries: int) -> None:
+        """One memo-cache consultation by a single-witness search
+        (:mod:`repro.logic.homcache`); *entries* is the cache size."""
+
+    # -- trigger index (repro.chase.trigger_index) ---------------------
+
+    def trigger_index_update(
+        self,
+        *,
+        step: int,
+        delta_atoms: int,
+        triggers_new: int,
+        triggers_reused: int,
+        satisfaction_rechecks: int,
+        transported: int,
+        collapsed: int,
+    ) -> None:
+        """The incremental trigger index absorbed one chase step:
+        *delta_atoms* atoms entered the instance, *triggers_new* triggers
+        were discovered by delta re-matching while *triggers_reused* were
+        carried over unchanged, *satisfaction_rechecks* satisfaction
+        tests actually ran, and — when the step retracted — *transported*
+        live triggers travelled through the simplification with
+        *collapsed* of them folding onto identical keys."""
+
     # -- exact treewidth (repro.treewidth.exact) -----------------------
 
     def treewidth_search(
@@ -168,6 +193,14 @@ class CompositeObserver(Observer):
     def homomorphism_search(self, **kw) -> None:
         for obs in self.observers:
             obs.homomorphism_search(**kw)
+
+    def hom_memo_lookup(self, **kw) -> None:
+        for obs in self.observers:
+            obs.hom_memo_lookup(**kw)
+
+    def trigger_index_update(self, **kw) -> None:
+        for obs in self.observers:
+            obs.trigger_index_update(**kw)
 
     def treewidth_search(self, **kw) -> None:
         for obs in self.observers:

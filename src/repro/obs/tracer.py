@@ -42,6 +42,8 @@ EVENT_KINDS = (
     "chase_step_finished",
     "core_retraction",
     "homomorphism_search",
+    "hom_memo_lookup",
+    "trigger_index_update",
     "treewidth_search",
     "robust_step",
 )
@@ -98,6 +100,13 @@ class MetricsObserver(Observer):
     ``hom.backtracks``      counter    total undo operations
     ``hom.backtracks_per_search``  histogram  per-search backtracks
     ``hom.time``            timer      time in the search
+    ``hom.memo_hits``       counter    memo-cache hits
+    ``hom.memo_misses``     counter    memo-cache misses
+    ``index.delta_atoms``   counter    atoms absorbed by the trigger index
+    ``index.triggers_new``  counter    triggers found by delta re-matching
+    ``index.triggers_reused``  counter  triggers carried over unchanged
+    ``index.satisfaction_rechecks``  counter  satisfaction tests that ran
+    ``index.collapsed``     counter    trigger keys folded by transport
     ``tw.searches``         counter    "width ≤ k?" decisions
     ``tw.budget_consumed``  counter    states consumed by the searches
     ``robust.steps``        counter    robust-sequence steps built
@@ -150,6 +159,32 @@ class MetricsObserver(Observer):
         reg.histogram("hom.backtracks_per_search").observe(backtracks)
         reg.timer("hom.time").record(seconds)
 
+    def hom_memo_lookup(self, *, hit, entries) -> None:
+        reg = self.registry
+        if hit:
+            reg.counter("hom.memo_hits").inc()
+        else:
+            reg.counter("hom.memo_misses").inc()
+        reg.gauge("hom.memo_entries").set(entries)
+
+    def trigger_index_update(
+        self,
+        *,
+        step,
+        delta_atoms,
+        triggers_new,
+        triggers_reused,
+        satisfaction_rechecks,
+        transported,
+        collapsed,
+    ) -> None:
+        reg = self.registry
+        reg.counter("index.delta_atoms").inc(delta_atoms)
+        reg.counter("index.triggers_new").inc(triggers_new)
+        reg.counter("index.triggers_reused").inc(triggers_reused)
+        reg.counter("index.satisfaction_rechecks").inc(satisfaction_rechecks)
+        reg.counter("index.collapsed").inc(collapsed)
+
     def treewidth_search(self, *, k, verdict, budget_consumed) -> None:
         reg = self.registry
         reg.counter("tw.searches").inc()
@@ -200,6 +235,14 @@ class TracingObserver(MetricsObserver):
     def homomorphism_search(self, **kw) -> None:
         self.tracer.emit("homomorphism_search", **kw)
         super().homomorphism_search(**kw)
+
+    def hom_memo_lookup(self, **kw) -> None:
+        self.tracer.emit("hom_memo_lookup", **kw)
+        super().hom_memo_lookup(**kw)
+
+    def trigger_index_update(self, **kw) -> None:
+        self.tracer.emit("trigger_index_update", **kw)
+        super().trigger_index_update(**kw)
 
     def treewidth_search(self, **kw) -> None:
         self.tracer.emit("treewidth_search", **kw)

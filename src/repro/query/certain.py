@@ -15,6 +15,14 @@ Two evaluation routes are provided:
 * :func:`certain_answers` — against a KB directly: enumerate candidate
   tuples over the active domain (the constants of facts and rules) and
   decide each instantiated Boolean query with the Theorem-1 race.
+
+The races of :func:`certain_answers` re-chase the *same* KB once per
+candidate; their homomorphism tests (trigger satisfaction inside the
+chase, the query probes against the aggregation) all route through
+:func:`repro.logic.homomorphism.find_homomorphism` and therefore hit the
+process-global fingerprint-keyed memo (:mod:`repro.logic.homcache`)
+after the first candidate — the later races pay only for the searches
+whose inputs genuinely differ (the instantiated query atoms).
 """
 
 from __future__ import annotations
@@ -25,7 +33,7 @@ from typing import Iterable, Iterator, Optional
 from ..logic.atomset import AtomSet
 from ..logic.kb import KnowledgeBase
 from ..logic.substitution import Substitution
-from ..logic.terms import Constant, Term, Variable
+from ..logic.terms import Constant
 from .cq import ConjunctiveQuery
 from .entailment import decide_entailment
 

@@ -25,7 +25,7 @@ search against.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Optional
 
 from ..logic.atoms import Atom
 from ..logic.atomset import AtomSet

@@ -27,10 +27,9 @@ from itertools import product
 from typing import Iterable, Optional
 
 from ..logic.atomset import AtomSet
-from ..logic.homomorphism import find_homomorphism
 from ..logic.kb import KnowledgeBase
 from ..logic.substitution import Substitution
-from ..logic.terms import FreshVariableSource, Term, Variable
+from ..logic.terms import FreshVariableSource, Term
 from ..chase.trigger import Trigger, triggers
 from .cq import ConjunctiveQuery
 

@@ -15,7 +15,7 @@ refuted by different models while the union is still entailed).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..logic.atomset import AtomSet
 from ..logic.kb import KnowledgeBase

@@ -13,7 +13,7 @@ treewidth algorithm in this package.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Optional, Sequence, Union
+from typing import Hashable, Iterable, Sequence, Union
 
 from ..logic.atoms import Atom
 from ..logic.atomset import AtomSet

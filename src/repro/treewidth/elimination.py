@@ -17,7 +17,7 @@ Heuristics provided (both classical):
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Optional, Sequence
+from typing import Callable, Hashable, Sequence
 
 from .decomposition import TreeDecomposition
 from .graph import Graph

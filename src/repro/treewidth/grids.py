@@ -17,13 +17,12 @@ Two detection modes are provided:
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Iterable, Mapping, Optional, Sequence, Union
+from typing import Iterable, Mapping, Optional, Union
 
 from ..logic.atoms import Atom
 from ..logic.atomset import AtomSet
 from ..logic.terms import Term
 from .gaifman import gaifman_graph
-from .graph import Graph
 
 __all__ = [
     "contains_grid",

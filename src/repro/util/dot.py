@@ -13,7 +13,6 @@ run ``dot -Tsvg``):
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
 
 from ..chase.derivation import Derivation
 from ..logic.atomset import AtomSet

@@ -9,7 +9,7 @@ without pulling in any dependency.
 from __future__ import annotations
 
 import io
-from typing import Iterable, Sequence
+from typing import Sequence
 
 __all__ = ["Table", "banner"]
 

@@ -11,11 +11,7 @@ import pytest
 from repro import core_chase, restricted_chase
 from repro.kbs import elevator as elevator_mod
 from repro.kbs import staircase as staircase_mod
-from repro.kbs.witnesses import (
-    bts_not_fes_kb,
-    fes_not_bts_kb,
-    transitive_closure_kb,
-)
+from repro.kbs.witnesses import transitive_closure_kb
 
 
 @pytest.fixture(scope="session")

@@ -1,7 +1,7 @@
 """Tests for repro.chase.aggregation (Definitions 14–16, Prop. 10–12)."""
 
 from repro.chase import RobustSequence, core_chase, restricted_chase, robust_aggregation
-from repro.kbs.witnesses import bts_not_fes_kb, fes_not_bts_kb, transitive_closure_kb
+from repro.kbs.witnesses import bts_not_fes_kb, fes_not_bts_kb
 from repro.logic.homomorphism import maps_into
 from repro.logic.isomorphism import isomorphic
 from repro.logic.terms import Variable

@@ -19,11 +19,7 @@ from hypothesis import strategies as st
 
 from repro.chase.engine import ChaseVariant, run_chase
 from repro.kbs.generators import layered_kb
-from repro.kbs.witnesses import (
-    fes_not_bts_kb,
-    transitive_closure_kb,
-    weakly_acyclic_kb,
-)
+from repro.kbs.witnesses import transitive_closure_kb, weakly_acyclic_kb
 from repro.logic.atoms import atom
 from repro.logic.atomset import AtomSet
 from repro.logic.cores import core_of, is_core

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.chase import ChaseEngine, restricted_chase, run_chase, triggers
+from repro.chase import restricted_chase, run_chase, triggers
 from repro.chase.engine import ChaseVariant
 from repro.logic.atoms import Atom, Predicate, atom
-from repro.logic.atomset import AtomSet
 from repro.logic.cores import core_of, is_core
 from repro.logic.homomorphism import find_homomorphism
 from repro.logic.kb import KnowledgeBase

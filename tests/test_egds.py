@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.chase.egds import (
-    EGD,
-    ChaseFailure,
-    parse_egd,
-    parse_egds,
-    standard_chase,
-)
+from repro.chase.egds import EGD, parse_egd, parse_egds, standard_chase
 from repro.logic.parser import ParseError, parse_atoms, parse_rules
 from repro.logic.terms import Variable
 

@@ -8,7 +8,6 @@ fixtures anyway).
 
 import importlib.util
 import pathlib
-import sys
 
 import pytest
 

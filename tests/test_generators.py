@@ -12,7 +12,7 @@ from repro.kbs.generators import (
     random_instance,
     star_instance,
 )
-from repro.logic.cores import core_of, is_core
+from repro.logic.cores import core_of
 from repro.treewidth import treewidth
 
 

@@ -22,6 +22,7 @@ from repro.chase.engine import ChaseEngine, ChaseVariant
 from repro.kbs.elevator import elevator_kb
 from repro.kbs.witnesses import transitive_closure_kb
 from repro.logic.cores import core_retraction
+from repro.logic.homcache import get_cache
 from repro.logic.homomorphism import find_homomorphism
 from repro.logic.parser import parse_atoms
 from repro.logic.atomset import AtomSet
@@ -43,7 +44,12 @@ from repro.treewidth.graph import Graph
 
 
 def traced_run(kb, variant=ChaseVariant.CORE, max_steps=12):
-    """Run a chase with a TracingObserver; return (result, events)."""
+    """Run a chase with a TracingObserver; return (result, events).
+
+    The homomorphism memo is cleared first: these tests assert on search
+    telemetry, which a memo warmed by earlier tests would silence.
+    """
+    get_cache().clear()
     buf = io.StringIO()
     with observing(TracingObserver(JsonlTracer(buf))):
         result = run_chase(kb, variant=variant, max_steps=max_steps)

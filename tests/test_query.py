@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.kbs.witnesses import (
-    bts_not_fes_kb,
-    fes_not_bts_kb,
-    manager_kb,
-    transitive_closure_kb,
-)
+from repro.kbs.witnesses import bts_not_fes_kb, manager_kb, transitive_closure_kb
 from repro.logic.kb import KnowledgeBase
 from repro.logic.parser import parse_atoms, parse_rules
 from repro.logic.terms import Constant, Variable

@@ -17,7 +17,6 @@ inflating  K_v     no   no      no       yes (the diagonal)
 ================  ====  ====  ========  =======================
 """
 
-import pytest
 
 from repro.analysis import TREEWIDTH, certify_fes, profile_chase
 from repro.chase.engine import ChaseVariant
