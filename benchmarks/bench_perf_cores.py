@@ -3,13 +3,36 @@
 The core chase's per-step cost is dominated by core retraction; these
 benches measure it on the canonical foldable/rigid families and on the
 paper's own structures.
+
+``bench_perf_cores_table`` additionally archives the core-chase gate
+table (``results/perf_cores.json``) the CI perf gate diffs against the
+committed baseline (``baselines/perf_cores.json``).  Its rows carry the
+run's exactness counts (applications, retractions, atoms out) as
+integer identity fields, so the incremental core maintainer can only
+pass the gate by being *fast and bit-identical in behaviour*: a count
+drift surfaces as semantic drift in ``compare_results.py``, not as a
+timing change.  Set ``REPRO_NAIVE=1`` to time the naive engine — that
+is how the committed baseline was produced; see docs/PERFORMANCE.md.
 """
+
+import os
+import time
+from contextlib import nullcontext
 
 import pytest
 
+from repro.chase.engine import ChaseVariant, run_chase
+from repro.kbs.elevator import elevator_kb
 from repro.kbs.generators import path_with_shortcut, star_instance
+from repro.kbs.staircase import staircase_kb
 from repro.kbs.staircase import step as staircase_step
+from repro.kbs.witnesses import transitive_closure_kb
 from repro.logic.cores import core_of, core_retraction, is_core
+from repro.logic.homcache import get_cache
+from repro.logic.indexing import no_index
+from repro.util import Table
+
+from conftest import save_table
 
 
 @pytest.mark.parametrize("rays", [6, 18])
@@ -44,3 +67,60 @@ def bench_core_retraction_staircase_step(benchmark):
     atoms = staircase_step(3)
     retraction = benchmark(lambda: core_retraction(atoms))
     assert retraction.apply(atoms) != atoms or len(retraction) == 0
+
+
+# ---------------------------------------------------------------------------
+# the core-chase perf-gate timing table
+# ---------------------------------------------------------------------------
+
+#: (workload, kb factory, step budget) — every row is a CORE-variant run.
+#: The elevator row is the fig4 workload the incremental maintainer must
+#: keep >=3x faster than the committed naive baseline.
+PERF_CORES_ROWS = (
+    ("fig4-elevator", elevator_kb, 35),
+    ("staircase", staircase_kb, 45),
+    ("transitive-5", lambda: transitive_closure_kb(5), 300),
+)
+
+
+def _timed_core_chase(make_kb, steps, repeats=3):
+    """Best-of-*repeats* wall time; the memo is cleared before every
+    measurement so each run is cold and comparable across processes."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        get_cache().clear()
+        kb = make_kb()
+        started = time.perf_counter()
+        result = run_chase(kb, variant=ChaseVariant.CORE, max_steps=steps)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def bench_perf_cores_table():
+    """Archive the core-chase gate table (one row per workload; metric
+    column: ``seconds``; every other column is a row-identity field)."""
+    naive = os.environ.get("REPRO_NAIVE") == "1"
+    scope = no_index() if naive else nullcontext()
+    table = Table(
+        ["workload", "steps", "applications", "retractions", "atoms_out", "seconds"],
+        title="perf: core-chase wall time and exactness counts",
+    )
+    with scope:
+        for workload, make_kb, steps in PERF_CORES_ROWS:
+            seconds, result = _timed_core_chase(make_kb, steps)
+            table.add_row(
+                workload,
+                steps,
+                result.applications,
+                result.retractions,
+                len(result.final_instance),
+                round(seconds, 4),
+            )
+    extra = (
+        f"engine path: {'naive (REPRO_NAIVE=1)' if naive else 'indexed + core maintainer'}; "
+        "best of 3, cold homomorphism memo per measurement.  The count "
+        "columns are identity fields: a drift fails the gate as semantic "
+        "drift, independent of timing."
+    )
+    save_table("perf_cores", table, extra)

@@ -6,8 +6,11 @@ Compares the machine-readable tables archived by the perf benches
 when any row's metric regressed beyond the threshold (default: 2x
 slower).  Rows are matched on their non-float fields (workload,
 variant, step budget, iteration count, ...), so a behavioural drift
-that changes an application count also fails the gate, loudly, as a
-missing row.
+that changes an application count also fails the gate, loudly — and
+when the only difference from the baseline row is in the count fields
+(``applications``, ``retractions``, ``atoms_out``), the failure is
+reported as **semantic drift** rather than a missing row: the engine
+changed *what it computes*, not how fast.
 
 Usage (local or CI — stdlib only, no package install needed)::
 
@@ -37,6 +40,12 @@ HERE = pathlib.Path(__file__).parent
 DEFAULT_BASELINES = HERE / "baselines"
 DEFAULT_RESULTS = HERE / "results"
 
+#: Row-identity fields that record the run's *behaviour* (what the
+#: engine computed) rather than which workload was measured.  A current
+#: row that matches a baseline row everywhere except here is the same
+#: measurement of a semantically different run.
+COUNT_FIELDS = frozenset({"applications", "retractions", "atoms_out"})
+
 
 def load_table(path: pathlib.Path) -> dict:
     with open(path) as handle:
@@ -58,9 +67,35 @@ def row_key(row: dict, metric: str) -> tuple:
     )
 
 
+def _without_counts(key: tuple) -> tuple:
+    return tuple((field, value) for field, value in key if field not in COUNT_FIELDS)
+
+
+def find_count_drift(key: tuple, current_keys) -> dict | None:
+    """If some current row matches *key* on every identity field except
+    the count fields, return ``{field: (baseline, current)}`` for the
+    fields that moved — the signature of semantic drift."""
+    loose = _without_counts(key)
+    base_fields = dict(key)
+    for candidate in current_keys:
+        if candidate == key or _without_counts(candidate) != loose:
+            continue
+        cand_fields = dict(candidate)
+        if set(cand_fields) != set(base_fields):
+            continue
+        return {
+            field: (base_fields[field], cand_fields[field])
+            for field in sorted(COUNT_FIELDS & set(base_fields))
+            if base_fields[field] != cand_fields[field]
+        }
+    return None
+
+
 def compare_table(name: str, baseline: dict, current: dict, metric: str, threshold: float):
-    """Yield (key, base_value, cur_value, ratio, ok) per baseline row;
-    a row missing from the current table yields cur_value=None, ok=False."""
+    """Yield (key, base_value, cur_value, ratio, ok, drift) per baseline
+    row; a row missing from the current table yields cur_value=None,
+    ok=False, and — when a current row differs only in count fields —
+    drift maps each moved count field to its (baseline, current) pair."""
     current_rows = {row_key(row, metric): row for row in current["rows"]}
     for base_row in baseline["rows"]:
         key = row_key(base_row, metric)
@@ -69,14 +104,15 @@ def compare_table(name: str, baseline: dict, current: dict, metric: str, thresho
             raise SystemExit(f"{name}: baseline row {key} has no numeric {metric!r}")
         cur_row = current_rows.get(key)
         if cur_row is None:
-            yield key, base_value, None, None, False
+            drift = find_count_drift(key, current_rows)
+            yield key, base_value, None, None, False, drift
             continue
         cur_value = cur_row.get(metric)
         if not isinstance(cur_value, (int, float)):
-            yield key, base_value, None, None, False
+            yield key, base_value, None, None, False, None
             continue
         ratio = cur_value / max(base_value, 1e-9)
-        yield key, base_value, cur_value, ratio, ratio <= threshold
+        yield key, base_value, cur_value, ratio, ratio <= threshold, None
 
 
 def describe(key: tuple) -> str:
@@ -130,12 +166,23 @@ def main(argv=None) -> int:
         baseline = load_table(baseline_path)
         current = load_table(results_path)
         print(f"== {name} (metric: {args.metric}, threshold: {args.threshold}x) ==")
-        for key, base_value, cur_value, ratio, ok in compare_table(
+        for key, base_value, cur_value, ratio, ok, drift in compare_table(
             name, baseline, current, args.metric, args.threshold
         ):
             label = describe(key)
             if cur_value is None:
-                print(f"  FAIL {label}: row missing from current results")
+                if drift:
+                    moved = ", ".join(
+                        f"{field} {before} -> {after}"
+                        for field, (before, after) in drift.items()
+                    )
+                    print(
+                        f"  FAIL {label}: SEMANTIC DRIFT ({moved}) — the "
+                        "engine changed what it computes, not how fast; "
+                        "fix the behaviour or re-baseline deliberately"
+                    )
+                else:
+                    print(f"  FAIL {label}: row missing from current results")
                 failures += 1
             elif not ok:
                 print(

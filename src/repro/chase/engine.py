@@ -42,6 +42,7 @@ from typing import Callable, Optional
 from ..logic import homcache as _homcache
 from ..logic import indexing as _indexing
 from ..logic.atomset import AtomSet
+from ..logic.coremaint import CoreMaintainer
 from ..logic.cores import core_retraction
 from ..logic.kb import KnowledgeBase
 from ..logic.substitution import Substitution
@@ -158,11 +159,15 @@ class ChaseEngine:
     use_index:
         When True (the default) the engine maintains the live-trigger
         pool incrementally with a :class:`~repro.chase.trigger_index.
-        TriggerIndex` and lets the homomorphism layer use its positional
-        atom index and memo cache.  When False the engine re-enumerates
-        every trigger from scratch each step **and** scopes off the atom
-        index and memo cache for the duration of the run — the fully
-        naive reference path the differential tests compare against.
+        TriggerIndex`, lets the homomorphism layer use its positional
+        atom index and memo cache, and — for the core variant, unless
+        :func:`repro.logic.indexing.set_core_maintenance` switched it
+        off — computes per-step retractions with the incremental
+        :class:`~repro.logic.coremaint.CoreMaintainer`.  When False the
+        engine re-enumerates every trigger from scratch each step
+        **and** scopes off the atom index, memo cache and core
+        maintainer for the duration of the run — the fully naive
+        reference path the differential tests compare against.
     """
 
     def __init__(
@@ -201,8 +206,22 @@ class ChaseEngine:
         """
         with self._index_scope():
             raw_facts = self.kb.facts.copy()
+            # The incremental maintainer needs the per-step delta, which
+            # only the indexed engine computes; the naive path keeps the
+            # from-scratch core_retraction (the differential reference).
+            self._maintainer: Optional[CoreMaintainer] = (
+                CoreMaintainer()
+                if self.variant == ChaseVariant.CORE
+                and self.use_index
+                and _indexing.core_maintenance_enabled()
+                else None
+            )
+            self._delta_since_core: list = []
             if self.variant == ChaseVariant.CORE:
-                sigma0 = core_retraction(raw_facts)
+                if self._maintainer is not None:
+                    sigma0 = self._maintainer.retract(raw_facts)
+                else:
+                    sigma0 = core_retraction(raw_facts)
             else:
                 sigma0 = Substitution.identity()
             current = sigma0.apply(raw_facts)
@@ -303,11 +322,19 @@ class ChaseEngine:
                         delta.append(atom)
 
             self._applications_since_core += 1
+            if self._maintainer is not None:
+                self._delta_since_core.extend(delta)
             if (
                 self.variant == ChaseVariant.CORE
                 and self._applications_since_core >= self.core_every
             ):
-                sigma = core_retraction(pre_instance)
+                if self._maintainer is not None:
+                    sigma = self._maintainer.retract(
+                        pre_instance, self._delta_since_core
+                    )
+                    self._delta_since_core = []
+                else:
+                    sigma = core_retraction(pre_instance)
                 self._applications_since_core = 0
             elif self.variant == ChaseVariant.FRUGAL:
                 sigma = _frugal_retraction(pre_instance, self._current.terms())

@@ -34,10 +34,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import nullcontext
 from typing import Optional, Sequence
 
 from .analysis import analyze_ruleset
 from .chase.engine import ChaseVariant, run_chase
+from .logic import indexing
 from .logic.homcache import get_cache
 from .logic.serialization import load_instance, load_kb_file
 from .obs import (
@@ -95,8 +97,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-index",
         action="store_true",
         help="run the naive engine: no incremental trigger index, no "
-        "positional atom index, no homomorphism memo (the reference "
-        "path differential tests compare against)",
+        "positional atom index, no homomorphism memo, no incremental "
+        "core maintenance (the reference path differential tests "
+        "compare against)",
+    )
+    chase.add_argument(
+        "--no-core-maint",
+        action="store_true",
+        help="disable only the incremental core maintainer: per-step "
+        "cores are recomputed from scratch while the other indexes "
+        "stay on (implied by --no-index)",
     )
 
     entail = commands.add_parser("entail", help="decide a Boolean CQ")
@@ -153,8 +163,13 @@ def _cmd_chase(args: argparse.Namespace) -> int:
         observer = MetricsObserver(registry)
     else:
         observer = None
+    maint_scope = (
+        indexing.configured(core_maint=False)
+        if args.no_core_maint
+        else nullcontext()
+    )
     try:
-        with observing(observer):
+        with maint_scope, observing(observer):
             result = run_chase(
                 kb,
                 variant=args.variant,

@@ -7,6 +7,7 @@ the paper for the corresponding definitions.
 
 from .atoms import Atom, Predicate, atom, make_term
 from .atomset import AtomSet
+from .coremaint import CoreMaintainer
 from .cores import core_of, core_retraction, is_core, retracts_to
 from .homomorphism import (
     count_homomorphisms,
@@ -41,6 +42,7 @@ __all__ = [
     "Atom",
     "AtomSet",
     "Constant",
+    "CoreMaintainer",
     "ExistentialRule",
     "FreshVariableSource",
     "ParseError",

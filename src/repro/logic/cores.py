@@ -13,14 +13,25 @@ retraction, not just the retract.
 
 Algorithm
 ---------
-``core_retraction`` repeatedly looks for an endomorphism of the current
-retract that avoids some null in its image (found via homomorphism search
-with a forbidden image); the composition of all such steps is an
-endomorphism of the original atomset onto a retract from which no null
-can be removed — a core.  The composition is then folded to idempotence
-(see :meth:`Substitution.fold_to_retraction`), which makes it a
-retraction.  The search is exponential in the worst case (deciding
-core-ness is co-NP-hard) but behaves well on chase-sized instances.
+``core_retraction`` walks the variables once, in a deterministic order,
+looking for an endomorphism of the current retract that avoids the
+variable (found via homomorphism search with a forbidden image); the
+composition of all such steps is an endomorphism of the original atomset
+onto a retract from which no null can be removed — a core.  The
+composition is then folded to idempotence (see
+:meth:`Substitution.fold_to_retraction`), which makes it a retraction.
+
+A *single* pass suffices because unremovability persists downward
+through retractions: if no endomorphism of ``A`` avoids ``v`` and
+``ρ`` is any retraction of ``A`` with ``v`` in its image, then no
+endomorphism of ``ρ(A)`` avoids ``v`` either — such a ``g`` would make
+``g ∘ ρ`` an endomorphism of ``A`` avoiding ``v``.  So a variable whose
+search failed never needs retrying after later folds, and a variable
+folded away needs no search at all.  (The incremental maintainer in
+:mod:`repro.logic.coremaint` leans on the same lemma.)
+
+The search is exponential in the worst case (deciding core-ness is
+co-NP-hard) but behaves well on chase-sized instances.
 """
 
 from __future__ import annotations
@@ -39,14 +50,15 @@ from .terms import Variable
 __all__ = ["is_core", "core_retraction", "core_of", "retracts_to"]
 
 
-def _removable_variable(atoms: AtomSet) -> Optional[Substitution]:
-    """Find an endomorphism of *atoms* whose image avoids some variable.
+def _variable_order(atoms: AtomSet) -> list[Variable]:
+    """The deterministic candidate order (by rank, then name) that makes
+    core computation — and with it every core chase run — reproducible."""
+    return sorted(atoms.variables(), key=lambda v: (v.rank, v.name))
 
-    Variables are tried in a deterministic order (by rank, then name) so
-    that core computation — and with it every core chase run — is
-    reproducible.
-    """
-    for var in sorted(atoms.variables(), key=lambda v: (v.rank, v.name)):
+
+def _removable_variable(atoms: AtomSet) -> Optional[Substitution]:
+    """Find an endomorphism of *atoms* whose image avoids some variable."""
+    for var in _variable_order(atoms):
         hom = find_homomorphism(atoms, atoms, forbidden_images=[var])
         if hom is not None:
             return hom
@@ -74,19 +86,7 @@ def core_retraction(atoms: AtomSet) -> Substitution:
     """
     observer = _observer_state.current
     started = time.perf_counter() if observer is not None else 0.0
-    current = atoms
-    total = Substitution.identity()
-    while True:
-        shrink = _removable_variable(current)
-        if shrink is None:
-            break
-        total = shrink.compose(total)
-        shrunk = shrink.apply(current)
-        # The intermediate retract is replaced for good; drop its memo
-        # entries (the caller's input stays cached — it is still live).
-        if current is not atoms and _indexing.hom_memo_enabled():
-            _homcache.get_cache().invalidate(current.fingerprint())
-        current = shrunk
+    total, current = _fold_pass(atoms)
     if observer is not None:
         observer.core_retraction(
             atoms_before=len(atoms),
@@ -97,6 +97,43 @@ def core_retraction(atoms: AtomSet) -> Substitution:
     if not total:
         return total
     return total.fold_to_retraction(atoms)
+
+
+def _fold_pass(
+    atoms: AtomSet, _stats: Optional[dict] = None
+) -> tuple[Substitution, AtomSet]:
+    """One deterministic pass of variable folds over *atoms*.
+
+    Returns ``(total, retract)`` where ``total`` is the raw composition
+    of all fold endomorphisms (not yet idempotent) and ``retract`` is its
+    image, a core of *atoms*.  The candidate order is hoisted out of the
+    loop: by downward persistence (module docstring) a variable whose
+    search fails stays unremovable in every later retract, and a variable
+    folded away is simply skipped — no variable is ever searched twice.
+
+    ``_stats`` (when a dict) receives ``candidates_tried`` and ``folds``
+    increments — the incremental maintainer's telemetry hook.
+    """
+    current = atoms
+    total = Substitution.identity()
+    for var in _variable_order(atoms):
+        if var not in current.variables():
+            continue  # folded away by an earlier step
+        if _stats is not None:
+            _stats["candidates_tried"] += 1
+        shrink = find_homomorphism(current, current, forbidden_images=[var])
+        if shrink is None:
+            continue  # unremovable — for good, by downward persistence
+        if _stats is not None:
+            _stats["folds"] += 1
+        total = shrink.compose(total)
+        shrunk = shrink.apply(current)
+        # The intermediate retract is replaced for good; drop its memo
+        # entries (the caller's input stays cached — it is still live).
+        if current is not atoms and _indexing.hom_memo_enabled():
+            _homcache.get_cache().invalidate(current.fingerprint())
+        current = shrunk
+    return total, current
 
 
 def core_of(atoms: AtomSet) -> AtomSet:

@@ -1,6 +1,6 @@
 """Process-wide switches for the indexed evaluation layer.
 
-Three accelerations sit under the chase (ISSUE 2):
+Four accelerations sit under the chase (ISSUEs 2 and 3):
 
 * the positional atom index consulted by the homomorphism search for
   candidate selection (:mod:`repro.logic.homomorphism`);
@@ -8,9 +8,12 @@ Three accelerations sit under the chase (ISSUE 2):
   (:mod:`repro.logic.homcache`);
 * the incremental trigger index of the chase engine
   (:mod:`repro.chase.trigger_index` — controlled by the engine's own
-  ``use_index`` flag, which also scopes the two switches here).
+  ``use_index`` flag, which also scopes the switches here);
+* the incremental core maintainer (:mod:`repro.logic.coremaint` — the
+  engine consults :func:`core_maintenance_enabled` when a core-variant
+  run starts; the CLI's ``--no-core-maint`` flips only this switch).
 
-All three are semantics-preserving accelerations of the same search, but
+All are semantics-preserving accelerations of the same search, but
 differential testing needs the *naive* path to stay reachable: the CLI's
 ``--no-index`` and :meth:`repro.chase.engine.ChaseEngine` run the legacy
 code when asked, via the :func:`no_index` scope below.  The switches are
@@ -27,8 +30,10 @@ from typing import Iterator, Optional
 __all__ = [
     "atom_index_enabled",
     "hom_memo_enabled",
+    "core_maintenance_enabled",
     "set_atom_index",
     "set_hom_memo",
+    "set_core_maintenance",
     "configured",
     "no_index",
 ]
@@ -38,6 +43,9 @@ _atom_index: bool = True
 
 #: Fingerprint-keyed memoization in ``find_homomorphism()``.
 _hom_memo: bool = True
+
+#: Incremental core maintenance in core-variant chase runs.
+_core_maint: bool = True
 
 
 def atom_index_enabled() -> bool:
@@ -66,13 +74,32 @@ def set_hom_memo(enabled: bool) -> bool:
     return previous
 
 
+def core_maintenance_enabled() -> bool:
+    """True iff core-variant chase runs may use the incremental
+    :class:`repro.logic.coremaint.CoreMaintainer`."""
+    return _core_maint
+
+
+def set_core_maintenance(enabled: bool) -> bool:
+    """Set the core-maintenance switch; returns the previous value."""
+    global _core_maint
+    previous = _core_maint
+    _core_maint = bool(enabled)
+    return previous
+
+
 @contextmanager
 def configured(
-    atom_index: Optional[bool] = None, hom_memo: Optional[bool] = None
+    atom_index: Optional[bool] = None,
+    hom_memo: Optional[bool] = None,
+    core_maint: Optional[bool] = None,
 ) -> Iterator[None]:
     """Temporarily override the switches (None leaves one untouched)."""
     previous_index = set_atom_index(atom_index) if atom_index is not None else None
     previous_memo = set_hom_memo(hom_memo) if hom_memo is not None else None
+    previous_maint = (
+        set_core_maintenance(core_maint) if core_maint is not None else None
+    )
     try:
         yield
     finally:
@@ -80,10 +107,12 @@ def configured(
             set_atom_index(previous_index)
         if previous_memo is not None:
             set_hom_memo(previous_memo)
+        if previous_maint is not None:
+            set_core_maintenance(previous_maint)
 
 
 @contextmanager
 def no_index() -> Iterator[None]:
     """Scope in which every layer runs the naive (pre-index) path."""
-    with configured(atom_index=False, hom_memo=False):
+    with configured(atom_index=False, hom_memo=False, core_maint=False):
         yield

@@ -96,6 +96,34 @@ class Observer:
         """One :func:`~repro.logic.cores.core_retraction` call finished
         (identity retractions report ``atoms_before == atoms_after``)."""
 
+    # -- incremental core maintenance (repro.logic.coremaint) ----------
+
+    def core_maintenance(
+        self,
+        *,
+        mode: str,
+        atoms_before: int,
+        atoms_after: int,
+        folds: int,
+        candidates_tried: int,
+        skip_hits: int,
+        seeded_searches: int,
+        pairs_checked: int,
+        cert_invalidated: int,
+        clean_broken: bool,
+        seconds: float,
+    ) -> None:
+        """One :meth:`~repro.logic.coremaint.CoreMaintainer.retract`
+        finished.  *mode* is ``incremental`` or ``full``;
+        *candidates_tried* counts per-variable fold searches launched
+        (*seeded_searches* of which carried an identity seed),
+        *skip_hits* counts certified variables skipped wholesale by the
+        escape scan, *pairs_checked* the pinned (old, delta) atom pairs
+        that scan enumerated, *cert_invalidated* the certificates
+        invalidated on entry by the step's delta, and *clean_broken*
+        whether a fold moved the previously certified part (forcing the
+        exact fallback and a full certificate recompute)."""
+
     # -- homomorphism search (repro.logic.homomorphism) ----------------
 
     def homomorphism_search(
@@ -189,6 +217,10 @@ class CompositeObserver(Observer):
     def core_retraction(self, **kw) -> None:
         for obs in self.observers:
             obs.core_retraction(**kw)
+
+    def core_maintenance(self, **kw) -> None:
+        for obs in self.observers:
+            obs.core_maintenance(**kw)
 
     def homomorphism_search(self, **kw) -> None:
         for obs in self.observers:

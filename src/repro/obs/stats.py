@@ -50,7 +50,8 @@ def summarize_trace(events: Iterable[dict]) -> dict:
 
     Returns a dict with ``counts`` (events per kind), ``chase`` (step
     totals plus the per-step ``series``), and per-subsystem totals for
-    ``core``, ``homomorphism``, ``treewidth`` and ``robust``.
+    ``core``, ``core_maintenance`` (skip-hit ratio, candidates tried per
+    step), ``homomorphism``, ``treewidth`` and ``robust``.
     """
     events = list(events)
     counts = {kind: 0 for kind in EVENT_KINDS}
@@ -83,6 +84,28 @@ def summarize_trace(events: Iterable[dict]) -> dict:
         "seconds": sum(e.get("seconds", 0.0) for e in core_events),
     }
 
+    maint_events = [e for e in events if e.get("kind") == "core_maintenance"]
+    maint_candidates = sum(e["candidates_tried"] for e in maint_events)
+    maint_skips = sum(e["skip_hits"] for e in maint_events)
+    considered = maint_candidates + maint_skips
+    core_maintenance = {
+        "calls": len(maint_events),
+        "incremental": sum(
+            1 for e in maint_events if e.get("mode") == "incremental"
+        ),
+        "candidates_tried": maint_candidates,
+        "skip_hits": maint_skips,
+        "skip_hit_ratio": (maint_skips / considered) if considered else None,
+        "candidates_per_step": (
+            maint_candidates / len(maint_events) if maint_events else None
+        ),
+        "seeded_searches": sum(e["seeded_searches"] for e in maint_events),
+        "pairs_checked": sum(e["pairs_checked"] for e in maint_events),
+        "cert_invalidated": sum(e["cert_invalidated"] for e in maint_events),
+        "clean_broken": sum(1 for e in maint_events if e["clean_broken"]),
+        "seconds": sum(e.get("seconds", 0.0) for e in maint_events),
+    }
+
     hom_events = [e for e in events if e.get("kind") == "homomorphism_search"]
     homomorphism = {
         "searches": len(hom_events),
@@ -109,6 +132,7 @@ def summarize_trace(events: Iterable[dict]) -> dict:
         "counts": counts,
         "chase": chase,
         "core": core,
+        "core_maintenance": core_maintenance,
         "homomorphism": homomorphism,
         "treewidth": treewidth,
         "robust": robust,
@@ -159,6 +183,32 @@ def render_summary(summary: dict, step_stride: int = 1) -> str:
         totals.add_row("core", "proper retractions", core["proper"])
         totals.add_row("core", "atoms folded", core["atoms_folded"])
         totals.add_row("core", "variables folded", core["variables_folded"])
+    maint = summary.get("core_maintenance", {"calls": 0})
+    if maint["calls"]:
+        totals.add_row("core maintenance", "calls", maint["calls"])
+        totals.add_row("core maintenance", "incremental", maint["incremental"])
+        totals.add_row(
+            "core maintenance", "candidates tried", maint["candidates_tried"]
+        )
+        totals.add_row("core maintenance", "skip hits", maint["skip_hits"])
+        if maint["skip_hit_ratio"] is not None:
+            totals.add_row(
+                "core maintenance",
+                "skip-hit ratio",
+                round(maint["skip_hit_ratio"], 4),
+            )
+        if maint["candidates_per_step"] is not None:
+            totals.add_row(
+                "core maintenance",
+                "candidates per step",
+                round(maint["candidates_per_step"], 2),
+            )
+        totals.add_row(
+            "core maintenance", "pairs checked", maint["pairs_checked"]
+        )
+        totals.add_row(
+            "core maintenance", "certs invalidated", maint["cert_invalidated"]
+        )
     hom = summary["homomorphism"]
     if hom["searches"]:
         totals.add_row("homomorphism", "searches", hom["searches"])

@@ -41,6 +41,7 @@ EVENT_KINDS = (
     "trigger_retired",
     "chase_step_finished",
     "core_retraction",
+    "core_maintenance",
     "homomorphism_search",
     "hom_memo_lookup",
     "trigger_index_update",
@@ -95,6 +96,12 @@ class MetricsObserver(Observer):
     ``core.retractions``    counter    ``core_retraction`` calls
     ``core.variables_folded``  counter  variables folded away by cores
     ``core.time``           timer      time in ``core_retraction``
+    ``core.maintained``     counter    incremental-maintainer calls
+    ``core.skip_hits``      counter    certified variables skipped
+    ``core.candidates_tried``  counter  per-variable fold searches run
+    ``core.pairs_checked``  counter    escape-scan (old, delta) pins
+    ``core.cert_invalidated``  counter  certificates invalidated by deltas
+    ``core.clean_broken``   counter    steps that fell back to exact search
     ``hom.searches``        counter    single-witness searches
     ``hom.found``           counter    successful searches
     ``hom.backtracks``      counter    total undo operations
@@ -147,6 +154,30 @@ class MetricsObserver(Observer):
         reg.counter("core.retractions").inc()
         reg.counter("core.variables_folded").inc(variables_folded)
         reg.timer("core.time").record(seconds)
+
+    def core_maintenance(
+        self,
+        *,
+        mode,
+        atoms_before,
+        atoms_after,
+        folds,
+        candidates_tried,
+        skip_hits,
+        seeded_searches,
+        pairs_checked,
+        cert_invalidated,
+        clean_broken,
+        seconds,
+    ) -> None:
+        reg = self.registry
+        reg.counter("core.maintained").inc()
+        reg.counter("core.skip_hits").inc(skip_hits)
+        reg.counter("core.candidates_tried").inc(candidates_tried)
+        reg.counter("core.pairs_checked").inc(pairs_checked)
+        reg.counter("core.cert_invalidated").inc(cert_invalidated)
+        if clean_broken:
+            reg.counter("core.clean_broken").inc()
 
     def homomorphism_search(
         self, *, found, backtracks, source_atoms, target_atoms, seconds
@@ -231,6 +262,10 @@ class TracingObserver(MetricsObserver):
     def core_retraction(self, **kw) -> None:
         self.tracer.emit("core_retraction", **kw)
         super().core_retraction(**kw)
+
+    def core_maintenance(self, **kw) -> None:
+        self.tracer.emit("core_maintenance", **kw)
+        super().core_maintenance(**kw)
 
     def homomorphism_search(self, **kw) -> None:
         self.tracer.emit("homomorphism_search", **kw)

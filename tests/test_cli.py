@@ -201,6 +201,56 @@ class TestStatsCommand:
         assert summary["core"]["calls"] == summary["chase"]["steps"] + 1
         assert summary["chase"]["series"], "per-step series must be present"
 
+    def test_core_maintenance_aggregated(self, trace_file, capsys):
+        """``repro stats`` folds the maintainer's per-call telemetry into
+        skip-hit ratio and candidates-per-step aggregates."""
+        code = main(["stats", trace_file, "--json"])
+        summary = json.loads(capsys.readouterr().out)
+        assert code == 0
+        maint = summary["core_maintenance"]
+        assert maint["calls"] == summary["core"]["calls"]
+        assert maint["calls"] > 0
+        assert maint["incremental"] >= 1
+        assert maint["candidates_tried"] >= 0
+        assert maint["skip_hits"] >= 0
+        if maint["skip_hit_ratio"] is not None:
+            assert 0.0 <= maint["skip_hit_ratio"] <= 1.0
+        assert maint["candidates_per_step"] >= 0
+
+        code = main(["stats", trace_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "core maintenance" in out
+        assert "skip hits" in out
+        assert "candidates tried" in out
+
+    def test_no_core_maint_trace_has_no_maintenance_events(
+        self, kb_file, tmp_path, capsys
+    ):
+        """With ``--no-core-maint`` the run falls back to from-scratch
+        retraction: no maintenance events, zero aggregates."""
+        path = tmp_path / "naive.jsonl"
+        main(
+            [
+                "chase",
+                kb_file,
+                "--variant",
+                "core",
+                "--quiet",
+                "--no-core-maint",
+                "--trace",
+                str(path),
+            ]
+        )
+        capsys.readouterr()
+        kinds = {event["kind"] for event in read_trace(str(path))}
+        assert "core_retraction" in kinds
+        assert "core_maintenance" not in kinds
+        code = main(["stats", str(path), "--json"])
+        summary = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert summary["core_maintenance"]["calls"] == 0
+
 
 class TestParser:
     def test_command_required(self):

@@ -1,0 +1,110 @@
+"""Tier-1 tests for the perf-regression gate script.
+
+``benchmarks/compare_results.py`` is stdlib-only and not part of the
+installed package, so it is loaded here by file path.  The cases pin the
+three distinct gate verdicts: clean pass, timing regression, and —
+added with the incremental core maintainer — *semantic drift*, where a
+current row matches a baseline row on everything except the behaviour
+counts (applications/retractions/atoms_out) and must fail with its own
+error message rather than an opaque "row missing".
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+SCRIPT = (
+    pathlib.Path(__file__).parent.parent / "benchmarks" / "compare_results.py"
+)
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("compare_results", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _table(rows):
+    return {
+        "name": "perf_demo",
+        "headers": ["workload", "steps", "applications", "retractions", "seconds"],
+        "rows": rows,
+        "schema": 1,
+    }
+
+
+ROW = {
+    "workload": "elevator",
+    "steps": 35,
+    "applications": 35,
+    "retractions": 0,
+    "seconds": 4.0,
+}
+
+
+def _write_pair(tmp_path, baseline_rows, current_rows):
+    baselines = tmp_path / "baselines"
+    results = tmp_path / "results"
+    baselines.mkdir()
+    results.mkdir()
+    (baselines / "perf_demo.json").write_text(json.dumps(_table(baseline_rows)))
+    (results / "perf_demo.json").write_text(json.dumps(_table(current_rows)))
+    return ["--baselines", str(baselines), "--results", str(results)]
+
+
+def _run(gate, argv, capsys):
+    code = gate.main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out + captured.err
+
+
+class TestGateVerdicts:
+    def test_clean_pass(self, gate, tmp_path, capsys):
+        argv = _write_pair(tmp_path, [ROW], [{**ROW, "seconds": 0.2}])
+        code, output = _run(gate, argv, capsys)
+        assert code == 0
+        assert "perf gate clean" in output
+
+    def test_slowdown_fails_with_ratio(self, gate, tmp_path, capsys):
+        argv = _write_pair(tmp_path, [ROW], [{**ROW, "seconds": 9.0}])
+        code, output = _run(gate, argv, capsys)
+        assert code == 1
+        assert "2.25x" in output
+        assert "SEMANTIC DRIFT" not in output
+
+    def test_count_drift_fails_with_distinct_message(self, gate, tmp_path, capsys):
+        """Same workload, same timing, different application/retraction
+        counts: the gate must call out behaviour change, not slowdown."""
+        drifted = {**ROW, "applications": 36, "retractions": 1}
+        argv = _write_pair(tmp_path, [ROW], [drifted])
+        code, output = _run(gate, argv, capsys)
+        assert code == 1
+        assert "SEMANTIC DRIFT" in output
+        assert "applications 35 -> 36" in output
+        assert "retractions 0 -> 1" in output
+        assert "row missing" not in output
+
+    def test_genuinely_missing_row_is_not_drift(self, gate, tmp_path, capsys):
+        other = {**ROW, "workload": "staircase"}
+        argv = _write_pair(tmp_path, [ROW], [other])
+        code, output = _run(gate, argv, capsys)
+        assert code == 1
+        assert "row missing from current results" in output
+        assert "SEMANTIC DRIFT" not in output
+
+
+class TestDriftDetector:
+    def test_find_count_drift_reports_moved_fields(self, gate):
+        base = (("workload", "elevator"), ("steps", 35), ("applications", 35))
+        cur = (("workload", "elevator"), ("steps", 35), ("applications", 36))
+        drift = gate.find_count_drift(base, [cur])
+        assert drift == {"applications": (35, 36)}
+
+    def test_find_count_drift_ignores_other_workloads(self, gate):
+        base = (("workload", "elevator"), ("applications", 35))
+        cur = (("workload", "staircase"), ("applications", 36))
+        assert gate.find_count_drift(base, [cur]) is None

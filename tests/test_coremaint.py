@@ -1,0 +1,270 @@
+"""Differential and unit tests for the incremental core maintainer.
+
+The maintainer (:mod:`repro.logic.coremaint`) must be a pure
+acceleration of :func:`repro.logic.cores.core_retraction`: for every
+growth sequence its per-step result is a genuine idempotent retraction
+(``σ∘σ = σ``, identity on its image) whose image is isomorphic to the
+naive core.  The unit tests pin the load-bearing cases: the escape-scan
+lemma (a delta can make an *untouched* old variable removable — naive
+neighborhood-fingerprint skipping would be unsound), wholesale
+certification on already-core steps, and the regression where a
+certificate must be invalidated by a *retraction* rather than an
+addition.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chase.engine import ChaseVariant, run_chase
+from repro.kbs.elevator import elevator_kb
+from repro.kbs.generators import random_kb
+from repro.kbs.staircase import staircase_kb
+from repro.logic.coremaint import (
+    PAIR_ENUM_CAP,
+    CoreMaintainer,
+    _neighborhood_fingerprint,
+)
+from repro.logic.cores import core_of, core_retraction, is_core
+from repro.logic.homcache import get_cache
+from repro.logic.isomorphism import isomorphic
+from repro.logic.parser import parse_atoms
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def variable(atoms, name):
+    (var,) = [v for v in atoms.variables() if v.name == name]
+    return var
+
+
+def assert_valid_simplification(sigma, pre_instance):
+    """σ is an idempotent retraction of *pre_instance* whose image is a
+    core isomorphic to the naive one."""
+    assert sigma.is_retraction_of(pre_instance)
+    assert sigma.compose(sigma).drop_trivial() == sigma.drop_trivial()
+    image = sigma.apply(pre_instance)
+    assert sigma.is_identity_on(image.terms())
+    assert is_core(image)
+    assert isomorphic(image, core_of(pre_instance))
+
+
+class TestMaintainerDifferential:
+    """Maintainer vs naive ``core_retraction``, step by step."""
+
+    def _check_run(self, kb, max_steps):
+        get_cache().clear()
+        steps = []
+        result = run_chase(
+            kb,
+            variant=ChaseVariant.CORE,
+            max_steps=max_steps,
+            on_step=steps.append,
+        )
+        assert steps, "the run recorded no steps"
+        for step in steps:
+            assert_valid_simplification(step.simplification, step.pre_instance)
+        return result
+
+    def test_staircase_steps(self):
+        self._check_run(staircase_kb(), max_steps=12)
+
+    def test_elevator_steps(self):
+        self._check_run(elevator_kb(), max_steps=10)
+
+    @given(
+        kb=st.builds(
+            random_kb,
+            rule_count=st.integers(min_value=1, max_value=4),
+            fact_count=st.integers(min_value=2, max_value=8),
+            term_pool=st.integers(min_value=2, max_value=5),
+            seed=st.integers(min_value=0, max_value=10_000),
+        )
+    )
+    @SETTINGS
+    def test_random_kbs(self, kb):
+        self._check_run(kb, max_steps=8)
+
+    @given(
+        kb=st.builds(
+            random_kb,
+            rule_count=st.integers(min_value=1, max_value=3),
+            fact_count=st.integers(min_value=2, max_value=6),
+            term_pool=st.integers(min_value=2, max_value=4),
+            seed=st.integers(min_value=0, max_value=10_000),
+        )
+    )
+    @SETTINGS
+    def test_random_kbs_match_naive_engine(self, kb):
+        """Whole-run equivalence: same rule sequence and isomorphic
+        per-step instances as the fully naive engine."""
+        get_cache().clear()
+        fast = run_chase(kb, variant=ChaseVariant.CORE, max_steps=6)
+        slow = run_chase(
+            kb, variant=ChaseVariant.CORE, max_steps=6, use_index=False
+        )
+        assert fast.applications == slow.applications
+        assert fast.retractions == slow.retractions
+        fast_rules = [
+            s.trigger.rule.name
+            for s in fast.derivation.steps
+            if s.trigger is not None
+        ]
+        slow_rules = [
+            s.trigger.rule.name
+            for s in slow.derivation.steps
+            if s.trigger is not None
+        ]
+        assert fast_rules == slow_rules
+        for fast_step, slow_step in zip(
+            fast.derivation.steps, slow.derivation.steps
+        ):
+            assert isomorphic(fast_step.instance, slow_step.instance)
+
+
+class TestMaintainerUnit:
+    def test_cold_start_is_a_full_retraction(self):
+        atoms = parse_atoms(
+            "e(hub, R0), e(hub, R1), e(hub, R2), e(hub, c)"
+        )
+        maintainer = CoreMaintainer()
+        sigma = maintainer.retract(atoms)
+        assert_valid_simplification(sigma, atoms)
+        assert maintainer.core == sigma.apply(atoms)
+        assert maintainer.last_stats["mode"] == "full"
+
+    def test_certificates_match_the_stored_core(self):
+        atoms = parse_atoms("p(a, V1), q(V1, V2), r(V2, b)")
+        maintainer = CoreMaintainer()
+        maintainer.retract(atoms)
+        core = maintainer.core
+        assert set(maintainer.certificates) == set(core.variables())
+        for var, cert in maintainer.certificates.items():
+            assert cert == _neighborhood_fingerprint(core, var)
+
+    def test_already_core_step_certifies_wholesale(self):
+        """The common core-chase step: the delta keeps the instance a
+        core; the escape scan certifies every old variable without a
+        single per-variable search on them."""
+        atoms = parse_atoms("p(a, V1), q(V1, V2), r(V2, b)")
+        maintainer = CoreMaintainer()
+        maintainer.retract(atoms)
+        delta = parse_atoms("s(b, c)").sorted_atoms()
+        pre = maintainer.core.copy()
+        for at in delta:
+            pre.add(at)
+        sigma = maintainer.retract(pre, delta)
+        assert not sigma.drop_trivial()  # identity: pre is already a core
+        assert maintainer.last_stats["mode"] == "incremental"
+        # V2 (adjacent to the delta through b) gets a cheap probe; V1 is
+        # skipped outright on the scan's wholesale certificate.
+        assert maintainer.last_stats["skip_hits"] == 1
+        assert maintainer.last_stats["candidates_tried"] == 1
+        assert not maintainer.last_stats["clean_broken"]
+
+    def test_escape_through_the_delta_folds_untouched_variables(self):
+        """The (L2) soundness case: ``{e(X, Y)}`` is a core and the
+        delta ``{e(a, b)}`` shares no term with it, yet it makes *both*
+        old variables removable.  A skip-list keyed on neighborhood
+        fingerprints alone would wrongly skip them; the escape scan must
+        find the fold."""
+        atoms = parse_atoms("e(X, Y)")
+        maintainer = CoreMaintainer()
+        sigma0 = maintainer.retract(atoms)
+        assert not sigma0.drop_trivial()
+        delta = parse_atoms("e(a, b)").sorted_atoms()
+        pre = maintainer.core.copy()
+        for at in delta:
+            pre.add(at)
+        sigma = maintainer.retract(pre, delta)
+        assert_valid_simplification(sigma, pre)
+        assert maintainer.core == parse_atoms("e(a, b)")
+        assert maintainer.last_stats["mode"] == "incremental"
+        assert maintainer.last_stats["pairs_checked"] >= 1
+        assert maintainer.last_stats["clean_broken"]
+
+    def test_certificate_invalidated_by_a_retraction(self):
+        """Regression: a fold can change the neighborhood of a variable
+        *no delta atom touches*.  Here the delta ``{g(U)}`` only touches
+        ``U``, but the resulting fold ``V2 ↦ U`` erases ``q(V1, V2)``
+        from ``V1``'s neighborhood — ``V1``'s certificate must be
+        reissued, not transported."""
+        atoms = parse_atoms(
+            "p(a, V1), q(V1, V2), q(V1, U), r(V2, b), r(U, b), g(V2), s(U)"
+        )
+        maintainer = CoreMaintainer()
+        sigma0 = maintainer.retract(atoms)
+        assert not sigma0.drop_trivial()  # the seed instance is a core
+        v1 = variable(atoms, "V1")
+        cert_before = maintainer.certificates[v1]
+
+        delta = parse_atoms("g(U)").sorted_atoms()
+        pre = maintainer.core.copy()
+        for at in delta:
+            pre.add(at)
+        sigma = maintainer.retract(pre, delta)
+        assert_valid_simplification(sigma, pre)
+        # V2 folded onto U; V1 survived with a smaller neighborhood.
+        assert variable(atoms, "V2") not in maintainer.core.variables()
+        cert_after = maintainer.certificates[v1]
+        assert cert_after != cert_before
+        assert cert_after == _neighborhood_fingerprint(maintainer.core, v1)
+        # And the certificates as a whole still describe the new core.
+        for var, cert in maintainer.certificates.items():
+            assert cert == _neighborhood_fingerprint(maintainer.core, var)
+
+    def test_mismatched_delta_falls_back_to_the_full_pass(self):
+        atoms = parse_atoms("p(a, V1), q(V1, V2), r(V2, b)")
+        maintainer = CoreMaintainer()
+        maintainer.retract(atoms)
+        unrelated = parse_atoms("e(hub, R0), e(hub, c)")
+        sigma = maintainer.retract(
+            unrelated, delta=parse_atoms("e(hub, R0)").sorted_atoms()
+        )
+        assert maintainer.last_stats["mode"] == "full"
+        assert_valid_simplification(sigma, unrelated)
+
+    def test_growth_sequence_keeps_certificates_exact(self):
+        """Drive one maintainer along a random growth sequence and
+        check, after every step, the invariant everything rests on:
+        the stored core is a core and every certificate equals the
+        fingerprint of its variable's current neighborhood."""
+        import random
+
+        rng = random.Random(7)
+        maintainer = CoreMaintainer()
+        atoms = parse_atoms("e(c0, V0), p(V0, V1)")
+        maintainer.retract(atoms)
+        predicates = ("e", "p", "q")
+        next_null = [2]
+        for _ in range(12):
+            pre = maintainer.core.copy()
+            terms = sorted(
+                (str(t) for t in pre.terms()),
+                key=str,
+            )
+            delta = []
+            for _ in range(rng.randint(1, 2)):
+                pred = rng.choice(predicates)
+                left = rng.choice(terms)
+                if rng.random() < 0.5:
+                    right = f"V{next_null[0]}"
+                    next_null[0] += 1
+                else:
+                    right = rng.choice(terms + [f"c{next_null[0]}"])
+                atom = parse_atoms(f"{pred}({left}, {right})").sorted_atoms()[0]
+                if pre.add(atom):
+                    delta.append(atom)
+            if not delta:
+                continue
+            sigma = maintainer.retract(pre, delta)
+            assert_valid_simplification(sigma, pre)
+            assert is_core(maintainer.core)
+            for var, cert in maintainer.certificates.items():
+                assert cert == _neighborhood_fingerprint(maintainer.core, var)
+
+    def test_pair_enum_cap_is_positive(self):
+        assert PAIR_ENUM_CAP >= 1

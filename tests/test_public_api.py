@@ -16,6 +16,7 @@ MODULES = [
     "repro.logic.homomorphism",
     "repro.logic.isomorphism",
     "repro.logic.cores",
+    "repro.logic.coremaint",
     "repro.logic.rules",
     "repro.logic.parser",
     "repro.logic.serialization",

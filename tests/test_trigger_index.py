@@ -229,13 +229,13 @@ class TestHomomorphismCache:
         cache = RecordingCache()
         set_cache(cache)
 
-        def single_fold(atoms):
-            nulls = sorted(atoms.variables(), key=lambda v: v.name)
+        def single_fold(source, target, **kwargs):
+            nulls = sorted(source.variables(), key=lambda v: v.name)
             if len(nulls) <= 1:
                 return None
             return Substitution({nulls[0]: nulls[1]})
 
-        monkeypatch.setattr(cores_module, "_removable_variable", single_fold)
+        monkeypatch.setattr(cores_module, "find_homomorphism", single_fold)
         star = star_instance(3)  # e(hub, R0..R2): folds R0->R1, R1->R2
         intermediate = parse_atoms("e(hub, R1), e(hub, R2)")
         core_retraction(star)
