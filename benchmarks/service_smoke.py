@@ -1,0 +1,212 @@
+"""End-to-end smoke test for ``repro serve`` (the CI ``service-smoke`` job).
+
+Boots the server as a real subprocess, replays the committed request
+script (``service_smoke_requests.jsonl``) twice — phase 1 cold, phase 2
+against the snapshots phase 1 saved — over concurrent connections, and
+asserts:
+
+* every request in both phases gets an ``ok`` response with its id echoed;
+* phase 1 coalesces the identical in-flight entailments (dedup);
+* phase 2 repeats warm-start, and the server-side warm-hit ratio meets
+  the floor (``--min-warm-ratio``, default 0.3);
+* the ``shutdown`` op stops the server cleanly (exit code 0).
+
+Archives ``results/service_smoke.json`` in the same schema as the bench
+tables so the CI artifact checks apply unchanged.
+
+Run from the repository root::
+
+    python benchmarks/service_smoke.py
+"""
+
+import argparse
+import asyncio
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+HERE = pathlib.Path(__file__).parent
+REPO_ROOT = HERE.parent
+REQUESTS_FILE = HERE / "service_smoke_requests.jsonl"
+RESULTS_FILE = HERE / "results" / "service_smoke.json"
+
+#: Matches benchmarks/conftest.py — the artifact checks key off it.
+RESULTS_SCHEMA = 1
+
+
+def load_requests():
+    lines = []
+    for raw in REQUESTS_FILE.read_text().splitlines():
+        raw = raw.strip()
+        if raw:
+            lines.append(json.loads(raw))
+    if not lines:
+        raise SystemExit(f"{REQUESTS_FILE}: no request lines")
+    return lines
+
+
+def start_server(snapshot_dir):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--snapshot-dir",
+            str(snapshot_dir),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    deadline = time.monotonic() + 60
+    banner = ""
+    while time.monotonic() < deadline:
+        banner = process.stdout.readline()
+        if "listening on" in banner:
+            port = int(banner.rsplit(":", 1)[1])
+            return process, port
+        if process.poll() is not None:
+            break
+    process.kill()
+    raise SystemExit(f"server did not come up (last output: {banner!r})")
+
+
+async def send_on_connection(port, lines, phase):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        for line in lines:
+            tagged = dict(line)
+            tagged["id"] = f"{phase}:{line['id']}"
+            writer.write((json.dumps(tagged) + "\n").encode())
+        await writer.drain()
+        return [json.loads(await reader.readline()) for _ in lines]
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+async def replay_phase(port, requests, phase, connections=4):
+    """Spread the script round-robin over *connections* concurrent
+    connections so requests genuinely overlap."""
+    buckets = [requests[i::connections] for i in range(connections)]
+    batches = await asyncio.gather(
+        *(send_on_connection(port, bucket, phase) for bucket in buckets if bucket)
+    )
+    responses = [response for batch in batches for response in batch]
+    expected = {f"{phase}:{line['id']}" for line in requests}
+    got = {response.get("id") for response in responses}
+    assert got == expected, f"phase {phase}: id mismatch {expected ^ got}"
+    bad = [r for r in responses if not r.get("ok")]
+    assert not bad, f"phase {phase}: {len(bad)} failed responses: {bad[:2]}"
+    return responses
+
+
+async def fetch_stats(port):
+    return (
+        await send_on_connection(port, [{"op": "stats", "id": "stats"}], "final")
+    )[0]
+
+
+async def request_shutdown(port):
+    response = (
+        await send_on_connection(port, [{"op": "shutdown", "id": "bye"}], "final")
+    )[0]
+    assert response.get("ok"), f"shutdown refused: {response}"
+
+
+def save_results(rows, extra):
+    RESULTS_FILE.parent.mkdir(exist_ok=True)
+    headers = list(rows[0])
+    payload = {
+        "schema": RESULTS_SCHEMA,
+        "name": "service_smoke",
+        "title": "service smoke: live replay of the committed request script",
+        "headers": headers,
+        "rows": rows,
+        "extra": extra,
+    }
+    RESULTS_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULTS_FILE}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--min-warm-ratio",
+        type=float,
+        default=0.3,
+        help="minimum acceptable server-side warm-hit ratio (default 0.3)",
+    )
+    args = parser.parse_args()
+
+    requests = load_requests()
+    rows = []
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-snap-") as scratch:
+        process, port = start_server(scratch)
+        try:
+            for phase in ("cold", "warm"):
+                started = time.perf_counter()
+                responses = asyncio.run(replay_phase(port, requests, phase))
+                seconds = time.perf_counter() - started
+                coalesced = sum(1 for r in responses if r.get("coalesced"))
+                warm = sum(1 for r in responses if r.get("warm"))
+                rows.append(
+                    {
+                        "phase": phase,
+                        "requests": len(responses),
+                        "coalesced": coalesced,
+                        "warm": warm,
+                        "seconds": round(seconds, 4),
+                    }
+                )
+                print(
+                    f"phase {phase}: {len(responses)} ok, "
+                    f"{coalesced} coalesced, {warm} warm, {seconds:.3f}s"
+                )
+
+            stats = asyncio.run(fetch_stats(port))
+            ratio = stats.get("warm_hit_ratio", 0.0)
+            print(
+                f"server stats: {stats['requests']} requests, "
+                f"{stats['jobs']} jobs, {stats['warm_hits']} warm hits "
+                f"(ratio {ratio:.2f}), {stats['coalesced']} coalesced, "
+                f"{stats['errors']} errors"
+            )
+            assert stats["errors"] == 0, "server reported job errors"
+            assert rows[0]["coalesced"] > 0, "phase 1 never coalesced"
+            assert rows[1]["warm"] > 0, "phase 2 never warm-started"
+            assert ratio >= args.min_warm_ratio, (
+                f"warm-hit ratio {ratio:.2f} below floor {args.min_warm_ratio}"
+            )
+
+            asyncio.run(request_shutdown(port))
+            code = process.wait(timeout=30)
+            assert code == 0, f"server exited with {code}"
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+    save_results(
+        rows,
+        f"warm-hit ratio {ratio:.2f} (floor {args.min_warm_ratio}); "
+        "replayed over 4 concurrent connections, 2 spawn workers.",
+    )
+    print("service smoke OK")
+
+
+if __name__ == "__main__":
+    main()

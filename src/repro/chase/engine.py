@@ -31,12 +31,34 @@ is a (finite) model of the KB — and, being the result of a fair
 derivation, a universal one (Proposition 1).  The core chase terminates
 exactly when the KB has a finite universal model (Deutsch, Nash & Remmel
 2008), which is what the fes experiments check.
+
+Checkpoint / resume and cooperative cancellation
+------------------------------------------------
+The engine's run state is a small, explicit value: the current instance,
+the oblivious memory, the fair-scheduling ages, the fresh-null counter,
+and the core-cadence bookkeeping.  :meth:`ChaseEngine.export_state`
+captures it as a :class:`ChaseState`; :meth:`ChaseEngine.restore_state`
+rebuilds a fresh engine from one (the trigger index, homomorphism memo
+and core-maintenance certificates are *derived* structures and are
+reconstructed on demand, so they never need to be persisted).  A
+restored run continues the original derivation exactly: ages carry the
+absolute birth steps via an internal offset, so fair scheduling makes
+the same choices it would have made without the checkpoint, and the
+restored fresh source invents the same nulls.  The service layer
+(:mod:`repro.service`) persists these states as chase snapshots so
+repeated queries against the same KB warm-start instead of re-chasing.
+
+``run``/``resume`` also accept a ``should_stop`` callable, polled once
+per iteration *before* any work for that step begins — the cooperative
+cancellation checkpoint the service's per-job deadlines rely on.  A run
+halted this way reports ``stopped=True`` on its result; its state is a
+valid checkpoint (no step is ever half-applied).
 """
 
 from __future__ import annotations
 
 from contextlib import nullcontext
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..logic import homcache as _homcache
@@ -53,7 +75,13 @@ from .derivation import Derivation, DerivationStep
 from .trigger import Trigger, apply_trigger, triggers
 from .trigger_index import TriggerIndex
 
-__all__ = ["ChaseVariant", "ChaseResult", "ChaseEngine", "run_chase"]
+__all__ = [
+    "ChaseVariant",
+    "ChaseResult",
+    "ChaseState",
+    "ChaseEngine",
+    "run_chase",
+]
 
 
 class ChaseVariant:
@@ -90,6 +118,11 @@ class ChaseResult:
         the step budget.
     variant:
         Which chase variant ran.
+    stopped:
+        True iff the run was halted by its ``should_stop`` callback (a
+        deadline or cancellation) rather than by termination or the step
+        budget.  A stopped run left a consistent state behind — no step
+        is half-applied — so it can be checkpointed and resumed.
     applications:
         Number of rule applications performed (= len(derivation) - 1).
     """
@@ -97,6 +130,7 @@ class ChaseResult:
     derivation: Derivation
     terminated: bool
     variant: str
+    stopped: bool = False
 
     @property
     def applications(self) -> int:
@@ -131,6 +165,41 @@ class ChaseResult:
             f"ChaseResult({self.variant}, {status}, "
             f"{self.applications} applications, "
             f"{len(self.final_instance)} atoms)"
+        )
+
+
+@dataclass
+class ChaseState:
+    """A resumable checkpoint of a chase run (see the module docstring).
+
+    Everything here is *primary* state: the derived accelerators
+    (trigger index, positional atom index, homomorphism memo,
+    core-maintenance certificates) are rebuilt on restore.  ``ages`` and
+    ``applied_keys`` use the engine's canonical trigger keys —
+    ``(rule_name, image)`` with ``image`` a sorted tuple of
+    ``(Variable, Term)`` pairs — so a state is meaningful only together
+    with the KB it was exported from;
+    :mod:`repro.service.snapshots` pairs it with a KB fingerprint on
+    disk for exactly that reason.
+    """
+
+    variant: str
+    core_every: int
+    fresh_prefix: str
+    fresh_count: int
+    instance: AtomSet
+    applied_keys: set = field(default_factory=set)
+    ages: dict = field(default_factory=dict)
+    terminated: bool = False
+    applications: int = 0
+    applications_since_core: int = 0
+    delta_since_core: list = field(default_factory=list)
+
+    def __repr__(self) -> str:  # the default would dump whole instances
+        return (
+            f"ChaseState({self.variant}, {self.applications} applications, "
+            f"{len(self.instance)} atoms, "
+            f"{'terminated' if self.terminated else 'resumable'})"
         )
 
 
@@ -196,26 +265,20 @@ class ChaseEngine:
         self,
         max_steps: int = 1000,
         on_step: Optional[Callable[[DerivationStep], None]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> ChaseResult:
         """Run up to *max_steps* rule applications from the facts.
 
         ``on_step`` (if given) is invoked with every recorded step —
         the experiment harness uses it to measure per-step treewidths
-        without retaining anything extra.  The engine keeps its state
+        without retaining anything extra.  ``should_stop`` (if given) is
+        polled before every step; once it returns True the run halts
+        with ``stopped=True`` on the result.  The engine keeps its state
         afterward, so :meth:`resume` can continue the same derivation.
         """
         with self._index_scope():
             raw_facts = self.kb.facts.copy()
-            # The incremental maintainer needs the per-step delta, which
-            # only the indexed engine computes; the naive path keeps the
-            # from-scratch core_retraction (the differential reference).
-            self._maintainer: Optional[CoreMaintainer] = (
-                CoreMaintainer()
-                if self.variant == ChaseVariant.CORE
-                and self.use_index
-                and _indexing.core_maintenance_enabled()
-                else None
-            )
+            self._maintainer = self._make_maintainer()
             self._delta_since_core: list = []
             if self.variant == ChaseVariant.CORE:
                 if self._maintainer is not None:
@@ -231,26 +294,24 @@ class ChaseEngine:
             self._ages: dict = {}  # canonical trigger key -> birth step
             self._terminated = False
             self._applications_since_core = 0
-            if self.use_index:
-                self._index: Optional[TriggerIndex] = TriggerIndex(
-                    self.kb.rules,
-                    current,
-                    track_satisfaction=self.variant
-                    not in (ChaseVariant.OBLIVIOUS, ChaseVariant.SEMI_OBLIVIOUS),
-                )
-            else:
-                self._index = None
+            #: Applications recorded before this engine's own _steps —
+            #: nonzero only after restore_state(); keeps ages and totals
+            #: absolute across checkpoints.
+            self.applications_offset = 0
+            self._install_index(current)
             if on_step is not None:
                 on_step(self._steps[0])
-            return self._advance(max_steps, on_step)
+            return self._advance(max_steps, on_step, should_stop)
 
     def resume(
         self,
         extra_steps: int,
         on_step: Optional[Callable[[DerivationStep], None]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> ChaseResult:
-        """Continue the previous :meth:`run` for *extra_steps* more rule
-        applications; the returned result covers the whole derivation.
+        """Continue the previous :meth:`run` (or :meth:`restore_state`)
+        for *extra_steps* more rule applications; the returned result
+        covers the derivation since the last run/restore.
 
         The continuation is seamless: fresh-variable numbering, fair
         scheduling ages, and the oblivious memory all carry over, so
@@ -260,7 +321,104 @@ class ChaseEngine:
         if not hasattr(self, "_steps"):
             raise RuntimeError("resume() requires a prior run()")
         with self._index_scope():
-            return self._advance(extra_steps, on_step)
+            return self._advance(extra_steps, on_step, should_stop)
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+
+    @property
+    def current_instance(self) -> AtomSet:
+        """The latest ``F_i`` of the run in progress (read-only use)."""
+        if not hasattr(self, "_steps"):
+            raise RuntimeError("current_instance requires a prior run()")
+        return self._current
+
+    def export_state(self) -> ChaseState:
+        """Capture the run as a resumable :class:`ChaseState`.
+
+        The state is a deep-enough copy: mutating the engine afterwards
+        (more :meth:`resume` steps) does not corrupt it.
+        """
+        if not hasattr(self, "_steps"):
+            raise RuntimeError("export_state() requires a prior run()")
+        return ChaseState(
+            variant=self.variant,
+            core_every=self.core_every,
+            fresh_prefix=self._fresh.prefix,
+            fresh_count=self._fresh.count,
+            instance=self._current.copy(),
+            applied_keys=set(self._applied_keys),
+            ages=dict(self._ages),
+            terminated=self._terminated,
+            applications=len(self._steps) - 1 + self.applications_offset,
+            applications_since_core=self._applications_since_core,
+            delta_since_core=list(self._delta_since_core),
+        )
+
+    def restore_state(self, state: ChaseState) -> None:
+        """Adopt *state* as this engine's run state; :meth:`resume`
+        then continues the checkpointed derivation exactly.
+
+        The engine must have been constructed with the same KB, variant
+        and core cadence the state was exported under (the KB pairing is
+        the caller's responsibility — see
+        :mod:`repro.service.snapshots`, which enforces it with a
+        fingerprint).  Derived structures (trigger index, core
+        certificates) are rebuilt from the restored instance.
+        """
+        if state.variant != self.variant:
+            raise ValueError(
+                f"state is a {state.variant!r} checkpoint, engine runs "
+                f"{self.variant!r}"
+            )
+        if state.core_every != self.core_every:
+            raise ValueError(
+                f"state was exported at core_every={state.core_every}, "
+                f"engine uses {self.core_every}"
+            )
+        with self._index_scope():
+            current = state.instance.copy()
+            self._fresh = FreshVariableSource(
+                prefix=state.fresh_prefix, start=state.fresh_count
+            )
+            self._maintainer = self._make_maintainer()
+            self._delta_since_core = list(state.delta_since_core)
+            self._steps = [
+                DerivationStep(
+                    0, None, current, Substitution.identity(), current
+                )
+            ]
+            self._current = current
+            self._applied_keys = set(state.applied_keys)
+            self._ages = dict(state.ages)
+            self._terminated = state.terminated
+            self._applications_since_core = state.applications_since_core
+            self.applications_offset = state.applications
+            self._install_index(current)
+
+    def _make_maintainer(self) -> Optional[CoreMaintainer]:
+        # The incremental maintainer needs the per-step delta, which
+        # only the indexed engine computes; the naive path keeps the
+        # from-scratch core_retraction (the differential reference).
+        if (
+            self.variant == ChaseVariant.CORE
+            and self.use_index
+            and _indexing.core_maintenance_enabled()
+        ):
+            return CoreMaintainer()
+        return None
+
+    def _install_index(self, current: AtomSet) -> None:
+        if self.use_index:
+            self._index: Optional[TriggerIndex] = TriggerIndex(
+                self.kb.rules,
+                current,
+                track_satisfaction=self.variant
+                not in (ChaseVariant.OBLIVIOUS, ChaseVariant.SEMI_OBLIVIOUS),
+            )
+        else:
+            self._index = None
 
     def _index_scope(self):
         """The indexing configuration a run executes under: the ambient
@@ -271,6 +429,7 @@ class ChaseEngine:
         self,
         budget: int,
         on_step: Optional[Callable[[DerivationStep], None]],
+        should_stop: Optional[Callable[[], bool]] = None,
     ) -> ChaseResult:
         observer = (
             self.observer
@@ -278,8 +437,16 @@ class ChaseEngine:
             else _observer_state.current
         )
         performed = 0
+        stopped = False
         while performed < budget and not self._terminated:
+            # Cooperative cancellation checkpoint: between steps the
+            # engine state is always consistent, so a deadline can halt
+            # the run here and the state remains checkpointable.
+            if should_stop is not None and should_stop():
+                stopped = True
+                break
             step_index = len(self._steps)
+            birth = step_index + self.applications_offset
             if observer is not None:
                 observer.chase_step_started(
                     step=step_index,
@@ -296,7 +463,7 @@ class ChaseEngine:
                 self._terminated = True
                 break
             for trigger in active:
-                self._ages.setdefault(self._age_key(trigger), step_index)
+                self._ages.setdefault(self._age_key(trigger), birth)
             chosen = min(
                 active,
                 key=lambda tr: (self._ages[self._age_key(tr)], tr.sort_key()),
@@ -400,7 +567,9 @@ class ChaseEngine:
                         )
 
         derivation = Derivation(self.kb, list(self._steps))
-        return ChaseResult(derivation, self._terminated, self.variant)
+        return ChaseResult(
+            derivation, self._terminated, self.variant, stopped=stopped
+        )
 
     # ------------------------------------------------------------------
     # variant plumbing
@@ -499,6 +668,7 @@ def run_chase(
     on_step: Optional[Callable[[DerivationStep], None]] = None,
     observer: Optional[Observer] = None,
     use_index: bool = True,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> ChaseResult:
     """One-shot convenience wrapper around :class:`ChaseEngine`."""
     engine = ChaseEngine(
@@ -508,4 +678,6 @@ def run_chase(
         observer=observer,
         use_index=use_index,
     )
-    return engine.run(max_steps=max_steps, on_step=on_step)
+    return engine.run(
+        max_steps=max_steps, on_step=on_step, should_stop=should_stop
+    )

@@ -17,7 +17,18 @@ bases (see :mod:`repro.logic.serialization` for the file format):
     Treewidth of an instance file (exact, with bounds fallback).
 ``stats``
     Replay a ``--trace`` JSONL file into summary tables (per-step
-    retraction series, search effort, totals).
+    retraction series, search effort, service latencies, totals).
+    Degrades gracefully: empty or truncated files get a clear message
+    and a zero exit, and a whole-file metrics snapshot (as written by
+    ``serve --metrics-file``) renders as a metrics table.
+``serve``
+    Run the long-lived query service (:mod:`repro.service`): JSONL
+    requests over TCP, a process-pool of chase workers, and a
+    chase-snapshot store for warm starts.
+
+``chase`` and ``entail`` accept ``--timeout SECONDS``: a cooperative
+deadline (the same machinery the service applies per job) that stops
+the run between rule applications and reports the partial outcome.
 
 Examples::
 
@@ -25,8 +36,10 @@ Examples::
     python -m repro chase kb.repro --variant core --trace run.jsonl
     python -m repro stats run.jsonl
     python -m repro entail kb.repro "mgr(ann, X)" --json
+    python -m repro entail kb.repro "e(X, X)" --timeout 2.5
     python -m repro classify kb.repro
     python -m repro treewidth instance.atoms
+    python -m repro serve --port 7430 --workers 4 --snapshot-dir snaps/
 """
 
 from __future__ import annotations
@@ -48,10 +61,11 @@ from .obs import (
     MetricsRegistry,
     TracingObserver,
     observing,
-    read_trace,
+    read_trace_lenient,
 )
 from .obs.stats import render_summary, summarize_trace
 from .query import boolean_cq, decide_entailment
+from .service.deadline import Deadline
 from .treewidth import SearchBudgetExceeded, treewidth, treewidth_bounds
 from .util.reporting import Table
 
@@ -102,6 +116,13 @@ def build_parser() -> argparse.ArgumentParser:
         "compare against)",
     )
     chase.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="cooperative deadline: stop between rule applications once "
+        "SECONDS have elapsed and report the partial run",
+    )
+    chase.add_argument(
         "--no-core-maint",
         action="store_true",
         help="disable only the incremental core maintainer: per-step "
@@ -114,6 +135,13 @@ def build_parser() -> argparse.ArgumentParser:
     entail.add_argument("query", help='query text, e.g. "e(X, Y), e(Y, X)"')
     entail.add_argument("--chase-budget", type=int, default=100)
     entail.add_argument("--model-budget", type=int, default=6)
+    entail.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="cooperative deadline on the race; an expiry reports "
+        "UNDECIDED with the incomplete flag set",
+    )
     entail.add_argument(
         "--json",
         action="store_true",
@@ -150,6 +178,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the full summary (including the per-step series) as JSON",
     )
 
+    serve = commands.add_parser(
+        "serve", help="run the JSONL-over-TCP query service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port; 0 (default) picks an ephemeral port, printed on "
+        "the 'listening on' line",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="chase worker processes; 0 runs jobs in-process (default 2)",
+    )
+    serve.add_argument(
+        "--snapshot-dir",
+        metavar="DIR",
+        help="chase-snapshot store root for warm starts (default: a "
+        "temporary directory discarded on exit)",
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECONDS",
+        help="default per-job deadline for requests without their own",
+    )
+    serve.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write JSONL service telemetry to FILE (replay with "
+        "'repro stats FILE')",
+    )
+    serve.add_argument(
+        "--metrics-file",
+        metavar="FILE",
+        help="write the final metrics snapshot to FILE as JSON on exit "
+        "('repro stats FILE' renders it)",
+    )
+
     return parser
 
 
@@ -168,6 +238,7 @@ def _cmd_chase(args: argparse.Namespace) -> int:
         if args.no_core_maint
         else nullcontext()
     )
+    deadline = Deadline(args.timeout) if args.timeout is not None else None
     try:
         with maint_scope, observing(observer):
             result = run_chase(
@@ -175,6 +246,7 @@ def _cmd_chase(args: argparse.Namespace) -> int:
                 variant=args.variant,
                 max_steps=args.steps,
                 use_index=not args.no_index,
+                should_stop=deadline,
             )
     finally:
         if sink is not None:
@@ -183,6 +255,7 @@ def _cmd_chase(args: argparse.Namespace) -> int:
     summary = {
         "variant": args.variant,
         "terminated": result.terminated,
+        "stopped": result.stopped,
         "applications": result.applications,
         "atoms": len(result.final_instance),
         "nulls": len(result.final_instance.variables()),
@@ -202,7 +275,12 @@ def _cmd_chase(args: argparse.Namespace) -> int:
     if not args.quiet:
         for at in result.final_instance.sorted_atoms():
             print(at)
-    status = "terminated" if result.terminated else "budget-exhausted"
+    if result.terminated:
+        status = "terminated"
+    elif result.stopped:
+        status = "stopped (deadline)"
+    else:
+        status = "budget-exhausted"
     print(
         f"# {args.variant} chase {status}: {result.applications} applications, "
         f"{summary['atoms']} atoms, {summary['nulls']} nulls, "
@@ -215,8 +293,13 @@ def _cmd_chase(args: argparse.Namespace) -> int:
 
 
 def _metrics_table(registry: MetricsRegistry) -> Table:
+    return _metrics_snapshot_table(registry.snapshot())
+
+
+def _metrics_snapshot_table(snapshot: dict) -> Table:
     table = Table(["metric", "kind", "value"], title="# metrics")
-    for name, snap in registry.snapshot().items():
+    for name in sorted(snapshot):
+        snap = snapshot[name]
         if snap["kind"] in ("counter", "gauge"):
             value = snap["value"]
         else:  # timer / histogram
@@ -227,11 +310,13 @@ def _metrics_table(registry: MetricsRegistry) -> Table:
 
 def _cmd_entail(args: argparse.Namespace) -> int:
     kb = load_kb_file(args.kb)
+    deadline = Deadline(args.timeout) if args.timeout is not None else None
     verdict = decide_entailment(
         kb,
         boolean_cq(args.query),
         chase_budget=args.chase_budget,
         model_domain_budget=args.model_budget,
+        should_stop=deadline,
     )
     if args.json:
         print(
@@ -240,13 +325,17 @@ def _cmd_entail(args: argparse.Namespace) -> int:
                     "query": args.query,
                     "entailed": verdict.entailed,
                     "method": verdict.method,
+                    "incomplete": verdict.incomplete,
                 },
                 indent=2,
             )
         )
         return 2 if verdict.entailed is None else (0 if verdict.entailed else 1)
     if verdict.entailed is None:
-        print(f"UNDECIDED within budgets ({verdict.method})")
+        if verdict.incomplete:
+            print(f"UNDECIDED, deadline expired ({verdict.method})")
+        else:
+            print(f"UNDECIDED within budgets ({verdict.method})")
         return 2
     print(f"{'ENTAILED' if verdict.entailed else 'NOT ENTAILED'} ({verdict.method})")
     return 0 if verdict.entailed else 1
@@ -304,13 +393,106 @@ def _cmd_treewidth(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metrics_snapshot_payload(text: str) -> Optional[dict]:
+    """Detect a whole-file metrics snapshot (``serve --metrics-file``
+    output): a single JSON object mapping names to instrument dicts."""
+    if not text.startswith("{"):
+        return None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(payload, dict) or not payload:
+        return None
+    if all(
+        isinstance(value, dict) and "kind" in value
+        for value in payload.values()
+    ):
+        return payload
+    return None
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
-    events = read_trace(args.trace)
+    try:
+        with open(args.trace) as handle:
+            text = handle.read()
+    except OSError as exc:
+        print(
+            f"stats: cannot read {args.trace}: {exc.strerror or exc}",
+            file=sys.stderr,
+        )
+        return 2
+    stripped = text.strip()
+    if not stripped:
+        print(f"stats: {args.trace} is empty - no events to summarize")
+        return 0
+    snapshot = _metrics_snapshot_payload(stripped)
+    if snapshot is not None:
+        if args.json:
+            print(json.dumps(snapshot, indent=2))
+        else:
+            print(_metrics_snapshot_table(snapshot).render(), end="")
+        return 0
+    events, skipped = read_trace_lenient(stripped.splitlines())
+    if skipped:
+        print(
+            f"# stats: skipped {skipped} malformed line(s) "
+            "(truncated or torn trace)"
+        )
+    if not events:
+        print(f"stats: no readable events in {args.trace}")
+        return 0
     summary = summarize_trace(events)
     if args.json:
         print(json.dumps(summary, indent=2))
         return 0
     print(render_summary(summary, step_stride=max(args.stride, 1)))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import tempfile
+
+    from .service.executor import JobExecutor
+    from .service.server import serve as _serve
+
+    registry = MetricsRegistry()
+    sink = open(args.trace, "w") if args.trace else None
+    if sink is not None:
+        observer = TracingObserver(JsonlTracer(sink), registry=registry)
+    else:
+        observer = MetricsObserver(registry)
+    scratch = None
+    snapshot_dir = args.snapshot_dir
+    if snapshot_dir is None:
+        scratch = tempfile.TemporaryDirectory(prefix="repro-snapshots-")
+        snapshot_dir = scratch.name
+    executor = JobExecutor(
+        workers=args.workers, snapshot_dir=snapshot_dir, registry=registry
+    )
+    try:
+        with observing(observer):
+            try:
+                asyncio.run(
+                    _serve(
+                        host=args.host,
+                        port=args.port,
+                        default_timeout=args.timeout,
+                        executor=executor,
+                    )
+                )
+            except KeyboardInterrupt:
+                pass
+    finally:
+        executor.shutdown()
+        if sink is not None:
+            sink.close()
+        if args.metrics_file:
+            with open(args.metrics_file, "w") as handle:
+                json.dump(registry.snapshot(), handle, indent=2)
+        if scratch is not None:
+            scratch.cleanup()
     return 0
 
 
@@ -327,6 +509,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "classify": _cmd_classify,
         "treewidth": _cmd_treewidth,
         "stats": _cmd_stats,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

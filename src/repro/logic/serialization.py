@@ -13,6 +13,16 @@ so serialized files are also human-editable fixtures::
 
 Round-tripping is exact for rule sets and exact-up-to-atom-order for
 instances (atomsets are sets).
+
+Besides the text format, the module provides *tagged JSON-object*
+round-trips for the first-order substrate (terms, atoms, instances,
+substitutions).  The text DSL cannot represent engine-invented nulls
+faithfully (their names are an implementation detail of the fresh
+source, not parser-legal identifiers), so checkpoint machinery — the
+chase-snapshot store of :mod:`repro.service.snapshots` — serializes
+through these helpers instead: a term is a ``["v"|"c", name]`` pair, an
+atom a ``[predicate, [term, ...]]`` pair, and the variable/constant
+distinction survives exactly.
 """
 
 from __future__ import annotations
@@ -20,10 +30,13 @@ from __future__ import annotations
 import pathlib
 from typing import Union
 
+from .atoms import Atom, Predicate
 from .atomset import AtomSet
 from .kb import KnowledgeBase
 from .parser import ParseError, parse_atoms, parse_rules
 from .rules import RuleSet
+from .substitution import Substitution
+from .terms import Constant, Term, Variable
 
 __all__ = [
     "dump_instance",
@@ -34,6 +47,14 @@ __all__ = [
     "load_kb",
     "save_kb",
     "load_kb_file",
+    "term_to_obj",
+    "term_from_obj",
+    "atom_to_obj",
+    "atom_from_obj",
+    "instance_to_obj",
+    "instance_from_obj",
+    "substitution_to_obj",
+    "substitution_from_obj",
 ]
 
 PathLike = Union[str, pathlib.Path]
@@ -112,6 +133,73 @@ def load_kb(text: str) -> KnowledgeBase:
     facts = load_instance("\n".join(fact_lines))
     rules = parse_rules("\n".join(rule_lines))
     return KnowledgeBase(facts, rules, name=name)
+
+
+# ---------------------------------------------------------------------------
+# tagged JSON objects (exact round-trips, engine-invented nulls included)
+# ---------------------------------------------------------------------------
+
+
+def term_to_obj(term: Term) -> list:
+    """Serialize a term as a tagged pair ``["v", name]`` / ``["c", name]``.
+
+    The tag preserves the variable/constant distinction exactly — unlike
+    the text DSL, which classifies by spelling and cannot express the
+    engine's fresh-null names."""
+    if isinstance(term, Variable):
+        return ["v", term.name]
+    if isinstance(term, Constant):
+        return ["c", term.name]
+    raise TypeError(f"cannot serialize term {term!r}")
+
+
+def term_from_obj(obj) -> Term:
+    """Parse a term serialized by :func:`term_to_obj`."""
+    tag, name = obj
+    if tag == "v":
+        return Variable(name)
+    if tag == "c":
+        return Constant(name)
+    raise ParseError(f"unknown term tag {tag!r}")
+
+
+def atom_to_obj(at: Atom) -> list:
+    """Serialize an atom as ``[predicate_name, [term, ...]]``."""
+    return [at.predicate.name, [term_to_obj(t) for t in at.args]]
+
+
+def atom_from_obj(obj) -> Atom:
+    """Parse an atom serialized by :func:`atom_to_obj`."""
+    name, args = obj
+    terms = [term_from_obj(t) for t in args]
+    return Atom(Predicate(name, len(terms)), terms)
+
+
+def instance_to_obj(atoms: AtomSet) -> list:
+    """Serialize an instance as a deterministic list of atom objects."""
+    return [atom_to_obj(at) for at in atoms.sorted_atoms()]
+
+
+def instance_from_obj(obj) -> AtomSet:
+    """Parse an instance serialized by :func:`instance_to_obj`."""
+    return AtomSet(atom_from_obj(item) for item in obj)
+
+
+def substitution_to_obj(substitution: Substitution) -> list:
+    """Serialize a substitution as sorted ``[var_name, term]`` pairs."""
+    return [
+        [var.name, term_to_obj(term)]
+        for var, term in sorted(
+            substitution.items(), key=lambda pair: pair[0].name
+        )
+    ]
+
+
+def substitution_from_obj(obj) -> Substitution:
+    """Parse a substitution serialized by :func:`substitution_to_obj`."""
+    return Substitution(
+        {Variable(name): term_from_obj(term) for name, term in obj}
+    )
 
 
 def save_kb(kb: KnowledgeBase, path: PathLike) -> None:

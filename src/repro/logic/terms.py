@@ -161,11 +161,18 @@ class FreshVariableSource:
         Name prefix for generated variables; the default ``"_n"`` cannot
         collide with parser-produced variables (which never start with an
         underscore).
+    start:
+        First index to hand out.  A checkpoint-resumed chase
+        (:meth:`repro.chase.engine.ChaseEngine.restore_state`) restores
+        the counter here so the continuation invents exactly the nulls
+        the uninterrupted run would have.
     """
 
-    def __init__(self, prefix: str = "_n"):
+    def __init__(self, prefix: str = "_n", start: int = 0):
+        if start < 0:
+            raise ValueError("start must be >= 0")
         self._prefix = prefix
-        self._count = 0
+        self._count = start
 
     def fresh(self, hint: Union[str, Variable, None] = None) -> Variable:
         """Return a brand-new variable.
@@ -184,6 +191,11 @@ class FreshVariableSource:
     def count(self) -> int:
         """Number of variables handed out so far."""
         return self._count
+
+    @property
+    def prefix(self) -> str:
+        """The name prefix generated variables carry."""
+        return self._prefix
 
     def __repr__(self) -> str:
         return f"FreshVariableSource(prefix={self._prefix!r})"

@@ -52,10 +52,12 @@ from .observer import (
 )
 from .tracer import (
     EVENT_KINDS,
+    LATENCY_BOUNDS,
     JsonlTracer,
     MetricsObserver,
     TracingObserver,
     read_trace,
+    read_trace_lenient,
 )
 
 __all__ = [
@@ -65,6 +67,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "JsonlTracer",
+    "LATENCY_BOUNDS",
     "MetricsObserver",
     "MetricsRegistry",
     "Observer",
@@ -74,6 +77,7 @@ __all__ = [
     "get_registry",
     "observing",
     "read_trace",
+    "read_trace_lenient",
     "set_observer",
     "set_registry",
 ]

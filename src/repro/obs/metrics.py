@@ -52,6 +52,10 @@ class Counter:
     def inc(self, amount: int = 1) -> None:
         self.value += amount
 
+    def merge(self, snap: dict) -> None:
+        """Fold another counter's snapshot into this one (sum)."""
+        self.value += snap["value"]
+
     def snapshot(self) -> dict:
         return {"kind": self.kind, "value": self.value}
 
@@ -72,6 +76,10 @@ class Gauge:
 
     def set(self, value: float) -> None:
         self.value = value
+
+    def merge(self, snap: dict) -> None:
+        """Fold another gauge's snapshot into this one (last write wins)."""
+        self.value = snap["value"]
 
     def snapshot(self) -> dict:
         return {"kind": self.kind, "value": self.value}
@@ -122,6 +130,18 @@ class Timer:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def merge(self, snap: dict) -> None:
+        """Fold another timer's snapshot into this one (count/total sum,
+        min/max widened).  Empty snapshots merge as no-ops."""
+        if not snap["count"]:
+            return
+        self.count += snap["count"]
+        self.total += snap["total"]
+        if snap["min"] < self.min:
+            self.min = snap["min"]
+        if snap["max"] > self.max:
+            self.max = snap["max"]
 
     def snapshot(self) -> dict:
         return {
@@ -179,6 +199,26 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge(self, snap: dict) -> None:
+        """Fold another histogram's snapshot into this one (bucketwise
+        sum).  The bucket bounds must agree; empty snapshots merge as
+        no-ops."""
+        if not snap["count"]:
+            return
+        if tuple(snap["bounds"]) != self.bounds:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge snapshot with "
+                f"bounds {snap['bounds']} into bounds {list(self.bounds)}"
+            )
+        self.count += snap["count"]
+        self.total += snap["total"]
+        if snap["min"] < self.min:
+            self.min = snap["min"]
+        if snap["max"] > self.max:
+            self.max = snap["max"]
+        for index, bucket in enumerate(snap["buckets"]):
+            self.buckets[index] += bucket
+
     def snapshot(self) -> dict:
         return {
             "kind": self.kind,
@@ -217,6 +257,9 @@ class _NullInstrument:
         pass
 
     def observe(self, value: float) -> None:
+        pass
+
+    def merge(self, snap: dict) -> None:
         pass
 
     def __enter__(self) -> "_NullInstrument":
@@ -290,6 +333,34 @@ class MetricsRegistry:
     def reset(self) -> None:
         """Drop all instruments (names and values)."""
         self._instruments.clear()
+
+    # -- cross-process aggregation -------------------------------------
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` produced elsewhere into this registry.
+
+        This is the parent half of the fork/spawn-safe worker protocol
+        (:mod:`repro.service.executor`): each worker process installs a
+        *fresh* registry (never a handle onto the parent's — under
+        ``spawn`` that handle would not exist, under ``fork`` it would
+        be a dead copy the parent never sees), records into it for the
+        duration of one job, and ships ``registry.snapshot()`` back with
+        the job result; the parent merges it here.  Counters and
+        timers/histograms accumulate, gauges take the incoming value,
+        unknown kinds are skipped.  Merging into a disabled registry is
+        a no-op (the null instrument absorbs everything).
+        """
+        for name, payload in snapshot.items():
+            kind = payload.get("kind")
+            if kind == "counter":
+                self.counter(name).merge(payload)
+            elif kind == "gauge":
+                self.gauge(name).merge(payload)
+            elif kind == "timer":
+                self.timer(name).merge(payload)
+            elif kind == "histogram":
+                self.histogram(name, tuple(payload["bounds"])).merge(payload)
+            # "null" / unknown kinds carry no data worth keeping
 
     def __len__(self) -> int:
         return len(self._instruments)

@@ -163,6 +163,41 @@ class Observer:
         live triggers travelled through the simplification with
         *collapsed* of them folding onto identical keys."""
 
+    # -- query service (repro.service) ---------------------------------
+
+    def service_request(self, *, op: str, coalesced: bool) -> None:
+        """The server accepted one request; *coalesced* is True when an
+        identical in-flight job absorbed it (no new work scheduled)."""
+
+    def service_job(
+        self,
+        *,
+        op: str,
+        ok: bool,
+        warm: bool,
+        incomplete: bool,
+        deadline_expired: bool,
+        applications: int,
+        seconds: float,
+    ) -> None:
+        """One service job finished: *warm* iff it resumed from a chase
+        snapshot, *incomplete* iff it degraded to partial sound answers,
+        *applications* the new rule applications it performed, *seconds*
+        its wall-clock latency (queueing included)."""
+
+    def snapshot_access(
+        self,
+        *,
+        op: str,
+        hit: bool,
+        corrupt: bool = False,
+        atoms: int = 0,
+        seconds: float = 0.0,
+    ) -> None:
+        """The snapshot store served one access: *op* is ``load`` or
+        ``save``; on loads *hit* reports whether a usable state came
+        back and *corrupt* whether an unreadable entry was discarded."""
+
     # -- exact treewidth (repro.treewidth.exact) -----------------------
 
     def treewidth_search(
@@ -233,6 +268,18 @@ class CompositeObserver(Observer):
     def trigger_index_update(self, **kw) -> None:
         for obs in self.observers:
             obs.trigger_index_update(**kw)
+
+    def service_request(self, **kw) -> None:
+        for obs in self.observers:
+            obs.service_request(**kw)
+
+    def service_job(self, **kw) -> None:
+        for obs in self.observers:
+            obs.service_job(**kw)
+
+    def snapshot_access(self, **kw) -> None:
+        for obs in self.observers:
+            obs.snapshot_access(**kw)
 
     def treewidth_search(self, **kw) -> None:
         for obs in self.observers:

@@ -21,6 +21,14 @@ from .tracer import EVENT_KINDS
 __all__ = ["summarize_trace", "retraction_series", "render_summary"]
 
 
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """The *q*-quantile of pre-sorted *sorted_values* (nearest-rank)."""
+    if not sorted_values:
+        return 0.0
+    index = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
 def retraction_series(events: Iterable[dict]) -> list[dict]:
     """The per-step series of a traced chase run.
 
@@ -127,6 +135,35 @@ def summarize_trace(events: Iterable[dict]) -> dict:
         "renamed": sum(e["renamed"] for e in robust_events),
     }
 
+    request_events = [e for e in events if e.get("kind") == "service_request"]
+    job_events = [e for e in events if e.get("kind") == "service_job"]
+    snap_events = [e for e in events if e.get("kind") == "snapshot_access"]
+    latencies = sorted(e.get("seconds", 0.0) for e in job_events)
+    warm_hits = sum(1 for e in job_events if e.get("warm"))
+    snap_loads = [e for e in snap_events if e.get("op") == "load"]
+    service = {
+        "requests": len(request_events),
+        "coalesced": sum(1 for e in request_events if e.get("coalesced")),
+        "jobs": len(job_events),
+        "ok": sum(1 for e in job_events if e.get("ok")),
+        "warm_hits": warm_hits,
+        "warm_hit_ratio": (warm_hits / len(job_events)) if job_events else None,
+        "incomplete": sum(1 for e in job_events if e.get("incomplete")),
+        "deadline_expired": sum(
+            1 for e in job_events if e.get("deadline_expired")
+        ),
+        "applications": sum(e.get("applications", 0) for e in job_events),
+        "seconds": sum(latencies),
+        "latency_p50": _percentile(latencies, 0.50),
+        "latency_p95": _percentile(latencies, 0.95),
+        "snapshot_loads": len(snap_loads),
+        "snapshot_load_hits": sum(1 for e in snap_loads if e.get("hit")),
+        "snapshot_corrupt": sum(1 for e in snap_loads if e.get("corrupt")),
+        "snapshot_saves": sum(
+            1 for e in snap_events if e.get("op") == "save"
+        ),
+    }
+
     return {
         "events": len(events),
         "counts": counts,
@@ -136,6 +173,7 @@ def summarize_trace(events: Iterable[dict]) -> dict:
         "homomorphism": homomorphism,
         "treewidth": treewidth,
         "robust": robust,
+        "service": service,
     }
 
 
@@ -224,6 +262,46 @@ def render_summary(summary: dict, step_stride: int = 1) -> str:
     if robust["steps"]:
         totals.add_row("robust", "steps", robust["steps"])
         totals.add_row("robust", "variables renamed", robust["renamed"])
+    service = summary.get("service", {"jobs": 0, "requests": 0})
+    if service["jobs"] or service["requests"]:
+        totals.add_row("service", "requests", service["requests"])
+        totals.add_row("service", "coalesced", service["coalesced"])
+        totals.add_row("service", "jobs", service["jobs"])
+        totals.add_row("service", "ok", service["ok"])
+        totals.add_row("service", "warm hits", service["warm_hits"])
+        if service["warm_hit_ratio"] is not None:
+            totals.add_row(
+                "service",
+                "warm-hit ratio",
+                round(service["warm_hit_ratio"], 4),
+            )
+        totals.add_row("service", "incomplete", service["incomplete"])
+        totals.add_row(
+            "service", "deadline expired", service["deadline_expired"]
+        )
+        totals.add_row("service", "applications", service["applications"])
+        totals.add_row(
+            "service", "latency p50 (s)", round(service["latency_p50"], 6)
+        )
+        totals.add_row(
+            "service", "latency p95 (s)", round(service["latency_p95"], 6)
+        )
+        if service["snapshot_loads"] or service["snapshot_saves"]:
+            totals.add_row(
+                "service", "snapshot loads", service["snapshot_loads"]
+            )
+            totals.add_row(
+                "service", "snapshot load hits", service["snapshot_load_hits"]
+            )
+            totals.add_row(
+                "service", "snapshot saves", service["snapshot_saves"]
+            )
+            if service["snapshot_corrupt"]:
+                totals.add_row(
+                    "service",
+                    "snapshots discarded corrupt",
+                    service["snapshot_corrupt"],
+                )
     parts.append(totals.render())
 
     return "\n".join(parts)

@@ -28,10 +28,12 @@ from .observer import Observer
 
 __all__ = [
     "EVENT_KINDS",
+    "LATENCY_BOUNDS",
     "JsonlTracer",
     "TracingObserver",
     "MetricsObserver",
     "read_trace",
+    "read_trace_lenient",
 ]
 
 #: Every event kind an Observer callback can emit.
@@ -45,8 +47,19 @@ EVENT_KINDS = (
     "homomorphism_search",
     "hom_memo_lookup",
     "trigger_index_update",
+    "service_request",
+    "service_job",
+    "snapshot_access",
     "treewidth_search",
     "robust_step",
+)
+
+#: Histogram bucket bounds for service job latencies, in seconds: the
+#: default 1-2-5 decades start at 1 and would lump every sub-second job
+#: into one bucket, useless for p50/p95 targets on a warm-started path.
+LATENCY_BOUNDS = (
+    0.001, 0.002, 0.005, 0.01, 0.02, 0.05,
+    0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0,
 )
 
 
@@ -118,7 +131,25 @@ class MetricsObserver(Observer):
     ``tw.budget_consumed``  counter    states consumed by the searches
     ``robust.steps``        counter    robust-sequence steps built
     ``robust.renamed``      counter    variables renamed by ``ρ_σ'``
+    ``service.requests``    counter    requests accepted by the server
+    ``service.coalesced``   counter    requests absorbed by in-flight dedup
+    ``service.jobs``        counter    jobs finished
+    ``service.job_errors``  counter    jobs that failed
+    ``service.warm_hits``   counter    jobs warm-started from a snapshot
+    ``service.warm_misses``  counter   jobs that chased cold
+    ``service.incomplete``  counter    jobs degraded to partial answers
+    ``service.deadline_expired``  counter  jobs halted by their deadline
+    ``service.applications``  counter  new rule applications across jobs
+    ``service.job_seconds``  timer     job wall-clock latency
+    ``service.job_latency``  histogram  per-job latency (LATENCY_BOUNDS)
+    ``snapshot.loads``      counter    snapshot-store load attempts
+    ``snapshot.hits``       counter    loads returning a usable state
+    ``snapshot.corrupt``    counter    unreadable entries discarded
+    ``snapshot.saves``      counter    snapshot-store saves
     ======================  =========  ==================================
+
+    (``service.queue_depth``, a gauge, is written directly by the
+    executor — queue depth is executor state, not an event.)
     """
 
     __slots__ = ("registry",)
@@ -216,6 +247,52 @@ class MetricsObserver(Observer):
         reg.counter("index.satisfaction_rechecks").inc(satisfaction_rechecks)
         reg.counter("index.collapsed").inc(collapsed)
 
+    def service_request(self, *, op, coalesced) -> None:
+        reg = self.registry
+        reg.counter("service.requests").inc()
+        if coalesced:
+            reg.counter("service.coalesced").inc()
+
+    def service_job(
+        self,
+        *,
+        op,
+        ok,
+        warm,
+        incomplete,
+        deadline_expired,
+        applications,
+        seconds,
+    ) -> None:
+        reg = self.registry
+        reg.counter("service.jobs").inc()
+        if not ok:
+            reg.counter("service.job_errors").inc()
+        if warm:
+            reg.counter("service.warm_hits").inc()
+        else:
+            reg.counter("service.warm_misses").inc()
+        if incomplete:
+            reg.counter("service.incomplete").inc()
+        if deadline_expired:
+            reg.counter("service.deadline_expired").inc()
+        reg.counter("service.applications").inc(applications)
+        reg.timer("service.job_seconds").record(seconds)
+        reg.histogram("service.job_latency", LATENCY_BOUNDS).observe(seconds)
+
+    def snapshot_access(
+        self, *, op, hit, corrupt=False, atoms=0, seconds=0.0
+    ) -> None:
+        reg = self.registry
+        if op == "load":
+            reg.counter("snapshot.loads").inc()
+            if hit:
+                reg.counter("snapshot.hits").inc()
+            if corrupt:
+                reg.counter("snapshot.corrupt").inc()
+        else:
+            reg.counter("snapshot.saves").inc()
+
     def treewidth_search(self, *, k, verdict, budget_consumed) -> None:
         reg = self.registry
         reg.counter("tw.searches").inc()
@@ -279,6 +356,18 @@ class TracingObserver(MetricsObserver):
         self.tracer.emit("trigger_index_update", **kw)
         super().trigger_index_update(**kw)
 
+    def service_request(self, **kw) -> None:
+        self.tracer.emit("service_request", **kw)
+        super().service_request(**kw)
+
+    def service_job(self, **kw) -> None:
+        self.tracer.emit("service_job", **kw)
+        super().service_job(**kw)
+
+    def snapshot_access(self, **kw) -> None:
+        self.tracer.emit("snapshot_access", **kw)
+        super().snapshot_access(**kw)
+
     def treewidth_search(self, **kw) -> None:
         self.tracer.emit("treewidth_search", **kw)
         super().treewidth_search(**kw)
@@ -288,11 +377,7 @@ class TracingObserver(MetricsObserver):
         super().robust_step(**kw)
 
 
-def read_trace(source: Union[str, IO[str], Iterable[str]]) -> list[dict]:
-    """Parse a JSONL trace from a path, open file, or iterable of lines.
-
-    Blank lines are skipped; a malformed *final* line (a run cut short
-    mid-write) is dropped, while malformed interior lines raise."""
+def _trace_lines(source: Union[str, IO[str], Iterable[str]]) -> list[str]:
     if isinstance(source, str):
         with open(source) as handle:
             lines = handle.readlines()
@@ -301,7 +386,15 @@ def read_trace(source: Union[str, IO[str], Iterable[str]]) -> list[dict]:
     else:
         lines = list(source)
     stripped = [line.strip() for line in lines]
-    stripped = [line for line in stripped if line]
+    return [line for line in stripped if line]
+
+
+def read_trace(source: Union[str, IO[str], Iterable[str]]) -> list[dict]:
+    """Parse a JSONL trace from a path, open file, or iterable of lines.
+
+    Blank lines are skipped; a malformed *final* line (a run cut short
+    mid-write) is dropped, while malformed interior lines raise."""
+    stripped = _trace_lines(source)
     events: list[dict] = []
     for index, line in enumerate(stripped):
         try:
@@ -311,3 +404,28 @@ def read_trace(source: Union[str, IO[str], Iterable[str]]) -> list[dict]:
                 break  # torn final write
             raise
     return events
+
+
+def read_trace_lenient(
+    source: Union[str, IO[str], Iterable[str]],
+) -> tuple[list[dict], int]:
+    """Best-effort variant of :func:`read_trace` for offline analysis.
+
+    Never raises on malformed content: every unparseable non-blank line
+    is skipped (a crashed writer, interleaved writers, or a truncated
+    copy can all leave torn lines anywhere, not just at the end).
+    Returns ``(events, skipped)`` so callers can surface how much of the
+    trace was unreadable."""
+    events: list[dict] = []
+    skipped = 0
+    for line in _trace_lines(source):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        if isinstance(event, dict):
+            events.append(event)
+        else:
+            skipped += 1
+    return events, skipped

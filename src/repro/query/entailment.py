@@ -19,7 +19,7 @@ Three procedures, in increasing generality:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from ..chase.engine import ChaseVariant, run_chase
 from ..logic.atomset import AtomSet
@@ -41,7 +41,10 @@ class EntailmentVerdict:
 
     ``entailed`` is None when neither side settled within its budget
     (a genuine possibility: the procedure simulates two semi-decision
-    procedures with finite budgets).
+    procedures with finite budgets).  ``incomplete`` marks verdicts cut
+    short by a ``should_stop`` deadline rather than by exhausting the
+    budgets — a degraded answer in the service sense (a ``True`` is
+    still a sound certificate even then).
     """
 
     entailed: Optional[bool]
@@ -49,6 +52,7 @@ class EntailmentVerdict:
     chase_steps: int = 0
     countermodel: Optional[AtomSet] = None
     witness_instance: Optional[AtomSet] = None
+    incomplete: bool = False
 
     @property
     def decided(self) -> bool:
@@ -81,14 +85,19 @@ def chase_entails_prefix(
     query: ConjunctiveQuery,
     max_steps: int = 200,
     variant: str = ChaseVariant.RESTRICTED,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> EntailmentVerdict:
     """The "yes" semi-procedure: chase fairly and test the query against
     the growing natural aggregation.
 
     A hit certifies ``K ⊨ Q`` (the aggregation prefix is universal —
-    Proposition 1(1) — so the query maps onward into every model).  No
-    hit within budget leaves the question open unless the chase
-    terminated, in which case the answer is an exact "no".
+    Proposition 1(1) — so the query maps onward into every model), and
+    the chase halts as soon as one fires — nothing past the certificate
+    changes the answer.  No hit within budget leaves the question open
+    unless the chase terminated, in which case the answer is an exact
+    "no".  ``should_stop`` (e.g. a :class:`repro.service.deadline.
+    Deadline`) cuts the run short; a stop before any verdict returns an
+    undecided result flagged ``incomplete``.
     """
     aggregation = AtomSet()
     hit = [False]
@@ -109,7 +118,16 @@ def chase_entails_prefix(
             hit[0] = True
             steps_until_hit[0] = step.index
 
-    result = run_chase(kb, variant=variant, max_steps=max_steps, on_step=on_step)
+    def stopper() -> bool:
+        return hit[0] or (should_stop is not None and should_stop())
+
+    result = run_chase(
+        kb,
+        variant=variant,
+        max_steps=max_steps,
+        on_step=on_step,
+        should_stop=stopper,
+    )
     if hit[0]:
         return EntailmentVerdict(True, "chase-prefix-hit", steps_until_hit[0])
     if result.terminated:
@@ -118,6 +136,10 @@ def chase_entails_prefix(
             "chase-fixpoint-miss",
             result.applications,
             witness_instance=result.final_instance,
+        )
+    if result.stopped:
+        return EntailmentVerdict(
+            None, "chase-stopped", result.applications, incomplete=True
         )
     return EntailmentVerdict(None, "chase-budget-exhausted", result.applications)
 
@@ -128,6 +150,7 @@ def decide_entailment(
     chase_budget: int = 200,
     model_domain_budget: int = 8,
     chase_variant: str = ChaseVariant.RESTRICTED,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> EntailmentVerdict:
     """The Theorem-1 race, executably.
 
@@ -136,13 +159,23 @@ def decide_entailment(
     countermodel search).  Either side's success is a sound certificate.
     The race can end undecided when both budgets run out — unavoidable,
     since the exact procedure of Theorem 1 is not executable (see
-    DESIGN.md).
+    DESIGN.md).  A ``should_stop`` deadline that fires mid-race returns
+    the soundest verdict reached so far, flagged ``incomplete``; the
+    countermodel side is skipped once the deadline has expired.
     """
     yes = chase_entails_prefix(
-        kb, query, max_steps=chase_budget, variant=chase_variant
+        kb,
+        query,
+        max_steps=chase_budget,
+        variant=chase_variant,
+        should_stop=should_stop,
     )
-    if yes.decided:
+    if yes.decided or yes.incomplete:
         return yes
+    if should_stop is not None and should_stop():
+        return EntailmentVerdict(
+            None, "chase-stopped", yes.chase_steps, incomplete=True
+        )
     no = find_countermodel(kb, query, max_domain=model_domain_budget)
     if no.found:
         return EntailmentVerdict(

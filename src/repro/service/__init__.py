@@ -1,0 +1,40 @@
+"""A long-lived query-answering service over the chase engine.
+
+The library's one-shot entry points (:func:`repro.chase.engine.run_chase`,
+:func:`repro.query.decide_entailment`) re-derive everything from the
+facts on every call.  This package turns them into a serving system:
+
+* :mod:`repro.service.deadline` — monotonic-clock deadlines usable as
+  the engine's ``should_stop`` callback;
+* :mod:`repro.service.snapshots` — a content-addressed store of
+  resumable :class:`~repro.chase.engine.ChaseState` checkpoints keyed by
+  a canonical KB fingerprint, so repeated queries against the same KB
+  warm-start instead of re-chasing;
+* :mod:`repro.service.jobs` — the :class:`JobRequest` /
+  :class:`JobResult` wire dataclasses and :func:`execute_job`, the
+  single worker-side entry point (warm start, per-job deadline,
+  graceful degradation to sound partial answers);
+* :mod:`repro.service.executor` — a process-pool :class:`JobExecutor`
+  with fork/spawn-safe per-worker metrics registries merged back into
+  the parent;
+* :mod:`repro.service.server` — the asyncio JSONL-over-TCP front end
+  with request batching and in-flight dedup, exposed as ``repro serve``.
+
+Everything is standard library only, like the rest of the package.
+"""
+
+from .deadline import Deadline
+from .executor import JobExecutor
+from .jobs import JobRequest, JobResult, execute_job
+from .snapshots import SnapshotStore, kb_fingerprint, snapshot_key
+
+__all__ = [
+    "Deadline",
+    "JobExecutor",
+    "JobRequest",
+    "JobResult",
+    "SnapshotStore",
+    "execute_job",
+    "kb_fingerprint",
+    "snapshot_key",
+]

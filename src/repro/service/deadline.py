@@ -1,0 +1,69 @@
+"""Monotonic-clock deadlines for cooperative cancellation.
+
+The chase engine polls a ``should_stop`` callable between rule
+applications (:meth:`repro.chase.engine.ChaseEngine.run`); a
+:class:`Deadline` *is* such a callable, so the service layer's per-job
+time budgets plug straight into the engine without signals or threads.
+The clock is :func:`time.monotonic` — wall-clock adjustments never
+shorten or extend a budget.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Optional
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """A point in monotonic time after which work should stop.
+
+    ``Deadline(None)`` never expires, so callers can thread one through
+    unconditionally instead of special-casing "no timeout".
+
+    Parameters
+    ----------
+    seconds:
+        Budget from *now*; ``None`` for no limit.  Zero or negative
+        budgets are already expired (useful for tests).
+    clock:
+        The time source, injectable for tests; defaults to
+        :func:`time.monotonic`.
+    """
+
+    __slots__ = ("_clock", "_expires_at")
+
+    def __init__(
+        self,
+        seconds: Optional[float],
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self._clock = clock
+        if seconds is None:
+            self._expires_at = math.inf
+        else:
+            self._expires_at = clock() + seconds
+
+    def expired(self) -> bool:
+        """True iff the budget is used up."""
+        return self._clock() >= self._expires_at
+
+    def remaining(self) -> float:
+        """Seconds left (never negative; ``math.inf`` when unlimited)."""
+        return max(0.0, self._expires_at - self._clock())
+
+    @property
+    def unlimited(self) -> bool:
+        """True iff this deadline never expires."""
+        return self._expires_at == math.inf
+
+    def __call__(self) -> bool:
+        """Alias for :meth:`expired` — the engine's ``should_stop``."""
+        return self.expired()
+
+    def __repr__(self) -> str:
+        if self.unlimited:
+            return "Deadline(unlimited)"
+        return f"Deadline({self.remaining():.3f}s remaining)"

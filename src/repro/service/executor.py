@@ -1,0 +1,206 @@
+"""A process-pool job executor with fork/spawn-safe metrics.
+
+Chase jobs are CPU-bound pure Python, so real concurrency needs
+processes; :class:`JobExecutor` shards :class:`~repro.service.jobs.
+JobRequest` work across a :class:`~concurrent.futures.
+ProcessPoolExecutor` (``workers=0`` degrades to a single in-process
+worker thread — handy for tests and the single-shot CLI paths).
+
+Metrics protocol (the fork/spawn hazard)
+----------------------------------------
+The process-global :class:`~repro.obs.MetricsRegistry` must never be
+*shared* with workers: under ``spawn`` the child would start with an
+unrelated fresh module, under ``fork`` it would inherit a dead copy
+whose updates the parent never sees — silently dropped telemetry
+either way.  The protocol here makes worker metrics explicit instead:
+
+1. the pool initializer installs a **fresh, enabled** registry in each
+   worker (and clears any inherited process-global observer, so a
+   forked worker cannot scribble into the parent's trace file);
+2. each job resets that registry, runs with a local
+   :class:`~repro.obs.MetricsObserver`, and ships
+   ``registry.snapshot()`` back alongside the result;
+3. the parent folds the snapshot into its own registry
+   (:meth:`~repro.obs.MetricsRegistry.merge_snapshot`) on completion.
+
+The pool uses the ``spawn`` start method explicitly so worker state is
+fresh by construction on every platform (and fork-safety hazards with
+the server's event-loop threads never arise).
+
+The parent also keeps the ``service.queue_depth`` gauge current
+(submitted-but-unfinished jobs) and reports every completion through
+the :meth:`~repro.obs.Observer.service_job` telemetry event, with
+wall-clock latency measured from submission (queueing included).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Optional
+
+from ..obs import observer as _observer_state
+from ..obs.metrics import MetricsRegistry, get_registry, set_registry
+from ..obs.tracer import MetricsObserver
+from .jobs import JobRequest, JobResult, execute_job
+from .snapshots import SnapshotStore
+
+__all__ = ["JobExecutor"]
+
+
+def _worker_init() -> None:
+    """Pool initializer: give the worker a clean telemetry slate."""
+    set_registry(MetricsRegistry(enabled=True))
+    _observer_state.set_observer(None)
+
+
+def _run_job(request_obj: dict, snapshot_dir: Optional[str]) -> tuple[dict, dict]:
+    """Worker-side body: execute one job, return (result, metrics).
+
+    Runs in a pool worker; only JSON-able dicts cross the boundary."""
+    registry = get_registry()
+    registry.reset()
+    request = JobRequest.from_obj(request_obj)
+    store = SnapshotStore(snapshot_dir) if snapshot_dir else None
+    result = execute_job(request, store, observer=MetricsObserver(registry))
+    return result.to_obj(), registry.snapshot()
+
+
+def _run_job_local(
+    request_obj: dict, snapshot_dir: Optional[str]
+) -> tuple[dict, dict]:
+    """In-process (``workers=0``) body: same contract, private registry."""
+    registry = MetricsRegistry(enabled=True)
+    request = JobRequest.from_obj(request_obj)
+    store = SnapshotStore(snapshot_dir) if snapshot_dir else None
+    result = execute_job(request, store, observer=MetricsObserver(registry))
+    return result.to_obj(), registry.snapshot()
+
+
+class JobExecutor:
+    """Shard jobs across worker processes; merge their telemetry back.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool size; ``0`` runs jobs on one background thread in
+        this process (no pickling, no interpreter startup — the mode
+        unit tests and the single-shot CLI use).
+    snapshot_dir:
+        Root of the shared :class:`~repro.service.snapshots.
+        SnapshotStore`; None disables warm starts.
+    registry:
+        Where worker metric snapshots are merged; defaults to the
+        process-global registry.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        snapshot_dir: Optional[str] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.workers = workers
+        self.snapshot_dir = str(snapshot_dir) if snapshot_dir else None
+        self.registry = registry if registry is not None else get_registry()
+        if workers > 0:
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=_worker_init,
+            )
+            self._body = _run_job
+        else:
+            self._pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-job"
+            )
+            self._body = _run_job_local
+        self._lock = threading.Lock()
+        self._pending = 0
+
+    # ------------------------------------------------------------------
+
+    def submit(self, request: JobRequest) -> "Future[JobResult]":
+        """Schedule *request*; the returned future resolves to a
+        :class:`JobResult` (never raises — job errors come back as
+        ``ok=False`` results)."""
+        outer: Future = Future()
+        submitted = time.perf_counter()
+        with self._lock:
+            self._pending += 1
+            depth = self._pending
+        self.registry.gauge("service.queue_depth").set(depth)
+        try:
+            inner = self._pool.submit(
+                self._body, request.to_obj(), self.snapshot_dir
+            )
+        except BaseException:
+            with self._lock:
+                self._pending -= 1
+            self.registry.gauge("service.queue_depth").set(self._pending)
+            raise
+        inner.add_done_callback(
+            lambda done: self._finish(done, request, submitted, outer)
+        )
+        return outer
+
+    def _finish(
+        self,
+        done: Future,
+        request: JobRequest,
+        submitted: float,
+        outer: "Future[JobResult]",
+    ) -> None:
+        with self._lock:
+            self._pending -= 1
+            depth = self._pending
+        self.registry.gauge("service.queue_depth").set(depth)
+        exc = done.exception()
+        if exc is not None:
+            # A pool-level failure (broken worker, unpicklable payload)
+            # still resolves to a well-formed error result.
+            result = JobResult(
+                op=request.op,
+                ok=False,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        else:
+            result_obj, metrics_snapshot = done.result()
+            self.registry.merge_snapshot(metrics_snapshot)
+            result = JobResult.from_obj(result_obj)
+        result.seconds = time.perf_counter() - submitted
+        observer = _observer_state.current
+        if observer is not None:
+            observer.service_job(
+                op=request.op,
+                ok=result.ok,
+                warm=result.warm,
+                incomplete=result.incomplete,
+                deadline_expired=result.deadline_expired,
+                applications=result.applications,
+                seconds=result.seconds,
+            )
+        outer.set_result(result)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Jobs submitted but not yet finished."""
+        with self._lock:
+            return self._pending
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the pool; with ``wait`` the call blocks until running
+        jobs finish."""
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "JobExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,301 @@
+"""Service jobs: wire dataclasses and the worker-side entry point.
+
+:class:`JobRequest` / :class:`JobResult` are deliberately primitive —
+strings, numbers, bools — so they cross process boundaries (and the TCP
+wire) as plain JSON-able dicts; the first-order objects (KB, query,
+chase state) are materialized only inside the worker.
+
+:func:`execute_job` is the single entry point every execution path
+(process pool, in-process executor, ``--timeout`` CLI runs) goes
+through, so warm-start, deadline, and degradation semantics are defined
+once:
+
+* **Warm start.**  With a :class:`~repro.service.snapshots.SnapshotStore`
+  attached, the job first tries to restore the checkpointed chase for
+  (KB, variant, core cadence) and resume it; since restore continues
+  the derivation exactly, warm answers equal cold ones.  An ``entail``
+  job whose query already maps into the restored instance answers with
+  **zero** new rule applications.
+* **Deadline.**  ``timeout`` seconds (measured inside the job) arm a
+  :class:`~repro.service.deadline.Deadline` polled by the engine's
+  cooperative cancellation checkpoint between rule applications.
+* **Graceful degradation.**  On expiry the job returns what the partial
+  model soundly supports — a query hit found before the deadline is a
+  certified "yes"; otherwise ``entailed`` is None — with
+  ``incomplete=True`` and ``deadline_expired=True`` set.  A sound
+  partial instance is likewise returned for ``chase`` jobs.
+
+Soundness of the per-step query test: a Boolean CQ that maps into any
+``F_i`` of a fair derivation prefix maps into the natural aggregation,
+which is universal (Proposition 1), so ``K ⊨ Q`` — this is the same
+argument :func:`repro.query.chase_entails_prefix` rests on.  Exact
+"no" answers come only from a terminated chase (finite universal
+model).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..chase.engine import ChaseEngine, ChaseVariant
+from ..logic.serialization import load_kb
+from ..obs.observer import Observer
+from ..query import boolean_cq
+from ..query.modelfinder import find_countermodel
+from .deadline import Deadline
+from .snapshots import SnapshotStore
+
+__all__ = ["JobRequest", "JobResult", "execute_job"]
+
+
+@dataclass
+class JobRequest:
+    """One unit of work: a chase or an entailment question over a KB.
+
+    ``op`` is ``"entail"`` (requires ``query``) or ``"chase"``.
+    ``kb_text`` is the sectioned KB serialization
+    (:func:`repro.logic.serialization.dump_kb`).  ``model_budget`` > 0
+    additionally arms the finite-countermodel "no" side when the chase
+    budget runs out undecided.  ``id`` is an opaque client echo and does
+    not participate in :meth:`dedup_key`.
+    """
+
+    op: str
+    kb_text: str
+    query: Optional[str] = None
+    variant: str = ChaseVariant.RESTRICTED
+    core_every: int = 1
+    max_steps: int = 200
+    timeout: Optional[float] = None
+    use_index: bool = True
+    model_budget: int = 0
+    id: Optional[str] = None
+
+    def dedup_key(self) -> tuple:
+        """The coalescing identity: everything that shapes the answer."""
+        return (
+            self.op,
+            self.kb_text,
+            self.query,
+            self.variant,
+            self.core_every,
+            self.max_steps,
+            self.timeout,
+            self.use_index,
+            self.model_budget,
+        )
+
+    def to_obj(self) -> dict:
+        return {
+            "op": self.op,
+            "kb_text": self.kb_text,
+            "query": self.query,
+            "variant": self.variant,
+            "core_every": self.core_every,
+            "max_steps": self.max_steps,
+            "timeout": self.timeout,
+            "use_index": self.use_index,
+            "model_budget": self.model_budget,
+            "id": self.id,
+        }
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "JobRequest":
+        known = {f: obj[f] for f in cls.__dataclass_fields__ if f in obj}
+        if "op" not in known or "kb_text" not in known:
+            raise ValueError("job request needs at least 'op' and 'kb_text'")
+        return cls(**known)
+
+
+@dataclass
+class JobResult:
+    """The outcome of one job, primitive enough for JSON and pickling.
+
+    ``applications`` counts *new* rule applications this job performed
+    (zero on a pure warm hit); ``total_applications`` includes the
+    snapshot prefix it resumed from.  ``incomplete`` marks degraded
+    answers (deadline expiry before an exact verdict); a ``True``
+    ``entailed`` is sound even then.
+    """
+
+    op: str
+    ok: bool = True
+    error: Optional[str] = None
+    entailed: Optional[bool] = None
+    method: Optional[str] = None
+    incomplete: bool = False
+    warm: bool = False
+    applications: int = 0
+    total_applications: int = 0
+    atoms: int = 0
+    terminated: bool = False
+    deadline_expired: bool = False
+    seconds: float = 0.0
+    instance: Optional[list] = field(default=None, repr=False)
+
+    def to_obj(self) -> dict:
+        obj = {
+            "op": self.op,
+            "ok": self.ok,
+            "error": self.error,
+            "entailed": self.entailed,
+            "method": self.method,
+            "incomplete": self.incomplete,
+            "warm": self.warm,
+            "applications": self.applications,
+            "total_applications": self.total_applications,
+            "atoms": self.atoms,
+            "terminated": self.terminated,
+            "deadline_expired": self.deadline_expired,
+            "seconds": self.seconds,
+        }
+        if self.instance is not None:
+            obj["instance"] = self.instance
+        return obj
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "JobResult":
+        known = {f: obj[f] for f in cls.__dataclass_fields__ if f in obj}
+        return cls(**known)
+
+
+def execute_job(
+    request: JobRequest,
+    store: Optional[SnapshotStore] = None,
+    observer: Optional[Observer] = None,
+) -> JobResult:
+    """Run one job to completion (or deadline); never raises.
+
+    *store* enables warm starts and checkpoint saves; *observer* is
+    handed to the chase engine (process-pool workers pass their local
+    metrics observer here instead of mutating process-global state).
+    """
+    started = time.perf_counter()
+    try:
+        result = _execute(request, store, observer)
+    except Exception as exc:  # noqa: BLE001 - the job boundary
+        result = JobResult(
+            op=request.op,
+            ok=False,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    result.seconds = time.perf_counter() - started
+    return result
+
+
+def _execute(
+    request: JobRequest,
+    store: Optional[SnapshotStore],
+    observer: Optional[Observer],
+) -> JobResult:
+    if request.op not in ("chase", "entail"):
+        raise ValueError(f"unknown job op {request.op!r}")
+    kb = load_kb(request.kb_text)
+    query = None
+    if request.op == "entail":
+        if not request.query:
+            raise ValueError("entail jobs need a query")
+        query = boolean_cq(request.query)
+
+    deadline = Deadline(request.timeout)
+    engine = ChaseEngine(
+        kb,
+        variant=request.variant,
+        core_every=request.core_every,
+        observer=observer,
+        use_index=request.use_index,
+    )
+
+    snapshot = (
+        store.load(kb, request.variant, request.core_every)
+        if store is not None
+        else None
+    )
+    # A snapshot deeper than this job's budget is left alone: resuming
+    # it would answer for a larger budget than the client asked for
+    # (and differ from the cold run the budget defines).
+    warm = snapshot is not None and snapshot.applications <= request.max_steps
+    prior = snapshot.applications if warm else 0
+    if warm:
+        engine.restore_state(snapshot)
+
+    hit = [False]
+
+    def on_step(step) -> None:
+        if not hit[0] and query.holds_in(step.instance):
+            hit[0] = True
+
+    if request.op == "entail":
+        if warm and query.holds_in(engine.current_instance):
+            hit[0] = True
+
+        def stopper() -> bool:
+            return hit[0] or deadline.expired()
+
+    else:
+        stopper = deadline.expired
+
+    step_hook = on_step if (query is not None and not hit[0]) else None
+    if warm:
+        chase = engine.resume(
+            request.max_steps - prior, on_step=step_hook, should_stop=stopper
+        )
+    else:
+        chase = engine.run(
+            request.max_steps, on_step=step_hook, should_stop=stopper
+        )
+
+    new_apps = chase.applications
+    total = prior + new_apps
+    final = engine.current_instance
+    expired = chase.stopped and not hit[0]
+
+    if store is not None and (snapshot is None or total > snapshot.applications):
+        store.save(kb, engine.export_state())
+
+    result = JobResult(
+        op=request.op,
+        warm=warm,
+        applications=new_apps,
+        total_applications=total,
+        atoms=len(final),
+        terminated=chase.terminated,
+        deadline_expired=expired,
+        incomplete=expired,
+    )
+
+    if request.op == "chase":
+        result.method = "chase-deadline" if expired else "chase"
+        result.instance = [str(at) for at in final.sorted_atoms()]
+        return result
+
+    if hit[0]:
+        result.entailed = True
+        result.method = (
+            "warm-snapshot-hit"
+            if warm and new_apps == 0
+            else "chase-prefix-hit"
+        )
+        result.incomplete = False
+    elif chase.terminated:
+        result.entailed = False
+        result.method = "chase-fixpoint-miss"
+    elif expired:
+        result.entailed = None
+        result.method = "deadline-expired"
+    elif request.model_budget > 0 and not deadline.expired():
+        counter = find_countermodel(
+            kb, query, max_domain=request.model_budget
+        )
+        if counter.found:
+            result.entailed = False
+            result.method = "finite-countermodel"
+        else:
+            result.entailed = None
+            result.method = "race-undecided"
+    else:
+        result.entailed = None
+        result.method = "chase-budget-exhausted"
+    return result

@@ -1,0 +1,319 @@
+"""The asyncio JSONL-over-TCP front end of the query service.
+
+Protocol (one JSON object per line, responses echo the request ``id``):
+
+========== ===========================================================
+op         behaviour
+========== ===========================================================
+entail     :class:`~repro.service.jobs.JobRequest` fields; answers the
+           Boolean CQ (possibly warm from a snapshot)
+chase      same fields sans query; returns the (partial) final instance
+batch      ``{"op": "batch", "requests": [...]}`` — member requests run
+           concurrently, one response with a ``results`` list
+ping       liveness check
+stats      service counters + the metrics-registry snapshot
+shutdown   acknowledge, then stop the server gracefully
+========== ===========================================================
+
+Responses arrive as soon as each job finishes — possibly out of request
+order on a pipelined connection, which is what the ``id`` echo is for.
+
+In-flight dedup: requests with equal
+:meth:`~repro.service.jobs.JobRequest.dedup_key` coalesce onto the same
+running job — one execution, every waiter gets the result (flagged
+``"coalesced": true``).  This is what makes a thundering herd of
+identical queries cheap; *sequential* repeats are instead served by the
+snapshot store's warm starts.
+
+The server is single-threaded asyncio; the blocking chase work lives in
+the :class:`~repro.service.executor.JobExecutor` process pool, bridged
+with :func:`asyncio.wrap_future`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from ..obs import observer as _observer_state
+from .executor import JobExecutor
+from .jobs import JobRequest, JobResult
+
+__all__ = ["EntailmentServer", "serve"]
+
+#: Grace period for draining open connections on shutdown, seconds.
+SHUTDOWN_GRACE = 5.0
+
+
+class EntailmentServer:
+    """Serve job requests over TCP as JSON lines.
+
+    Parameters
+    ----------
+    executor:
+        The :class:`JobExecutor` doing the actual chasing (owned by the
+        caller; the server never shuts it down).
+    host, port:
+        Bind address; port 0 picks an ephemeral port, readable from
+        :attr:`port` after :meth:`start`.
+    default_timeout:
+        Per-job deadline (seconds) applied to requests that do not set
+        their own ``timeout``.
+    """
+
+    def __init__(
+        self,
+        executor: JobExecutor,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        default_timeout: Optional[float] = None,
+    ):
+        self.executor = executor
+        self.host = host
+        self.port = port
+        self.default_timeout = default_timeout
+        self.registry = executor.registry
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._stop: Optional[asyncio.Event] = None
+        # Server-side counters, kept independently of any installed
+        # observer so the stats op always has answers.
+        self.requests = 0
+        self.coalesced = 0
+        self.jobs = 0
+        self.warm_hits = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> "EntailmentServer":
+        """Bind and start accepting; resolves the ephemeral port."""
+        self._stop = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_until_stopped(self) -> None:
+        """Block until a shutdown request (or :meth:`request_stop`),
+        then drain open connections and close."""
+        if self._server is None or self._stop is None:
+            raise RuntimeError("serve_until_stopped() requires start()")
+        await self._stop.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        pending = [task for task in self._conn_tasks if not task.done()]
+        if pending:
+            done, still_open = await asyncio.wait(
+                pending, timeout=SHUTDOWN_GRACE
+            )
+            for task in still_open:
+                task.cancel()
+            if still_open:
+                await asyncio.gather(*still_open, return_exceptions=True)
+
+    def request_stop(self) -> None:
+        """Ask :meth:`serve_until_stopped` to wind the server down."""
+        if self._stop is not None:
+            self._stop.set()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        write_lock = asyncio.Lock()
+        line_tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                text = line.strip()
+                if not text:
+                    continue
+                # One task per line, so requests on the same connection
+                # overlap; responses carry the id for re-pairing.
+                lt = asyncio.ensure_future(
+                    self._handle_line(text, writer, write_lock)
+                )
+                line_tasks.add(lt)
+                lt.add_done_callback(line_tasks.discard)
+            if line_tasks:
+                await asyncio.gather(*line_tasks, return_exceptions=True)
+        finally:
+            for lt in line_tasks:
+                lt.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_line(
+        self, text: bytes, writer: asyncio.StreamWriter, lock: asyncio.Lock
+    ) -> None:
+        try:
+            obj = json.loads(text)
+            if not isinstance(obj, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            await self._write(
+                writer, lock, {"ok": False, "error": f"bad request: {exc}"}
+            )
+            return
+        response = await self._dispatch(obj)
+        await self._write(writer, lock, response)
+
+    async def _write(
+        self, writer: asyncio.StreamWriter, lock: asyncio.Lock, obj: dict
+    ) -> None:
+        data = (json.dumps(obj) + "\n").encode()
+        async with lock:
+            try:
+                writer.write(data)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client went away; the job result still counted
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, obj: dict) -> dict:
+        op = obj.get("op")
+        request_id = obj.get("id")
+        if op == "ping":
+            response: dict = {"ok": True, "op": "ping"}
+        elif op == "stats":
+            response = self.stats_payload()
+        elif op == "shutdown":
+            self.request_stop()
+            response = {"ok": True, "op": "shutdown"}
+        elif op == "batch":
+            members = obj.get("requests")
+            if not isinstance(members, list):
+                response = {
+                    "ok": False,
+                    "op": "batch",
+                    "error": "batch needs a 'requests' list",
+                }
+            else:
+                results = await asyncio.gather(
+                    *(self._answer(member) for member in members)
+                )
+                response = {"ok": True, "op": "batch", "results": list(results)}
+        elif op in ("entail", "chase"):
+            response = await self._answer(obj)
+        else:
+            response = {"ok": False, "error": f"unknown op {op!r}"}
+        if request_id is not None:
+            response["id"] = request_id
+        return response
+
+    async def _answer(self, obj) -> dict:
+        try:
+            if not isinstance(obj, dict):
+                raise ValueError("request must be a JSON object")
+            request = JobRequest.from_obj(obj)
+            if request.timeout is None:
+                request.timeout = self.default_timeout
+        except (ValueError, TypeError) as exc:
+            return {"ok": False, "error": f"bad request: {exc}"}
+
+        key = request.dedup_key()
+        running = self._inflight.get(key)
+        coalesced = running is not None
+        self.requests += 1
+        if coalesced:
+            self.coalesced += 1
+        observer = _observer_state.current
+        if observer is not None:
+            observer.service_request(op=request.op, coalesced=coalesced)
+        if not coalesced:
+            running = asyncio.ensure_future(self._run_job(request))
+            self._inflight[key] = running
+            running.add_done_callback(
+                lambda fut, key=key: self._clear_inflight(key, fut)
+            )
+        # shield(): one waiter giving up (connection dropped) must not
+        # cancel the shared job the other waiters coalesced onto.
+        result: JobResult = await asyncio.shield(running)
+        response = result.to_obj()
+        response["coalesced"] = coalesced
+        if request.id is not None:
+            response["id"] = request.id
+        return response
+
+    def _clear_inflight(self, key: tuple, fut: asyncio.Future) -> None:
+        if self._inflight.get(key) is fut:
+            del self._inflight[key]
+
+    async def _run_job(self, request: JobRequest) -> JobResult:
+        result: JobResult = await asyncio.wrap_future(
+            self.executor.submit(request)
+        )
+        self.jobs += 1
+        if result.warm:
+            self.warm_hits += 1
+        if not result.ok:
+            self.errors += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+
+    def stats_payload(self) -> dict:
+        """The stats-op response: server counters plus metric values."""
+        return {
+            "ok": True,
+            "op": "stats",
+            "requests": self.requests,
+            "coalesced": self.coalesced,
+            "jobs": self.jobs,
+            "warm_hits": self.warm_hits,
+            "warm_hit_ratio": (self.warm_hits / self.jobs) if self.jobs else None,
+            "errors": self.errors,
+            "pending": self.executor.pending,
+            "inflight": len(self._inflight),
+            "metrics": self.registry.snapshot(),
+        }
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 2,
+    snapshot_dir: Optional[str] = None,
+    default_timeout: Optional[float] = None,
+    executor: Optional[JobExecutor] = None,
+) -> None:
+    """Run a server until a shutdown request arrives.
+
+    Prints ``repro serve listening on HOST:PORT`` once ready (the CI
+    smoke harness parses this line to find the ephemeral port)."""
+    own_executor = executor is None
+    if executor is None:
+        executor = JobExecutor(workers=workers, snapshot_dir=snapshot_dir)
+    server = EntailmentServer(
+        executor, host=host, port=port, default_timeout=default_timeout
+    )
+    await server.start()
+    print(f"repro serve listening on {server.host}:{server.port}", flush=True)
+    try:
+        await server.serve_until_stopped()
+    finally:
+        if own_executor:
+            executor.shutdown()

@@ -1,0 +1,271 @@
+"""A content-addressed store of resumable chase checkpoints.
+
+The serving system's warm-start path: after answering a job the worker
+exports the engine's :class:`~repro.chase.engine.ChaseState` and files
+it here; the next job over the same KB (and chase configuration)
+restores it and resumes instead of re-chasing from the facts.  Because
+:meth:`~repro.chase.engine.ChaseEngine.restore_state` continues the
+derivation *exactly*, answers computed from a snapshot are
+indistinguishable from cold ones (the differential suite in
+``tests/test_service_snapshots.py`` checks this on every KB family).
+
+Keys and invalidation
+---------------------
+A snapshot is valid only for the precise KB it was exported under, so
+the key bakes in everything that shapes the derivation:
+
+``key = sha256(schema | variant | core_every | kb_fingerprint)``
+
+where :func:`kb_fingerprint` hashes the canonical text of the facts
+(sorted atoms) and rules.  Editing a fact or a rule changes the
+fingerprint, which changes the key — stale snapshots are never *read*,
+they are simply orphaned (and overwritten only by their own
+configuration).  A schema-version bump orphans every older snapshot the
+same way.  Corrupt or torn files are discarded on load and reported via
+the :meth:`~repro.obs.Observer.snapshot_access` telemetry event.
+
+Storage format
+--------------
+One JSON file per key under the store root: a small envelope
+(``schema``, ``kb_fingerprint`` for a defense-in-depth recheck) around
+the tagged-object serialization of the state
+(:mod:`repro.logic.serialization` — the text DSL cannot express
+engine-invented nulls, the tagged form can).  Writes go through a
+temp-file + :func:`os.replace` so readers never observe a half-written
+snapshot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+import time
+from typing import Optional, Union
+
+from ..chase.engine import ChaseState
+from ..logic.kb import KnowledgeBase
+from ..logic.serialization import (
+    atom_from_obj,
+    atom_to_obj,
+    dump_instance,
+    dump_ruleset,
+    instance_from_obj,
+    instance_to_obj,
+    term_from_obj,
+    term_to_obj,
+)
+from ..obs import observer as _observer_state
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "kb_fingerprint",
+    "snapshot_key",
+    "chase_state_to_obj",
+    "chase_state_from_obj",
+    "SnapshotStore",
+]
+
+#: Bump when the on-disk layout changes; old snapshots are then orphaned
+#: (never mis-read) because the schema participates in the key.
+SNAPSHOT_SCHEMA = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def kb_fingerprint(kb: KnowledgeBase) -> str:
+    """A canonical content hash of *kb* (facts + rules, order-free).
+
+    The fingerprint is over the deterministic text serialization —
+    sorted atoms, rules in declaration order — so two KBs with the same
+    facts and rules hash identically however they were constructed.
+    The KB's display ``name`` deliberately does not participate.
+    """
+    text = dump_instance(kb.facts) + "\n" + dump_ruleset(kb.rules)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def snapshot_key(kb: KnowledgeBase, variant: str, core_every: int = 1) -> str:
+    """The store key for chasing *kb* with *variant* / *core_every*."""
+    tag = f"{SNAPSHOT_SCHEMA}|{variant}|{core_every}|{kb_fingerprint(kb)}"
+    return hashlib.sha256(tag.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# ChaseState <-> JSON objects
+# ---------------------------------------------------------------------------
+
+
+def _trigger_key_to_obj(key) -> list:
+    rule_name, image = key
+    return [rule_name, [[var.name, term_to_obj(term)] for var, term in image]]
+
+
+def _trigger_key_from_obj(obj):
+    from ..logic.terms import Variable
+
+    rule_name, image = obj
+    return (
+        rule_name,
+        tuple((Variable(name), term_from_obj(term)) for name, term in image),
+    )
+
+
+def chase_state_to_obj(state: ChaseState) -> dict:
+    """Serialize a :class:`ChaseState` as a JSON-ready dict.
+
+    Trigger keys (``applied_keys`` entries and ``ages`` keys) are
+    ``(rule_name, ((Variable, Term), ...))`` tuples; they serialize
+    through the tagged term objects and are emitted in sorted order so
+    the output is deterministic."""
+    applied = sorted(map(_trigger_key_to_obj, state.applied_keys))
+    ages = sorted(
+        [_trigger_key_to_obj(key), age] for key, age in state.ages.items()
+    )
+    return {
+        "variant": state.variant,
+        "core_every": state.core_every,
+        "fresh_prefix": state.fresh_prefix,
+        "fresh_count": state.fresh_count,
+        "instance": instance_to_obj(state.instance),
+        "applied_keys": applied,
+        "ages": ages,
+        "terminated": state.terminated,
+        "applications": state.applications,
+        "applications_since_core": state.applications_since_core,
+        "delta_since_core": [atom_to_obj(at) for at in state.delta_since_core],
+    }
+
+
+def chase_state_from_obj(obj: dict) -> ChaseState:
+    """Parse a state serialized by :func:`chase_state_to_obj`."""
+    return ChaseState(
+        variant=obj["variant"],
+        core_every=obj["core_every"],
+        fresh_prefix=obj["fresh_prefix"],
+        fresh_count=obj["fresh_count"],
+        instance=instance_from_obj(obj["instance"]),
+        applied_keys={
+            _trigger_key_from_obj(item) for item in obj["applied_keys"]
+        },
+        ages={
+            _trigger_key_from_obj(key): age for key, age in obj["ages"]
+        },
+        terminated=obj["terminated"],
+        applications=obj["applications"],
+        applications_since_core=obj["applications_since_core"],
+        delta_since_core=[
+            atom_from_obj(item) for item in obj["delta_since_core"]
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# the store
+# ---------------------------------------------------------------------------
+
+
+class SnapshotStore:
+    """Filesystem store of chase snapshots, one JSON file per key.
+
+    Safe for concurrent use by multiple worker processes: writes are
+    atomic replacements, loads treat anything unreadable as a miss (the
+    offending file is discarded), and two workers racing to save the
+    same key simply leave whichever finished last — both states are
+    valid checkpoints of the same deterministic derivation.
+    """
+
+    def __init__(self, root: PathLike):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    # -- save ----------------------------------------------------------
+
+    def save(self, kb: KnowledgeBase, state: ChaseState) -> pathlib.Path:
+        """File *state* under the key for (*kb*, its chase config)."""
+        started = time.perf_counter()
+        key = snapshot_key(kb, state.variant, state.core_every)
+        payload = {
+            "schema": SNAPSHOT_SCHEMA,
+            "kb_fingerprint": kb_fingerprint(kb),
+            "state": chase_state_to_obj(state),
+        }
+        path = self.path_for(key)
+        handle = tempfile.NamedTemporaryFile(
+            mode="w",
+            dir=self.root,
+            prefix=f".{key[:16]}-",
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(payload, handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        observer = _observer_state.current
+        if observer is not None:
+            observer.snapshot_access(
+                op="save",
+                hit=True,
+                atoms=len(state.instance),
+                seconds=time.perf_counter() - started,
+            )
+        return path
+
+    # -- load ----------------------------------------------------------
+
+    def load(
+        self, kb: KnowledgeBase, variant: str, core_every: int = 1
+    ) -> Optional[ChaseState]:
+        """The stored state for (*kb*, *variant*, *core_every*), or None.
+
+        Misses, schema/fingerprint mismatches, and unparseable files all
+        come back as None; corrupt files are deleted so they are paid
+        for only once."""
+        started = time.perf_counter()
+        key = snapshot_key(kb, variant, core_every)
+        path = self.path_for(key)
+        state: Optional[ChaseState] = None
+        corrupt = False
+        try:
+            text = path.read_text()
+        except OSError:
+            text = None
+        if text is not None:
+            try:
+                payload = json.loads(text)
+                if payload["schema"] != SNAPSHOT_SCHEMA:
+                    raise ValueError("snapshot schema mismatch")
+                if payload["kb_fingerprint"] != kb_fingerprint(kb):
+                    raise ValueError("snapshot fingerprint mismatch")
+                state = chase_state_from_obj(payload["state"])
+                if state.variant != variant or state.core_every != core_every:
+                    raise ValueError("snapshot config mismatch")
+            except (ValueError, KeyError, TypeError, IndexError):
+                corrupt = True
+                state = None
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        observer = _observer_state.current
+        if observer is not None:
+            observer.snapshot_access(
+                op="load",
+                hit=state is not None,
+                corrupt=corrupt,
+                atoms=len(state.instance) if state is not None else 0,
+                seconds=time.perf_counter() - started,
+            )
+        return state

@@ -1,0 +1,117 @@
+"""Tests for the job executor (repro.service.executor).
+
+The process-pool paths (workers > 0) use the ``spawn`` start method, so
+each test that exercises them pays interpreter startup; the bulk of the
+coverage therefore runs in the ``workers=0`` in-process mode, with one
+real multi-process test for the fork/spawn-safe metrics protocol.
+"""
+
+import pytest
+
+from repro import staircase_kb
+from repro.logic.serialization import dump_kb
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import Observer, observing
+from repro.service.executor import JobExecutor, _run_job_local
+from repro.service.jobs import JobRequest
+
+STAIRCASE = dump_kb(staircase_kb())
+STAIR_QUERY = "v(X, Y), v(Y, Z)"
+
+
+def entail_request(**overrides):
+    fields = dict(
+        op="entail", kb_text=STAIRCASE, query=STAIR_QUERY, max_steps=60
+    )
+    fields.update(overrides)
+    return JobRequest(**fields)
+
+
+class TestInProcessExecutor:
+    def test_submit_resolves_to_result(self, tmp_path):
+        registry = MetricsRegistry()
+        with JobExecutor(0, snapshot_dir=tmp_path, registry=registry) as ex:
+            result = ex.submit(entail_request()).result(timeout=60)
+        assert result.ok
+        assert result.entailed is True
+        assert result.seconds > 0
+
+    def test_sequential_repeat_warm_starts(self, tmp_path):
+        registry = MetricsRegistry()
+        with JobExecutor(0, snapshot_dir=tmp_path, registry=registry) as ex:
+            first = ex.submit(entail_request()).result(timeout=60)
+            second = ex.submit(entail_request()).result(timeout=60)
+        assert not first.warm
+        assert second.warm and second.applications == 0
+
+    def test_job_error_resolves_not_raises(self, tmp_path):
+        with JobExecutor(0, snapshot_dir=tmp_path) as ex:
+            result = ex.submit(
+                JobRequest(op="chase", kb_text="garbage")
+            ).result(timeout=60)
+        assert not result.ok
+        assert result.error
+
+    def test_worker_metrics_merged_into_registry(self, tmp_path):
+        registry = MetricsRegistry()
+        with JobExecutor(0, snapshot_dir=tmp_path, registry=registry) as ex:
+            ex.submit(entail_request()).result(timeout=60)
+        snap = registry.snapshot()
+        assert snap["chase.steps"]["value"] > 0
+        assert snap["service.queue_depth"]["value"] == 0
+
+    def test_queue_depth_counts_down_to_zero(self, tmp_path):
+        registry = MetricsRegistry()
+        with JobExecutor(0, snapshot_dir=tmp_path, registry=registry) as ex:
+            futures = [ex.submit(entail_request()) for _ in range(3)]
+            for future in futures:
+                future.result(timeout=60)
+        assert ex.pending == 0
+        assert registry.gauge("service.queue_depth").value == 0
+
+    def test_service_job_event_reported(self, tmp_path):
+        events = []
+
+        class Spy(Observer):
+            def service_job(self, **kw):
+                events.append(kw)
+
+        with observing(Spy()):
+            with JobExecutor(0, snapshot_dir=tmp_path) as ex:
+                ex.submit(entail_request()).result(timeout=60)
+                ex.submit(entail_request()).result(timeout=60)
+        assert len(events) == 2
+        assert events[0]["ok"] and not events[0]["warm"]
+        assert events[1]["warm"]
+        assert all(event["seconds"] > 0 for event in events)
+
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ValueError):
+            JobExecutor(-1)
+
+
+class TestWorkerBody:
+    def test_run_job_local_returns_result_and_metrics(self, tmp_path):
+        result_obj, metrics = _run_job_local(
+            entail_request().to_obj(), str(tmp_path)
+        )
+        assert result_obj["ok"]
+        assert result_obj["entailed"] is True
+        assert metrics["chase.steps"]["value"] > 0
+
+    def test_run_job_local_without_store(self):
+        result_obj, metrics = _run_job_local(entail_request().to_obj(), None)
+        assert result_obj["ok"] and not result_obj["warm"]
+
+
+class TestProcessPool:
+    def test_spawn_workers_answer_and_merge_metrics(self, tmp_path):
+        registry = MetricsRegistry()
+        with JobExecutor(2, snapshot_dir=tmp_path, registry=registry) as ex:
+            futures = [ex.submit(entail_request()) for _ in range(4)]
+            results = [future.result(timeout=300) for future in futures]
+        assert all(result.ok and result.entailed for result in results)
+        # at least one job found the snapshot a sibling saved
+        snap = registry.snapshot()
+        assert snap["chase.steps"]["value"] > 0  # merged from workers
+        assert snap["service.queue_depth"]["value"] == 0

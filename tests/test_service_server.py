@@ -1,0 +1,251 @@
+"""Tests for the asyncio front end (repro.service.server).
+
+No pytest-asyncio here: each test drives its own event loop with
+``asyncio.run``.  The concurrency test is the satellite requirement —
+at least 32 overlapping requests, answers checked, dedup coalescing
+observed, clean shutdown."""
+
+import asyncio
+import json
+
+from repro import staircase_kb
+from repro.kbs.witnesses import transitive_closure_kb
+from repro.logic.serialization import dump_kb
+from repro.obs.metrics import MetricsRegistry
+from repro.service.executor import JobExecutor
+from repro.service.server import EntailmentServer
+
+STAIRCASE = dump_kb(staircase_kb())
+TC = dump_kb(transitive_closure_kb(3))
+STAIR_QUERY = "v(X, Y), v(Y, Z)"
+
+
+async def start_server(tmp_path, **server_kwargs):
+    registry = MetricsRegistry()
+    executor = JobExecutor(0, snapshot_dir=tmp_path, registry=registry)
+    server = EntailmentServer(executor, port=0, **server_kwargs)
+    await server.start()
+    task = asyncio.ensure_future(server.serve_until_stopped())
+    return server, executor, task
+
+
+async def request_lines(port, lines):
+    """Send JSON lines on one connection; collect one response each."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    for line in lines:
+        writer.write((json.dumps(line) + "\n").encode())
+    await writer.drain()
+    responses = [json.loads(await reader.readline()) for _ in lines]
+    writer.close()
+    await writer.wait_closed()
+    return responses
+
+
+async def shut_down(server, executor, task):
+    server.request_stop()
+    await asyncio.wait_for(task, timeout=30)
+    executor.shutdown()
+
+
+class TestProtocol:
+    def test_ping_stats_and_unknown_op(self, tmp_path):
+        async def scenario():
+            server, executor, task = await start_server(tmp_path)
+            responses = await request_lines(
+                server.port,
+                [
+                    {"op": "ping", "id": "p"},
+                    {"op": "stats", "id": "s"},
+                    {"op": "nope", "id": "u"},
+                ],
+            )
+            await shut_down(server, executor, task)
+            return {r["id"]: r for r in responses}
+
+        by_id = asyncio.run(scenario())
+        assert by_id["p"]["ok"]
+        assert by_id["s"]["ok"] and "metrics" in by_id["s"]
+        assert not by_id["u"]["ok"]
+
+    def test_entail_and_chase_round_trip(self, tmp_path):
+        async def scenario():
+            server, executor, task = await start_server(tmp_path)
+            responses = await request_lines(
+                server.port,
+                [
+                    {
+                        "op": "entail",
+                        "kb_text": STAIRCASE,
+                        "query": STAIR_QUERY,
+                        "max_steps": 60,
+                        "id": "e",
+                    },
+                    {
+                        "op": "chase",
+                        "kb_text": TC,
+                        "max_steps": 100,
+                        "id": "c",
+                    },
+                ],
+            )
+            await shut_down(server, executor, task)
+            return {r["id"]: r for r in responses}
+
+        by_id = asyncio.run(scenario())
+        assert by_id["e"]["ok"] and by_id["e"]["entailed"] is True
+        assert by_id["c"]["ok"] and by_id["c"]["terminated"]
+
+    def test_malformed_line_gets_error_response(self, tmp_path):
+        async def scenario():
+            server, executor, task = await start_server(tmp_path)
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            await shut_down(server, executor, task)
+            return response
+
+        response = asyncio.run(scenario())
+        assert not response["ok"]
+        assert "bad request" in response["error"]
+
+    def test_batch_op(self, tmp_path):
+        async def scenario():
+            server, executor, task = await start_server(tmp_path)
+            responses = await request_lines(
+                server.port,
+                [
+                    {
+                        "op": "batch",
+                        "id": "b",
+                        "requests": [
+                            {
+                                "op": "entail",
+                                "kb_text": STAIRCASE,
+                                "query": STAIR_QUERY,
+                                "max_steps": 60,
+                                "id": "b1",
+                            },
+                            {
+                                "op": "chase",
+                                "kb_text": STAIRCASE,
+                                "max_steps": 5,
+                                "id": "b2",
+                            },
+                        ],
+                    }
+                ],
+            )
+            await shut_down(server, executor, task)
+            return responses[0]
+
+        batch = asyncio.run(scenario())
+        assert batch["ok"] and batch["id"] == "b"
+        results = {r["id"]: r for r in batch["results"]}
+        assert results["b1"]["entailed"] is True
+        assert results["b2"]["applications"] == 5
+
+    def test_default_timeout_applies(self, tmp_path):
+        async def scenario():
+            server, executor, task = await start_server(
+                tmp_path, default_timeout=0.0
+            )
+            responses = await request_lines(
+                server.port,
+                [
+                    {
+                        "op": "entail",
+                        "kb_text": STAIRCASE,
+                        "query": "nosuch(X)",
+                        "max_steps": 10**6,
+                        "id": "t",
+                    }
+                ],
+            )
+            await shut_down(server, executor, task)
+            return responses[0]
+
+        response = asyncio.run(scenario())
+        assert response["ok"]
+        assert response["entailed"] is None
+        assert response["incomplete"] and response["deadline_expired"]
+
+
+class TestConcurrency:
+    def test_32_overlapping_requests_coalesce_and_shut_down_cleanly(
+        self, tmp_path
+    ):
+        identical = {
+            "op": "entail",
+            "kb_text": STAIRCASE,
+            "query": STAIR_QUERY,
+            "max_steps": 60,
+        }
+        distinct = {
+            "op": "entail",
+            "kb_text": TC,
+            "query": "e(X, Y), e(Y, Z)",
+            "max_steps": 100,
+        }
+
+        async def scenario():
+            server, executor, task = await start_server(tmp_path)
+            connections = []
+            for conn in range(4):
+                lines = []
+                for i in range(8):
+                    base = identical if i % 2 == 0 else distinct
+                    line = dict(base)
+                    line["id"] = f"c{conn}-{i}"
+                    lines.append(line)
+                connections.append(request_lines(server.port, lines))
+            batches = await asyncio.gather(*connections)
+            responses = [r for batch in batches for r in batch]
+            stats = (
+                await request_lines(server.port, [{"op": "stats", "id": "s"}])
+            )[0]
+            await shut_down(server, executor, task)
+            return responses, stats, server
+
+        responses, stats, server = asyncio.run(scenario())
+        assert len(responses) == 32
+        assert {r["id"] for r in responses} == {
+            f"c{conn}-{i}" for conn in range(4) for i in range(8)
+        }
+        assert all(r["ok"] for r in responses)
+        assert all(r["entailed"] is True for r in responses)
+        coalesced = sum(1 for r in responses if r["coalesced"])
+        assert coalesced > 0  # identical in-flight requests shared a job
+        assert stats["requests"] == 32
+        assert stats["coalesced"] == coalesced
+        assert stats["jobs"] + coalesced == 32
+        assert stats["errors"] == 0
+        # clean shutdown: nothing left in flight, nothing pending
+        assert len(server._inflight) == 0
+        assert server.executor.pending == 0
+
+    def test_shutdown_op_stops_server(self, tmp_path):
+        async def scenario():
+            server, executor, task = await start_server(tmp_path)
+            response = (
+                await request_lines(
+                    server.port, [{"op": "shutdown", "id": "x"}]
+                )
+            )[0]
+            await asyncio.wait_for(task, timeout=30)
+            executor.shutdown()
+            # further connections are refused once stopped
+            try:
+                await asyncio.open_connection("127.0.0.1", server.port)
+                refused = False
+            except OSError:
+                refused = True
+            return response, refused
+
+        response, refused = asyncio.run(scenario())
+        assert response["ok"]
+        assert refused

@@ -1,0 +1,191 @@
+"""Tests for the chase-snapshot store (repro.service.snapshots).
+
+The differential suite at the bottom is the load-bearing part: on every
+KB family it proves that a chase warm-started from a snapshot produces
+the same final instance as an uninterrupted cold chase — atom-for-atom
+equal (fresh-null numbering resumes exactly), hence in particular
+isomorphic.
+"""
+
+import json
+
+import pytest
+
+from repro import elevator_kb, staircase_kb
+from repro.chase.engine import ChaseEngine, ChaseVariant, run_chase
+from repro.kbs.generators import random_kb
+from repro.logic.isomorphism import isomorphic
+from repro.logic.serialization import dump_kb, load_kb
+from repro.service.snapshots import (
+    SNAPSHOT_SCHEMA,
+    SnapshotStore,
+    chase_state_from_obj,
+    chase_state_to_obj,
+    kb_fingerprint,
+    snapshot_key,
+)
+
+
+class TestKbFingerprint:
+    def test_reparse_invariant(self):
+        kb = staircase_kb()
+        reparsed = load_kb(dump_kb(kb))
+        assert kb_fingerprint(kb) == kb_fingerprint(reparsed)
+
+    def test_name_does_not_participate(self):
+        from repro.logic.kb import KnowledgeBase
+
+        kb = staircase_kb()
+        renamed = KnowledgeBase(kb.facts, kb.rules, name="other")
+        assert kb_fingerprint(kb) == kb_fingerprint(renamed)
+
+    def test_distinct_kbs_distinct_fingerprints(self):
+        assert kb_fingerprint(staircase_kb()) != kb_fingerprint(elevator_kb())
+
+    def test_key_depends_on_configuration(self):
+        kb = staircase_kb()
+        assert snapshot_key(kb, "core", 1) != snapshot_key(kb, "restricted", 1)
+        assert snapshot_key(kb, "core", 1) != snapshot_key(kb, "core", 2)
+
+
+class TestChaseStateJson:
+    @pytest.mark.parametrize("variant", ["restricted", "core", "oblivious"])
+    def test_round_trip_preserves_everything(self, variant):
+        engine = ChaseEngine(staircase_kb(), variant=variant)
+        engine.run(8)
+        state = engine.export_state()
+        obj = json.loads(json.dumps(chase_state_to_obj(state)))
+        back = chase_state_from_obj(obj)
+        assert back.variant == state.variant
+        assert back.core_every == state.core_every
+        assert back.fresh_prefix == state.fresh_prefix
+        assert back.fresh_count == state.fresh_count
+        assert back.instance == state.instance
+        assert back.applied_keys == state.applied_keys
+        assert back.ages == state.ages
+        assert back.terminated == state.terminated
+        assert back.applications == state.applications
+        assert back.applications_since_core == state.applications_since_core
+        assert back.delta_since_core == state.delta_since_core
+
+    def test_round_trip_is_deterministic(self):
+        engine = ChaseEngine(staircase_kb(), variant="core")
+        engine.run(6)
+        state = engine.export_state()
+        assert json.dumps(chase_state_to_obj(state)) == json.dumps(
+            chase_state_to_obj(state)
+        )
+
+
+class TestSnapshotStore:
+    def test_save_then_load(self, tmp_path):
+        kb = staircase_kb()
+        engine = ChaseEngine(kb, variant="restricted")
+        engine.run(5)
+        store = SnapshotStore(tmp_path)
+        store.save(kb, engine.export_state())
+        loaded = store.load(kb, "restricted", 1)
+        assert loaded is not None
+        assert loaded.instance == engine.current_instance
+        assert loaded.applications == 5
+
+    def test_miss_returns_none(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        assert store.load(staircase_kb(), "restricted", 1) is None
+
+    def test_wrong_config_misses(self, tmp_path):
+        kb = staircase_kb()
+        engine = ChaseEngine(kb, variant="restricted")
+        engine.run(5)
+        store = SnapshotStore(tmp_path)
+        store.save(kb, engine.export_state())
+        assert store.load(kb, "core", 1) is None
+        assert store.load(elevator_kb(), "restricted", 1) is None
+
+    def test_corrupt_file_discarded(self, tmp_path):
+        kb = staircase_kb()
+        store = SnapshotStore(tmp_path)
+        key = snapshot_key(kb, "restricted", 1)
+        path = store.path_for(key)
+        path.write_text("{ torn mid-wri")
+        assert store.load(kb, "restricted", 1) is None
+        assert not path.exists()  # paid for only once
+
+    def test_tampered_fingerprint_discarded(self, tmp_path):
+        kb = staircase_kb()
+        engine = ChaseEngine(kb, variant="restricted")
+        engine.run(3)
+        store = SnapshotStore(tmp_path)
+        path = store.save(kb, engine.export_state())
+        payload = json.loads(path.read_text())
+        payload["kb_fingerprint"] = "0" * 64
+        path.write_text(json.dumps(payload))
+        assert store.load(kb, "restricted", 1) is None
+
+    def test_schema_mismatch_discarded(self, tmp_path):
+        kb = staircase_kb()
+        engine = ChaseEngine(kb, variant="restricted")
+        engine.run(3)
+        store = SnapshotStore(tmp_path)
+        path = store.save(kb, engine.export_state())
+        payload = json.loads(path.read_text())
+        payload["schema"] = SNAPSHOT_SCHEMA + 1
+        path.write_text(json.dumps(payload))
+        assert store.load(kb, "restricted", 1) is None
+
+
+FAMILIES = [
+    ("staircase", staircase_kb, "core", 6, 14),
+    ("staircase", staircase_kb, "restricted", 6, 14),
+    ("elevator", elevator_kb, "core", 5, 12),
+    ("random-0", lambda: random_kb(seed=0), "restricted", 3, 10),
+    ("random-7", lambda: random_kb(seed=7), "core", 3, 10),
+    ("random-13", lambda: random_kb(seed=13), "restricted", 4, 12),
+]
+
+
+class TestWarmColdDifferential:
+    """Snapshot-resumed chases match uninterrupted cold ones exactly."""
+
+    @pytest.mark.parametrize(
+        "label, make_kb, variant, cut, total",
+        FAMILIES,
+        ids=[f"{f[0]}-{f[2]}-{f[3]}+{f[4]}" for f in FAMILIES],
+    )
+    def test_resume_equals_cold(self, tmp_path, label, make_kb, variant, cut, total):
+        kb = make_kb()
+        cold = run_chase(kb, variant=variant, max_steps=total)
+
+        store = SnapshotStore(tmp_path)
+        first = ChaseEngine(kb, variant=variant)
+        first.run(cut)
+        store.save(kb, first.export_state())
+
+        warm = ChaseEngine(kb, variant=variant)
+        state = store.load(kb, variant, 1)
+        assert state is not None
+        warm.restore_state(state)
+        result = warm.resume(total - cut)
+
+        assert warm.current_instance == cold.final_instance
+        assert isomorphic(warm.current_instance, cold.final_instance)
+        assert state.applications + result.applications == cold.applications
+        assert result.terminated == cold.terminated
+
+    @pytest.mark.parametrize("variant", ["restricted", "core"])
+    def test_terminated_snapshot_resumes_to_zero_work(self, tmp_path, variant):
+        kb = random_kb(seed=3)
+        cold = run_chase(kb, variant=variant, max_steps=400)
+        assert cold.terminated
+
+        store = SnapshotStore(tmp_path)
+        engine = ChaseEngine(kb, variant=variant)
+        engine.run(400)
+        store.save(kb, engine.export_state())
+
+        warm = ChaseEngine(kb, variant=variant)
+        warm.restore_state(store.load(kb, variant, 1))
+        result = warm.resume(100)
+        assert result.applications == 0
+        assert result.terminated
+        assert warm.current_instance == cold.final_instance
