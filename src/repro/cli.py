@@ -208,6 +208,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="default per-job deadline for requests without their own",
     )
     serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retry budget per job for transient executor failures "
+        "(broken pool / dead worker; default 2)",
+    )
+    serve.add_argument(
+        "--max-snapshots",
+        type=int,
+        metavar="N",
+        help="bound the snapshot store to N entries (mtime-LRU "
+        "eviction; default unbounded)",
+    )
+    serve.add_argument(
+        "--max-snapshot-mb",
+        type=float,
+        metavar="MB",
+        help="bound the snapshot store to MB megabytes (mtime-LRU "
+        "eviction; default unbounded)",
+    )
+    serve.add_argument(
+        "--fault-dir",
+        metavar="DIR",
+        help="arm fault injection from the fuse files in DIR "
+        "(chaos testing; see repro.service.faults)",
+    )
+    serve.add_argument(
         "--trace",
         metavar="FILE",
         help="write JSONL service telemetry to FILE (replay with "
@@ -454,7 +482,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import tempfile
 
-    from .service.executor import JobExecutor
+    from .service.executor import JobExecutor, RetryPolicy
+    from .service.faults import FaultPlan
     from .service.server import serve as _serve
 
     registry = MetricsRegistry()
@@ -468,8 +497,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if snapshot_dir is None:
         scratch = tempfile.TemporaryDirectory(prefix="repro-snapshots-")
         snapshot_dir = scratch.name
+    fault_plan = FaultPlan(args.fault_dir) if args.fault_dir else None
+    max_snapshot_bytes = (
+        int(args.max_snapshot_mb * 1024 * 1024)
+        if args.max_snapshot_mb is not None
+        else None
+    )
     executor = JobExecutor(
-        workers=args.workers, snapshot_dir=snapshot_dir, registry=registry
+        workers=args.workers,
+        snapshot_dir=snapshot_dir,
+        registry=registry,
+        retry_policy=RetryPolicy(max_retries=args.max_retries),
+        fault_dir=args.fault_dir,
+        max_snapshot_entries=args.max_snapshots,
+        max_snapshot_bytes=max_snapshot_bytes,
     )
     try:
         with observing(observer):
@@ -480,6 +521,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         port=args.port,
                         default_timeout=args.timeout,
                         executor=executor,
+                        fault_plan=fault_plan,
                     )
                 )
             except KeyboardInterrupt:

@@ -185,6 +185,22 @@ class Observer:
         *applications* the new rule applications it performed, *seconds*
         its wall-clock latency (queueing included)."""
 
+    def service_retry(
+        self,
+        *,
+        op: str,
+        attempt: int,
+        delay: float,
+        error: str,
+    ) -> None:
+        """The supervised executor scheduled retry *attempt* (1-based)
+        of a job after a transient failure (*error*), to fire after
+        *delay* seconds of jittered exponential backoff."""
+
+    def service_pool_rebuild(self, *, pending: int) -> None:
+        """The executor replaced a broken worker pool (a worker died and
+        poisoned it); *pending* jobs were in flight at the swap."""
+
     def snapshot_access(
         self,
         *,
@@ -194,9 +210,10 @@ class Observer:
         atoms: int = 0,
         seconds: float = 0.0,
     ) -> None:
-        """The snapshot store served one access: *op* is ``load`` or
-        ``save``; on loads *hit* reports whether a usable state came
-        back and *corrupt* whether an unreadable entry was discarded."""
+        """The snapshot store served one access: *op* is ``load``,
+        ``save``, or ``evict`` (an LRU eviction by a size-bounded
+        store); on loads *hit* reports whether a usable state came back
+        and *corrupt* whether an unreadable entry was discarded."""
 
     # -- exact treewidth (repro.treewidth.exact) -----------------------
 
@@ -276,6 +293,14 @@ class CompositeObserver(Observer):
     def service_job(self, **kw) -> None:
         for obs in self.observers:
             obs.service_job(**kw)
+
+    def service_retry(self, **kw) -> None:
+        for obs in self.observers:
+            obs.service_retry(**kw)
+
+    def service_pool_rebuild(self, **kw) -> None:
+        for obs in self.observers:
+            obs.service_pool_rebuild(**kw)
 
     def snapshot_access(self, **kw) -> None:
         for obs in self.observers:

@@ -137,6 +137,10 @@ def summarize_trace(events: Iterable[dict]) -> dict:
 
     request_events = [e for e in events if e.get("kind") == "service_request"]
     job_events = [e for e in events if e.get("kind") == "service_job"]
+    retry_events = [e for e in events if e.get("kind") == "service_retry"]
+    rebuild_events = [
+        e for e in events if e.get("kind") == "service_pool_rebuild"
+    ]
     snap_events = [e for e in events if e.get("kind") == "snapshot_access"]
     latencies = sorted(e.get("seconds", 0.0) for e in job_events)
     warm_hits = sum(1 for e in job_events if e.get("warm"))
@@ -156,11 +160,16 @@ def summarize_trace(events: Iterable[dict]) -> dict:
         "seconds": sum(latencies),
         "latency_p50": _percentile(latencies, 0.50),
         "latency_p95": _percentile(latencies, 0.95),
+        "retries": len(retry_events),
+        "pool_rebuilds": len(rebuild_events),
         "snapshot_loads": len(snap_loads),
         "snapshot_load_hits": sum(1 for e in snap_loads if e.get("hit")),
         "snapshot_corrupt": sum(1 for e in snap_loads if e.get("corrupt")),
         "snapshot_saves": sum(
             1 for e in snap_events if e.get("op") == "save"
+        ),
+        "snapshot_evicted": sum(
+            1 for e in snap_events if e.get("op") == "evict"
         ),
     }
 
@@ -279,6 +288,12 @@ def render_summary(summary: dict, step_stride: int = 1) -> str:
         totals.add_row(
             "service", "deadline expired", service["deadline_expired"]
         )
+        if service.get("retries"):
+            totals.add_row("service", "retries", service["retries"])
+        if service.get("pool_rebuilds"):
+            totals.add_row(
+                "service", "pool rebuilds", service["pool_rebuilds"]
+            )
         totals.add_row("service", "applications", service["applications"])
         totals.add_row(
             "service", "latency p50 (s)", round(service["latency_p50"], 6)
@@ -302,6 +317,12 @@ def render_summary(summary: dict, step_stride: int = 1) -> str:
                     "snapshots discarded corrupt",
                     service["snapshot_corrupt"],
                 )
+        if service.get("snapshot_evicted"):
+            totals.add_row(
+                "service",
+                "snapshots evicted (LRU)",
+                service["snapshot_evicted"],
+            )
     parts.append(totals.render())
 
     return "\n".join(parts)

@@ -49,6 +49,8 @@ EVENT_KINDS = (
     "trigger_index_update",
     "service_request",
     "service_job",
+    "service_retry",
+    "service_pool_rebuild",
     "snapshot_access",
     "treewidth_search",
     "robust_step",
@@ -146,10 +148,14 @@ class MetricsObserver(Observer):
     ``snapshot.hits``       counter    loads returning a usable state
     ``snapshot.corrupt``    counter    unreadable entries discarded
     ``snapshot.saves``      counter    snapshot-store saves
+    ``snapshot.evicted``    counter    snapshots evicted by LRU bounds
     ======================  =========  ==================================
 
-    (``service.queue_depth``, a gauge, is written directly by the
-    executor — queue depth is executor state, not an event.)
+    (``service.queue_depth`` — a gauge — plus the ``service.retries``
+    and ``service.pool_rebuilds`` counters are written directly by the
+    executor into its own registry — they are supervisor state, so the
+    observer deliberately does not double-count them from the
+    ``service_retry`` / ``service_pool_rebuild`` events it traces.)
     """
 
     __slots__ = ("registry",)
@@ -290,6 +296,8 @@ class MetricsObserver(Observer):
                 reg.counter("snapshot.hits").inc()
             if corrupt:
                 reg.counter("snapshot.corrupt").inc()
+        elif op == "evict":
+            reg.counter("snapshot.evicted").inc()
         else:
             reg.counter("snapshot.saves").inc()
 
@@ -363,6 +371,14 @@ class TracingObserver(MetricsObserver):
     def service_job(self, **kw) -> None:
         self.tracer.emit("service_job", **kw)
         super().service_job(**kw)
+
+    def service_retry(self, **kw) -> None:
+        self.tracer.emit("service_retry", **kw)
+        super().service_retry(**kw)
+
+    def service_pool_rebuild(self, **kw) -> None:
+        self.tracer.emit("service_pool_rebuild", **kw)
+        super().service_pool_rebuild(**kw)
 
     def snapshot_access(self, **kw) -> None:
         self.tracer.emit("snapshot_access", **kw)

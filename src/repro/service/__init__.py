@@ -14,25 +14,33 @@ facts on every call.  This package turns them into a serving system:
   :class:`JobResult` wire dataclasses and :func:`execute_job`, the
   single worker-side entry point (warm start, per-job deadline,
   graceful degradation to sound partial answers);
-* :mod:`repro.service.executor` — a process-pool :class:`JobExecutor`
-  with fork/spawn-safe per-worker metrics registries merged back into
-  the parent;
+* :mod:`repro.service.executor` — a supervised process-pool
+  :class:`JobExecutor` (broken pools rebuilt, transient failures
+  retried with capped backoff + jitter) with fork/spawn-safe per-worker
+  metrics registries merged back into the parent;
 * :mod:`repro.service.server` — the asyncio JSONL-over-TCP front end
-  with request batching and in-flight dedup, exposed as ``repro serve``.
+  with request batching, in-flight dedup, and a guaranteed-response
+  contract, exposed as ``repro serve``;
+* :mod:`repro.service.faults` — deterministic, seedable fault
+  injection (worker kill, slow job, snapshot corruption, dropped
+  connection) driving the chaos suite and the CI ``chaos-smoke`` job.
 
 Everything is standard library only, like the rest of the package.
 """
 
 from .deadline import Deadline
-from .executor import JobExecutor
+from .executor import JobExecutor, RetryPolicy
+from .faults import FaultPlan
 from .jobs import JobRequest, JobResult, execute_job
 from .snapshots import SnapshotStore, kb_fingerprint, snapshot_key
 
 __all__ = [
     "Deadline",
+    "FaultPlan",
     "JobExecutor",
     "JobRequest",
     "JobResult",
+    "RetryPolicy",
     "SnapshotStore",
     "execute_job",
     "kb_fingerprint",

@@ -1,10 +1,41 @@
-"""A process-pool job executor with fork/spawn-safe metrics.
+"""A supervised process-pool job executor with retry, backoff, and
+fork/spawn-safe metrics.
 
 Chase jobs are CPU-bound pure Python, so real concurrency needs
 processes; :class:`JobExecutor` shards :class:`~repro.service.jobs.
 JobRequest` work across a :class:`~concurrent.futures.
 ProcessPoolExecutor` (``workers=0`` degrades to a single in-process
 worker thread — handy for tests and the single-shot CLI paths).
+
+Supervision (the fault-tolerance layer)
+---------------------------------------
+Worker loss is an *expected* event for this paper's workloads — the
+core chase of the inflating elevator never terminates, and real jobs
+die on memory or timeout — so the executor treats a broken pool as
+routine, not fatal:
+
+1. **Failure classification.**  An exception surfacing at the executor
+   level (never from :func:`~repro.service.jobs.execute_job`, which
+   converts job-level errors into ``ok=False`` results) is classified
+   *transient* (:class:`~concurrent.futures.BrokenExecutor` — a worker
+   died and poisoned the pool — plus :class:`OSError`/:class:`EOFError`
+   pipe failures) or *permanent* (unpicklable payloads, shutdown,
+   anything else deterministic).
+2. **Pool rebuild.**  The first transient failure observed against the
+   current pool replaces it with a fresh one (the broken pool can never
+   accept work again); concurrent failures from the same breakage see
+   the already-rebuilt pool and skip the rebuild.
+3. **Retry with capped exponential backoff + jitter.**  Transient
+   failures re-submit the job under a per-job retry budget
+   (:class:`RetryPolicy`); snapshot warm starts make retries cheap by
+   construction — a retried job resumes from the last checkpoint the
+   dead worker (or a sibling) saved, so the work lost to a crash is at
+   most one checkpoint interval.
+4. **Guaranteed resolution.**  :meth:`JobExecutor.submit` never raises
+   and the returned future always resolves: permanent failures,
+   exhausted retry budgets, post-completion bookkeeping errors
+   (metrics merge, result decode, a raising observer) and shutdown all
+   resolve to well-formed ``ok=False`` :class:`JobResult`\\ s.
 
 Metrics protocol (the fork/spawn hazard)
 ----------------------------------------
@@ -28,26 +59,38 @@ fresh by construction on every platform (and fork-safety hazards with
 the server's event-loop threads never arise).
 
 The parent also keeps the ``service.queue_depth`` gauge current
-(submitted-but-unfinished jobs) and reports every completion through
-the :meth:`~repro.obs.Observer.service_job` telemetry event, with
-wall-clock latency measured from submission (queueing included).
+(submitted-but-unfinished jobs), counts ``service.retries`` /
+``service.pool_rebuilds``, and reports completions through the
+:meth:`~repro.obs.Observer.service_job` telemetry event (retries and
+rebuilds through :meth:`~repro.obs.Observer.service_retry` /
+:meth:`~repro.obs.Observer.service_pool_rebuild`), with wall-clock
+latency measured from first submission (queueing and retries included).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import random
 import threading
 import time
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass
 from typing import Optional
 
 from ..obs import observer as _observer_state
 from ..obs.metrics import MetricsRegistry, get_registry, set_registry
 from ..obs.tracer import MetricsObserver
+from .faults import FaultPlan, fire_snapshot_corruption, fire_worker_faults
 from .jobs import JobRequest, JobResult, execute_job
 from .snapshots import SnapshotStore
 
-__all__ = ["JobExecutor"]
+__all__ = ["JobExecutor", "RetryPolicy", "is_transient"]
 
 
 def _worker_init() -> None:
@@ -56,31 +99,120 @@ def _worker_init() -> None:
     _observer_state.set_observer(None)
 
 
-def _run_job(request_obj: dict, snapshot_dir: Optional[str]) -> tuple[dict, dict]:
+def _open_store(
+    snapshot_dir: Optional[str], limits: Optional[dict]
+) -> Optional[SnapshotStore]:
+    if not snapshot_dir:
+        return None
+    limits = limits or {}
+    return SnapshotStore(
+        snapshot_dir,
+        max_entries=limits.get("max_entries"),
+        max_bytes=limits.get("max_bytes"),
+    )
+
+
+def _run_job(
+    request_obj: dict,
+    snapshot_dir: Optional[str],
+    fault_dir: Optional[str] = None,
+    limits: Optional[dict] = None,
+) -> tuple[dict, dict]:
     """Worker-side body: execute one job, return (result, metrics).
 
     Runs in a pool worker; only JSON-able dicts cross the boundary."""
     registry = get_registry()
     registry.reset()
+    plan = FaultPlan(fault_dir) if fault_dir else None
+    fire_worker_faults(plan, in_process=False)
     request = JobRequest.from_obj(request_obj)
-    store = SnapshotStore(snapshot_dir) if snapshot_dir else None
+    store = _open_store(snapshot_dir, limits)
     result = execute_job(request, store, observer=MetricsObserver(registry))
+    fire_snapshot_corruption(plan, snapshot_dir)
     return result.to_obj(), registry.snapshot()
 
 
 def _run_job_local(
-    request_obj: dict, snapshot_dir: Optional[str]
+    request_obj: dict,
+    snapshot_dir: Optional[str],
+    fault_dir: Optional[str] = None,
+    limits: Optional[dict] = None,
 ) -> tuple[dict, dict]:
     """In-process (``workers=0``) body: same contract, private registry."""
     registry = MetricsRegistry(enabled=True)
+    plan = FaultPlan(fault_dir) if fault_dir else None
+    fire_worker_faults(plan, in_process=True)
     request = JobRequest.from_obj(request_obj)
-    store = SnapshotStore(snapshot_dir) if snapshot_dir else None
+    store = _open_store(snapshot_dir, limits)
     result = execute_job(request, store, observer=MetricsObserver(registry))
+    fire_snapshot_corruption(plan, snapshot_dir)
     return result.to_obj(), registry.snapshot()
 
 
+# ---------------------------------------------------------------------------
+# failure classification and retry policy
+# ---------------------------------------------------------------------------
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether *exc* names a failure a retry can plausibly outrun.
+
+    :class:`BrokenExecutor` (a worker died — the canonical recoverable
+    event), pipe-level :class:`OSError`/:class:`EOFError` and cancelled
+    inner futures are transient; everything else (unpicklable payloads,
+    ``submit`` after shutdown, programming errors) is permanent — the
+    job is deterministic, so re-running it would fail identically.
+    """
+    return isinstance(exc, (BrokenExecutor, OSError, EOFError, CancelledError))
+
+
+@dataclass
+class RetryPolicy:
+    """Capped exponential backoff with jitter, per-job budgeted.
+
+    Attempt *n* (0-based retry index) sleeps
+    ``min(max_delay, base_delay * 2**n)`` scaled by a jitter factor
+    drawn uniformly from ``[0.5, 1.0]`` — the decorrelation that keeps a
+    herd of jobs orphaned by one dead worker from re-stampeding the
+    rebuilt pool in lockstep.  *seed* pins the jitter stream for
+    reproducible tests; None uses nondeterministic jitter.
+    """
+
+    max_retries: int = 2
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        self._rng = random.Random(self.seed)
+        self._rng_lock = threading.Lock()
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before retry *attempt* (0-based), jitter applied."""
+        ceiling = min(self.max_delay, self.base_delay * (2**attempt))
+        with self._rng_lock:
+            jitter = 0.5 + self._rng.random() / 2
+        return ceiling * jitter
+
+
+class _Job:
+    """Parent-side bookkeeping for one submitted request."""
+
+    __slots__ = ("request", "submitted", "attempt", "pool")
+
+    def __init__(self, request: JobRequest, submitted: float):
+        self.request = request
+        self.submitted = submitted
+        self.attempt = 0  # retries performed so far
+        self.pool = None  # the pool the live attempt went to
+
+
 class JobExecutor:
-    """Shard jobs across worker processes; merge their telemetry back.
+    """Shard jobs across worker processes; supervise and retry failures.
 
     Parameters
     ----------
@@ -94,6 +226,16 @@ class JobExecutor:
     registry:
         Where worker metric snapshots are merged; defaults to the
         process-global registry.
+    retry_policy:
+        Backoff/budget for transient executor-level failures; None
+        installs the default :class:`RetryPolicy` (2 retries).
+    fault_dir:
+        A :class:`~repro.service.faults.FaultPlan` directory forwarded
+        to workers; None (the default) disables fault injection.
+    max_snapshot_entries, max_snapshot_bytes:
+        Size bounds forwarded to the worker-side snapshot stores
+        (mtime-LRU eviction past either bound); None leaves the store
+        unbounded.
     """
 
     def __init__(
@@ -101,90 +243,242 @@ class JobExecutor:
         workers: int = 2,
         snapshot_dir: Optional[str] = None,
         registry: Optional[MetricsRegistry] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_dir: Optional[str] = None,
+        max_snapshot_entries: Optional[int] = None,
+        max_snapshot_bytes: Optional[int] = None,
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.workers = workers
         self.snapshot_dir = str(snapshot_dir) if snapshot_dir else None
         self.registry = registry if registry is not None else get_registry()
-        if workers > 0:
-            self._pool = ProcessPoolExecutor(
-                max_workers=workers,
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.fault_dir = str(fault_dir) if fault_dir else None
+        self._limits: Optional[dict] = None
+        if max_snapshot_entries is not None or max_snapshot_bytes is not None:
+            self._limits = {
+                "max_entries": max_snapshot_entries,
+                "max_bytes": max_snapshot_bytes,
+            }
+        self._body = _run_job if workers > 0 else _run_job_local
+        self._lock = threading.Lock()
+        self._pool = self._make_pool()
+        self._pending = 0
+        self._closed = False
+        self.retries = 0
+        self.pool_rebuilds = 0
+        #: backoff timers for jobs awaiting re-submission
+        self._retry_timers: dict[threading.Timer, tuple[_Job, Future]] = {}
+
+    def _make_pool(self):
+        if self.workers > 0:
+            return ProcessPoolExecutor(
+                max_workers=self.workers,
                 mp_context=multiprocessing.get_context("spawn"),
                 initializer=_worker_init,
             )
-            self._body = _run_job
-        else:
-            self._pool = ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix="repro-job"
-            )
-            self._body = _run_job_local
-        self._lock = threading.Lock()
-        self._pending = 0
+        return ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-job")
 
+    # ------------------------------------------------------------------
+    # submission
     # ------------------------------------------------------------------
 
     def submit(self, request: JobRequest) -> "Future[JobResult]":
-        """Schedule *request*; the returned future resolves to a
-        :class:`JobResult` (never raises — job errors come back as
-        ``ok=False`` results)."""
+        """Schedule *request*; the returned future always resolves to a
+        :class:`JobResult` (never raises — job errors, pool breakage,
+        exhausted retries and shutdown all come back as ``ok=False``
+        results)."""
         outer: Future = Future()
-        submitted = time.perf_counter()
+        job = _Job(request, time.perf_counter())
         with self._lock:
             self._pending += 1
             depth = self._pending
         self.registry.gauge("service.queue_depth").set(depth)
-        try:
-            inner = self._pool.submit(
-                self._body, request.to_obj(), self.snapshot_dir
-            )
-        except BaseException:
-            with self._lock:
-                self._pending -= 1
-            self.registry.gauge("service.queue_depth").set(self._pending)
-            raise
-        inner.add_done_callback(
-            lambda done: self._finish(done, request, submitted, outer)
-        )
+        self._submit_attempt(job, outer)
         return outer
 
-    def _finish(
-        self,
-        done: Future,
-        request: JobRequest,
-        submitted: float,
-        outer: "Future[JobResult]",
+    def _submit_attempt(self, job: _Job, outer: "Future[JobResult]") -> None:
+        """Hand *job* to the current pool; on failure, route through the
+        supervisor instead of raising."""
+        with self._lock:
+            closed = self._closed
+            pool = self._pool
+        if closed:
+            self._resolve(
+                job, outer, self._error_result(job, "executor is shut down")
+            )
+            return
+        try:
+            inner = pool.submit(
+                self._body,
+                job.request.to_obj(),
+                self.snapshot_dir,
+                self.fault_dir,
+                self._limits,
+            )
+        except BaseException as exc:  # noqa: BLE001 - supervisor boundary
+            job.pool = pool
+            self._handle_failure(job, outer, exc)
+            return
+        job.pool = pool
+        inner.add_done_callback(lambda done: self._finish(done, job, outer))
+
+    # ------------------------------------------------------------------
+    # completion and supervision
+    # ------------------------------------------------------------------
+
+    def _finish(self, done: Future, job: _Job, outer: "Future[JobResult]") -> None:
+        """Inner-future callback.  Every path resolves or re-submits;
+        nothing may leave *outer* pending (a client is awaiting it)."""
+        try:
+            try:
+                exc = done.exception()
+            except CancelledError as cancelled:
+                exc = cancelled
+            if exc is not None:
+                self._handle_failure(job, outer, exc)
+                return
+            try:
+                result_obj, metrics_snapshot = done.result()
+                self.registry.merge_snapshot(metrics_snapshot)
+                result = JobResult.from_obj(result_obj)
+            except BaseException as post:  # noqa: BLE001 - see docstring
+                # Post-completion bookkeeping failed (undecodable result,
+                # incompatible metrics snapshot, ...): the job's answer is
+                # unusable, but the client still gets a response.
+                result = self._error_result(
+                    job, f"result handling failed: {type(post).__name__}: {post}"
+                )
+            self._resolve(job, outer, result)
+        except BaseException as exc:  # noqa: BLE001 - last-resort guard
+            if not outer.done():
+                self._resolve_quietly(job, outer, exc)
+
+    def _handle_failure(
+        self, job: _Job, outer: "Future[JobResult]", exc: BaseException
     ) -> None:
+        """Classify an executor-level failure; rebuild/retry or resolve."""
+        transient = is_transient(exc)
+        if isinstance(exc, BrokenExecutor):
+            self._rebuild_pool(job.pool)
+        if transient and not self._closed and job.attempt < self.retry_policy.max_retries:
+            delay = self.retry_policy.delay_for(job.attempt)
+            job.attempt += 1
+            self.retries += 1
+            self.registry.counter("service.retries").inc()
+            observer = _observer_state.current
+            if observer is not None:
+                try:
+                    observer.service_retry(
+                        op=job.request.op,
+                        attempt=job.attempt,
+                        delay=delay,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                except Exception:  # noqa: BLE001 - observers must not break supervision
+                    pass
+            timer = threading.Timer(delay, lambda: self._fire_retry(timer))
+            timer.daemon = True
+            with self._lock:
+                if self._closed:
+                    timer.cancel()
+                    self._resolve(
+                        job,
+                        outer,
+                        self._error_result(job, "executor shut down during retry backoff"),
+                    )
+                    return
+                self._retry_timers[timer] = (job, outer)
+            timer.start()
+            return
+        suffix = f" (after {job.attempt} retries)" if job.attempt else ""
+        self._resolve(
+            job,
+            outer,
+            self._error_result(job, f"{type(exc).__name__}: {exc}{suffix}"),
+        )
+
+    def _fire_retry(self, timer: threading.Timer) -> None:
+        with self._lock:
+            entry = self._retry_timers.pop(timer, None)
+        if entry is None:
+            return  # shutdown already resolved this job
+        job, outer = entry
+        self._submit_attempt(job, outer)
+
+    def _rebuild_pool(self, broken_pool) -> None:
+        """Replace the broken pool with a fresh one, exactly once per
+        breakage: concurrent failures from the same dead worker all name
+        the same pool object, and only the first swap wins."""
+        with self._lock:
+            if self._closed or self._pool is not broken_pool:
+                return
+            self._pool = self._make_pool()
+            self.pool_rebuilds += 1
+            pending = self._pending
+        self.registry.counter("service.pool_rebuilds").inc()
+        observer = _observer_state.current
+        if observer is not None:
+            try:
+                observer.service_pool_rebuild(pending=pending)
+            except Exception:  # noqa: BLE001 - observers must not break supervision
+                pass
+        if broken_pool is not None:
+            broken_pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+
+    def _error_result(self, job: _Job, error: str) -> JobResult:
+        return JobResult(op=job.request.op, ok=False, error=error)
+
+    def _resolve(
+        self, job: _Job, outer: "Future[JobResult]", result: JobResult
+    ) -> None:
+        """Account for the job and resolve *outer* — always, even when
+        an observer misbehaves."""
         with self._lock:
             self._pending -= 1
             depth = self._pending
         self.registry.gauge("service.queue_depth").set(depth)
-        exc = done.exception()
-        if exc is not None:
-            # A pool-level failure (broken worker, unpicklable payload)
-            # still resolves to a well-formed error result.
-            result = JobResult(
-                op=request.op,
-                ok=False,
-                error=f"{type(exc).__name__}: {exc}",
-            )
-        else:
-            result_obj, metrics_snapshot = done.result()
-            self.registry.merge_snapshot(metrics_snapshot)
-            result = JobResult.from_obj(result_obj)
-        result.seconds = time.perf_counter() - submitted
+        result.seconds = time.perf_counter() - job.submitted
         observer = _observer_state.current
         if observer is not None:
-            observer.service_job(
-                op=request.op,
-                ok=result.ok,
-                warm=result.warm,
-                incomplete=result.incomplete,
-                deadline_expired=result.deadline_expired,
-                applications=result.applications,
-                seconds=result.seconds,
+            try:
+                observer.service_job(
+                    op=job.request.op,
+                    ok=result.ok,
+                    warm=result.warm,
+                    incomplete=result.incomplete,
+                    deadline_expired=result.deadline_expired,
+                    applications=result.applications,
+                    seconds=result.seconds,
+                )
+            except Exception as exc:  # noqa: BLE001 - the client must get a reply
+                result = self._error_result(
+                    job, f"observer failed: {type(exc).__name__}: {exc}"
+                )
+                result.seconds = time.perf_counter() - job.submitted
+        if not outer.done():
+            outer.set_result(result)
+
+    def _resolve_quietly(
+        self, job: _Job, outer: "Future[JobResult]", exc: BaseException
+    ) -> None:
+        """Absolute last resort: resolve without touching any subsystem
+        that could itself raise."""
+        try:
+            with self._lock:
+                self._pending -= 1
+            outer.set_result(
+                self._error_result(
+                    job, f"executor callback failed: {type(exc).__name__}: {exc}"
+                )
             )
-        outer.set_result(result)
+        except BaseException:  # noqa: BLE001 - nothing further to do
+            pass
 
     # ------------------------------------------------------------------
 
@@ -196,8 +490,20 @@ class JobExecutor:
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop the pool; with ``wait`` the call blocks until running
-        jobs finish."""
-        self._pool.shutdown(wait=wait)
+        jobs finish.  Jobs parked in a retry backoff resolve immediately
+        to ``ok=False`` — nobody is left awaiting a future that can no
+        longer be served."""
+        with self._lock:
+            self._closed = True
+            parked = list(self._retry_timers.items())
+            self._retry_timers.clear()
+            pool = self._pool
+        for timer, (job, outer) in parked:
+            timer.cancel()
+            self._resolve(
+                job, outer, self._error_result(job, "executor is shut down")
+            )
+        pool.shutdown(wait=wait)
 
     def __enter__(self) -> "JobExecutor":
         return self

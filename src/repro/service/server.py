@@ -28,6 +28,16 @@ snapshot store's warm starts.
 The server is single-threaded asyncio; the blocking chase work lives in
 the :class:`~repro.service.executor.JobExecutor` process pool, bridged
 with :func:`asyncio.wrap_future`.
+
+Response guarantee
+------------------
+Every request line that reaches the dispatcher gets **exactly one**
+reply, including executor-level failures (broken pool, shutdown),
+partial batch failures, and internal errors: ``_handle_line`` carries a
+catch-all that converts any escaping exception into an ``ok=False``
+response carrying the request ``id``, and batch members fail
+individually without poisoning their siblings.  The only way a client
+sees no reply is its own connection dying.
 """
 
 from __future__ import annotations
@@ -38,6 +48,7 @@ from typing import Optional
 
 from ..obs import observer as _observer_state
 from .executor import JobExecutor
+from .faults import FaultPlan
 from .jobs import JobRequest, JobResult
 
 __all__ = ["EntailmentServer", "serve"]
@@ -60,6 +71,10 @@ class EntailmentServer:
     default_timeout:
         Per-job deadline (seconds) applied to requests that do not set
         their own ``timeout``.
+    fault_plan:
+        A :class:`~repro.service.faults.FaultPlan` whose armed
+        ``server.drop_connection`` fuses abort the connection instead
+        of writing a response (chaos testing only; None in production).
     """
 
     def __init__(
@@ -68,11 +83,13 @@ class EntailmentServer:
         host: str = "127.0.0.1",
         port: int = 0,
         default_timeout: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.executor = executor
         self.host = host
         self.port = port
         self.default_timeout = default_timeout
+        self.fault_plan = fault_plan
         self.registry = executor.registry
         self._inflight: dict[tuple, asyncio.Future] = {}
         self._conn_tasks: set[asyncio.Task] = set()
@@ -173,7 +190,26 @@ class EntailmentServer:
                 writer, lock, {"ok": False, "error": f"bad request: {exc}"}
             )
             return
-        response = await self._dispatch(obj)
+        try:
+            response = await self._dispatch(obj)
+        except Exception as exc:  # noqa: BLE001 - the response guarantee
+            # Nothing may escape between "request parsed" and "response
+            # written": an exception here used to be swallowed by the
+            # connection task's gather(return_exceptions=True) and the
+            # client would wait forever for this id.
+            self.errors += 1
+            response = {
+                "ok": False,
+                "error": f"internal error: {type(exc).__name__}: {exc}",
+            }
+            if obj.get("id") is not None:
+                response["id"] = obj["id"]
+        if (
+            self.fault_plan is not None
+            and self.fault_plan.consume("server.drop_connection") is not None
+        ):
+            writer.transport.abort()
+            return
         await self._write(writer, lock, response)
 
     async def _write(
@@ -210,10 +246,23 @@ class EntailmentServer:
                     "error": "batch needs a 'requests' list",
                 }
             else:
+                # return_exceptions: one poisoned member must not kill
+                # the whole batch — siblings still answer, and the bad
+                # member gets a per-member error object.
                 results = await asyncio.gather(
-                    *(self._answer(member) for member in members)
+                    *(self._answer(member) for member in members),
+                    return_exceptions=True,
                 )
-                response = {"ok": True, "op": "batch", "results": list(results)}
+                response = {
+                    "ok": True,
+                    "op": "batch",
+                    "results": [
+                        result
+                        if not isinstance(result, BaseException)
+                        else self._member_error(member, result)
+                        for member, result in zip(members, results)
+                    ],
+                }
         elif op in ("entail", "chase"):
             response = await self._answer(obj)
         else:
@@ -247,13 +296,36 @@ class EntailmentServer:
             running.add_done_callback(
                 lambda fut, key=key: self._clear_inflight(key, fut)
             )
-        # shield(): one waiter giving up (connection dropped) must not
-        # cancel the shared job the other waiters coalesced onto.
-        result: JobResult = await asyncio.shield(running)
+        try:
+            # shield(): one waiter giving up (connection dropped) must
+            # not cancel the shared job the other waiters coalesced onto.
+            result: JobResult = await asyncio.shield(running)
+        except asyncio.CancelledError:
+            raise  # this waiter was cancelled; the shared job lives on
+        except Exception as exc:  # noqa: BLE001 - per-request guarantee
+            self.errors += 1
+            response = {
+                "ok": False,
+                "error": f"job failed: {type(exc).__name__}: {exc}",
+                "coalesced": coalesced,
+            }
+            if request.id is not None:
+                response["id"] = request.id
+            return response
         response = result.to_obj()
         response["coalesced"] = coalesced
         if request.id is not None:
             response["id"] = request.id
+        return response
+
+    @staticmethod
+    def _member_error(member, exc: BaseException) -> dict:
+        response = {
+            "ok": False,
+            "error": f"batch member failed: {type(exc).__name__}: {exc}",
+        }
+        if isinstance(member, dict) and member.get("id") is not None:
+            response["id"] = member["id"]
         return response
 
     def _clear_inflight(self, key: tuple, fut: asyncio.Future) -> None:
@@ -261,9 +333,19 @@ class EntailmentServer:
             del self._inflight[key]
 
     async def _run_job(self, request: JobRequest) -> JobResult:
-        result: JobResult = await asyncio.wrap_future(
-            self.executor.submit(request)
-        )
+        try:
+            result: JobResult = await asyncio.wrap_future(
+                self.executor.submit(request)
+            )
+        except Exception as exc:  # noqa: BLE001 - submit-time failures
+            # The supervised executor resolves rather than raises, but a
+            # waiter must get a well-formed result even if submission
+            # itself blows up (e.g. an executor shut down under us).
+            result = JobResult(
+                op=request.op,
+                ok=False,
+                error=f"executor failure: {type(exc).__name__}: {exc}",
+            )
         self.jobs += 1
         if result.warm:
             self.warm_hits += 1
@@ -299,6 +381,7 @@ async def serve(
     snapshot_dir: Optional[str] = None,
     default_timeout: Optional[float] = None,
     executor: Optional[JobExecutor] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> None:
     """Run a server until a shutdown request arrives.
 
@@ -308,7 +391,11 @@ async def serve(
     if executor is None:
         executor = JobExecutor(workers=workers, snapshot_dir=snapshot_dir)
     server = EntailmentServer(
-        executor, host=host, port=port, default_timeout=default_timeout
+        executor,
+        host=host,
+        port=port,
+        default_timeout=default_timeout,
+        fault_plan=fault_plan,
     )
     await server.start()
     print(f"repro serve listening on {server.host}:{server.port}", flush=True)

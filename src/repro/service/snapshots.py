@@ -61,6 +61,7 @@ from ..obs import observer as _observer_state
 
 __all__ = [
     "SNAPSHOT_SCHEMA",
+    "TMP_ORPHAN_GRACE",
     "kb_fingerprint",
     "snapshot_key",
     "chase_state_to_obj",
@@ -167,6 +168,13 @@ def chase_state_from_obj(obj: dict) -> ChaseState:
 # ---------------------------------------------------------------------------
 
 
+#: A ``.tmp`` file older than this (seconds) at store construction is an
+#: orphan from a crashed writer, never a live write in progress, and is
+#: garbage-collected.  Young ``.tmp`` files are left alone — a sibling
+#: worker may be mid-save.
+TMP_ORPHAN_GRACE = 300.0
+
+
 class SnapshotStore:
     """Filesystem store of chase snapshots, one JSON file per key.
 
@@ -175,14 +183,85 @@ class SnapshotStore:
     offending file is discarded), and two workers racing to save the
     same key simply leave whichever finished last — both states are
     valid checkpoints of the same deterministic derivation.
+
+    Hygiene (the store must survive crashing writers and run forever):
+
+    * construction garbage-collects orphaned ``.tmp`` files — the
+      droppings of workers killed mid-save — once they are older than
+      *tmp_grace_seconds*;
+    * *max_entries* / *max_bytes* bound the store; past either bound,
+      saves evict least-recently-used snapshots (load hits refresh a
+      file's mtime, so "used" means read *or* written) and report each
+      eviction via the ``snapshot_access`` telemetry event
+      (``op="evict"``, the ``snapshot.evicted`` metric).
     """
 
-    def __init__(self, root: PathLike):
+    def __init__(
+        self,
+        root: PathLike,
+        max_entries: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        tmp_grace_seconds: float = TMP_ORPHAN_GRACE,
+    ):
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._gc_orphan_tmp_files(tmp_grace_seconds)
 
     def path_for(self, key: str) -> pathlib.Path:
         return self.root / f"{key}.json"
+
+    # -- hygiene -------------------------------------------------------
+
+    def _gc_orphan_tmp_files(self, grace_seconds: float) -> int:
+        """Unlink crashed writers' temp files older than the grace
+        period; returns how many were collected."""
+        cutoff = time.time() - grace_seconds
+        collected = 0
+        for path in self.root.glob("*.tmp"):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    collected += 1
+            except OSError:
+                continue  # a racing GC or the writer finishing; fine
+        return collected
+
+    def _evict_lru(self) -> int:
+        """Evict least-recently-used snapshots until within bounds.
+
+        Called after every save; a no-op for unbounded stores.  Racing
+        evictors are harmless — unlink losers skip the file."""
+        if self.max_entries is None and self.max_bytes is None:
+            return 0
+        entries = []
+        for path in self.root.glob("*.json"):
+            try:
+                status = path.stat()
+            except OSError:
+                continue
+            entries.append((status.st_mtime, status.st_size, path))
+        entries.sort()
+        count = len(entries)
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        observer = _observer_state.current
+        for _, size, path in entries:
+            over_entries = self.max_entries is not None and count > self.max_entries
+            over_bytes = self.max_bytes is not None and total > self.max_bytes
+            if not (over_entries or over_bytes):
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            count -= 1
+            total -= size
+            evicted += 1
+            if observer is not None:
+                observer.snapshot_access(op="evict", hit=False)
+        return evicted
 
     # -- save ----------------------------------------------------------
 
@@ -213,6 +292,7 @@ class SnapshotStore:
             except OSError:
                 pass
             raise
+        self._evict_lru()
         observer = _observer_state.current
         if observer is not None:
             observer.snapshot_access(
@@ -252,13 +332,24 @@ class SnapshotStore:
                 state = chase_state_from_obj(payload["state"])
                 if state.variant != variant or state.core_every != core_every:
                     raise ValueError("snapshot config mismatch")
-            except (ValueError, KeyError, TypeError, IndexError):
+            except Exception:  # noqa: BLE001 - any deserialization failure
+                # Adversarially-corrupt files can raise essentially
+                # anything out of the decoder (AttributeError on a
+                # mistyped node, RecursionError on pathological nesting,
+                # ...), not just the polite ValueError/KeyError family —
+                # and a worker crash here would turn one bad file into a
+                # broken pool.  Every failure is a corrupt miss.
                 corrupt = True
                 state = None
                 try:
                     path.unlink()
                 except OSError:
                     pass
+        if state is not None:
+            try:
+                os.utime(path)  # refresh recency for mtime-LRU eviction
+            except OSError:
+                pass
         observer = _observer_state.current
         if observer is not None:
             observer.snapshot_access(

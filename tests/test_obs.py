@@ -340,3 +340,36 @@ class TestStats:
     def test_summary_is_json_serializable(self):
         _, events = traced_run(transitive_closure_kb(3), max_steps=10)
         json.dumps(summarize_trace(events))
+
+    def test_supervision_events_aggregated_and_rendered(self):
+        events = [
+            {"kind": "service_request", "op": "entail", "coalesced": False},
+            {
+                "kind": "service_retry",
+                "op": "entail",
+                "attempt": 1,
+                "delay": 0.05,
+                "error": "OSError: pipe",
+            },
+            {"kind": "service_pool_rebuild", "pending": 3},
+            {
+                "kind": "service_job",
+                "op": "entail",
+                "ok": True,
+                "warm": True,
+                "incomplete": False,
+                "deadline_expired": False,
+                "applications": 0,
+                "seconds": 0.1,
+            },
+            {"kind": "snapshot_access", "op": "evict", "hit": False},
+        ]
+        summary = summarize_trace(events)
+        service = summary["service"]
+        assert service["retries"] == 1
+        assert service["pool_rebuilds"] == 1
+        assert service["snapshot_evicted"] == 1
+        rendered = render_summary(summary)
+        assert "retries" in rendered
+        assert "pool rebuilds" in rendered
+        assert "snapshots evicted (LRU)" in rendered

@@ -6,13 +6,21 @@ coverage therefore runs in the ``workers=0`` in-process mode, with one
 real multi-process test for the fork/spawn-safe metrics protocol.
 """
 
+import time
+
 import pytest
 
 from repro import staircase_kb
 from repro.logic.serialization import dump_kb
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.observer import Observer, observing
-from repro.service.executor import JobExecutor, _run_job_local
+from repro.service.executor import (
+    JobExecutor,
+    RetryPolicy,
+    _run_job_local,
+    is_transient,
+)
+from repro.service.faults import FaultPlan
 from repro.service.jobs import JobRequest
 
 STAIRCASE = dump_kb(staircase_kb())
@@ -102,6 +110,155 @@ class TestWorkerBody:
     def test_run_job_local_without_store(self):
         result_obj, metrics = _run_job_local(entail_request().to_obj(), None)
         assert result_obj["ok"] and not result_obj["warm"]
+
+
+class TestRetryPolicy:
+    def test_rejects_bad_budgets(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+
+    def test_delay_grows_then_caps_with_jitter_bounds(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.4, seed=1)
+        for attempt in range(6):
+            ceiling = min(0.4, 0.1 * (2**attempt))
+            delay = policy.delay_for(attempt)
+            assert ceiling * 0.5 <= delay <= ceiling
+
+    def test_seed_pins_the_jitter_stream(self):
+        first = [RetryPolicy(seed=7).delay_for(n) for n in range(5)]
+        second = [RetryPolicy(seed=7).delay_for(n) for n in range(5)]
+        assert first == second
+
+    def test_classification(self):
+        from concurrent.futures import BrokenExecutor, CancelledError
+
+        assert is_transient(BrokenExecutor("worker died"))
+        assert is_transient(OSError("pipe"))
+        assert is_transient(EOFError())
+        assert is_transient(CancelledError())
+        assert not is_transient(TypeError("cannot pickle"))
+        assert not is_transient(RuntimeError("after shutdown"))
+
+
+FAST_RETRY = dict(max_retries=2, base_delay=0.01, max_delay=0.05, seed=1)
+
+
+class TestSupervision:
+    """Failure classification, retries, and guaranteed resolution
+    (in-process mode; the real spawn-pool path lives in the chaos
+    suite)."""
+
+    def test_injected_worker_death_is_retried(self, tmp_path):
+        plan = FaultPlan(tmp_path / "faults")
+        plan.arm("worker.kill_mid_job")
+        registry = MetricsRegistry()
+        with JobExecutor(
+            0,
+            snapshot_dir=tmp_path / "snaps",
+            registry=registry,
+            retry_policy=RetryPolicy(**FAST_RETRY),
+            fault_dir=plan.root,
+        ) as ex:
+            result = ex.submit(entail_request()).result(timeout=60)
+        assert result.ok and result.entailed is True
+        assert ex.retries == 1
+        assert registry.counter("service.retries").value == 1
+        assert registry.gauge("service.queue_depth").value == 0
+        assert plan.fired("worker.kill_mid_job") == 1
+
+    def test_exhausted_retry_budget_resolves_not_hangs(self, tmp_path):
+        plan = FaultPlan(tmp_path / "faults")
+        plan.arm("worker.kill_mid_job", times=3)
+        registry = MetricsRegistry()
+        with JobExecutor(
+            0,
+            snapshot_dir=tmp_path / "snaps",
+            registry=registry,
+            retry_policy=RetryPolicy(max_retries=1, base_delay=0.01, seed=1),
+            fault_dir=plan.root,
+        ) as ex:
+            result = ex.submit(entail_request()).result(timeout=60)
+        assert not result.ok
+        assert "after 1 retries" in result.error
+        # the failure path must still balance the queue-depth gauge
+        assert registry.gauge("service.queue_depth").value == 0
+        assert ex.pending == 0
+
+    def test_service_retry_event_reported(self, tmp_path):
+        plan = FaultPlan(tmp_path / "faults")
+        plan.arm("worker.kill_mid_job")
+        events = []
+
+        class Spy(Observer):
+            def service_retry(self, **kw):
+                events.append(kw)
+
+        with observing(Spy()):
+            with JobExecutor(
+                0,
+                snapshot_dir=tmp_path / "snaps",
+                retry_policy=RetryPolicy(**FAST_RETRY),
+                fault_dir=plan.root,
+            ) as ex:
+                ex.submit(entail_request()).result(timeout=60)
+        assert len(events) == 1
+        assert events[0]["attempt"] == 1
+        assert events[0]["delay"] > 0
+        assert "OSError" in events[0]["error"]
+
+    def test_raising_observer_cannot_hang_the_client(self, tmp_path):
+        # Regression: an exception thrown by the observer inside the
+        # completion callback used to leave the outer future pending
+        # forever (the client's await never returned).
+        class Hostile(Observer):
+            def service_job(self, **kw):
+                raise RuntimeError("observer exploded")
+
+        with observing(Hostile()):
+            with JobExecutor(0, snapshot_dir=tmp_path) as ex:
+                result = ex.submit(entail_request()).result(timeout=60)
+        assert not result.ok
+        assert "observer failed" in result.error
+        assert ex.pending == 0
+
+    def test_metrics_merge_failure_cannot_hang_the_client(self, tmp_path):
+        class BadRegistry(MetricsRegistry):
+            def merge_snapshot(self, snapshot):
+                raise ValueError("incompatible snapshot")
+
+        with JobExecutor(0, snapshot_dir=tmp_path, registry=BadRegistry()) as ex:
+            result = ex.submit(entail_request()).result(timeout=60)
+        assert not result.ok
+        assert "result handling failed" in result.error
+
+    def test_submit_after_shutdown_resolves_not_raises(self, tmp_path):
+        ex = JobExecutor(0, snapshot_dir=tmp_path)
+        ex.shutdown()
+        result = ex.submit(entail_request()).result(timeout=10)
+        assert not result.ok
+        assert "shut down" in result.error
+
+    def test_shutdown_resolves_parked_retries(self, tmp_path):
+        plan = FaultPlan(tmp_path / "faults")
+        plan.arm("worker.kill_mid_job")
+        ex = JobExecutor(
+            0,
+            snapshot_dir=tmp_path / "snaps",
+            retry_policy=RetryPolicy(max_retries=2, base_delay=60, max_delay=60),
+            fault_dir=plan.root,
+        )
+        future = ex.submit(entail_request())
+        deadline = time.monotonic() + 30
+        while not ex._retry_timers and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert ex._retry_timers  # the job is parked in backoff
+        ex.shutdown()
+        result = future.result(timeout=10)  # resolved now, not in a minute
+        assert not result.ok
+        assert "shut down" in result.error
+        assert ex.pending == 0
 
 
 class TestProcessPool:

@@ -1,0 +1,137 @@
+"""Tests for the fault-injection module (repro.service.faults).
+
+The fuse mechanism is the foundation the chaos suite stands on, so its
+own guarantees — one fire per fuse, atomic cross-consumer claims,
+deterministic schedules — get direct coverage here.
+"""
+
+import json
+
+import pytest
+
+from repro.chase.engine import ChaseEngine
+from repro.kbs.staircase import staircase_kb
+from repro.service.faults import (
+    FAULT_POINTS,
+    FaultPlan,
+    corrupt_latest_snapshot,
+    fire_worker_faults,
+    schedule_fires,
+)
+from repro.service.snapshots import SnapshotStore
+
+
+class TestFaultPlan:
+    def test_consume_unarmed_returns_none(self, tmp_path):
+        plan = FaultPlan(tmp_path)
+        for point in FAULT_POINTS:
+            assert plan.consume(point) is None
+
+    def test_each_fuse_fires_exactly_once(self, tmp_path):
+        plan = FaultPlan(tmp_path)
+        plan.arm("worker.kill_mid_job", times=2)
+        assert plan.armed("worker.kill_mid_job") == 2
+        assert plan.consume("worker.kill_mid_job") == {}
+        assert plan.consume("worker.kill_mid_job") == {}
+        assert plan.consume("worker.kill_mid_job") is None
+        assert plan.armed("worker.kill_mid_job") == 0
+        assert plan.fired("worker.kill_mid_job") == 2
+
+    def test_payload_rides_along(self, tmp_path):
+        plan = FaultPlan(tmp_path)
+        plan.arm("worker.slow_job", payload={"seconds": 0.25})
+        assert plan.consume("worker.slow_job") == {"seconds": 0.25}
+
+    def test_points_are_independent(self, tmp_path):
+        plan = FaultPlan(tmp_path)
+        plan.arm("worker.kill_mid_job")
+        assert plan.consume("server.drop_connection") is None
+        assert plan.consume("worker.kill_mid_job") is not None
+
+    def test_two_plan_objects_share_the_directory(self, tmp_path):
+        # The cross-process story in miniature: arming through one
+        # handle is visible to (and consumable by) another.
+        FaultPlan(tmp_path).arm("worker.slow_job")
+        other = FaultPlan(tmp_path)
+        assert other.consume("worker.slow_job") is not None
+        assert other.consume("worker.slow_job") is None
+
+    def test_arm_after_fire_uses_fresh_sequence(self, tmp_path):
+        plan = FaultPlan(tmp_path)
+        plan.arm("worker.kill_mid_job")
+        plan.consume("worker.kill_mid_job")
+        plan.arm("worker.kill_mid_job")
+        assert plan.armed("worker.kill_mid_job") == 1
+        assert plan.fired("worker.kill_mid_job") == 1
+
+    def test_unknown_point_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            FaultPlan(tmp_path).arm("worker.meltdown")
+
+    def test_bad_times_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            FaultPlan(tmp_path).arm("worker.kill_mid_job", times=0)
+
+
+class TestFireWorkerFaults:
+    def test_noop_without_plan(self):
+        fire_worker_faults(None, in_process=True)  # must not raise
+
+    def test_in_process_kill_raises_oserror(self, tmp_path):
+        plan = FaultPlan(tmp_path)
+        plan.arm("worker.kill_mid_job")
+        with pytest.raises(OSError):
+            fire_worker_faults(plan, in_process=True)
+        # the fuse is spent: the retried job runs clean
+        fire_worker_faults(plan, in_process=True)
+
+    def test_slow_job_consumes_fuse(self, tmp_path):
+        plan = FaultPlan(tmp_path)
+        plan.arm("worker.slow_job", payload={"seconds": 0.0})
+        fire_worker_faults(plan, in_process=True)
+        assert plan.fired("worker.slow_job") == 1
+
+
+class TestCorruptLatestSnapshot:
+    def _store_with_snapshot(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        kb = staircase_kb()
+        engine = ChaseEngine(kb, variant="restricted")
+        engine.run(5)
+        store.save(kb, engine.export_state())
+        return store, kb
+
+    @pytest.mark.parametrize("mode", ["garbage", "truncate", "adversarial"])
+    def test_corrupted_snapshot_becomes_a_miss(self, tmp_path, mode):
+        store, kb = self._store_with_snapshot(tmp_path)
+        target = corrupt_latest_snapshot(tmp_path, mode=mode)
+        assert target is not None
+        assert store.load(kb, "restricted", 1) is None
+
+    def test_adversarial_mode_keeps_valid_json_envelope(self, tmp_path):
+        self._store_with_snapshot(tmp_path)
+        target = corrupt_latest_snapshot(tmp_path, mode="adversarial")
+        json.loads(target.read_text())  # parseable — corruption is deeper
+
+    def test_empty_store_is_a_noop(self, tmp_path):
+        assert corrupt_latest_snapshot(tmp_path) is None
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        self._store_with_snapshot(tmp_path)
+        with pytest.raises(ValueError):
+            corrupt_latest_snapshot(tmp_path, mode="subtle")
+
+
+class TestScheduleFires:
+    def test_deterministic_for_a_seed(self):
+        assert schedule_fires(7, 100, 0.2) == schedule_fires(7, 100, 0.2)
+
+    def test_seeds_differ(self):
+        schedules = {tuple(schedule_fires(seed, 200, 0.3)) for seed in range(8)}
+        assert len(schedules) > 1
+
+    def test_rate_bounds(self):
+        assert schedule_fires(1, 50, 0.0) == []
+        assert schedule_fires(1, 50, 1.0) == list(range(50))
+        with pytest.raises(ValueError):
+            schedule_fires(1, 50, 1.5)

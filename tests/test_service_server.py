@@ -12,7 +12,9 @@ from repro import staircase_kb
 from repro.kbs.witnesses import transitive_closure_kb
 from repro.logic.serialization import dump_kb
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import Observer, observing
 from repro.service.executor import JobExecutor
+from repro.service.faults import FaultPlan
 from repro.service.server import EntailmentServer
 
 STAIRCASE = dump_kb(staircase_kb())
@@ -173,6 +175,163 @@ class TestProtocol:
         assert response["ok"]
         assert response["entailed"] is None
         assert response["incomplete"] and response["deadline_expired"]
+
+
+class _PoisonOnChase(Observer):
+    """Raises from the service_request hook for chase ops only — a real
+    in-tree path by which an exception can escape ``_answer``."""
+
+    def service_request(self, *, op, coalesced):
+        if op == "chase":
+            raise RuntimeError("poisoned observer")
+
+
+class TestResponseGuarantee:
+    """Every request line gets exactly one reply — including internal
+    errors, poisoned batch members, and executor-level failures."""
+
+    def test_internal_error_still_gets_a_reply(self, tmp_path):
+        # Regression: an exception escaping the dispatcher used to be
+        # swallowed by gather(return_exceptions=True) in the connection
+        # task; the client waited forever for this id.
+        async def scenario():
+            server, executor, task = await start_server(tmp_path)
+
+            async def boom(obj):
+                raise RuntimeError("dispatch exploded")
+
+            server._dispatch = boom
+            response = (
+                await request_lines(server.port, [{"op": "ping", "id": "d"}])
+            )[0]
+            errors = server.errors
+            await shut_down(server, executor, task)
+            return response, errors
+
+        response, errors = asyncio.run(scenario())
+        assert response["id"] == "d"
+        assert not response["ok"]
+        assert "internal error: RuntimeError" in response["error"]
+        assert errors == 1
+
+    def test_observer_explosion_gets_error_reply_with_id(self, tmp_path):
+        async def scenario():
+            server, executor, task = await start_server(tmp_path)
+            responses = await request_lines(
+                server.port,
+                [
+                    {"op": "chase", "kb_text": STAIRCASE, "max_steps": 5, "id": "x"},
+                    {"op": "ping", "id": "p"},
+                ],
+            )
+            await shut_down(server, executor, task)
+            return {r["id"]: r for r in responses}
+
+        with observing(_PoisonOnChase()):
+            by_id = asyncio.run(scenario())
+        assert not by_id["x"]["ok"]
+        assert "internal error" in by_id["x"]["error"]
+        assert by_id["p"]["ok"]  # the connection survived the explosion
+
+    def test_poisoned_batch_member_does_not_kill_siblings(self, tmp_path):
+        async def scenario():
+            server, executor, task = await start_server(tmp_path)
+            batch = (
+                await request_lines(
+                    server.port,
+                    [
+                        {
+                            "op": "batch",
+                            "id": "b",
+                            "requests": [
+                                {
+                                    "op": "entail",
+                                    "kb_text": STAIRCASE,
+                                    "query": STAIR_QUERY,
+                                    "max_steps": 60,
+                                    "id": "good",
+                                },
+                                {
+                                    "op": "chase",
+                                    "kb_text": STAIRCASE,
+                                    "max_steps": 5,
+                                    "id": "bad",
+                                },
+                            ],
+                        }
+                    ],
+                )
+            )[0]
+            await shut_down(server, executor, task)
+            return batch
+
+        with observing(_PoisonOnChase()):
+            batch = asyncio.run(scenario())
+        assert batch["ok"] and batch["id"] == "b"
+        results = {r["id"]: r for r in batch["results"]}
+        assert results["good"]["ok"] and results["good"]["entailed"] is True
+        assert not results["bad"]["ok"]
+        assert "batch member failed" in results["bad"]["error"]
+
+    def test_executor_submit_failure_becomes_error_result(self, tmp_path):
+        async def scenario():
+            server, executor, task = await start_server(tmp_path)
+
+            def refuse(request):
+                raise RuntimeError("pool is gone")
+
+            executor.submit = refuse
+            response = (
+                await request_lines(
+                    server.port,
+                    [
+                        {
+                            "op": "entail",
+                            "kb_text": STAIRCASE,
+                            "query": STAIR_QUERY,
+                            "max_steps": 60,
+                            "id": "e",
+                        }
+                    ],
+                )
+            )[0]
+            await shut_down(server, executor, task)
+            return response
+
+        response = asyncio.run(scenario())
+        assert response["id"] == "e"
+        assert not response["ok"]
+        assert "executor failure" in response["error"]
+
+    def test_drop_connection_fault_aborts_then_recovers(self, tmp_path):
+        plan = FaultPlan(tmp_path / "faults")
+        plan.arm("server.drop_connection")
+
+        async def scenario():
+            server, executor, task = await start_server(
+                tmp_path / "snaps", fault_plan=plan
+            )
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer.write(b'{"op": "ping", "id": "1"}\n')
+            await writer.drain()
+            try:
+                line = await reader.readline()
+            except (ConnectionError, OSError):
+                line = b""
+            writer.close()
+            # second connection: the fuse is spent, service is healthy
+            retry = (
+                await request_lines(server.port, [{"op": "ping", "id": "2"}])
+            )[0]
+            await shut_down(server, executor, task)
+            return line, retry
+
+        line, retry = asyncio.run(scenario())
+        assert line == b""  # aborted before any response bytes
+        assert retry["ok"] and retry["id"] == "2"
+        assert plan.fired("server.drop_connection") == 1
 
 
 class TestConcurrency:

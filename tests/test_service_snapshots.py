@@ -8,6 +8,8 @@ isomorphic.
 """
 
 import json
+import os
+import time
 
 import pytest
 
@@ -16,6 +18,7 @@ from repro.chase.engine import ChaseEngine, ChaseVariant, run_chase
 from repro.kbs.generators import random_kb
 from repro.logic.isomorphism import isomorphic
 from repro.logic.serialization import dump_kb, load_kb
+from repro.obs.observer import Observer, observing
 from repro.service.snapshots import (
     SNAPSHOT_SCHEMA,
     SnapshotStore,
@@ -132,6 +135,129 @@ class TestSnapshotStore:
         payload["schema"] = SNAPSHOT_SCHEMA + 1
         path.write_text(json.dumps(payload))
         assert store.load(kb, "restricted", 1) is None
+
+
+def _saved(store, make_kb, steps=4, variant="restricted"):
+    kb = make_kb()
+    engine = ChaseEngine(kb, variant=variant)
+    engine.run(steps)
+    return kb, store.save(kb, engine.export_state())
+
+
+def _backdate(path, seconds_ago):
+    stamp = time.time() - seconds_ago
+    os.utime(path, (stamp, stamp))
+
+
+class TestAdversarialCorruption:
+    def test_out_of_family_decoder_exception_is_a_miss(
+        self, tmp_path, monkeypatch
+    ):
+        # Regression: the load path used to catch only (ValueError,
+        # KeyError, TypeError, IndexError); an adversarially-shaped
+        # state can raise essentially anything out of the decoder, and
+        # that exception crashed the worker instead of missing.
+        kb = staircase_kb()
+        engine = ChaseEngine(kb, variant="restricted")
+        engine.run(3)
+        store = SnapshotStore(tmp_path)
+        path = store.save(kb, engine.export_state())
+
+        def hostile(obj):
+            raise AttributeError("mistyped node")
+
+        monkeypatch.setattr(
+            "repro.service.snapshots.instance_from_obj", hostile
+        )
+        assert store.load(kb, "restricted", 1) is None
+        assert not path.exists()  # paid for only once
+
+    def test_corrupt_load_reported_to_observer(self, tmp_path):
+        events = []
+
+        class Spy(Observer):
+            def snapshot_access(self, **kw):
+                events.append(kw)
+
+        kb = staircase_kb()
+        store = SnapshotStore(tmp_path)
+        store.path_for(snapshot_key(kb, "restricted", 1)).write_text("{}")
+        with observing(Spy()):
+            assert store.load(kb, "restricted", 1) is None
+        assert events[-1]["op"] == "load"
+        assert events[-1]["corrupt"] and not events[-1]["hit"]
+
+
+class TestStoreHygiene:
+    def test_orphan_tmp_files_collected_on_startup(self, tmp_path):
+        old = tmp_path / ".dead-writer.tmp"
+        old.write_text("half a snapshot")
+        _backdate(old, seconds_ago=3600)
+        young = tmp_path / ".live-writer.tmp"
+        young.write_text("a save in progress")
+        SnapshotStore(tmp_path)
+        assert not old.exists()  # crashed writer's droppings collected
+        assert young.exists()  # a sibling mid-save is left alone
+
+    def test_entry_bound_evicts_least_recently_used(self, tmp_path):
+        store = SnapshotStore(tmp_path, max_entries=2)
+        kb1, path1 = _saved(store, staircase_kb)
+        _backdate(path1, seconds_ago=300)
+        kb2, path2 = _saved(store, elevator_kb)
+        _backdate(path2, seconds_ago=150)
+        kb3, _ = _saved(store, lambda: random_kb(seed=0))
+        assert store.load(kb1, "restricted", 1) is None  # LRU, evicted
+        assert store.load(kb2, "restricted", 1) is not None
+        assert store.load(kb3, "restricted", 1) is not None
+
+    def test_byte_bound_evicts_down_to_size(self, tmp_path):
+        probe = SnapshotStore(tmp_path / "probe")
+        _, probe_path = _saved(probe, staircase_kb)
+        size = probe_path.stat().st_size
+
+        store = SnapshotStore(tmp_path / "real", max_bytes=int(size * 1.5))
+        kb1, path1 = _saved(store, staircase_kb)
+        _backdate(path1, seconds_ago=300)
+        kb2, _ = _saved(store, elevator_kb)
+        assert store.load(kb1, "restricted", 1) is None
+        assert store.load(kb2, "restricted", 1) is not None
+
+    def test_load_refreshes_recency(self, tmp_path):
+        store = SnapshotStore(tmp_path, max_entries=2)
+        kb1, path1 = _saved(store, staircase_kb)
+        _backdate(path1, seconds_ago=300)
+        kb2, path2 = _saved(store, elevator_kb)
+        _backdate(path2, seconds_ago=150)
+        # kb1 is older on disk, but a load marks it used just now …
+        assert store.load(kb1, "restricted", 1) is not None
+        kb3, _ = _saved(store, lambda: random_kb(seed=0))
+        # … so the eviction falls on kb2 instead.
+        assert store.load(kb1, "restricted", 1) is not None
+        assert store.load(kb2, "restricted", 1) is None
+        assert store.load(kb3, "restricted", 1) is not None
+
+    def test_evictions_reported_to_observer(self, tmp_path):
+        events = []
+
+        class Spy(Observer):
+            def snapshot_access(self, **kw):
+                events.append(kw)
+
+        store = SnapshotStore(tmp_path, max_entries=1)
+        with observing(Spy()):
+            _, path1 = _saved(store, staircase_kb)
+            _backdate(path1, seconds_ago=300)
+            _saved(store, elevator_kb)
+        assert sum(1 for e in events if e["op"] == "evict") == 1
+
+    def test_unbounded_store_never_evicts(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        kbs = [
+            _saved(store, make)[0]
+            for make in (staircase_kb, elevator_kb, lambda: random_kb(seed=0))
+        ]
+        for kb in kbs:
+            assert store.load(kb, "restricted", 1) is not None
 
 
 FAMILIES = [
