@@ -154,15 +154,31 @@ def _run_job_local(
 # ---------------------------------------------------------------------------
 
 
+#: OSError subclasses that name a deterministic environment problem (a
+#: missing or unwritable snapshot/fault path): retrying cannot fix them,
+#: it only burns the backoff budget before the client sees ok=False.
+_DETERMINISTIC_OS_ERRORS = (
+    FileNotFoundError,
+    PermissionError,
+    FileExistsError,
+    IsADirectoryError,
+    NotADirectoryError,
+)
+
+
 def is_transient(exc: BaseException) -> bool:
     """Whether *exc* names a failure a retry can plausibly outrun.
 
     :class:`BrokenExecutor` (a worker died — the canonical recoverable
-    event), pipe-level :class:`OSError`/:class:`EOFError` and cancelled
-    inner futures are transient; everything else (unpicklable payloads,
-    ``submit`` after shutdown, programming errors) is permanent — the
-    job is deterministic, so re-running it would fail identically.
+    event), pipe/connection-level :class:`OSError`/:class:`EOFError` and
+    cancelled inner futures are transient; deterministic OSErrors
+    (missing files, bad permissions) and everything else (unpicklable
+    payloads, ``submit`` after shutdown, programming errors) are
+    permanent — the job is deterministic, so re-running it would fail
+    identically.
     """
+    if isinstance(exc, _DETERMINISTIC_OS_ERRORS):
+        return False
     return isinstance(exc, (BrokenExecutor, OSError, EOFError, CancelledError))
 
 
@@ -364,15 +380,17 @@ class JobExecutor:
             self._rebuild_pool(job.pool)
         if transient and not self._closed and job.attempt < self.retry_policy.max_retries:
             delay = self.retry_policy.delay_for(job.attempt)
-            job.attempt += 1
-            self.retries += 1
+            with self._lock:
+                job.attempt += 1
+                self.retries += 1
+                attempt = job.attempt
             self.registry.counter("service.retries").inc()
             observer = _observer_state.current
             if observer is not None:
                 try:
                     observer.service_retry(
                         op=job.request.op,
-                        attempt=job.attempt,
+                        attempt=attempt,
                         delay=delay,
                         error=f"{type(exc).__name__}: {exc}",
                     )
@@ -380,16 +398,22 @@ class JobExecutor:
                     pass
             timer = threading.Timer(delay, lambda: self._fire_retry(timer))
             timer.daemon = True
+            # _resolve re-acquires self._lock, so only record the decision
+            # under the lock and resolve after releasing it (shutdown()
+            # resolves its parked jobs outside the lock the same way).
             with self._lock:
-                if self._closed:
+                closed_during_backoff = self._closed
+                if closed_during_backoff:
                     timer.cancel()
-                    self._resolve(
-                        job,
-                        outer,
-                        self._error_result(job, "executor shut down during retry backoff"),
-                    )
-                    return
-                self._retry_timers[timer] = (job, outer)
+                else:
+                    self._retry_timers[timer] = (job, outer)
+            if closed_during_backoff:
+                self._resolve(
+                    job,
+                    outer,
+                    self._error_result(job, "executor shut down during retry backoff"),
+                )
+                return
             timer.start()
             return
         suffix = f" (after {job.attempt} retries)" if job.attempt else ""
@@ -472,6 +496,11 @@ class JobExecutor:
         try:
             with self._lock:
                 self._pending -= 1
+                depth = self._pending
+            try:
+                self.registry.gauge("service.queue_depth").set(depth)
+            except BaseException:  # noqa: BLE001 - resolving outer comes first
+                pass
             outer.set_result(
                 self._error_result(
                     job, f"executor callback failed: {type(exc).__name__}: {exc}"

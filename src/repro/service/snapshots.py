@@ -193,7 +193,10 @@ class SnapshotStore:
       saves evict least-recently-used snapshots (load hits refresh a
       file's mtime, so "used" means read *or* written) and report each
       eviction via the ``snapshot_access`` telemetry event
-      (``op="evict"``, the ``snapshot.evicted`` metric).
+      (``op="evict"``, the ``snapshot.evicted`` metric).  The
+      just-written snapshot is never evicted, even when it alone
+      exceeds *max_bytes* — such saves are counted in
+      :attr:`eviction_shortfalls` instead.
     """
 
     def __init__(
@@ -207,6 +210,9 @@ class SnapshotStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        #: saves after which a bound could not be met because eviction
+        #: never removes the most-recently-written snapshot
+        self.eviction_shortfalls = 0
         self._gc_orphan_tmp_files(tmp_grace_seconds)
 
     def path_for(self, key: str) -> pathlib.Path:
@@ -232,7 +238,12 @@ class SnapshotStore:
         """Evict least-recently-used snapshots until within bounds.
 
         Called after every save; a no-op for unbounded stores.  Racing
-        evictors are harmless — unlink losers skip the file."""
+        evictors are harmless — unlink losers skip the file.  The
+        most-recently-written entry is never evicted: a single snapshot
+        larger than *max_bytes* would otherwise delete itself on every
+        save, silently disabling warm starts for that store.  Saves that
+        leave the store over a bound for that reason are counted in
+        :attr:`eviction_shortfalls`."""
         if self.max_entries is None and self.max_bytes is None:
             return 0
         entries = []
@@ -247,7 +258,7 @@ class SnapshotStore:
         total = sum(size for _, size, _ in entries)
         evicted = 0
         observer = _observer_state.current
-        for _, size, path in entries:
+        for _, size, path in entries[:-1]:  # the newest entry is protected
             over_entries = self.max_entries is not None and count > self.max_entries
             over_bytes = self.max_bytes is not None and total > self.max_bytes
             if not (over_entries or over_bytes):
@@ -261,6 +272,10 @@ class SnapshotStore:
             evicted += 1
             if observer is not None:
                 observer.snapshot_access(op="evict", hit=False)
+        over_entries = self.max_entries is not None and count > self.max_entries
+        over_bytes = self.max_bytes is not None and total > self.max_bytes
+        if over_entries or over_bytes:
+            self.eviction_shortfalls += 1
         return evicted
 
     # -- save ----------------------------------------------------------

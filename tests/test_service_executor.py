@@ -141,6 +141,16 @@ class TestRetryPolicy:
         assert not is_transient(TypeError("cannot pickle"))
         assert not is_transient(RuntimeError("after shutdown"))
 
+    def test_deterministic_os_errors_are_permanent(self):
+        # A missing or unwritable snapshot/fault directory does not heal
+        # on retry — burning the backoff budget only delays the ok=False.
+        assert not is_transient(FileNotFoundError("no such snapshot dir"))
+        assert not is_transient(PermissionError("snapshot dir unwritable"))
+        assert not is_transient(NotADirectoryError("bad fault dir"))
+        # … while pipe/connection breakage stays retryable.
+        assert is_transient(BrokenPipeError())
+        assert is_transient(ConnectionResetError())
+
 
 FAST_RETRY = dict(max_retries=2, base_delay=0.01, max_delay=0.05, seed=1)
 
@@ -239,6 +249,61 @@ class TestSupervision:
         result = ex.submit(entail_request()).result(timeout=10)
         assert not result.ok
         assert "shut down" in result.error
+
+    def test_shutdown_racing_into_backoff_cannot_deadlock(self, tmp_path):
+        # Regression: shutdown() landing between _handle_failure's
+        # unlocked closed check and its locked one used to make the
+        # supervisor call _resolve() while holding the executor lock —
+        # a self-deadlock on the non-reentrant lock that left the outer
+        # future pending forever.  delay_for() runs exactly in that
+        # window, so a policy that shuts the executor down from inside
+        # it reproduces the race deterministically.
+        plan = FaultPlan(tmp_path / "faults")
+        plan.arm("worker.kill_mid_job")
+        holder = {}
+
+        class RacingPolicy(RetryPolicy):
+            def delay_for(self, attempt):
+                holder["ex"].shutdown(wait=False)
+                return super().delay_for(attempt)
+
+        ex = JobExecutor(
+            0,
+            snapshot_dir=tmp_path / "snaps",
+            retry_policy=RacingPolicy(**FAST_RETRY),
+            fault_dir=plan.root,
+        )
+        holder["ex"] = ex
+        result = ex.submit(entail_request()).result(timeout=30)
+        assert not result.ok
+        assert "shut down" in result.error
+        assert ex.pending == 0
+
+    def test_last_resort_resolution_keeps_gauge_consistent(self, tmp_path):
+        # Regression: _resolve_quietly balanced _pending but left the
+        # service.queue_depth gauge at its pre-failure value forever.
+        plan = FaultPlan(tmp_path / "faults")
+        plan.arm("worker.kill_mid_job")
+
+        class HostileCounters(MetricsRegistry):
+            def counter(self, name):
+                if name == "service.retries":
+                    raise RuntimeError("counter exploded")
+                return super().counter(name)
+
+        registry = HostileCounters()
+        with JobExecutor(
+            0,
+            snapshot_dir=tmp_path / "snaps",
+            registry=registry,
+            retry_policy=RetryPolicy(**FAST_RETRY),
+            fault_dir=plan.root,
+        ) as ex:
+            result = ex.submit(entail_request()).result(timeout=60)
+        assert not result.ok
+        assert "executor callback failed" in result.error
+        assert ex.pending == 0
+        assert registry.gauge("service.queue_depth").value == 0
 
     def test_shutdown_resolves_parked_retries(self, tmp_path):
         plan = FaultPlan(tmp_path / "faults")

@@ -250,6 +250,29 @@ class TestStoreHygiene:
             _saved(store, elevator_kb)
         assert sum(1 for e in events if e["op"] == "evict") == 1
 
+    def test_oversized_snapshot_is_not_self_evicted(self, tmp_path):
+        # Regression: a single snapshot larger than max_bytes used to be
+        # evicted immediately after every save (it is the newest file
+        # and the store is still over the bound), silently disabling
+        # warm starts for that store.  The just-written entry is now
+        # protected; the unmeetable bound is counted instead.
+        store = SnapshotStore(tmp_path, max_bytes=1)
+        kb, path = _saved(store, staircase_kb)
+        assert path.exists()
+        assert store.load(kb, "restricted", 1) is not None
+        assert store.eviction_shortfalls == 1
+
+    def test_oversized_newest_still_evicts_older_entries(self, tmp_path):
+        # The protection covers only the newest file — older snapshots
+        # still drain out so the store gets as close to the bound as it
+        # can.
+        store = SnapshotStore(tmp_path, max_bytes=1)
+        kb1, path1 = _saved(store, staircase_kb)
+        _backdate(path1, seconds_ago=300)
+        kb2, _ = _saved(store, elevator_kb)
+        assert store.load(kb1, "restricted", 1) is None  # older: evicted
+        assert store.load(kb2, "restricted", 1) is not None  # newest: kept
+
     def test_unbounded_store_never_evicts(self, tmp_path):
         store = SnapshotStore(tmp_path)
         kbs = [
