@@ -23,6 +23,17 @@ Afterwards the server's stats op must show the recovery actually
 happened (``service.pool_rebuilds`` ≥ 1, ``service.retries`` ≥ 1, zero
 errors) and the ``shutdown`` op must stop it cleanly (exit code 0).
 
+The run is traced end to end (``--trace-dir``): after shutdown the
+per-process span files are merged into
+``results/chaos_smoke_trace.jsonl`` (a CI artifact) and the harness
+proves the tracing tentpole on it — the killed-and-retried request
+reconstructs as **one** causal timeline (server request span, both
+worker attempts, the pool rebuild, no orphaned spans), and the live
+``stats`` op's rolling p50/p95/p99 equal the offline span-derived
+percentiles over the same jobs.  The span-derived latency summary is
+archived in ``results/chaos_smoke.json`` for the CI SLO gate
+(``benchmarks/check_slo.py``).
+
 The fault schedule derives from ``--seed`` (committed in CI), so a
 failing run replays bit-for-bit.  Archives ``results/chaos_smoke.json``
 in the same schema as the bench tables.
@@ -69,7 +80,7 @@ def staircase_text():
     return dump_kb(staircase_kb())
 
 
-def start_server(snapshot_dir, fault_dir):
+def start_server(snapshot_dir, fault_dir, trace_dir):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
     process = subprocess.Popen(
@@ -88,6 +99,8 @@ def start_server(snapshot_dir, fault_dir):
             str(snapshot_dir),
             "--fault-dir",
             str(fault_dir),
+            "--trace-dir",
+            str(trace_dir),
         ],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
@@ -185,7 +198,97 @@ async def request_shutdown(port):
     assert response.get("ok"), f"shutdown refused: {response}"
 
 
-def save_results(rows, extra):
+def _span_names(tree):
+    """Every span name in *tree*, roots-first (duplicates kept)."""
+    names = []
+    stack = list(tree.roots)
+    while stack:
+        node = stack.pop()
+        names.append(node.name)
+        stack.extend(node.children)
+    return names
+
+
+def _summaries_close(live, offline, tolerance=1e-6):
+    """Structural equality of two latency summaries, numbers within
+    *tolerance* (both derive from the same result.seconds floats, so
+    only JSON round-tripping separates them)."""
+    if isinstance(live, dict) and isinstance(offline, dict):
+        return set(live) == set(offline) and all(
+            _summaries_close(live[key], offline[key], tolerance)
+            for key in live
+        )
+    if isinstance(live, (int, float)) and isinstance(offline, (int, float)):
+        return abs(live - offline) <= tolerance
+    return live == offline
+
+
+def verify_traces(trace_dir, stats):
+    """Merge the run's span files, archive them, and prove the tracing
+    claims: the killed-and-retried request is one causal timeline, and
+    live stats percentiles equal offline span-derived ones."""
+    from repro.obs.spans import (
+        build_trace,
+        latency_summary,
+        read_trace_dir,
+        trace_ids,
+    )
+
+    events, skipped = read_trace_dir(trace_dir)
+    assert events, f"no trace events under {trace_dir}"
+    assert not skipped, f"{skipped} torn trace line(s) after clean shutdown"
+    RESULTS_FILE.parent.mkdir(exist_ok=True)
+    merged = RESULTS_FILE.parent / "chaos_smoke_trace.jsonl"
+    with open(merged, "w") as handle:
+        for event in events:
+            handle.write(json.dumps(event) + "\n")
+    print(f"wrote {merged} ({len(events)} events from the run)")
+
+    # The killed-and-retried request must reconstruct as ONE causal
+    # timeline: request + job spans from the server, both worker
+    # attempts, the pool rebuild — and no trace may have orphans.
+    retried = None
+    for trace_id in trace_ids(events):
+        tree = build_trace(events, trace_id)
+        assert not tree.orphans, (
+            f"trace {trace_id}: {len(tree.orphans)} orphaned span(s)"
+        )
+        names = _span_names(tree)
+        if names.count("job_attempt") >= 2 and "pool_rebuild" in names:
+            retried = retried or tree
+    assert retried is not None, (
+        "no trace reconstructs a killed-and-retried request "
+        "(>= 2 attempts + a pool rebuild)"
+    )
+    names = _span_names(retried)
+    for needed in ("service_request", "service_job", "retry_backoff"):
+        assert needed in names, f"retried trace is missing a {needed} span"
+    assert not retried.unclosed, (
+        f"retried trace left spans unclosed: "
+        f"{[node.span_id for node in retried.unclosed]}"
+    )
+    print(
+        f"killed-and-retried request reconstructed as trace "
+        f"{retried.trace_id}: {retried.spans} spans, one timeline"
+    )
+
+    # Live (rolling window) vs offline (span replay) percentiles: both
+    # summarize the same service_job completions, so they must agree.
+    job_events = [e for e in events if e.get("kind") == "service_job"]
+    offline = latency_summary(
+        (e["op"], e["warm"], e["ok"], e["seconds"]) for e in job_events
+    )
+    live = stats.get("latency")
+    assert _summaries_close(live, offline), (
+        "live stats latency diverges from span-derived latency:\n"
+        f"live={json.dumps(live, indent=2)}\n"
+        f"offline={json.dumps(offline, indent=2)}"
+    )
+    print("live stats percentiles == offline span-derived percentiles")
+    return offline
+
+
+def save_results(rows, extra, latency=None):
     RESULTS_FILE.parent.mkdir(exist_ok=True)
     payload = {
         "schema": RESULTS_SCHEMA,
@@ -194,6 +297,8 @@ def save_results(rows, extra):
         "headers": list(rows[0]),
         "rows": rows,
         "extra": extra,
+        # Span-derived per-op latency quantiles (the SLO gate's input).
+        "latency": latency or {},
     }
     RESULTS_FILE.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {RESULTS_FILE}")
@@ -235,7 +340,8 @@ def main():
     with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
         scratch = pathlib.Path(scratch)
         plan = FaultPlan(scratch / "faults")
-        process, port = start_server(scratch / "snaps", plan.root)
+        trace_dir = scratch / "trace"
+        process, port = start_server(scratch / "snaps", plan.root, trace_dir)
         try:
             # baseline: clean answers, snapshots saved
             lines = [
@@ -313,6 +419,9 @@ def main():
             asyncio.run(request_shutdown(port))
             code = process.wait(timeout=30)
             assert code == 0, f"server exited with {code}"
+            # Only after a clean exit: every sink is flushed and closed,
+            # so the merged trace is complete.
+            latency = verify_traces(trace_dir, stats)
         finally:
             if process.poll() is None:
                 process.kill()
@@ -322,7 +431,9 @@ def main():
         rows,
         f"seed {args.seed}; {rebuilds} pool rebuilds, {retries} retries, "
         "0 errors; worker-kill, slow, corrupt-snapshot and "
-        "dropped-connection faults all recovered.",
+        "dropped-connection faults all recovered; killed-and-retried "
+        "request reconstructed as one trace.",
+        latency=latency,
     )
     print("chaos smoke OK")
 

@@ -1,0 +1,94 @@
+"""SLO gate over the chaos-smoke run's span-derived latency quantiles.
+
+Reads the ``latency`` block that ``benchmarks/chaos_smoke.py`` archives
+in ``results/chaos_smoke.json`` (per-op ``ok``/``warm``/``cold``/
+``failed`` classes with nearest-rank p50/p95/p99 computed from the
+merged request trace) and compares it against the committed budgets in
+``baselines/chaos_slo.json``.  A budgeted quantile above its ceiling —
+or a budgeted op/class missing from the results entirely, which would
+otherwise let a silently-untraced run pass — fails the gate.
+
+The budgets are deliberately loose (shared CI runners under fault
+injection), so a failure means latency regressed by an order, not by a
+scheduler hiccup.  Run from the repository root::
+
+    python benchmarks/check_slo.py
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).parent
+DEFAULT_RESULTS = HERE / "results" / "chaos_smoke.json"
+DEFAULT_BUDGETS = HERE / "baselines" / "chaos_slo.json"
+
+
+def check(latency: dict, budgets: dict) -> list:
+    """All gate violations as human-readable strings (empty = pass)."""
+    failures = []
+    for op, classes in sorted(budgets.items()):
+        for klass, quantiles in sorted(classes.items()):
+            block = latency.get(op, {}).get(klass)
+            if block is None:
+                failures.append(
+                    f"{op}/{klass}: no span-derived samples in the results "
+                    "(budgeted class missing)"
+                )
+                continue
+            for quantile, budget in sorted(quantiles.items()):
+                value = block.get(quantile)
+                if value is None:
+                    failures.append(f"{op}/{klass}/{quantile}: not reported")
+                elif value > budget:
+                    failures.append(
+                        f"{op}/{klass}/{quantile}: {value:.4f}s exceeds "
+                        f"the {budget:.4f}s budget"
+                    )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results",
+        type=pathlib.Path,
+        default=DEFAULT_RESULTS,
+        help=f"chaos-smoke results JSON (default {DEFAULT_RESULTS})",
+    )
+    parser.add_argument(
+        "--budgets",
+        type=pathlib.Path,
+        default=DEFAULT_BUDGETS,
+        help=f"committed SLO budgets JSON (default {DEFAULT_BUDGETS})",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        results = json.loads(args.results.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"slo-gate: cannot read {args.results}: {exc}", file=sys.stderr)
+        return 2
+    budgets = json.loads(args.budgets.read_text())["budgets"]
+    latency = results.get("latency") or {}
+
+    for op, classes in sorted(latency.items()):
+        for klass, block in sorted(classes.items()):
+            print(
+                f"slo-gate: {op}/{klass}: n={block['count']} "
+                f"p50={block['p50']:.4f}s p95={block['p95']:.4f}s "
+                f"p99={block['p99']:.4f}s"
+            )
+    failures = check(latency, budgets)
+    if failures:
+        for failure in failures:
+            print(f"slo-gate: FAIL {failure}", file=sys.stderr)
+        return 1
+    checked = sum(len(quantiles) for op in budgets.values() for quantiles in op.values())
+    print(f"slo-gate: OK ({checked} budgeted quantile(s) within bounds)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,17 @@ bases (see :mod:`repro.logic.serialization` for the file format):
 ``serve``
     Run the long-lived query service (:mod:`repro.service`): JSONL
     requests over TCP, a process-pool of chase workers, and a
-    chase-snapshot store for warm starts.
+    chase-snapshot store for warm starts.  ``--trace-dir DIR`` turns on
+    request tracing: the server writes ``DIR/server.jsonl``, each pool
+    worker ``DIR/worker-<pid>.jsonl``.
+``trace``
+    Merge a ``--trace-dir`` run and reconstruct one request's causal
+    timeline (``repro trace <trace_id> --dir DIR``), list the traces in
+    a run, or dump every reconstructed trace (``--all --format=json``).
+``top``
+    Poll a running server's ``stats`` op and render a refreshing
+    dashboard: request/job counters, supervision counters, and rolling
+    p50/p95/p99 latency per op, split warm/cold/failed.
 
 ``chase`` and ``entail`` accept ``--timeout SECONDS``: a cooperative
 deadline (the same machinery the service applies per job) that stops
@@ -46,6 +56,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from contextlib import nullcontext
 from typing import Optional, Sequence
@@ -246,6 +257,74 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write the final metrics snapshot to FILE as JSON on exit "
         "('repro stats FILE' renders it)",
+    )
+    serve.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        help="request-tracing run directory: the server traces into "
+        "DIR/server.jsonl and each pool worker into "
+        "DIR/worker-<pid>.jsonl (reconstruct with 'repro trace --dir "
+        "DIR'); takes precedence over --trace",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="reconstruct request timelines from a serve --trace-dir run",
+    )
+    trace.add_argument(
+        "trace_id",
+        nargs="?",
+        help="the trace to reconstruct; omit to list the traces in the "
+        "run (or use --all)",
+    )
+    trace.add_argument(
+        "--dir",
+        default=".",
+        metavar="DIR",
+        help="the run directory (every *.jsonl inside is merged on "
+        "wall-clock order) or a single trace file (default: .)",
+    )
+    trace.add_argument(
+        "--all",
+        action="store_true",
+        help="reconstruct every trace in the run",
+    )
+    trace.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="text renders indented span trees; json dumps the "
+        "reconstructed trees as JSON (default text)",
+    )
+
+    top = commands.add_parser(
+        "top", help="live dashboard over a running server's stats op"
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument(
+        "--port",
+        type=int,
+        required=True,
+        help="the server's TCP port (printed on its 'listening on' line)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period (default 2.0)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="stop after N refreshes; 0 (default) runs until Ctrl-C",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single snapshot without clearing the screen",
     )
 
     return parser
@@ -478,6 +557,169 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.spans import (
+        build_trace,
+        read_trace_dir,
+        render_trace,
+        trace_ids,
+        trace_to_obj,
+    )
+
+    if not os.path.exists(args.dir):
+        print(f"trace: cannot read {args.dir}: no such path", file=sys.stderr)
+        return 2
+    try:
+        events, skipped = read_trace_dir(args.dir)
+    except OSError as exc:
+        print(
+            f"trace: cannot read {args.dir}: {exc.strerror or exc}",
+            file=sys.stderr,
+        )
+        return 2
+    if skipped:
+        print(
+            f"# trace: skipped {skipped} malformed line(s) "
+            "(truncated or torn trace)",
+            file=sys.stderr,
+        )
+    ids = trace_ids(events)
+    if not ids:
+        print(f"trace: no trace events under {args.dir}")
+        return 0
+    if args.all:
+        selected = list(ids)
+    elif args.trace_id is None:
+        table = Table(
+            ["trace_id", "events"], title=f"# traces in {args.dir}"
+        )
+        for trace_id, count in ids.items():
+            table.add_row(trace_id, count)
+        print(table.render(), end="")
+        return 0
+    elif args.trace_id in ids:
+        selected = [args.trace_id]
+    else:
+        print(f"trace: unknown trace id {args.trace_id!r}", file=sys.stderr)
+        print(
+            "available: " + " ".join(ids),
+            file=sys.stderr,
+        )
+        return 2
+    trees = [build_trace(events, trace_id) for trace_id in selected]
+    if args.format == "json":
+        payload = [trace_to_obj(tree) for tree in trees]
+        print(json.dumps(payload[0] if not args.all else payload, indent=2))
+        return 0
+    for index, tree in enumerate(trees):
+        if index:
+            print()
+        print(render_trace(tree))
+    return 0
+
+
+def _poll_stats(host: str, port: int, timeout: float = 10.0) -> dict:
+    """One ``stats`` request over a fresh connection (the server speaks
+    newline-delimited JSON, so a single line each way suffices)."""
+    import socket
+
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        conn.sendall(b'{"op": "stats"}\n')
+        with conn.makefile("r", encoding="utf-8") as reader:
+            line = reader.readline()
+    if not line:
+        raise ValueError("server closed the connection without a reply")
+    payload = json.loads(line)
+    if not isinstance(payload, dict) or not payload.get("ok"):
+        raise ValueError(f"bad stats reply: {line.strip()[:200]}")
+    return payload
+
+
+#: Counters the top dashboard surfaces, in display order.
+_TOP_COUNTERS = (
+    "requests",
+    "coalesced",
+    "jobs",
+    "warm_hits",
+    "errors",
+    "retries",
+    "pool_rebuilds",
+    "snapshots_evicted",
+    "pending",
+    "inflight",
+)
+
+
+def _render_top(stats: dict) -> str:
+    """The dashboard body for one stats payload (shared by --once and
+    the refreshing loop, and unit-testable without a socket)."""
+    counters = Table(["counter", "value"], title="# service")
+    for key in _TOP_COUNTERS:
+        if key in stats:
+            counters.add_row(key, stats[key])
+    ratio = stats.get("warm_hit_ratio")
+    counters.add_row(
+        "warm_hit_ratio",
+        f"{ratio:.3f}" if isinstance(ratio, (int, float)) else "-",
+    )
+    window = stats.get("latency_window") or {}
+    latency = stats.get("latency") or {}
+    title = (
+        f"# latency (last {window.get('samples', 0)}"
+        f"/{window.get('capacity', '?')} jobs, seconds)"
+    )
+    table = Table(
+        ["op", "class", "count", "mean", "p50", "p95", "p99"], title=title
+    )
+    for op in sorted(latency):
+        for klass in ("ok", "warm", "cold", "failed"):
+            block = latency[op].get(klass)
+            if not block:
+                continue
+            table.add_row(
+                op,
+                klass,
+                block["count"],
+                f"{block['mean']:.6g}",
+                f"{block['p50']:.6g}",
+                f"{block['p95']:.6g}",
+                f"{block['p99']:.6g}",
+            )
+    parts = [counters.render().rstrip("\n")]
+    if latency:
+        parts.append(table.render().rstrip("\n"))
+    return "\n".join(parts)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    iteration = 0
+    try:
+        while True:
+            iteration += 1
+            try:
+                stats = _poll_stats(args.host, args.port)
+            except (OSError, ValueError) as exc:
+                print(
+                    f"top: cannot poll {args.host}:{args.port}: {exc}",
+                    file=sys.stderr,
+                )
+                return 1
+            body = _render_top(stats)
+            if args.once:
+                print(body)
+                return 0
+            # Clear + home, then redraw: a dependency-free refresh.
+            sys.stdout.write("\x1b[2J\x1b[H" + body + "\n")
+            sys.stdout.flush()
+            if args.iterations and iteration >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import tempfile
@@ -487,7 +729,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .service.server import serve as _serve
 
     registry = MetricsRegistry()
-    sink = open(args.trace, "w") if args.trace else None
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
+        sink = open(os.path.join(args.trace_dir, "server.jsonl"), "w")
+    elif args.trace:
+        sink = open(args.trace, "w")
+    else:
+        sink = None
     if sink is not None:
         observer = TracingObserver(JsonlTracer(sink), registry=registry)
     else:
@@ -511,6 +759,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fault_dir=args.fault_dir,
         max_snapshot_entries=args.max_snapshots,
         max_snapshot_bytes=max_snapshot_bytes,
+        trace_dir=args.trace_dir,
     )
     try:
         with observing(observer):
@@ -552,6 +801,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "treewidth": _cmd_treewidth,
         "stats": _cmd_stats,
         "serve": _cmd_serve,
+        "trace": _cmd_trace,
+        "top": _cmd_top,
     }
     return handlers[args.command](args)
 

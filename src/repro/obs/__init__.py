@@ -17,6 +17,12 @@ exposes them as first-class data instead of burying them in a final
   :class:`TracingObserver`, emitting one JSON object per event so a run
   can be replayed offline (``repro stats``), and
   :class:`MetricsObserver` for metrics-only accounting;
+* :mod:`repro.obs.spans` — trace contexts (``trace_id`` / ``span_id`` /
+  ``parent_span_id``) propagated across the serving tier's process
+  boundaries, span open/close events around request lifecycle phases,
+  cross-process trace merging (:func:`read_trace_dir`) and the shared
+  latency-percentile machinery behind the server's ``stats`` op and
+  ``repro trace`` / ``repro top``;
 * :mod:`repro.obs.stats` — trace replay into summary series and tables
   (imported separately, ``from repro.obs import stats``, because it
   pulls in :mod:`repro.util`).
@@ -50,6 +56,15 @@ from .observer import (
     observing,
     set_observer,
 )
+from .spans import (
+    RollingLatencies,
+    TraceContext,
+    activate,
+    current_context,
+    latency_summary,
+    read_trace_dir,
+    span,
+)
 from .tracer import (
     EVENT_KINDS,
     LATENCY_BOUNDS,
@@ -71,13 +86,20 @@ __all__ = [
     "MetricsObserver",
     "MetricsRegistry",
     "Observer",
+    "RollingLatencies",
     "Timer",
+    "TraceContext",
     "TracingObserver",
+    "activate",
+    "current_context",
     "get_observer",
     "get_registry",
+    "latency_summary",
     "observing",
     "read_trace",
+    "read_trace_dir",
     "read_trace_lenient",
     "set_observer",
     "set_registry",
+    "span",
 ]

@@ -199,6 +199,27 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimated *q*-quantile from the bucket counts.
+
+        Reports the upper bound of the bucket holding the nearest-rank
+        observation — the resolution the bounds give us, which is the
+        point: bucket counts *merge across processes*, so the parent can
+        report true cross-worker percentiles instead of means.  The
+        overflow bucket reports the observed max.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for index, bucket in enumerate(self.buckets[:-1]):
+            cumulative += bucket
+            if cumulative >= rank:
+                return float(self.bounds[index])
+        return float(self.max)
+
     def merge(self, snap: dict) -> None:
         """Fold another histogram's snapshot into this one (bucketwise
         sum).  The bucket bounds must agree; empty snapshots merge as
@@ -229,6 +250,9 @@ class Histogram:
             "max": self.max if self.count else 0,
             "bounds": list(self.bounds),
             "buckets": list(self.buckets),
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
     def __repr__(self) -> str:

@@ -215,6 +215,40 @@ class Observer:
         store); on loads *hit* reports whether a usable state came back
         and *corrupt* whether an unreadable entry was discarded."""
 
+    # -- spans (repro.obs.spans) ---------------------------------------
+
+    def span_open(
+        self,
+        *,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_span_id: Optional[str] = None,
+        **attrs,
+    ) -> None:
+        """A request-lifecycle span opened (:func:`repro.obs.spans.span`).
+
+        *name* is the phase (``service_request``, ``service_job``,
+        ``job_attempt``, ``retry_backoff``, ``pool_rebuild``,
+        ``queue_wait``, ``snapshot_load``, ``chase``, ...); *attrs* are
+        span-specific annotations (``op``, ``attempt``, ``coalesced``,
+        link fields, ...)."""
+
+    def span_close(
+        self,
+        *,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_span_id: Optional[str] = None,
+        status: str = "ok",
+        seconds: float = 0.0,
+        **attrs,
+    ) -> None:
+        """The matching close: *status* is ``ok``, ``error`` (the phase
+        raised or the attempt failed — *attrs* then carries ``error``)
+        or ``aborted`` (shutdown cancelled a parked retry backoff)."""
+
     # -- exact treewidth (repro.treewidth.exact) -----------------------
 
     def treewidth_search(
@@ -305,6 +339,14 @@ class CompositeObserver(Observer):
     def snapshot_access(self, **kw) -> None:
         for obs in self.observers:
             obs.snapshot_access(**kw)
+
+    def span_open(self, **kw) -> None:
+        for obs in self.observers:
+            obs.span_open(**kw)
+
+    def span_close(self, **kw) -> None:
+        for obs in self.observers:
+            obs.span_close(**kw)
 
     def treewidth_search(self, **kw) -> None:
         for obs in self.observers:

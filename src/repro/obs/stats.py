@@ -16,17 +16,10 @@ from __future__ import annotations
 from typing import Iterable
 
 from ..util.reporting import Table
+from .spans import latency_summary, percentile as _percentile, trace_ids
 from .tracer import EVENT_KINDS
 
 __all__ = ["summarize_trace", "retraction_series", "render_summary"]
-
-
-def _percentile(sorted_values: list[float], q: float) -> float:
-    """The *q*-quantile of pre-sorted *sorted_values* (nearest-rank)."""
-    if not sorted_values:
-        return 0.0
-    index = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
-    return sorted_values[index]
 
 
 def retraction_series(events: Iterable[dict]) -> list[dict]:
@@ -56,10 +49,15 @@ def retraction_series(events: Iterable[dict]) -> list[dict]:
 def summarize_trace(events: Iterable[dict]) -> dict:
     """Aggregate a trace into a plain-dict summary.
 
-    Returns a dict with ``counts`` (events per kind), ``chase`` (step
-    totals plus the per-step ``series``), and per-subsystem totals for
-    ``core``, ``core_maintenance`` (skip-hit ratio, candidates tried per
-    step), ``homomorphism``, ``treewidth`` and ``robust``.
+    Returns a dict with ``counts`` (events per kind), ``traces``
+    (distinct trace ids seen), ``chase`` (step totals plus the per-step
+    ``series``), per-subsystem totals for ``core``, ``core_maintenance``
+    (skip-hit ratio, candidates tried per step), ``homomorphism``,
+    ``treewidth`` and ``robust``, and a ``service`` section whose
+    headline ``latency_p50/p95/p99`` cover **successful jobs only**
+    (failed/retried jobs get ``failed_latency_*`` rows of their own)
+    with a per-op ``latency`` breakdown from
+    :func:`repro.obs.spans.latency_summary`.
     """
     events = list(events)
     counts = {kind: 0 for kind in EVENT_KINDS}
@@ -142,7 +140,16 @@ def summarize_trace(events: Iterable[dict]) -> dict:
         e for e in events if e.get("kind") == "service_pool_rebuild"
     ]
     snap_events = [e for e in events if e.get("kind") == "snapshot_access"]
-    latencies = sorted(e.get("seconds", 0.0) for e in job_events)
+    # Failed/retried jobs carry retry-inflated latencies (backoff and a
+    # re-run included); folding them into the headline percentiles would
+    # poison the SLO, so the aggregation splits on ``ok`` and surfaces
+    # the failed side as its own rows.
+    ok_latencies = sorted(
+        e.get("seconds", 0.0) for e in job_events if e.get("ok")
+    )
+    failed_latencies = sorted(
+        e.get("seconds", 0.0) for e in job_events if not e.get("ok")
+    )
     warm_hits = sum(1 for e in job_events if e.get("warm"))
     snap_loads = [e for e in snap_events if e.get("op") == "load"]
     service = {
@@ -157,9 +164,22 @@ def summarize_trace(events: Iterable[dict]) -> dict:
             1 for e in job_events if e.get("deadline_expired")
         ),
         "applications": sum(e.get("applications", 0) for e in job_events),
-        "seconds": sum(latencies),
-        "latency_p50": _percentile(latencies, 0.50),
-        "latency_p95": _percentile(latencies, 0.95),
+        "seconds": sum(ok_latencies) + sum(failed_latencies),
+        "latency_p50": _percentile(ok_latencies, 0.50),
+        "latency_p95": _percentile(ok_latencies, 0.95),
+        "latency_p99": _percentile(ok_latencies, 0.99),
+        "failed_jobs": len(failed_latencies),
+        "failed_latency_p50": _percentile(failed_latencies, 0.50),
+        "failed_latency_p95": _percentile(failed_latencies, 0.95),
+        "latency": latency_summary(
+            (
+                e.get("op", "?"),
+                bool(e.get("warm")),
+                bool(e.get("ok")),
+                e.get("seconds", 0.0),
+            )
+            for e in job_events
+        ),
         "retries": len(retry_events),
         "pool_rebuilds": len(rebuild_events),
         "snapshot_loads": len(snap_loads),
@@ -176,6 +196,7 @@ def summarize_trace(events: Iterable[dict]) -> dict:
     return {
         "events": len(events),
         "counts": counts,
+        "traces": len(trace_ids(events)),
         "chase": chase,
         "core": core,
         "core_maintenance": core_maintenance,
@@ -301,6 +322,21 @@ def render_summary(summary: dict, step_stride: int = 1) -> str:
         totals.add_row(
             "service", "latency p95 (s)", round(service["latency_p95"], 6)
         )
+        totals.add_row(
+            "service", "latency p99 (s)", round(service.get("latency_p99", 0.0), 6)
+        )
+        if service.get("failed_jobs"):
+            totals.add_row("service", "failed jobs", service["failed_jobs"])
+            totals.add_row(
+                "service",
+                "failed latency p50 (s)",
+                round(service["failed_latency_p50"], 6),
+            )
+            totals.add_row(
+                "service",
+                "failed latency p95 (s)",
+                round(service["failed_latency_p95"], 6),
+            )
         if service["snapshot_loads"] or service["snapshot_saves"]:
             totals.add_row(
                 "service", "snapshot loads", service["snapshot_loads"]
@@ -324,5 +360,27 @@ def render_summary(summary: dict, step_stride: int = 1) -> str:
                 service["snapshot_evicted"],
             )
     parts.append(totals.render())
+
+    per_op = service.get("latency") or {}
+    if any(per_op.values()):
+        latency = Table(
+            ["op", "class", "count", "mean", "p50", "p95", "p99"],
+            title="Service latency by op (seconds)",
+        )
+        for op in sorted(per_op):
+            for label in ("ok", "warm", "cold", "failed"):
+                block = per_op[op].get(label)
+                if block is None:
+                    continue
+                latency.add_row(
+                    op,
+                    label,
+                    block["count"],
+                    round(block["mean"], 6),
+                    round(block["p50"], 6),
+                    round(block["p95"], 6),
+                    round(block["p99"], 6),
+                )
+        parts.append(latency.render())
 
     return "\n".join(parts)

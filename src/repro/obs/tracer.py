@@ -2,15 +2,24 @@
 
 A trace is a sequence of flat JSON objects, one per line::
 
-    {"seq": 17, "t": 0.00421, "kind": "chase_step_finished",
-     "step": 3, "rule": "Rup", "atoms_before": 10, "atoms_applied": 13,
-     "atoms_after": 11, "retracted": 2}
+    {"seq": 17, "t": 0.00421, "ts": 1754640000.104211,
+     "kind": "chase_step_finished", "step": 3, "rule": "Rup",
+     "atoms_before": 10, "atoms_applied": 13, "atoms_after": 11,
+     "retracted": 2}
 
 ``seq`` is a per-tracer sequence number, ``t`` the elapsed time in
-seconds since the tracer was created (monotonic clock), ``kind`` one of
-:data:`EVENT_KINDS`; the remaining fields are the event payload (see
+seconds since the tracer was created (monotonic clock — exact for
+intra-tracer deltas), ``ts`` the wall-clock epoch time (the field that
+lets traces from *different processes* — the server and each pool
+worker — merge onto one timeline), ``kind`` one of :data:`EVENT_KINDS`;
+the remaining fields are the event payload (see
 :class:`~repro.obs.observer.Observer` for the schema of each kind, and
 ``docs/OBSERVABILITY.md`` for the full catalogue).
+
+When a trace context is ambient (:mod:`repro.obs.spans`), every emitted
+event is additionally stamped with ``trace_id`` and ``span_id``, tying
+engine steps, snapshot accesses and service events to the request that
+caused them.
 
 The file format is append-only and crash-tolerant: every event is a
 complete line, so a truncated trace loses at most its last event.
@@ -20,9 +29,11 @@ complete line, so a truncated trace loses at most its last event.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import IO, Iterable, Optional, Union
 
+from . import spans as _span_state
 from .metrics import MetricsRegistry
 from .observer import Observer
 
@@ -54,6 +65,8 @@ EVENT_KINDS = (
     "snapshot_access",
     "treewidth_search",
     "robust_step",
+    "span_open",
+    "span_close",
 )
 
 #: Histogram bucket bounds for service job latencies, in seconds: the
@@ -77,16 +90,28 @@ class JsonlTracer:
         self.sink = sink
         self.seq = 0
         self._epoch = time.perf_counter()
+        # The server's asyncio thread and the executor's callback
+        # threads share one tracer; the lock keeps lines whole and seq
+        # gapless.
+        self._lock = threading.Lock()
 
     def emit(self, kind: str, **payload) -> None:
-        record = {
-            "seq": self.seq,
-            "t": round(time.perf_counter() - self._epoch, 6),
-            "kind": kind,
-        }
-        record.update(payload)
-        self.sink.write(json.dumps(record, separators=(",", ":")) + "\n")
-        self.seq += 1
+        context = _span_state.current_context()
+        with self._lock:
+            record = {
+                "seq": self.seq,
+                "t": round(time.perf_counter() - self._epoch, 6),
+                "ts": round(time.time(), 6),
+                "kind": kind,
+            }
+            if context is not None:
+                record["trace_id"] = context.trace_id
+                record["span_id"] = context.span_id
+            # payload last: span_open/span_close carry their own
+            # context fields, which win over the ambient stamp.
+            record.update(payload)
+            self.sink.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self.seq += 1
 
     def flush(self) -> None:
         self.sink.flush()
@@ -149,6 +174,7 @@ class MetricsObserver(Observer):
     ``snapshot.corrupt``    counter    unreadable entries discarded
     ``snapshot.saves``      counter    snapshot-store saves
     ``snapshot.evicted``    counter    snapshots evicted by LRU bounds
+    ``span.<name>``         timer      closed-span durations, per phase
     ======================  =========  ==================================
 
     (``service.queue_depth`` — a gauge — plus the ``service.retries``
@@ -311,6 +337,22 @@ class MetricsObserver(Observer):
         reg.counter("robust.steps").inc()
         reg.counter("robust.renamed").inc(renamed)
 
+    def span_close(
+        self,
+        *,
+        name,
+        trace_id,
+        span_id,
+        parent_span_id=None,
+        status="ok",
+        seconds=0.0,
+        **attrs,
+    ) -> None:
+        # Span names form a small closed set (request lifecycle phases),
+        # so one timer per name stays bounded; workers ship these back
+        # in their snapshot, giving the parent per-phase durations.
+        self.registry.timer(f"span.{name}").record(seconds)
+
 
 class TracingObserver(MetricsObserver):
     """Emit every event to a :class:`JsonlTracer` (and, optionally, into
@@ -391,6 +433,14 @@ class TracingObserver(MetricsObserver):
     def robust_step(self, **kw) -> None:
         self.tracer.emit("robust_step", **kw)
         super().robust_step(**kw)
+
+    def span_open(self, **kw) -> None:
+        self.tracer.emit("span_open", **kw)
+        super().span_open(**kw)
+
+    def span_close(self, **kw) -> None:
+        self.tracer.emit("span_close", **kw)
+        super().span_close(**kw)
 
 
 def _trace_lines(source: Union[str, IO[str], Iterable[str]]) -> list[str]:

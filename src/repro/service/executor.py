@@ -70,6 +70,7 @@ latency measured from first submission (queueing and retries included).
 from __future__ import annotations
 
 import multiprocessing
+import os
 import random
 import threading
 import time
@@ -85,7 +86,14 @@ from typing import Optional
 
 from ..obs import observer as _observer_state
 from ..obs.metrics import MetricsRegistry, get_registry, set_registry
-from ..obs.tracer import MetricsObserver
+from ..obs.spans import (
+    TraceContext,
+    activate,
+    close_span,
+    open_span,
+    span as _span,
+)
+from ..obs.tracer import JsonlTracer, MetricsObserver, TracingObserver
 from .faults import FaultPlan, fire_snapshot_corruption, fire_worker_faults
 from .jobs import JobRequest, JobResult, execute_job
 from .snapshots import SnapshotStore
@@ -112,23 +120,63 @@ def _open_store(
     )
 
 
+def _job_observer(registry: MetricsRegistry, trace_dir: Optional[str]):
+    """The per-job observer: metrics-only, or tracing into this worker's
+    own JSONL sink (``worker-<pid>.jsonl``, append mode — one file per
+    worker process, merged later on the wall-clock ``ts`` field).
+    Returns ``(observer, sink)``; the caller closes a non-None sink."""
+    if not trace_dir:
+        return MetricsObserver(registry), None
+    path = os.path.join(trace_dir, f"worker-{os.getpid()}.jsonl")
+    sink = open(path, "a")
+    return TracingObserver(JsonlTracer(sink), registry=registry), sink
+
+
+def _note_queue_wait(observer, request: JobRequest) -> None:
+    """Record the time this delivery spent between parent-side submit
+    and worker pickup as an instant ``queue_wait`` span (the wait
+    already happened, so it rides as an attribute, not a duration)."""
+    trace = request.trace if isinstance(request.trace, dict) else None
+    if trace is None:
+        return
+    submitted = trace.get("submitted_ts")
+    if not isinstance(submitted, (int, float)):
+        return
+    wait = max(0.0, time.time() - submitted)
+    with _span("queue_wait", observer=observer, wait_seconds=round(wait, 6)):
+        pass
+
+
 def _run_job(
     request_obj: dict,
     snapshot_dir: Optional[str],
     fault_dir: Optional[str] = None,
     limits: Optional[dict] = None,
+    trace_dir: Optional[str] = None,
 ) -> tuple[dict, dict]:
     """Worker-side body: execute one job, return (result, metrics).
 
-    Runs in a pool worker; only JSON-able dicts cross the boundary."""
+    Runs in a pool worker; only JSON-able dicts cross the boundary.
+    The request's trace context (if any) is activated for the whole
+    job and the job observer is installed process-globally for its
+    duration, so snapshot accesses and engine events — which report to
+    the global observer — are traced and stamped too."""
     registry = get_registry()
     registry.reset()
     plan = FaultPlan(fault_dir) if fault_dir else None
     fire_worker_faults(plan, in_process=False)
     request = JobRequest.from_obj(request_obj)
     store = _open_store(snapshot_dir, limits)
-    result = execute_job(request, store, observer=MetricsObserver(registry))
-    fire_snapshot_corruption(plan, snapshot_dir)
+    observer, sink = _job_observer(registry, trace_dir)
+    context = TraceContext.from_obj(request.trace)
+    try:
+        with activate(context), _observer_state.observing(observer):
+            _note_queue_wait(observer, request)
+            result = execute_job(request, store, observer=observer)
+            fire_snapshot_corruption(plan, snapshot_dir)
+    finally:
+        if sink is not None:
+            sink.close()
     return result.to_obj(), registry.snapshot()
 
 
@@ -137,15 +185,29 @@ def _run_job_local(
     snapshot_dir: Optional[str],
     fault_dir: Optional[str] = None,
     limits: Optional[dict] = None,
+    trace_dir: Optional[str] = None,
 ) -> tuple[dict, dict]:
-    """In-process (``workers=0``) body: same contract, private registry."""
+    """In-process (``workers=0``) body: same contract, private registry.
+
+    Unlike the pool-worker body this must NOT touch the process-global
+    observer — it shares the process with the server's event loop.  The
+    trace context still activates (context variables are per-thread), so
+    events the global observer emits on this thread stay stamped."""
     registry = MetricsRegistry(enabled=True)
     plan = FaultPlan(fault_dir) if fault_dir else None
     fire_worker_faults(plan, in_process=True)
     request = JobRequest.from_obj(request_obj)
     store = _open_store(snapshot_dir, limits)
-    result = execute_job(request, store, observer=MetricsObserver(registry))
-    fire_snapshot_corruption(plan, snapshot_dir)
+    observer, sink = _job_observer(registry, trace_dir)
+    context = TraceContext.from_obj(request.trace)
+    try:
+        with activate(context):
+            _note_queue_wait(observer, request)
+            result = execute_job(request, store, observer=observer)
+            fire_snapshot_corruption(plan, snapshot_dir)
+    finally:
+        if sink is not None:
+            sink.close()
     return result.to_obj(), registry.snapshot()
 
 
@@ -218,13 +280,24 @@ class RetryPolicy:
 class _Job:
     """Parent-side bookkeeping for one submitted request."""
 
-    __slots__ = ("request", "submitted", "attempt", "pool")
+    __slots__ = (
+        "request",
+        "submitted",
+        "attempt",
+        "pool",
+        "context",
+        "attempt_context",
+        "owns_span",
+    )
 
     def __init__(self, request: JobRequest, submitted: float):
         self.request = request
         self.submitted = submitted
         self.attempt = 0  # retries performed so far
         self.pool = None  # the pool the live attempt went to
+        self.context: Optional[TraceContext] = None  # the job span
+        self.attempt_context: Optional[TraceContext] = None  # live attempt
+        self.owns_span = False  # we minted (and must close) the job span
 
 
 class JobExecutor:
@@ -248,6 +321,11 @@ class JobExecutor:
     fault_dir:
         A :class:`~repro.service.faults.FaultPlan` directory forwarded
         to workers; None (the default) disables fault injection.
+    trace_dir:
+        A run directory for per-worker JSONL span sinks: each pool
+        worker appends its trace to ``trace_dir/worker-<pid>.jsonl``
+        (``repro trace`` merges them with the server's file); None
+        disables worker-side tracing.
     max_snapshot_entries, max_snapshot_bytes:
         Size bounds forwarded to the worker-side snapshot stores
         (mtime-LRU eviction past either bound); None leaves the store
@@ -263,6 +341,7 @@ class JobExecutor:
         fault_dir: Optional[str] = None,
         max_snapshot_entries: Optional[int] = None,
         max_snapshot_bytes: Optional[int] = None,
+        trace_dir: Optional[str] = None,
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
@@ -271,6 +350,9 @@ class JobExecutor:
         self.registry = registry if registry is not None else get_registry()
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.fault_dir = str(fault_dir) if fault_dir else None
+        self.trace_dir = str(trace_dir) if trace_dir else None
+        if self.trace_dir:
+            os.makedirs(self.trace_dir, exist_ok=True)
         self._limits: Optional[dict] = None
         if max_snapshot_entries is not None or max_snapshot_bytes is not None:
             self._limits = {
@@ -285,7 +367,9 @@ class JobExecutor:
         self.retries = 0
         self.pool_rebuilds = 0
         #: backoff timers for jobs awaiting re-submission
-        self._retry_timers: dict[threading.Timer, tuple[_Job, Future]] = {}
+        self._retry_timers: dict[
+            threading.Timer, tuple[_Job, Future, Optional[TraceContext]]
+        ] = {}
 
     def _make_pool(self):
         if self.workers > 0:
@@ -307,6 +391,13 @@ class JobExecutor:
         results)."""
         outer: Future = Future()
         job = _Job(request, time.perf_counter())
+        job.context = TraceContext.from_obj(request.trace)
+        if job.context is None and _observer_state.current is not None:
+            # Standalone use (no server minted a trace for this request):
+            # the executor owns the job span and must close it itself.
+            job.context = TraceContext.new_root()
+            job.owns_span = True
+            self._span_open(job.context, "service_job", op=request.op)
         with self._lock:
             self._pending += 1
             depth = self._pending
@@ -325,6 +416,25 @@ class JobExecutor:
                 job, outer, self._error_result(job, "executor is shut down")
             )
             return
+        if job.context is not None:
+            # Each (re-)submission is its own child span, opened AND
+            # closed parent-side: a worker the fault plan kills with
+            # os._exit can never close anything, so the attempt span
+            # must not depend on worker-side cooperation.  The attempt
+            # context rides on request.trace so the worker parents its
+            # phase spans under *this* attempt, and submitted_ts lets
+            # it measure queue wait.
+            job.attempt_context = job.context.child()
+            job.request.trace = {
+                **job.attempt_context.to_obj(),
+                "submitted_ts": round(time.time(), 6),
+            }
+            self._span_open(
+                job.attempt_context,
+                "job_attempt",
+                op=job.request.op,
+                attempt=job.attempt,
+            )
         try:
             inner = pool.submit(
                 self._body,
@@ -332,6 +442,7 @@ class JobExecutor:
                 self.snapshot_dir,
                 self.fault_dir,
                 self._limits,
+                self.trace_dir,
             )
         except BaseException as exc:  # noqa: BLE001 - supervisor boundary
             job.pool = pool
@@ -343,6 +454,35 @@ class JobExecutor:
     # ------------------------------------------------------------------
     # completion and supervision
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _span_open(context, name: str, **attrs) -> None:
+        """Guarded :func:`~repro.obs.spans.open_span` against the current
+        observer — a raising observer must not break supervision."""
+        try:
+            open_span(_observer_state.current, context, name, **attrs)
+        except Exception:  # noqa: BLE001 - observers must not break supervision
+            pass
+
+    @staticmethod
+    def _span_close(context, name: str, status: str = "ok", **attrs) -> None:
+        try:
+            close_span(_observer_state.current, context, name, status=status, **attrs)
+        except Exception:  # noqa: BLE001 - observers must not break supervision
+            pass
+
+    def _close_attempt(
+        self, job: _Job, status: str, error: Optional[str] = None
+    ) -> None:
+        """Close the live attempt span, if one is open (idempotent)."""
+        context = job.attempt_context
+        if context is None:
+            return
+        job.attempt_context = None
+        attrs: dict = {"attempt": job.attempt}
+        if error is not None:
+            attrs["error"] = error
+        self._span_close(context, "job_attempt", status=status, **attrs)
 
     def _finish(self, done: Future, job: _Job, outer: "Future[JobResult]") -> None:
         """Inner-future callback.  Every path resolves or re-submits;
@@ -366,6 +506,7 @@ class JobExecutor:
                 result = self._error_result(
                     job, f"result handling failed: {type(post).__name__}: {post}"
                 )
+            self._close_attempt(job, "ok" if result.ok else "error")
             self._resolve(job, outer, result)
         except BaseException as exc:  # noqa: BLE001 - last-resort guard
             if not outer.done():
@@ -375,9 +516,11 @@ class JobExecutor:
         self, job: _Job, outer: "Future[JobResult]", exc: BaseException
     ) -> None:
         """Classify an executor-level failure; rebuild/retry or resolve."""
+        error = f"{type(exc).__name__}: {exc}"
+        self._close_attempt(job, "error", error=error)
         transient = is_transient(exc)
         if isinstance(exc, BrokenExecutor):
-            self._rebuild_pool(job.pool)
+            self._rebuild_pool(job.pool, job.context)
         if transient and not self._closed and job.attempt < self.retry_policy.max_retries:
             delay = self.retry_policy.delay_for(job.attempt)
             with self._lock:
@@ -385,15 +528,28 @@ class JobExecutor:
                 self.retries += 1
                 attempt = job.attempt
             self.registry.counter("service.retries").inc()
+            # The backoff wait is itself a child span of the job, so a
+            # merged trace shows the gap between attempts as supervised
+            # waiting, not dead air; the service_retry event is emitted
+            # under it so both carry the job's trace_id.
+            backoff_context = job.context.child() if job.context is not None else None
+            self._span_open(
+                backoff_context,
+                "retry_backoff",
+                attempt=attempt,
+                delay=round(delay, 6),
+                error=error,
+            )
             observer = _observer_state.current
             if observer is not None:
                 try:
-                    observer.service_retry(
-                        op=job.request.op,
-                        attempt=attempt,
-                        delay=delay,
-                        error=f"{type(exc).__name__}: {exc}",
-                    )
+                    with activate(backoff_context):
+                        observer.service_retry(
+                            op=job.request.op,
+                            attempt=attempt,
+                            delay=delay,
+                            error=error,
+                        )
                 except Exception:  # noqa: BLE001 - observers must not break supervision
                     pass
             timer = threading.Timer(delay, lambda: self._fire_retry(timer))
@@ -406,8 +562,9 @@ class JobExecutor:
                 if closed_during_backoff:
                     timer.cancel()
                 else:
-                    self._retry_timers[timer] = (job, outer)
+                    self._retry_timers[timer] = (job, outer, backoff_context)
             if closed_during_backoff:
+                self._span_close(backoff_context, "retry_backoff", status="aborted")
                 self._resolve(
                     job,
                     outer,
@@ -428,13 +585,16 @@ class JobExecutor:
             entry = self._retry_timers.pop(timer, None)
         if entry is None:
             return  # shutdown already resolved this job
-        job, outer = entry
+        job, outer, backoff_context = entry
+        self._span_close(backoff_context, "retry_backoff", status="ok")
         self._submit_attempt(job, outer)
 
-    def _rebuild_pool(self, broken_pool) -> None:
+    def _rebuild_pool(self, broken_pool, context: Optional[TraceContext] = None) -> None:
         """Replace the broken pool with a fresh one, exactly once per
         breakage: concurrent failures from the same dead worker all name
-        the same pool object, and only the first swap wins."""
+        the same pool object, and only the first swap wins.  *context*
+        (the failing job's span) parents a ``pool_rebuild`` span so the
+        rebuild shows up inside that request's timeline."""
         with self._lock:
             if self._closed or self._pool is not broken_pool:
                 return
@@ -442,12 +602,16 @@ class JobExecutor:
             self.pool_rebuilds += 1
             pending = self._pending
         self.registry.counter("service.pool_rebuilds").inc()
+        rebuild_context = context.child() if context is not None else None
+        self._span_open(rebuild_context, "pool_rebuild", pending=pending)
         observer = _observer_state.current
         if observer is not None:
             try:
-                observer.service_pool_rebuild(pending=pending)
+                with activate(rebuild_context):
+                    observer.service_pool_rebuild(pending=pending)
             except Exception:  # noqa: BLE001 - observers must not break supervision
                 pass
+        self._span_close(rebuild_context, "pool_rebuild")
         if broken_pool is not None:
             broken_pool.shutdown(wait=False)
 
@@ -471,20 +635,31 @@ class JobExecutor:
         observer = _observer_state.current
         if observer is not None:
             try:
-                observer.service_job(
-                    op=job.request.op,
-                    ok=result.ok,
-                    warm=result.warm,
-                    incomplete=result.incomplete,
-                    deadline_expired=result.deadline_expired,
-                    applications=result.applications,
-                    seconds=result.seconds,
-                )
+                with activate(job.context):
+                    observer.service_job(
+                        op=job.request.op,
+                        ok=result.ok,
+                        warm=result.warm,
+                        incomplete=result.incomplete,
+                        deadline_expired=result.deadline_expired,
+                        applications=result.applications,
+                        seconds=result.seconds,
+                    )
             except Exception as exc:  # noqa: BLE001 - the client must get a reply
                 result = self._error_result(
                     job, f"observer failed: {type(exc).__name__}: {exc}"
                 )
                 result.seconds = time.perf_counter() - job.submitted
+        if job.owns_span:
+            job.owns_span = False
+            self._span_close(
+                job.context,
+                "service_job",
+                status="ok" if result.ok else "error",
+                seconds=round(result.seconds, 6),
+                ok=result.ok,
+                warm=result.warm,
+            )
         if not outer.done():
             outer.set_result(result)
 
@@ -527,8 +702,9 @@ class JobExecutor:
             parked = list(self._retry_timers.items())
             self._retry_timers.clear()
             pool = self._pool
-        for timer, (job, outer) in parked:
+        for timer, (job, outer, backoff_context) in parked:
             timer.cancel()
+            self._span_close(backoff_context, "retry_backoff", status="aborted")
             self._resolve(
                 job, outer, self._error_result(job, "executor is shut down")
             )

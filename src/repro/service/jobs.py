@@ -42,6 +42,7 @@ from typing import Optional
 from ..chase.engine import ChaseEngine, ChaseVariant
 from ..logic.serialization import load_kb
 from ..obs.observer import Observer
+from ..obs.spans import span as _span
 from ..query import boolean_cq
 from ..query.modelfinder import find_countermodel
 from .deadline import Deadline
@@ -60,6 +61,13 @@ class JobRequest:
     additionally arms the finite-countermodel "no" side when the chase
     budget runs out undecided.  ``id`` is an opaque client echo and does
     not participate in :meth:`dedup_key`.
+
+    ``trace`` is the request's trace context
+    (:meth:`repro.obs.spans.TraceContext.to_obj`, plus a
+    ``submitted_ts`` epoch stamp) riding across the spawn boundary so
+    worker-side events join the caller's trace; it identifies *this
+    delivery*, not the answer, so — like ``id`` — it stays out of
+    :meth:`dedup_key` and coalesced requests share one job.
     """
 
     op: str
@@ -72,6 +80,7 @@ class JobRequest:
     use_index: bool = True
     model_budget: int = 0
     id: Optional[str] = None
+    trace: Optional[dict] = None
 
     def dedup_key(self) -> tuple:
         """The coalescing identity: everything that shapes the answer."""
@@ -99,6 +108,7 @@ class JobRequest:
             "use_index": self.use_index,
             "model_budget": self.model_budget,
             "id": self.id,
+            "trace": self.trace,
         }
 
     @classmethod
@@ -208,11 +218,13 @@ def _execute(
         use_index=request.use_index,
     )
 
-    snapshot = (
-        store.load(kb, request.variant, request.core_every)
-        if store is not None
-        else None
-    )
+    snapshot = None
+    if store is not None:
+        # Spans here use the ambient observer (the worker's tracer, or
+        # the server's in workers=0 mode) so the store's own
+        # snapshot_access events land inside the snapshot_load span.
+        with _span("snapshot_load", variant=request.variant):
+            snapshot = store.load(kb, request.variant, request.core_every)
     # A snapshot deeper than this job's budget is left alone: resuming
     # it would answer for a larger budget than the client asked for
     # (and differ from the cold run the budget defines).
@@ -238,14 +250,15 @@ def _execute(
         stopper = deadline.expired
 
     step_hook = on_step if (query is not None and not hit[0]) else None
-    if warm:
-        chase = engine.resume(
-            request.max_steps - prior, on_step=step_hook, should_stop=stopper
-        )
-    else:
-        chase = engine.run(
-            request.max_steps, on_step=step_hook, should_stop=stopper
-        )
+    with _span("chase", variant=request.variant, warm=warm):
+        if warm:
+            chase = engine.resume(
+                request.max_steps - prior, on_step=step_hook, should_stop=stopper
+            )
+        else:
+            chase = engine.run(
+                request.max_steps, on_step=step_hook, should_stop=stopper
+            )
 
     new_apps = chase.applications
     total = prior + new_apps
@@ -253,7 +266,8 @@ def _execute(
     expired = chase.stopped and not hit[0]
 
     if store is not None and (snapshot is None or total > snapshot.applications):
-        store.save(kb, engine.export_state())
+        with _span("snapshot_save"):
+            store.save(kb, engine.export_state())
 
     result = JobResult(
         op=request.op,
@@ -286,9 +300,10 @@ def _execute(
         result.entailed = None
         result.method = "deadline-expired"
     elif request.model_budget > 0 and not deadline.expired():
-        counter = find_countermodel(
-            kb, query, max_domain=request.model_budget
-        )
+        with _span("countermodel", budget=request.model_budget):
+            counter = find_countermodel(
+                kb, query, max_domain=request.model_budget
+            )
         if counter.found:
             result.entailed = False
             result.method = "finite-countermodel"

@@ -44,9 +44,17 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from typing import Optional
 
 from ..obs import observer as _observer_state
+from ..obs.spans import (
+    RollingLatencies,
+    TraceContext,
+    activate,
+    close_span,
+    open_span,
+)
 from .executor import JobExecutor
 from .faults import FaultPlan
 from .jobs import JobRequest, JobResult
@@ -75,6 +83,21 @@ class EntailmentServer:
         A :class:`~repro.service.faults.FaultPlan` whose armed
         ``server.drop_connection`` fuses abort the connection instead
         of writing a response (chaos testing only; None in production).
+    rolling_window:
+        How many recent job latencies the ``stats`` op's percentile
+        summary covers (:class:`~repro.obs.spans.RollingLatencies`).
+
+    Tracing
+    -------
+    When an observer is installed, every accepted request is minted a
+    fresh trace: a ``service_request`` root span for the client-visible
+    wait, and — for the request that actually starts the job — a
+    ``service_job`` child span whose context rides to the executor on
+    ``request.trace``.  Requests that coalesce onto a running job get
+    their *own* root span carrying ``job_trace_id``/``job_span_id``
+    link attributes pointing at the shared job span (a link, not a
+    parent: the job belongs to the first request's trace).  With no
+    observer the whole path stays a single ``is not None`` test.
     """
 
     def __init__(
@@ -84,6 +107,7 @@ class EntailmentServer:
         port: int = 0,
         default_timeout: Optional[float] = None,
         fault_plan: Optional[FaultPlan] = None,
+        rolling_window: int = 512,
     ):
         self.executor = executor
         self.host = host
@@ -91,7 +115,11 @@ class EntailmentServer:
         self.default_timeout = default_timeout
         self.fault_plan = fault_plan
         self.registry = executor.registry
+        self.latencies = RollingLatencies(rolling_window)
         self._inflight: dict[tuple, asyncio.Future] = {}
+        #: dedup key -> the running job's span context, for coalesced
+        #: requests to link against (cleared with _inflight).
+        self._inflight_spans: dict[tuple, TraceContext] = {}
         self._conn_tasks: set[asyncio.Task] = set()
         self._server: Optional[asyncio.base_events.Server] = None
         self._stop: Optional[asyncio.Event] = None
@@ -288,10 +316,28 @@ class EntailmentServer:
         if coalesced:
             self.coalesced += 1
         observer = _observer_state.current
+        request_context: Optional[TraceContext] = None
+        started: Optional[float] = None
         if observer is not None:
-            observer.service_request(op=request.op, coalesced=coalesced)
+            request_context = TraceContext.new_root()
+            started = time.perf_counter()
+            attrs: dict = {"op": request.op, "coalesced": coalesced}
+            if request.id is not None:
+                attrs["request_id"] = request.id
+            if coalesced:
+                job_context = self._inflight_spans.get(key)
+                if job_context is not None:
+                    attrs["job_trace_id"] = job_context.trace_id
+                    attrs["job_span_id"] = job_context.span_id
+            open_span(observer, request_context, "service_request", **attrs)
+            with activate(request_context):
+                observer.service_request(op=request.op, coalesced=coalesced)
         if not coalesced:
-            running = asyncio.ensure_future(self._run_job(request))
+            job_context = None
+            if request_context is not None:
+                job_context = request_context.child()
+                self._inflight_spans[key] = job_context
+            running = asyncio.ensure_future(self._run_job(request, job_context))
             self._inflight[key] = running
             running.add_done_callback(
                 lambda fut, key=key: self._clear_inflight(key, fut)
@@ -301,9 +347,26 @@ class EntailmentServer:
             # not cancel the shared job the other waiters coalesced onto.
             result: JobResult = await asyncio.shield(running)
         except asyncio.CancelledError:
+            if request_context is not None:
+                close_span(
+                    _observer_state.current,
+                    request_context,
+                    "service_request",
+                    status="aborted",
+                    seconds=round(time.perf_counter() - started, 6),
+                )
             raise  # this waiter was cancelled; the shared job lives on
         except Exception as exc:  # noqa: BLE001 - per-request guarantee
             self.errors += 1
+            if request_context is not None:
+                close_span(
+                    _observer_state.current,
+                    request_context,
+                    "service_request",
+                    status="error",
+                    seconds=round(time.perf_counter() - started, 6),
+                    error=f"{type(exc).__name__}: {exc}",
+                )
             response = {
                 "ok": False,
                 "error": f"job failed: {type(exc).__name__}: {exc}",
@@ -312,6 +375,14 @@ class EntailmentServer:
             if request.id is not None:
                 response["id"] = request.id
             return response
+        if request_context is not None:
+            close_span(
+                _observer_state.current,
+                request_context,
+                "service_request",
+                status="ok" if result.ok else "error",
+                seconds=round(time.perf_counter() - started, 6),
+            )
         response = result.to_obj()
         response["coalesced"] = coalesced
         if request.id is not None:
@@ -331,8 +402,21 @@ class EntailmentServer:
     def _clear_inflight(self, key: tuple, fut: asyncio.Future) -> None:
         if self._inflight.get(key) is fut:
             del self._inflight[key]
+            self._inflight_spans.pop(key, None)
 
-    async def _run_job(self, request: JobRequest) -> JobResult:
+    async def _run_job(
+        self, request: JobRequest, context: Optional[TraceContext] = None
+    ) -> JobResult:
+        if context is not None:
+            # The job span context crosses the spawn boundary on
+            # request.trace; the executor parents its attempt spans (and
+            # any retries/rebuilds) under it, so a killed-and-retried
+            # job stays one causal timeline.
+            request.trace = context.to_obj()
+            open_span(
+                _observer_state.current, context, "service_job", op=request.op
+            )
+        started = time.perf_counter()
         try:
             result: JobResult = await asyncio.wrap_future(
                 self.executor.submit(request)
@@ -351,6 +435,21 @@ class EntailmentServer:
             self.warm_hits += 1
         if not result.ok:
             self.errors += 1
+        # Always feed the rolling window (the stats op works with no
+        # observer installed); result.seconds is the executor's wall
+        # clock from first submission, the same number the service_job
+        # trace event carries — live and offline percentiles agree.
+        self.latencies.record(request.op, result.warm, result.ok, result.seconds)
+        if context is not None:
+            close_span(
+                _observer_state.current,
+                context,
+                "service_job",
+                status="ok" if result.ok else "error",
+                seconds=round(time.perf_counter() - started, 6),
+                ok=result.ok,
+                warm=result.warm,
+            )
         return result
 
     # ------------------------------------------------------------------
@@ -358,7 +457,9 @@ class EntailmentServer:
     # ------------------------------------------------------------------
 
     def stats_payload(self) -> dict:
-        """The stats-op response: server counters plus metric values."""
+        """The stats-op response: server counters, supervision counters,
+        rolling latency percentiles, and the metrics snapshot."""
+        metrics = self.registry.snapshot()
         return {
             "ok": True,
             "op": "stats",
@@ -368,9 +469,19 @@ class EntailmentServer:
             "warm_hits": self.warm_hits,
             "warm_hit_ratio": (self.warm_hits / self.jobs) if self.jobs else None,
             "errors": self.errors,
+            "retries": self.executor.retries,
+            "pool_rebuilds": self.executor.pool_rebuilds,
+            "snapshots_evicted": metrics.get("snapshot.evicted", {}).get(
+                "value", 0
+            ),
             "pending": self.executor.pending,
             "inflight": len(self._inflight),
-            "metrics": self.registry.snapshot(),
+            "latency": self.latencies.summary(),
+            "latency_window": {
+                "capacity": self.latencies.capacity,
+                "samples": len(self.latencies),
+            },
+            "metrics": metrics,
         }
 
 
@@ -382,14 +493,19 @@ async def serve(
     default_timeout: Optional[float] = None,
     executor: Optional[JobExecutor] = None,
     fault_plan: Optional[FaultPlan] = None,
+    trace_dir: Optional[str] = None,
 ) -> None:
     """Run a server until a shutdown request arrives.
 
     Prints ``repro serve listening on HOST:PORT`` once ready (the CI
-    smoke harness parses this line to find the ephemeral port)."""
+    smoke harness parses this line to find the ephemeral port).
+    *trace_dir* is forwarded to an executor this call creates itself
+    (per-worker span sinks); it is ignored when *executor* is given."""
     own_executor = executor is None
     if executor is None:
-        executor = JobExecutor(workers=workers, snapshot_dir=snapshot_dir)
+        executor = JobExecutor(
+            workers=workers, snapshot_dir=snapshot_dir, trace_dir=trace_dir
+        )
     server = EntailmentServer(
         executor,
         host=host,

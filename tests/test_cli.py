@@ -252,6 +252,144 @@ class TestStatsCommand:
         assert summary["core_maintenance"]["calls"] == 0
 
 
+class TestTraceCommand:
+    @pytest.fixture()
+    def trace_dir(self, tmp_path):
+        """Two single-trace span trees written the way the serving tier
+        writes them: one JSONL sink per writer under one directory."""
+        from repro.obs import JsonlTracer, TracingObserver, span
+
+        directory = tmp_path / "trace"
+        directory.mkdir()
+        with open(directory / "server.jsonl", "w") as sink:
+            observer = TracingObserver(JsonlTracer(sink))
+            with span("service_request", observer=observer, op="entail") as a:
+                with span("service_job", observer=observer):
+                    pass
+            with span("service_request", observer=observer, op="chase") as b:
+                pass
+        return directory, a.trace_id, b.trace_id
+
+    def test_lists_traces_without_an_id(self, trace_dir, capsys):
+        directory, first, second = trace_dir
+        code = main(["trace", "--dir", str(directory)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace_id" in out
+        assert first in out and second in out
+
+    def test_renders_one_trace_as_a_tree(self, trace_dir, capsys):
+        directory, first, _ = trace_dir
+        code = main(["trace", first, "--dir", str(directory)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "service_request" in out and "service_job" in out
+        assert f"trace {first}" in out
+
+    def test_json_format_round_trips(self, trace_dir, capsys):
+        directory, first, second = trace_dir
+        code = main(
+            ["trace", first, "--dir", str(directory), "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["trace_id"] == first and payload["spans"] == 2
+
+        code = main(
+            ["trace", "--all", "--dir", str(directory), "--format", "json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert [tree["trace_id"] for tree in payload] == [first, second]
+
+    def test_unknown_id_exits_2_and_lists_available(self, trace_dir, capsys):
+        directory, first, _ = trace_dir
+        code = main(["trace", "f" * 16, "--dir", str(directory)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown trace id" in captured.err
+        assert first in captured.err  # the available ids are suggested
+
+    def test_missing_dir_exits_2(self, tmp_path, capsys):
+        code = main(["trace", "--dir", str(tmp_path / "nope")])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_malformed_lines_warn_but_do_not_fail(self, trace_dir, capsys):
+        directory, first, _ = trace_dir
+        (directory / "torn.jsonl").write_text('{"kind": "span_open"\n')
+        code = main(["trace", first, "--dir", str(directory)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "skipped 1 malformed line" in captured.err
+        assert "service_job" in captured.out
+
+
+class TestTopCommand:
+    STATS = {
+        "requests": 5,
+        "coalesced": 1,
+        "jobs": 4,
+        "warm_hits": 2,
+        "errors": 0,
+        "retries": 1,
+        "pool_rebuilds": 1,
+        "snapshots_evicted": 0,
+        "pending": 0,
+        "inflight": 0,
+        "warm_hit_ratio": 0.5,
+        "latency": {
+            "entail": {
+                "ok": {
+                    "count": 4,
+                    "mean": 0.25,
+                    "p50": 0.2,
+                    "p95": 0.4,
+                    "p99": 0.4,
+                },
+                "warm": {
+                    "count": 2,
+                    "mean": 0.1,
+                    "p50": 0.1,
+                    "p95": 0.1,
+                    "p99": 0.1,
+                },
+            }
+        },
+        "latency_window": {"capacity": 512, "samples": 4},
+    }
+
+    def test_render_top_shows_counters_and_latency(self):
+        from repro.cli import _render_top
+
+        body = _render_top(self.STATS)
+        for counter in ("requests", "retries", "pool_rebuilds"):
+            assert counter in body
+        assert "last 4/512 jobs" in body
+        assert "entail" in body and "p95" in body
+        # one row per populated class, in class order
+        ok_index = body.index("ok")
+        warm_index = body.index("warm", ok_index)
+        assert ok_index < warm_index
+
+    def test_render_top_tolerates_a_bare_payload(self):
+        from repro.cli import _render_top
+
+        body = _render_top({"requests": 0, "ok": True})
+        assert "requests" in body
+        assert "p95" not in body  # no latency table without samples
+
+    def test_top_against_a_dead_port_exits_1(self, capsys):
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        code = main(["top", "--port", str(port), "--once"])
+        assert code == 1
+        assert "cannot poll" in capsys.readouterr().err
+
+
 class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
@@ -260,3 +398,5 @@ class TestParser:
     def test_help_builds(self):
         parser = build_parser()
         assert "chase" in parser.format_help()
+        assert "trace" in parser.format_help()
+        assert "top" in parser.format_help()

@@ -67,6 +67,7 @@ MODULES = [
     "repro.obs.metrics",
     "repro.obs.observer",
     "repro.obs.tracer",
+    "repro.obs.spans",
     "repro.obs.stats",
     "repro.datalog",
     "repro.cli",

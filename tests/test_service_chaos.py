@@ -18,10 +18,23 @@ import json
 
 from repro import staircase_kb
 from repro.logic.serialization import dump_kb
+from repro.obs import JsonlTracer, TracingObserver, observing
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import build_trace, read_trace_dir, trace_ids
 from repro.service.executor import JobExecutor, RetryPolicy
 from repro.service.faults import FaultPlan
 from repro.service.server import EntailmentServer
+
+
+def span_names(tree):
+    """Every span name in *tree*, duplicates kept."""
+    names = []
+    stack = list(tree.roots)
+    while stack:
+        node = stack.pop()
+        names.append(node.name)
+        stack.extend(node.children)
+    return names
 
 STAIRCASE = dump_kb(staircase_kb())
 
@@ -59,6 +72,7 @@ class TestWorkerKillRecovery:
     def test_server_survives_a_worker_killed_mid_job(self, tmp_path):
         plan = FaultPlan(tmp_path / "faults")
         registry = MetricsRegistry()
+        trace_dir = tmp_path / "trace"
         executor = JobExecutor(
             2,
             snapshot_dir=tmp_path / "snaps",
@@ -67,7 +81,10 @@ class TestWorkerKillRecovery:
                 max_retries=3, base_delay=0.05, max_delay=0.5, seed=7
             ),
             fault_dir=plan.root,
+            trace_dir=trace_dir,
         )
+        sink = open(trace_dir / "server.jsonl", "w")
+        observer = TracingObserver(JsonlTracer(sink), registry=registry)
 
         async def scenario():
             server = EntailmentServer(executor, port=0, fault_plan=plan)
@@ -108,9 +125,11 @@ class TestWorkerKillRecovery:
             return warm_up[0], fault_responses, after[0], stats
 
         try:
-            warm_up, fault_responses, after, stats = asyncio.run(scenario())
+            with observing(observer):
+                warm_up, fault_responses, after, stats = asyncio.run(scenario())
         finally:
             executor.shutdown()
+            sink.close()
 
         # exactly one response per id, every answer correct
         assert warm_up["id"] == "w0" and warm_up["ok"]
@@ -140,6 +159,33 @@ class TestWorkerKillRecovery:
         assert executor.pending == 0
         assert registry.gauge("service.queue_depth").value == 0
         assert stats["pending"] == 0 and stats["inflight"] <= 1
+
+        # the kill is visible in the merged trace as ONE causal
+        # timeline: the retried request's trace holds the request span,
+        # the failed attempt, the pool rebuild, the backoff, and the
+        # successful attempt — no orphaned or unclosed spans anywhere.
+        events, skipped = read_trace_dir(trace_dir)
+        assert skipped == 0
+        retried = None
+        for trace_id in trace_ids(events):
+            tree = build_trace(events, trace_id)
+            assert not tree.orphans, f"trace {trace_id} has orphaned spans"
+            assert not tree.unclosed, f"trace {trace_id} has unclosed spans"
+            names = span_names(tree)
+            if names.count("job_attempt") >= 2 and "pool_rebuild" in names:
+                retried = retried or tree
+        assert retried is not None, "no killed-and-retried trace found"
+        names = span_names(retried)
+        assert "service_request" in names
+        assert "service_job" in names
+        assert "retry_backoff" in names
+
+        # live stats carry the supervision counters and the rolling
+        # latency summary the dashboard polls
+        assert stats["retries"] == executor.retries
+        assert stats["pool_rebuilds"] == 1
+        assert stats["latency"]["entail"]["ok"]["count"] == stats["jobs"]
+        assert stats["latency_window"]["samples"] == stats["jobs"]
 
     def test_slow_job_rides_out_without_retry(self, tmp_path):
         # A slow worker is not a dead worker: the job must complete with

@@ -6,11 +6,13 @@ at least 32 overlapping requests, answers checked, dedup coalescing
 observed, clean shutdown."""
 
 import asyncio
+import io
 import json
 
 from repro import staircase_kb
 from repro.kbs.witnesses import transitive_closure_kb
 from repro.logic.serialization import dump_kb
+from repro.obs import JsonlTracer, TracingObserver
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.observer import Observer, observing
 from repro.service.executor import JobExecutor
@@ -386,6 +388,85 @@ class TestConcurrency:
         # clean shutdown: nothing left in flight, nothing pending
         assert len(server._inflight) == 0
         assert server.executor.pending == 0
+
+    def test_coalesced_requests_trace_separately_but_share_the_job_span(
+        self, tmp_path
+    ):
+        # Satellite: dedup-coalesced requests must each mint their own
+        # service_request span (their own trace) while linking to the
+        # single shared service_job span via job_trace_id/job_span_id.
+        # The slow_job fuse pins the first job in flight long enough for
+        # the second, identical request to coalesce deterministically.
+        plan = FaultPlan(tmp_path / "faults")
+        plan.arm("worker.slow_job", payload={"seconds": 0.5})
+        buffer = io.StringIO()
+        registry = MetricsRegistry()
+        observer = TracingObserver(JsonlTracer(buffer), registry=registry)
+        line = {
+            "op": "entail",
+            "kb_text": STAIRCASE,
+            "query": STAIR_QUERY,
+            "max_steps": 60,
+        }
+
+        async def scenario():
+            executor = JobExecutor(
+                0,
+                snapshot_dir=tmp_path / "snaps",
+                registry=registry,
+                fault_dir=plan.root,
+            )
+            server = EntailmentServer(executor, port=0)
+            await server.start()
+            task = asyncio.ensure_future(server.serve_until_stopped())
+            responses = await request_lines(
+                server.port,
+                [{**line, "id": "r0"}, {**line, "id": "r1"}],
+            )
+            await shut_down(server, executor, task)
+            return responses
+
+        with observing(observer):
+            responses = asyncio.run(scenario())
+
+        assert all(r["ok"] and r["entailed"] is True for r in responses)
+        assert sum(1 for r in responses if r["coalesced"]) == 1
+        assert plan.fired("worker.slow_job") == 1
+
+        events = [
+            json.loads(line) for line in buffer.getvalue().splitlines()
+        ]
+        request_opens = [
+            e
+            for e in events
+            if e["kind"] == "span_open" and e["name"] == "service_request"
+        ]
+        job_opens = [
+            e
+            for e in events
+            if e["kind"] == "span_open" and e["name"] == "service_job"
+        ]
+        # each request got its own span in its own trace; one shared job
+        assert len(request_opens) == 2
+        assert len({e["trace_id"] for e in request_opens}) == 2
+        assert len(job_opens) == 1
+        job = job_opens[0]
+        primary = next(e for e in request_opens if not e["coalesced"])
+        follower = next(e for e in request_opens if e["coalesced"])
+        # the job span is a child of the primary request's span ...
+        assert job["trace_id"] == primary["trace_id"]
+        assert job["parent_span_id"] == primary["span_id"]
+        # ... and the coalesced request records an explicit link to it
+        assert follower["job_trace_id"] == job["trace_id"]
+        assert follower["job_span_id"] == job["span_id"]
+        # both waiters saw the result: both request spans closed ok
+        request_closes = [
+            e
+            for e in events
+            if e["kind"] == "span_close" and e["name"] == "service_request"
+        ]
+        assert len(request_closes) == 2
+        assert all(e["status"] == "ok" for e in request_closes)
 
     def test_shutdown_op_stops_server(self, tmp_path):
         async def scenario():
