@@ -8,14 +8,16 @@ pay almost nothing — the classical trade-off from the introduction.
 ``bench_perf_chase_table`` additionally archives a machine-readable
 timing table (``results/perf_chase.json``) that the CI perf gate diffs
 against the committed baseline (``baselines/perf_chase.json``) with
-``compare_results.py``.  Set ``REPRO_NAIVE=1`` to time the naive engine
-(no trigger index, no atom index, no memo) — that is how the committed
-baseline was produced; see docs/PERFORMANCE.md.
+``compare_results.py``.  ``REPRO_ENGINE=naive|indexed|compiled``
+selects the engine path to time (default: compiled, the full engine;
+the legacy ``REPRO_NAIVE=1`` still means naive) and suffixes the
+results files accordingly — the committed ``perf_chase.json`` baseline
+is a naive-path table, ``perf_chase_indexed.json`` /
+``perf_chase_compiled.json`` the per-engine ones the compiled CI gate
+uses; see docs/PERFORMANCE.md.
 """
 
-import os
 import time
-from contextlib import nullcontext
 
 import pytest
 
@@ -25,10 +27,9 @@ from repro.kbs.generators import layered_kb
 from repro.kbs.staircase import staircase_kb
 from repro.kbs.witnesses import bts_not_fes_kb, transitive_closure_kb
 from repro.logic.homcache import get_cache
-from repro.logic.indexing import no_index
 from repro.util import Table
 
-from conftest import save_table
+from conftest import current_engine, engine_scope, quiesced_gc, save_table
 
 
 @pytest.mark.parametrize("variant", ChaseVariant.ALL)
@@ -91,22 +92,22 @@ def _timed_chase(make_kb, variant, steps, repeats=3):
     for _ in range(repeats):
         get_cache().clear()
         kb = make_kb()
-        started = time.perf_counter()
-        result = run_chase(kb, variant=variant, max_steps=steps)
-        best = min(best, time.perf_counter() - started)
+        with quiesced_gc():
+            started = time.perf_counter()
+            result = run_chase(kb, variant=variant, max_steps=steps)
+            best = min(best, time.perf_counter() - started)
     return best, result
 
 
 def bench_perf_chase_table():
     """Archive the timing table the CI perf gate compares (one row per
     workload x variant; metric column: ``seconds``)."""
-    naive = os.environ.get("REPRO_NAIVE") == "1"
-    scope = no_index() if naive else nullcontext()
+    engine = current_engine()
     table = Table(
         ["workload", "variant", "steps", "applications", "seconds", "apps_per_sec"],
-        title="perf: chase wall time per workload",
+        title=f"perf: chase wall time per workload ({engine} engine)",
     )
-    with scope:
+    with engine_scope(engine):
         for workload, make_kb, variant, steps in PERF_CHASE_ROWS:
             seconds, result = _timed_chase(make_kb, variant, steps)
             table.add_row(
@@ -118,7 +119,7 @@ def bench_perf_chase_table():
                 round(result.applications / max(seconds, 1e-9), 1),
             )
     extra = (
-        f"engine path: {'naive (REPRO_NAIVE=1)' if naive else 'indexed'}; "
+        f"engine path: {engine} (REPRO_ENGINE); "
         "best of 3, cold homomorphism memo per measurement."
     )
     save_table("perf_chase", table, extra)

@@ -11,13 +11,13 @@ run's exactness counts (applications, retractions, atoms out) as
 integer identity fields, so the incremental core maintainer can only
 pass the gate by being *fast and bit-identical in behaviour*: a count
 drift surfaces as semantic drift in ``compare_results.py``, not as a
-timing change.  Set ``REPRO_NAIVE=1`` to time the naive engine — that
-is how the committed baseline was produced; see docs/PERFORMANCE.md.
+timing change.  ``REPRO_ENGINE=naive|indexed|compiled`` selects the
+engine path to time (default: compiled; the legacy ``REPRO_NAIVE=1``
+still selects naive, the committed baseline's path); see
+docs/PERFORMANCE.md.
 """
 
-import os
 import time
-from contextlib import nullcontext
 
 import pytest
 
@@ -29,10 +29,9 @@ from repro.kbs.staircase import step as staircase_step
 from repro.kbs.witnesses import transitive_closure_kb
 from repro.logic.cores import core_of, core_retraction, is_core
 from repro.logic.homcache import get_cache
-from repro.logic.indexing import no_index
 from repro.util import Table
 
-from conftest import save_table
+from conftest import current_engine, engine_scope, quiesced_gc, save_table
 
 
 @pytest.mark.parametrize("rays", [6, 18])
@@ -91,22 +90,22 @@ def _timed_core_chase(make_kb, steps, repeats=3):
     for _ in range(repeats):
         get_cache().clear()
         kb = make_kb()
-        started = time.perf_counter()
-        result = run_chase(kb, variant=ChaseVariant.CORE, max_steps=steps)
-        best = min(best, time.perf_counter() - started)
+        with quiesced_gc():
+            started = time.perf_counter()
+            result = run_chase(kb, variant=ChaseVariant.CORE, max_steps=steps)
+            best = min(best, time.perf_counter() - started)
     return best, result
 
 
 def bench_perf_cores_table():
     """Archive the core-chase gate table (one row per workload; metric
     column: ``seconds``; every other column is a row-identity field)."""
-    naive = os.environ.get("REPRO_NAIVE") == "1"
-    scope = no_index() if naive else nullcontext()
+    engine = current_engine()
     table = Table(
         ["workload", "steps", "applications", "retractions", "atoms_out", "seconds"],
-        title="perf: core-chase wall time and exactness counts",
+        title=f"perf: core-chase wall time and exactness counts ({engine} engine)",
     )
-    with scope:
+    with engine_scope(engine):
         for workload, make_kb, steps in PERF_CORES_ROWS:
             seconds, result = _timed_core_chase(make_kb, steps)
             table.add_row(
@@ -118,7 +117,7 @@ def bench_perf_cores_table():
                 round(seconds, 4),
             )
     extra = (
-        f"engine path: {'naive (REPRO_NAIVE=1)' if naive else 'indexed + core maintainer'}; "
+        f"engine path: {engine} (REPRO_ENGINE); "
         "best of 3, cold homomorphism memo per measurement.  The count "
         "columns are identity fields: a drift fails the gate as semantic "
         "drift, independent of timing."

@@ -7,13 +7,13 @@ and the all-solutions iterator.
 
 ``bench_perf_homomorphism_table`` additionally archives a
 machine-readable timing table (``results/perf_homomorphism.json``) for
-the CI perf gate; ``REPRO_NAIVE=1`` times the un-indexed search (the
-committed baseline's path) — see docs/PERFORMANCE.md.
+the CI perf gate; ``REPRO_ENGINE=naive|indexed|compiled`` selects the
+search path to time (default: compiled; ``REPRO_NAIVE=1`` is a legacy
+alias for naive, the committed baseline's path) — see
+docs/PERFORMANCE.md.
 """
 
-import os
 import time
-from contextlib import nullcontext
 
 import pytest
 
@@ -26,11 +26,10 @@ from repro.logic.homomorphism import (
     find_homomorphism,
     maps_into,
 )
-from repro.logic.indexing import no_index
 from repro.logic.parser import parse_atoms
 from repro.util import Table
 
-from conftest import save_table
+from conftest import current_engine, engine_scope, quiesced_gc, save_table
 
 
 @pytest.mark.parametrize("length", [20, 80])
@@ -108,20 +107,20 @@ def bench_perf_homomorphism_table():
     """Archive the homomorphism-search timing table for the CI perf gate
     (metric column: ``seconds`` — the wall time of the whole iteration
     loop, cold memo per iteration so the search itself is measured)."""
-    naive = os.environ.get("REPRO_NAIVE") == "1"
-    scope = no_index() if naive else nullcontext()
+    engine = current_engine()
     table = Table(
         ["search", "iterations", "seconds", "per_call_us"],
-        title="perf: homomorphism search wall time",
+        title=f"perf: homomorphism search wall time ({engine} engine)",
     )
-    with scope:
+    with engine_scope(engine):
         for name, iterations, thunk in _search_rows():
             thunk()  # warm allocation paths outside the timed loop
-            started = time.perf_counter()
-            for _ in range(iterations):
-                get_cache().clear()
-                thunk()
-            seconds = time.perf_counter() - started
+            with quiesced_gc():
+                started = time.perf_counter()
+                for _ in range(iterations):
+                    get_cache().clear()
+                    thunk()
+                seconds = time.perf_counter() - started
             table.add_row(
                 name,
                 iterations,
@@ -129,7 +128,7 @@ def bench_perf_homomorphism_table():
                 round(seconds / iterations * 1e6, 1),
             )
     extra = (
-        f"search path: {'naive (REPRO_NAIVE=1)' if naive else 'indexed'}; "
+        f"search path: {engine} (REPRO_ENGINE); "
         "memo cleared every iteration (structural search time, no memo hits)."
     )
     save_table("perf_homomorphism", table, extra)

@@ -18,15 +18,42 @@ Usage (local or CI — stdlib only, no package install needed)::
     python benchmarks/compare_results.py perf_chase       # one table
     python benchmarks/compare_results.py --threshold 1.5  # stricter
 
+Beyond the regression check, the gate has a **floor mode**
+(``--min-speedup X``): instead of failing rows that got slower, it
+fails rows that are not at least ``X`` times *faster* than the
+baseline.  The compiled CI gate uses it to hold the compiled kernel to
+a same-machine speedup floor over the indexed engine::
+
+    python benchmarks/compare_results.py perf_chase_compiled \
+        --baselines benchmarks/results --baseline-name perf_chase_indexed \
+        --min-speedup 1.5 --ignore-fields engine \
+        --only-rows 'staircase core,elevator core'
+
+``--baseline-name`` compares one results table against a differently
+named reference table (above: two tables freshly measured in the same
+job, one per engine); ``--ignore-fields`` drops the listed row fields
+from row identity — here ``engine``, which otherwise (by design) keeps
+cross-engine rows from ever matching; ``--only-rows`` restricts the
+gate to rows whose label contains one of the given substrings (the
+headline deep-search workloads — the tiny rows sit at the timer noise
+floor and the copy-dominated restricted rows at engine parity, neither
+of which a speedup floor should gate).  Every integer count field still
+participates in identity, so the floor mode *also* enforces semantic
+agreement: a compiled row whose application count drifted from the
+indexed row fails as semantic drift, not as a timing miss.
+
 Regenerating a table after an intentional change::
 
     PYTHONPATH=src REPRO_NAIVE=1 python -m pytest \
         "benchmarks/bench_perf_chase.py::bench_perf_chase_table" -q
     cp benchmarks/results/perf_chase.json benchmarks/baselines/
 
-(The committed baselines are naive-path timings — ``REPRO_NAIVE=1`` —
-so the gate also documents the indexed engine's speedup: the printed
-ratios are the fraction of the naive time each row now takes.)
+(The committed ``perf_chase``/``perf_cores``/``perf_homomorphism``
+baselines are naive-path timings — ``REPRO_NAIVE=1`` — so the default
+gate also documents the full engine's speedup: the printed ratios are
+the fraction of the naive time each row now takes.  The committed
+``*_indexed``/``*_compiled`` baselines are per-engine tables produced
+with ``REPRO_ENGINE=indexed``/``compiled``.)
 """
 
 from __future__ import annotations
@@ -56,14 +83,15 @@ def load_table(path: pathlib.Path) -> dict:
     return payload
 
 
-def row_key(row: dict, metric: str) -> tuple:
-    """The identity of a row: every non-float field except the metric.
-    Floats are measurements; everything else (names, variants, step
-    budgets, iteration counts) pins down *what* was measured."""
+def row_key(row: dict, metric: str, ignore: frozenset = frozenset()) -> tuple:
+    """The identity of a row: every non-float field except the metric
+    and the explicitly *ignore*-d fields.  Floats are measurements;
+    everything else (names, variants, step budgets, iteration counts,
+    the engine path) pins down *what* was measured."""
     return tuple(
         (field, value)
         for field, value in row.items()
-        if field != metric and not isinstance(value, float)
+        if field != metric and field not in ignore and not isinstance(value, float)
     )
 
 
@@ -91,14 +119,27 @@ def find_count_drift(key: tuple, current_keys) -> dict | None:
     return None
 
 
-def compare_table(name: str, baseline: dict, current: dict, metric: str, threshold: float):
+def compare_table(
+    name: str,
+    baseline: dict,
+    current: dict,
+    metric: str,
+    threshold: float,
+    min_speedup: float | None = None,
+    ignore: frozenset = frozenset(),
+):
     """Yield (key, base_value, cur_value, ratio, ok, drift) per baseline
     row; a row missing from the current table yields cur_value=None,
     ok=False, and — when a current row differs only in count fields —
-    drift maps each moved count field to its (baseline, current) pair."""
-    current_rows = {row_key(row, metric): row for row in current["rows"]}
+    drift maps each moved count field to its (baseline, current) pair.
+
+    ``ratio`` is always current/baseline.  In the default regression
+    mode a row is ok iff ``ratio <= threshold``; with *min_speedup* set
+    the row is ok iff ``baseline/current >= min_speedup`` (i.e. the
+    current run is at least that many times faster)."""
+    current_rows = {row_key(row, metric, ignore): row for row in current["rows"]}
     for base_row in baseline["rows"]:
-        key = row_key(base_row, metric)
+        key = row_key(base_row, metric, ignore)
         base_value = base_row.get(metric)
         if not isinstance(base_value, (int, float)):
             raise SystemExit(f"{name}: baseline row {key} has no numeric {metric!r}")
@@ -112,7 +153,11 @@ def compare_table(name: str, baseline: dict, current: dict, metric: str, thresho
             yield key, base_value, None, None, False, None
             continue
         ratio = cur_value / max(base_value, 1e-9)
-        yield key, base_value, cur_value, ratio, ratio <= threshold, None
+        if min_speedup is not None:
+            ok = base_value / max(cur_value, 1e-9) >= min_speedup
+        else:
+            ok = ratio <= threshold
+        yield key, base_value, cur_value, ratio, ok, None
 
 
 def describe(key: tuple) -> str:
@@ -139,7 +184,47 @@ def main(argv=None) -> int:
         default=2.0,
         help="fail when current/baseline exceeds this (default: 2.0)",
     )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="floor mode: fail when baseline/current is below X — i.e. "
+        "demand the current run be at least X times faster per row "
+        "(replaces the --threshold regression check)",
+    )
+    parser.add_argument(
+        "--baseline-name",
+        default=None,
+        metavar="NAME",
+        help="compare against <baselines>/NAME.json instead of the "
+        "table's own name (requires exactly one table name; pair with "
+        "--baselines pointing at a results dir for same-machine "
+        "cross-engine comparisons)",
+    )
+    parser.add_argument(
+        "--ignore-fields",
+        default="",
+        metavar="F1,F2",
+        help="comma-separated row fields to drop from row identity on "
+        "both sides (e.g. 'engine' when comparing across engine paths)",
+    )
+    parser.add_argument(
+        "--only-rows",
+        default="",
+        metavar="S1,S2",
+        help="comma-separated substrings; only baseline rows whose "
+        "label contains one of them are gated (e.g. 'staircase core,"
+        "elevator core' to hold the speedup floor on the headline "
+        "workloads without gating noise-floor rows)",
+    )
     args = parser.parse_args(argv)
+    ignore = frozenset(
+        field.strip() for field in args.ignore_fields.split(",") if field.strip()
+    )
+    only_rows = tuple(
+        part.strip() for part in args.only_rows.split(",") if part.strip()
+    )
 
     names = args.names or sorted(
         path.stem for path in args.baselines.glob("*.json")
@@ -147,10 +232,16 @@ def main(argv=None) -> int:
     if not names:
         print(f"no baselines found under {args.baselines}", file=sys.stderr)
         return 1
+    if args.baseline_name is not None and len(names) != 1:
+        print(
+            "--baseline-name requires exactly one table name",
+            file=sys.stderr,
+        )
+        return 1
 
     failures = 0
     for name in names:
-        baseline_path = args.baselines / f"{name}.json"
+        baseline_path = args.baselines / f"{args.baseline_name or name}.json"
         results_path = args.results / f"{name}.json"
         if not baseline_path.exists():
             print(f"FAIL {name}: no baseline {baseline_path}", file=sys.stderr)
@@ -165,11 +256,23 @@ def main(argv=None) -> int:
             continue
         baseline = load_table(baseline_path)
         current = load_table(results_path)
-        print(f"== {name} (metric: {args.metric}, threshold: {args.threshold}x) ==")
+        if args.min_speedup is not None:
+            mode = f"min speedup: {args.min_speedup:g}x vs {args.baseline_name or name}"
+        else:
+            mode = f"threshold: {args.threshold:g}x"
+        print(f"== {name} (metric: {args.metric}, {mode}) ==")
         for key, base_value, cur_value, ratio, ok, drift in compare_table(
-            name, baseline, current, args.metric, args.threshold
+            name,
+            baseline,
+            current,
+            args.metric,
+            args.threshold,
+            min_speedup=args.min_speedup,
+            ignore=ignore,
         ):
             label = describe(key)
+            if only_rows and not any(part in label for part in only_rows):
+                continue
             if cur_value is None:
                 if drift:
                     moved = ", ".join(
@@ -185,17 +288,40 @@ def main(argv=None) -> int:
                     print(f"  FAIL {label}: row missing from current results")
                 failures += 1
             elif not ok:
-                print(
-                    f"  FAIL {label}: {base_value:g} -> {cur_value:g} "
-                    f"({ratio:.2f}x, over {args.threshold}x)"
-                )
+                if args.min_speedup is not None:
+                    speedup = base_value / max(cur_value, 1e-9)
+                    print(
+                        f"  FAIL {label}: {base_value:g} -> {cur_value:g} "
+                        f"({speedup:.2f}x speedup, floor {args.min_speedup:g}x)"
+                    )
+                else:
+                    print(
+                        f"  FAIL {label}: {base_value:g} -> {cur_value:g} "
+                        f"({ratio:.2f}x, over {args.threshold}x)"
+                    )
                 failures += 1
             else:
-                print(
-                    f"  ok   {label}: {base_value:g} -> {cur_value:g} ({ratio:.2f}x)"
-                )
+                if args.min_speedup is not None:
+                    speedup = base_value / max(cur_value, 1e-9)
+                    print(
+                        f"  ok   {label}: {base_value:g} -> {cur_value:g} "
+                        f"({speedup:.2f}x speedup)"
+                    )
+                else:
+                    print(
+                        f"  ok   {label}: {base_value:g} -> {cur_value:g} ({ratio:.2f}x)"
+                    )
     if failures:
-        print(f"{failures} regression(s) beyond {args.threshold}x", file=sys.stderr)
+        if args.min_speedup is not None:
+            print(
+                f"{failures} row(s) below the {args.min_speedup:g}x speedup floor",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"{failures} regression(s) beyond {args.threshold:g}x",
+                file=sys.stderr,
+            )
         return 1
     print("perf gate clean")
     return 0

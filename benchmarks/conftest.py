@@ -19,22 +19,82 @@ BENCH trajectory future perf PRs diff against.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import pathlib
 import tempfile
+from contextlib import contextmanager, nullcontext
 
 import pytest
 
 from repro import core_chase, restricted_chase
 from repro.kbs.elevator import elevator_kb
 from repro.kbs.staircase import staircase_kb
+from repro.logic import indexing
 from repro.util import Table
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: Version of the results-JSON layout (bump when the shape changes).
 RESULTS_SCHEMA = 1
+
+#: The engine paths a bench can measure (ISSUE 7): ``compiled`` is the
+#: interned join-plan kernel (the default), ``indexed`` the object-level
+#: engine it replaced (atom index + trigger index + memo, compiled layer
+#: scoped off), ``naive`` the from-scratch reference (everything off).
+ENGINES = ("naive", "indexed", "compiled")
+
+
+def current_engine() -> str:
+    """The engine path this bench process measures.
+
+    ``REPRO_ENGINE=naive|indexed|compiled`` selects explicitly (and
+    suffixes the archived results files — see :func:`save_table` — so
+    per-engine tables don't overwrite each other); the legacy
+    ``REPRO_NAIVE=1`` is kept as an alias for ``naive``; default is the
+    full engine, i.e. ``compiled``.
+    """
+    explicit = os.environ.get("REPRO_ENGINE")
+    if explicit:
+        if explicit not in ENGINES:
+            raise SystemExit(
+                f"REPRO_ENGINE={explicit!r}: expected one of {ENGINES}"
+            )
+        return explicit
+    if os.environ.get("REPRO_NAIVE") == "1":
+        return "naive"
+    return "compiled"
+
+
+def engine_scope(engine: str | None = None):
+    """A context manager scoping the indexing switchboard to *engine*
+    (default: :func:`current_engine`) for the duration of a bench."""
+    engine = engine or current_engine()
+    if engine == "naive":
+        return indexing.no_index()
+    if engine == "indexed":
+        return indexing.configured(compiled=False)
+    return nullcontext()
+
+
+@contextmanager
+def quiesced_gc():
+    """Disable the cyclic GC for the duration of a timed section (the
+    ``timeit`` convention).  The perf tables compare engine paths that
+    allocate at different rates; inside a large pytest process a GC pass
+    costs proportional to the whole heap, so leaving collection enabled
+    taxes the allocation-heavier engine with noise unrelated to its own
+    work.  Collection runs once on exit to pay the debt outside the
+    measurement."""
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+            gc.collect()
 
 
 def _current_umask() -> int:
@@ -74,13 +134,29 @@ def _atomic_write_text(path: pathlib.Path, text: str) -> None:
 
 def save_table(name: str, table: Table, extra: str = "") -> None:
     """Print a table and archive it (.txt + .json) under
-    benchmarks/results/ (atomically; see :func:`_atomic_write_text`)."""
+    benchmarks/results/ (atomically; see :func:`_atomic_write_text`).
+
+    Every row of the JSON twin records the engine path it was measured
+    on (``"engine": "naive" | "indexed" | "compiled"``) so a results
+    table is self-describing — the perf gate matches rows on it, and a
+    stale cross-engine comparison fails loudly instead of silently
+    passing.  When ``REPRO_ENGINE`` selects an engine explicitly the
+    archived files gain a ``_<engine>`` suffix (``perf_chase_compiled``)
+    so one machine can produce all per-engine tables side by side.
+    """
+    engine = current_engine()
+    if os.environ.get("REPRO_ENGINE"):
+        name = f"{name}_{engine}"
     RESULTS_DIR.mkdir(exist_ok=True)
     rendered = table.render() + (extra + "\n" if extra else "")
     print("\n" + rendered)
     _atomic_write_text(RESULTS_DIR / f"{name}.txt", rendered)
     payload = table.to_json_payload(name=name, extra=extra)
     payload["schema"] = RESULTS_SCHEMA
+    if "engine" not in payload["headers"]:
+        payload["headers"].append("engine")
+    for row in payload["rows"]:
+        row.setdefault("engine", engine)
     _atomic_write_text(
         RESULTS_DIR / f"{name}.json", json.dumps(payload, indent=2) + "\n"
     )

@@ -73,6 +73,7 @@ from ..obs import observer as _observer_state
 from ..obs.observer import Observer
 from .derivation import Derivation, DerivationStep
 from .trigger import Trigger, apply_trigger, triggers
+from .compiled_index import CompiledTriggerIndex
 from .trigger_index import TriggerIndex
 
 __all__ = [
@@ -237,6 +238,16 @@ class ChaseEngine:
         **and** scopes off the atom index, memo cache and core
         maintainer for the duration of the run — the fully naive
         reference path the differential tests compare against.
+    use_compiled:
+        When True (the default) and the index is on, the engine runs the
+        compiled kernel (ISSUE 7): homomorphism searches evaluate as
+        join plans over interned int tuples and the trigger pool is
+        maintained by a :class:`~repro.chase.compiled_index.
+        CompiledTriggerIndex` with semi-naive delta joins.  When False
+        the compiled layer is scoped off for the duration of the run and
+        the object-level indexed engine — the kernel's differential
+        oracle, with identical witnesses and application counts — runs
+        instead.  (``--no-compiled`` on the CLI.)
     """
 
     def __init__(
@@ -247,6 +258,7 @@ class ChaseEngine:
         fresh_prefix: str = "_n",
         observer: Optional[Observer] = None,
         use_index: bool = True,
+        use_compiled: bool = True,
     ):
         if variant not in ChaseVariant.ALL:
             raise ValueError(f"unknown chase variant {variant!r}")
@@ -257,6 +269,7 @@ class ChaseEngine:
         self.core_every = core_every
         self.observer = observer
         self.use_index = use_index
+        self.use_compiled = use_compiled
         self._fresh = FreshVariableSource(prefix=fresh_prefix)
 
     # ------------------------------------------------------------------
@@ -411,7 +424,20 @@ class ChaseEngine:
 
     def _install_index(self, current: AtomSet) -> None:
         if self.use_index:
-            self._index: Optional[TriggerIndex] = TriggerIndex(
+            # The compiled index engages only when the compiled layer is
+            # actually on in the ambient configuration (it may be scoped
+            # off by ``no_compiled()`` or ``use_compiled=False``); its
+            # pool contents and ordering are identical either way.
+            cls = (
+                CompiledTriggerIndex
+                if (
+                    self.use_compiled
+                    and _indexing.compiled_enabled()
+                    and _indexing.atom_index_enabled()
+                )
+                else TriggerIndex
+            )
+            self._index: Optional[TriggerIndex] = cls(
                 self.kb.rules,
                 current,
                 track_satisfaction=self.variant
@@ -422,8 +448,14 @@ class ChaseEngine:
 
     def _index_scope(self):
         """The indexing configuration a run executes under: the ambient
-        one normally, everything scoped off for the naive path."""
-        return nullcontext() if self.use_index else _indexing.no_index()
+        one normally, the compiled layer scoped off for
+        ``use_compiled=False``, everything scoped off for the naive
+        path."""
+        if not self.use_index:
+            return _indexing.no_index()
+        if not self.use_compiled:
+            return _indexing.configured(compiled=False)
+        return nullcontext()
 
     def _advance(
         self,
@@ -668,6 +700,7 @@ def run_chase(
     on_step: Optional[Callable[[DerivationStep], None]] = None,
     observer: Optional[Observer] = None,
     use_index: bool = True,
+    use_compiled: bool = True,
     should_stop: Optional[Callable[[], bool]] = None,
 ) -> ChaseResult:
     """One-shot convenience wrapper around :class:`ChaseEngine`."""
@@ -677,6 +710,7 @@ def run_chase(
         core_every=core_every,
         observer=observer,
         use_index=use_index,
+        use_compiled=use_compiled,
     )
     return engine.run(
         max_steps=max_steps, on_step=on_step, should_stop=should_stop

@@ -39,11 +39,17 @@ class Trigger:
     """A trigger ``(R, π)``; ``mapping`` is ``π`` with exactly the body
     variables of ``R`` in its domain."""
 
-    __slots__ = ("rule", "mapping")
+    __slots__ = ("rule", "mapping", "_full", "_frontier", "_sort")
 
     def __init__(self, rule: ExistentialRule, mapping: Substitution):
         object.__setattr__(self, "rule", rule)
         object.__setattr__(self, "mapping", mapping.restrict(rule.body.variables()))
+        # Image keys are pure functions of (rule, mapping) — both frozen
+        # — and the trigger index recomputes them on every maintenance
+        # pass, so they are cached on first use.
+        object.__setattr__(self, "_full", None)
+        object.__setattr__(self, "_frontier", None)
+        object.__setattr__(self, "_sort", None)
 
     def __setattr__(self, key, value):  # pragma: no cover - defensive
         raise AttributeError("Trigger is immutable")
@@ -69,19 +75,27 @@ class Trigger:
     def frontier_image(self) -> tuple[tuple[Variable, Term], ...]:
         """The frontier restriction of ``π`` as a canonical key — the
         identity notion of the semi-oblivious chase."""
-        return tuple(
-            sorted(
-                ((v, self.mapping[v]) for v in self.rule.frontier),
-                key=lambda pair: pair[0].name,
+        cached = self._frontier
+        if cached is None:
+            cached = tuple(
+                sorted(
+                    ((v, self.mapping[v]) for v in self.rule.frontier),
+                    key=lambda pair: pair[0].name,
+                )
             )
-        )
+            object.__setattr__(self, "_frontier", cached)
+        return cached
 
     def full_image(self) -> tuple[tuple[Variable, Term], ...]:
         """The whole of ``π`` as a canonical key — the identity notion of
         the oblivious chase."""
-        return tuple(
-            sorted(self.mapping.items(), key=lambda pair: pair[0].name)
-        )
+        cached = self._full
+        if cached is None:
+            cached = tuple(
+                sorted(self.mapping.items(), key=lambda pair: pair[0].name)
+            )
+            object.__setattr__(self, "_full", cached)
+        return cached
 
     def transport(self, simplification: Substitution) -> "Trigger":
         """``σ(tr) = (R, σ ∘ π)`` — how triggers travel along
@@ -90,10 +104,14 @@ class Trigger:
 
     def sort_key(self) -> tuple:
         """Deterministic order for fair scheduling."""
-        return (
-            self.rule.name or "",
-            tuple((v.name, t.name) for v, t in self.full_image()),
-        )
+        cached = self._sort
+        if cached is None:
+            cached = (
+                self.rule.name or "",
+                tuple((v.name, t.name) for v, t in self.full_image()),
+            )
+            object.__setattr__(self, "_sort", cached)
+        return cached
 
     def __eq__(self, other: object) -> bool:
         return (

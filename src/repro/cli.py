@@ -127,6 +127,14 @@ def build_parser() -> argparse.ArgumentParser:
         "compare against)",
     )
     chase.add_argument(
+        "--no-compiled",
+        action="store_true",
+        help="disable the compiled chase kernel: homomorphism searches "
+        "and trigger maintenance run on the object-level indexed "
+        "engine (the kernel's differential oracle) instead of the "
+        "interned join plans (implied by --no-index)",
+    )
+    chase.add_argument(
         "--timeout",
         type=float,
         metavar="SECONDS",
@@ -353,6 +361,7 @@ def _cmd_chase(args: argparse.Namespace) -> int:
                 variant=args.variant,
                 max_steps=args.steps,
                 use_index=not args.no_index,
+                use_compiled=not args.no_compiled,
                 should_stop=deadline,
             )
     finally:

@@ -86,7 +86,7 @@ def make_term(value: Union[Term, str]) -> Term:
 class Atom:
     """An immutable atom ``p(t_1, ..., t_k)``."""
 
-    __slots__ = ("predicate", "args", "_hash", "_key")
+    __slots__ = ("predicate", "args", "_hash", "_key", "_enc")
 
     predicate: Predicate
     args: tuple[Term, ...]
@@ -107,6 +107,7 @@ class Atom:
         object.__setattr__(self, "args", args)
         object.__setattr__(self, "_hash", hash((predicate, args)))
         object.__setattr__(self, "_key", None)
+        object.__setattr__(self, "_enc", None)
 
     def __setattr__(self, key, value):  # pragma: no cover - defensive
         raise AttributeError("Atom is immutable")

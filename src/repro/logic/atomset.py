@@ -48,7 +48,16 @@ class AtomSet:
         Initial atoms (any iterable; duplicates collapse).
     """
 
-    __slots__ = ("_atoms", "_by_predicate", "_by_term", "_by_position", "_fp_xor", "_fp_sum")
+    __slots__ = (
+        "_atoms",
+        "_by_predicate",
+        "_by_term",
+        "_by_position",
+        "_fp_xor",
+        "_fp_sum",
+        "_compiled",
+        "_sorted",
+    )
 
     #: Mask keeping the incremental fingerprint sum in one machine word.
     _FP_MASK = (1 << 64) - 1
@@ -60,6 +69,11 @@ class AtomSet:
         self._by_position: dict[tuple[Predicate, int, Term], set[Atom]] = {}
         self._fp_xor: int = 0
         self._fp_sum: int = 0
+        #: Lazily attached compiled view (repro.logic.compiled.relations);
+        #: None until a compiled search first touches this atomset.
+        self._compiled = None
+        #: Cached result of :meth:`sorted_atoms`, dropped on mutation.
+        self._sorted = None
         for at in atoms:
             self.add(at)
 
@@ -84,6 +98,9 @@ class AtomSet:
         h = at._hash
         self._fp_xor ^= h
         self._fp_sum = (self._fp_sum + h) & AtomSet._FP_MASK
+        if self._compiled is not None:
+            self._compiled.add(at)
+        self._sorted = None
         return True
 
     def update(self, atoms: Iterable[Atom]) -> int:
@@ -117,6 +134,9 @@ class AtomSet:
         h = at._hash
         self._fp_xor ^= h
         self._fp_sum = (self._fp_sum - h) & AtomSet._FP_MASK
+        if self._compiled is not None:
+            self._compiled.discard(at)
+        self._sorted = None
         return True
 
     def remove_term(self, term: Term) -> int:
@@ -180,8 +200,17 @@ class AtomSet:
         return frozenset(self._atoms)
 
     def sorted_atoms(self) -> list[Atom]:
-        """The atoms in the deterministic order of :meth:`Atom.sort_key`."""
-        return sorted(self._atoms)
+        """The atoms in the deterministic order of :meth:`Atom.sort_key`.
+
+        The order is cached until the next mutation — homomorphism
+        searches sort their source on every call, and re-sorting an
+        unchanged instance used to show up in core-chase profiles.  A
+        fresh list is returned each time (callers mutate their copies).
+        """
+        cached = self._sorted
+        if cached is None:
+            cached = self._sorted = sorted(self._atoms)
+        return list(cached)
 
     def predicates(self) -> frozenset[Predicate]:
         """All predicates with at least one atom."""
@@ -255,8 +284,27 @@ class AtomSet:
     # ------------------------------------------------------------------
 
     def copy(self) -> "AtomSet":
-        """An independent copy (indexes rebuilt incrementally)."""
-        return AtomSet(self._atoms)
+        """An independent copy.  Indexes are copied container-by-container
+        (C-level set/dict copies) rather than rebuilt atom-by-atom, and an
+        attached compiled view is cloned the same way — the chase
+        snapshots its instance every step, so copy cost is on the
+        per-application path of every engine."""
+        new = AtomSet.__new__(AtomSet)
+        new._atoms = set(self._atoms)
+        new._by_predicate = {
+            pred: set(bucket) for pred, bucket in self._by_predicate.items()
+        }
+        new._by_term = {term: set(bucket) for term, bucket in self._by_term.items()}
+        new._by_position = {
+            key: set(bucket) for key, bucket in self._by_position.items()
+        }
+        new._fp_xor = self._fp_xor
+        new._fp_sum = self._fp_sum
+        new._compiled = (
+            self._compiled.clone() if self._compiled is not None else None
+        )
+        new._sorted = self._sorted
+        return new
 
     def union(self, *others: Union["AtomSet", Iterable[Atom]]) -> "AtomSet":
         """A new atomset containing this one and all *others*."""

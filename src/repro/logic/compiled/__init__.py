@@ -1,0 +1,44 @@
+"""The compiled chase kernel: interned terms, columnar relations, and
+join-plan evaluation (ISSUE 7).
+
+The object-level engine evaluates rule bodies and endomorphism checks by
+backtracking over :class:`~repro.logic.atoms.Atom` graphs — every inner
+step hashes composite objects (``("var", name)`` tuples, ``(predicate,
+position, term)`` index keys) and sorts candidate pools of full atoms.
+This package removes the object layer from the hot loop:
+
+* :mod:`~repro.logic.compiled.interner` — a process-global, bidirectional
+  symbol table mapping predicates and terms to small ints (and back, so
+  every result decompiles to the existing ``Atom``/``Term`` objects);
+* :mod:`~repro.logic.compiled.relations` — columnar per-predicate
+  relations storing atoms as flat int tuples with per-(position, value)
+  postings, attached lazily to an :class:`~repro.logic.atomset.AtomSet`
+  and maintained incrementally through its mutations;
+* :mod:`~repro.logic.compiled.plans` — the compiled join evaluator: the
+  *same* most-constrained-first backtracking search as
+  :func:`repro.logic.homomorphism.homomorphisms`, replayed over int
+  tuples with an explicit frame stack.  It replicates the indexed
+  search's pools, ordering and tie-breaks exactly, so the two paths
+  produce **identical witnesses** — the differential suite asserts
+  equality of runs, not mere isomorphism.
+
+The kernel sits behind the same switchboard as the indexed layer
+(:func:`repro.logic.indexing.compiled_enabled`, scoped off by
+``--no-compiled`` / :func:`repro.logic.indexing.no_compiled`); when it is
+off — or a search needs a feature the kernel does not compile
+(``injective`` isomorphism searches) — the object-level indexed search
+runs unchanged.  See docs/PERFORMANCE.md ("Compiled kernel").
+"""
+
+from .interner import SymbolTable, symbol_table
+from .plans import compiled_assignments, compiled_homomorphisms
+from .relations import CompiledView, compiled_view
+
+__all__ = [
+    "SymbolTable",
+    "symbol_table",
+    "CompiledView",
+    "compiled_view",
+    "compiled_homomorphisms",
+    "compiled_assignments",
+]

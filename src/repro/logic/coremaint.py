@@ -96,6 +96,8 @@ from . import homcache as _homcache
 from . import indexing as _indexing
 from .atoms import Atom
 from .atomset import AtomSet
+from . import compiled as _compiled
+from .compiled import plans as _compiled_plans
 from .cores import _fold_pass, _variable_order
 from .homomorphism import find_homomorphism, homomorphisms
 from .substitution import Substitution
@@ -428,6 +430,28 @@ class CoreMaintainer:
         dirty = [at for at in current.sorted_atoms() if at not in clean]
         if not dirty:
             return None, True
+
+        # Compiled fast path (ISSUE 7): the scan runs one endomorphism
+        # search per pin against the *same* source, so the pattern is
+        # encoded once and each pinned search runs in int space, testing
+        # properness on the live assignment (a proper endomorphism has
+        # some variable code outside its own image) — a Substitution is
+        # materialized only for the one fold actually returned.  Pin
+        # order, enumeration order, cap semantics and stats are
+        # identical to the object loop below (the compiled evaluator
+        # replicates the indexed search witness-for-witness).
+        compiled_on = (
+            _indexing.compiled_enabled() and _indexing.atom_index_enabled()
+        )
+        if compiled_on:
+            table = _compiled.symbol_table()
+            encode_term = table.encode_term
+            decode_term = table.decode_term
+            encoded, var_codes = _compiled_plans.source_plan(
+                current, current.sorted_atoms()
+            )
+            view = _compiled.compiled_view(current)
+
         seen_pins: set[Substitution] = set()
         for delta_atom in dirty:
             pool = clean._with_predicate_raw(delta_atom.predicate)
@@ -442,6 +466,29 @@ class CoreMaintainer:
                 seen_pins.add(pin)
                 stats["pairs_checked"] += 1
                 enumerated = 0
+                if compiled_on:
+                    seed = {
+                        encode_term(v): encode_term(t)
+                        for v, t in pin.items()
+                    }
+                    for assignment in _compiled_plans.run_plan(
+                        encoded, view, seed, frozenset()
+                    ):
+                        enumerated += 1
+                        stats["pair_endomorphisms"] += 1
+                        image = {assignment[vc] for vc in var_codes}
+                        if any(vc not in image for vc in var_codes):
+                            endo = Substitution(
+                                {
+                                    decode_term(v): decode_term(t)
+                                    for v, t in assignment.items()
+                                    if v in var_codes
+                                }
+                            )
+                            return endo, False
+                        if enumerated >= PAIR_ENUM_CAP:
+                            return None, False  # budget blown: fall back
+                    continue
                 for endo in homomorphisms(current, current, partial=pin):
                     enumerated += 1
                     stats["pair_endomorphisms"] += 1

@@ -46,6 +46,7 @@ from ..obs import observer as _observer_state
 from . import homcache as _homcache
 from . import indexing as _indexing
 from .atoms import Atom
+from .compiled import plans as _plans
 from .atomset import AtomSet
 from .substitution import Substitution
 from .terms import Constant, Term, Variable
@@ -94,6 +95,27 @@ def homomorphisms(
         _stats.setdefault("backtracks", 0)
         _stats["source_atoms"] = len(source_atoms)
         _stats["target_atoms"] = len(target)
+
+    # Compiled kernel (ISSUE 7): non-injective searches run as join
+    # plans over interned int tuples.  The kernel replicates the
+    # *indexed* pools/order/tie-breaks exactly — identical witnesses,
+    # identical backtrack counts — so it only engages when the atom
+    # index is the reference semantics; isomorphism searches
+    # (``injective``) bail to the object path below.
+    if (
+        not injective
+        and _indexing.compiled_enabled()
+        and _indexing.atom_index_enabled()
+    ):
+        yield from _plans.compiled_homomorphisms(
+            source_atoms,
+            target,
+            partial=partial,
+            forbidden_images=forbidden,
+            _stats=_stats,
+            source_set=source if isinstance(source, AtomSet) else None,
+        )
+        return
 
     assignment: dict[Variable, Term] = {}
     if partial is not None:

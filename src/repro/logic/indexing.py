@@ -11,7 +11,14 @@ Four accelerations sit under the chase (ISSUEs 2 and 3):
   ``use_index`` flag, which also scopes the switches here);
 * the incremental core maintainer (:mod:`repro.logic.coremaint` — the
   engine consults :func:`core_maintenance_enabled` when a core-variant
-  run starts; the CLI's ``--no-core-maint`` flips only this switch).
+  run starts; the CLI's ``--no-core-maint`` flips only this switch);
+* the compiled kernel (:mod:`repro.logic.compiled`, ISSUE 7 — interned
+  terms, columnar relations, compiled join plans; the homomorphism
+  search routes through it when *both* this switch and the atom index
+  are on, since the compiled evaluator replicates the *indexed* pools;
+  the CLI's ``--no-compiled`` and the :func:`no_compiled` scope disable
+  just this layer, leaving the object-level indexed path as the
+  differential oracle).
 
 All are semantics-preserving accelerations of the same search, but
 differential testing needs the *naive* path to stay reachable: the CLI's
@@ -31,11 +38,14 @@ __all__ = [
     "atom_index_enabled",
     "hom_memo_enabled",
     "core_maintenance_enabled",
+    "compiled_enabled",
     "set_atom_index",
     "set_hom_memo",
     "set_core_maintenance",
+    "set_compiled",
     "configured",
     "no_index",
+    "no_compiled",
 ]
 
 #: Positional-index candidate selection in ``homomorphisms()``.
@@ -46,6 +56,10 @@ _hom_memo: bool = True
 
 #: Incremental core maintenance in core-variant chase runs.
 _core_maint: bool = True
+
+#: Compiled kernel (interned terms + columnar join plans) in
+#: ``homomorphisms()`` and the chase's trigger index.
+_compiled: bool = True
 
 
 def atom_index_enabled() -> bool:
@@ -88,11 +102,31 @@ def set_core_maintenance(enabled: bool) -> bool:
     return previous
 
 
+def compiled_enabled() -> bool:
+    """True iff searches may run on the compiled kernel.
+
+    The compiled evaluator replicates the *indexed* candidate pools, so
+    callers must also check :func:`atom_index_enabled` before routing —
+    under :func:`no_index` the naive pools (different witnesses) are the
+    reference semantics and the kernel must stay out of the way.
+    """
+    return _compiled
+
+
+def set_compiled(enabled: bool) -> bool:
+    """Set the compiled-kernel switch; returns the previous value."""
+    global _compiled
+    previous = _compiled
+    _compiled = bool(enabled)
+    return previous
+
+
 @contextmanager
 def configured(
     atom_index: Optional[bool] = None,
     hom_memo: Optional[bool] = None,
     core_maint: Optional[bool] = None,
+    compiled: Optional[bool] = None,
 ) -> Iterator[None]:
     """Temporarily override the switches (None leaves one untouched)."""
     previous_index = set_atom_index(atom_index) if atom_index is not None else None
@@ -100,6 +134,7 @@ def configured(
     previous_maint = (
         set_core_maintenance(core_maint) if core_maint is not None else None
     )
+    previous_compiled = set_compiled(compiled) if compiled is not None else None
     try:
         yield
     finally:
@@ -109,10 +144,23 @@ def configured(
             set_hom_memo(previous_memo)
         if previous_maint is not None:
             set_core_maintenance(previous_maint)
+        if previous_compiled is not None:
+            set_compiled(previous_compiled)
 
 
 @contextmanager
 def no_index() -> Iterator[None]:
-    """Scope in which every layer runs the naive (pre-index) path."""
-    with configured(atom_index=False, hom_memo=False, core_maint=False):
+    """Scope in which every layer runs the naive (pre-index) path —
+    the compiled kernel included, since it compiles the indexed pools."""
+    with configured(
+        atom_index=False, hom_memo=False, core_maint=False, compiled=False
+    ):
+        yield
+
+
+@contextmanager
+def no_compiled() -> Iterator[None]:
+    """Scope in which only the compiled kernel is off: the object-level
+    *indexed* engine (the differential oracle for the kernel) runs."""
+    with configured(compiled=False):
         yield

@@ -37,7 +37,7 @@ class Substitution:
     name assumption); attempting to bind a constant raises.
     """
 
-    __slots__ = ("_map",)
+    __slots__ = ("_map", "_hash")
 
     def __init__(self, mapping: Optional[Mapping[Variable, Term]] = None):
         clean: dict[Variable, Term] = {}
@@ -49,6 +49,7 @@ class Substitution:
                     raise TypeError(f"substitution values must be terms: {term!r}")
                 clean[var] = term
         object.__setattr__(self, "_map", clean)
+        object.__setattr__(self, "_hash", None)
 
     def __setattr__(self, key, value):  # pragma: no cover - defensive
         raise AttributeError("Substitution is immutable")
@@ -124,7 +125,14 @@ class Substitution:
         return not result
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._map.items()))
+        # Cached: substitutions key the homomorphism memo and the escape
+        # scan's pin dedup, where the same (immutable) object is hashed
+        # over and over.
+        h = self._hash
+        if h is None:
+            h = hash(frozenset(self._map.items()))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     # ------------------------------------------------------------------
     # application (the σ+ extension)
@@ -144,7 +152,14 @@ class Substitution:
         return Atom(at.predicate, new_args)
 
     def apply(self, atoms: AtomsLike) -> AtomSet:
-        """``σ(A)`` for an atomset (returns a new :class:`AtomSet`)."""
+        """``σ(A)`` for an atomset (returns a new :class:`AtomSet`).
+
+        The identity substitution short-circuits to :meth:`AtomSet.copy`
+        — the chase applies a per-step retraction that is usually the
+        identity, and a copy preserves the set's indexes (and compiled
+        view) instead of rebuilding them."""
+        if not self._map and isinstance(atoms, AtomSet):
+            return atoms.copy()
         return AtomSet(self.apply_atom(at) for at in _iter_atoms(atoms))
 
     # ------------------------------------------------------------------

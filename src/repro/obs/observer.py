@@ -163,6 +163,27 @@ class Observer:
         live triggers travelled through the simplification with
         *collapsed* of them folding onto identical keys."""
 
+    # -- compiled kernel (repro.logic.compiled / repro.chase.compiled_index)
+
+    def compile(self, *, rule: str, body_atoms: int, variables: int) -> None:
+        """One rule body was compiled to a join plan over the interned
+        relations (:class:`~repro.chase.compiled_index.
+        CompiledTriggerIndex` construction, or recompilation after a
+        symbol-table reset)."""
+
+    def join_plan(
+        self,
+        *,
+        delta_atoms: int,
+        plans_run: int,
+        triggers_new: int,
+        tuples: int,
+    ) -> None:
+        """One semi-naive delta round finished: *plans_run* compiled
+        body plans were seeded from *delta_atoms* new tuples, yielding
+        *triggers_new* previously unseen triggers; *tuples* is the
+        instance's current interned-tuple count."""
+
     # -- query service (repro.service) ---------------------------------
 
     def service_request(self, *, op: str, coalesced: bool) -> None:
@@ -319,6 +340,14 @@ class CompositeObserver(Observer):
     def trigger_index_update(self, **kw) -> None:
         for obs in self.observers:
             obs.trigger_index_update(**kw)
+
+    def compile(self, **kw) -> None:
+        for obs in self.observers:
+            obs.compile(**kw)
+
+    def join_plan(self, **kw) -> None:
+        for obs in self.observers:
+            obs.join_plan(**kw)
 
     def service_request(self, **kw) -> None:
         for obs in self.observers:

@@ -58,6 +58,8 @@ EVENT_KINDS = (
     "homomorphism_search",
     "hom_memo_lookup",
     "trigger_index_update",
+    "compile",
+    "join_plan",
     "service_request",
     "service_job",
     "service_retry",
@@ -154,6 +156,9 @@ class MetricsObserver(Observer):
     ``index.triggers_reused``  counter  triggers carried over unchanged
     ``index.satisfaction_rechecks``  counter  satisfaction tests that ran
     ``index.collapsed``     counter    trigger keys folded by transport
+    ``compiled.plans``      counter    rule bodies compiled to join plans
+    ``compiled.delta_rounds``  counter  semi-naive delta rounds absorbed
+    ``compiled.tuples``     gauge      interned tuples in the instance
     ``tw.searches``         counter    "width ≤ k?" decisions
     ``tw.budget_consumed``  counter    states consumed by the searches
     ``robust.steps``        counter    robust-sequence steps built
@@ -278,6 +283,14 @@ class MetricsObserver(Observer):
         reg.counter("index.triggers_reused").inc(triggers_reused)
         reg.counter("index.satisfaction_rechecks").inc(satisfaction_rechecks)
         reg.counter("index.collapsed").inc(collapsed)
+
+    def compile(self, *, rule, body_atoms, variables) -> None:
+        self.registry.counter("compiled.plans").inc()
+
+    def join_plan(self, *, delta_atoms, plans_run, triggers_new, tuples) -> None:
+        reg = self.registry
+        reg.counter("compiled.delta_rounds").inc()
+        reg.gauge("compiled.tuples").set(tuples)
 
     def service_request(self, *, op, coalesced) -> None:
         reg = self.registry
@@ -405,6 +418,14 @@ class TracingObserver(MetricsObserver):
     def trigger_index_update(self, **kw) -> None:
         self.tracer.emit("trigger_index_update", **kw)
         super().trigger_index_update(**kw)
+
+    def compile(self, **kw) -> None:
+        self.tracer.emit("compile", **kw)
+        super().compile(**kw)
+
+    def join_plan(self, **kw) -> None:
+        self.tracer.emit("join_plan", **kw)
+        super().join_plan(**kw)
 
     def service_request(self, **kw) -> None:
         self.tracer.emit("service_request", **kw)

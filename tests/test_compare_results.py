@@ -7,6 +7,12 @@ added with the incremental core maintainer — *semantic drift*, where a
 current row matches a baseline row on everything except the behaviour
 counts (applications/retractions/atoms_out) and must fail with its own
 error message rather than an opaque "row missing".
+
+The floor mode added with the compiled kernel (``--min-speedup``, plus
+``--baseline-name``/``--ignore-fields``/``--only-rows``) is pinned in
+:class:`TestFloorMode`: both verdict directions, drift detection inside
+floor mode, and the cross-engine table pairing the compiled CI gate
+relies on.
 """
 
 import importlib.util
@@ -95,6 +101,113 @@ class TestGateVerdicts:
         assert code == 1
         assert "row missing from current results" in output
         assert "SEMANTIC DRIFT" not in output
+
+
+class TestFloorMode:
+    """``--min-speedup`` (ISSUE 7): the compiled CI gate's inverse
+    check — fail rows that are not *fast enough*, not rows that got
+    slower."""
+
+    def test_meeting_the_floor_passes(self, gate, tmp_path, capsys):
+        argv = _write_pair(tmp_path, [ROW], [{**ROW, "seconds": 0.5}])
+        code, output = _run(gate, argv + ["--min-speedup", "5"], capsys)
+        assert code == 0
+        assert "8.00x speedup" in output
+        assert "perf gate clean" in output
+
+    def test_missing_the_floor_fails(self, gate, tmp_path, capsys):
+        argv = _write_pair(tmp_path, [ROW], [{**ROW, "seconds": 2.0}])
+        code, output = _run(gate, argv + ["--min-speedup", "5"], capsys)
+        assert code == 1
+        assert "2.00x speedup, floor 5x" in output
+        assert "below the 5x speedup floor" in output
+
+    def test_floor_mode_still_reports_semantic_drift(self, gate, tmp_path, capsys):
+        """A blazing-fast row that computes something else is drift,
+        not a pass — the count fields stay in row identity."""
+        drifted = {**ROW, "applications": 36, "seconds": 0.1}
+        argv = _write_pair(tmp_path, [ROW], [drifted])
+        code, output = _run(gate, argv + ["--min-speedup", "2"], capsys)
+        assert code == 1
+        assert "SEMANTIC DRIFT" in output
+
+    def test_baseline_name_compares_cross_table(self, gate, tmp_path, capsys):
+        """--baseline-name diffs one results table against a different
+        reference table (the same-machine indexed-vs-compiled gate);
+        --ignore-fields drops the engine column that would otherwise
+        keep the rows from matching."""
+        baselines = tmp_path / "tables"
+        baselines.mkdir()
+        indexed = _table([{**ROW, "engine": "indexed"}])
+        compiled = _table([{**ROW, "seconds": 1.0, "engine": "compiled"}])
+        (baselines / "perf_demo_indexed.json").write_text(json.dumps(indexed))
+        (baselines / "perf_demo_compiled.json").write_text(json.dumps(compiled))
+        code, output = _run(
+            gate,
+            [
+                "perf_demo_compiled",
+                "--baselines", str(baselines),
+                "--results", str(baselines),
+                "--baseline-name", "perf_demo_indexed",
+                "--min-speedup", "1.5",
+                "--ignore-fields", "engine",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "4.00x speedup" in output
+
+    def test_engine_field_mismatch_without_ignore(self, gate, tmp_path, capsys):
+        """Without --ignore-fields the engine column keeps cross-engine
+        rows apart — by design, so a stale comparison fails loudly."""
+        baselines = tmp_path / "tables"
+        baselines.mkdir()
+        indexed = _table([{**ROW, "engine": "indexed"}])
+        compiled = _table([{**ROW, "seconds": 1.0, "engine": "compiled"}])
+        (baselines / "perf_demo_indexed.json").write_text(json.dumps(indexed))
+        (baselines / "perf_demo_compiled.json").write_text(json.dumps(compiled))
+        code, output = _run(
+            gate,
+            [
+                "perf_demo_compiled",
+                "--baselines", str(baselines),
+                "--results", str(baselines),
+                "--baseline-name", "perf_demo_indexed",
+                "--min-speedup", "1.5",
+            ],
+            capsys,
+        )
+        assert code == 1
+        assert "row missing" in output
+
+    def test_baseline_name_requires_single_table(self, gate, tmp_path, capsys):
+        argv = _write_pair(tmp_path, [ROW], [ROW])
+        code, output = _run(
+            gate,
+            argv + ["--baseline-name", "other", "perf_demo", "perf_demo"],
+            capsys,
+        )
+        assert code == 1
+        assert "exactly one table name" in output
+
+    def test_only_rows_filters_the_gate(self, gate, tmp_path, capsys):
+        """--only-rows gates just the rows whose label matches; the
+        too-slow staircase row here is simply not gated."""
+        fast = {**ROW, "seconds": 4.0}
+        slow = {**ROW, "workload": "staircase", "seconds": 4.0}
+        argv = _write_pair(
+            tmp_path,
+            [fast, slow],
+            [{**fast, "seconds": 1.0}, {**slow, "seconds": 3.9}],
+        )
+        code, output = _run(
+            gate,
+            argv + ["--min-speedup", "2", "--only-rows", "elevator"],
+            capsys,
+        )
+        assert code == 0
+        assert "staircase" not in output
+        assert "4.00x speedup" in output
 
 
 class TestDriftDetector:

@@ -1,0 +1,390 @@
+"""The compiled kernel (ISSUE 7): interning, columnar views, join
+plans, and the semi-naive trigger index.
+
+Complements ``test_differential_index.py`` (which fuzzes whole runs
+across the three engines) with targeted unit tests of the compiled
+layer's own invariants:
+
+* the symbol table is injective across term *kinds* and stable across
+  KB merges and re-encodings;
+* a compiled view maintained incrementally through adds/discards/copies
+  equals one rebuilt from scratch;
+* the compiled evaluator returns the indexed object search's witness
+  lists *in order*, including under partial assignments and forbidden
+  images;
+* the semi-naive ``CompiledTriggerIndex`` survives mid-chase
+  ``CoreMaintainer`` retractions with a live pool identical to a
+  from-scratch rescan;
+* every documented bail-out really falls back to the object engine;
+* ``compile``/``join_plan`` events and ``compiled.*`` metrics flow
+  through :mod:`repro.obs`.
+"""
+
+import io
+import json
+
+from repro.chase.compiled_index import CompiledTriggerIndex
+from repro.chase.engine import ChaseEngine, ChaseVariant, run_chase
+from repro.chase.trigger import triggers
+from repro.chase.trigger_index import TriggerIndex
+from repro.kbs.elevator import elevator_kb
+from repro.kbs.staircase import staircase_kb
+from repro.logic import indexing
+from repro.logic.atoms import Atom
+from repro.logic.atomset import AtomSet
+from repro.logic.compiled import compiled_homomorphisms, compiled_view
+from repro.logic.compiled.interner import reset_symbol_table, symbol_table
+from repro.logic.homcache import get_cache
+from repro.logic.homomorphism import homomorphisms
+from repro.logic.parser import parse_atoms
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, FreshVariableSource, Variable
+from repro.obs import (
+    JsonlTracer,
+    MetricsObserver,
+    MetricsRegistry,
+    TracingObserver,
+    observing,
+)
+from repro.service.snapshots import SnapshotStore
+
+
+# ---------------------------------------------------------------------------
+# interning
+# ---------------------------------------------------------------------------
+
+
+class TestSymbolTable:
+    def test_same_name_different_kind_gets_distinct_codes(self):
+        """``Variable("a")`` and ``Constant("a")`` are different terms
+        and must never collapse to one code."""
+        table = symbol_table()
+        var_code = table.encode_term(Variable("a"))
+        const_code = table.encode_term(Constant("a"))
+        assert var_code != const_code
+        assert table.decode_term(var_code) == Variable("a")
+        assert table.decode_term(const_code) == Constant("a")
+        assert table.is_variable_code[var_code]
+        assert not table.is_variable_code[const_code]
+
+    def test_codes_stable_across_kb_merges(self):
+        """Interning the atoms of two KBs that share constant and null
+        *names* must assign one code per (kind, name) — the codes a KB's
+        atoms got before a merge are the codes they keep after it."""
+        table = symbol_table()
+        first = sorted(parse_atoms("edge(a, b), edge(b, N1)"))
+        before = [table.encode_atom(at)[1:] for at in first]
+        for at in parse_atoms("edge(N1, a), label(b, c)"):
+            table.encode_atom(at)
+        # Re-encoding the first KB's atoms (fresh Atom objects, same
+        # names) reproduces the original codes exactly.
+        again = [
+            table.encode_atom(at)[1:]
+            for at in sorted(parse_atoms("edge(a, b), edge(b, N1)"))
+        ]
+        assert before == again
+
+    def test_encode_decode_round_trip(self):
+        table = symbol_table()
+        for at in parse_atoms("r(X, a, Y), s(b), t(X, X)"):
+            _, pred_code, row = table.encode_atom(at)
+            rebuilt = Atom(
+                table.decode_predicate(pred_code),
+                tuple(table.decode_term(code) for code in row),
+            )
+            assert rebuilt == at
+
+    def test_fresh_nulls_from_independent_sources_stay_distinct(self):
+        """Two engines' fresh-null streams reuse names only when the
+        names really are equal — the interner must key on the name, not
+        the object, so equal names collide (same code) and distinct
+        names never do."""
+        table = symbol_table()
+        src_a, src_b = FreshVariableSource(), FreshVariableSource()
+        null_a, null_b = src_a.fresh(), src_b.fresh()
+        if null_a == null_b:
+            assert table.encode_term(null_a) == table.encode_term(null_b)
+        else:
+            assert table.encode_term(null_a) != table.encode_term(null_b)
+
+    def test_reset_retires_old_views(self):
+        """After the (test-only) global reset, previously attached views
+        carry a stale generation and are rebuilt, not trusted."""
+        atoms = AtomSet(parse_atoms("p(a, b), p(b, c)"))
+        view = compiled_view(atoms)
+        reset_symbol_table()
+        fresh = compiled_view(atoms)
+        assert fresh is not view
+        assert fresh.generation == symbol_table().generation
+        assert fresh.tuples == 2
+
+
+# ---------------------------------------------------------------------------
+# columnar views
+# ---------------------------------------------------------------------------
+
+
+def _view_state(view):
+    return {
+        code: (
+            set(rel.rows),
+            {k: set(v) for k, v in rel.postings.items()},
+            dict(rel.sort_keys),
+        )
+        for code, rel in view.relations.items()
+        if rel.rows
+    }
+
+
+class TestCompiledView:
+    def test_incremental_maintenance_matches_rebuild(self):
+        """A view maintained through adds and discards equals a view
+        built from scratch over the final atom set."""
+        atoms = AtomSet(parse_atoms("e(a, b), e(b, c)"))
+        view = compiled_view(atoms)
+        extra = list(parse_atoms("e(c, d), f(a), f(d)"))
+        for at in extra:
+            atoms.add(at)
+        atoms.discard(extra[0])
+        atoms.discard(next(iter(parse_atoms("e(a, b)"))))
+        rebuilt = compiled_view(AtomSet(atoms))
+        assert view.tuples == rebuilt.tuples == len(atoms)
+        assert _view_state(view) == _view_state(rebuilt)
+
+    def test_copy_clones_the_view_independently(self):
+        """``AtomSet.copy`` hands the copy its own cloned view: mutating
+        either set afterwards must not leak into the other."""
+        atoms = AtomSet(parse_atoms("e(a, b), e(b, c)"))
+        compiled_view(atoms)
+        copy = atoms.copy()
+        assert copy._compiled is not None
+        assert copy._compiled is not atoms._compiled
+        copy.add(next(iter(parse_atoms("e(c, d)"))))
+        atoms.discard(next(iter(parse_atoms("e(a, b)"))))
+        assert _view_state(compiled_view(copy)) == _view_state(
+            compiled_view(AtomSet(copy))
+        )
+        assert _view_state(compiled_view(atoms)) == _view_state(
+            compiled_view(AtomSet(atoms))
+        )
+
+
+# ---------------------------------------------------------------------------
+# the compiled evaluator vs the object search
+# ---------------------------------------------------------------------------
+
+
+def _object_witnesses(source, target, **kw):
+    with indexing.no_compiled():
+        return list(homomorphisms(source, target, **kw))
+
+
+class TestWitnessParity:
+    def test_witness_lists_identical_in_order(self):
+        source = AtomSet(parse_atoms("e(X, Y), e(Y, Z)"))
+        target = AtomSet(
+            parse_atoms("e(a, b), e(b, c), e(c, a), e(b, d), e(d, b)")
+        )
+        assert list(homomorphisms(source, target)) == _object_witnesses(
+            source, target
+        )
+
+    def test_witness_lists_identical_under_partial(self):
+        source = AtomSet(parse_atoms("e(X, Y), e(Y, Z)"))
+        target = AtomSet(parse_atoms("e(a, b), e(b, c), e(c, a)"))
+        partial = Substitution({Variable("X"): Constant("a")})
+        assert list(
+            homomorphisms(source, target, partial=partial)
+        ) == _object_witnesses(source, target, partial=partial)
+
+    def test_witness_lists_identical_under_forbidden_images(self):
+        source = AtomSet(parse_atoms("e(X, Y)"))
+        target = AtomSet(parse_atoms("e(a, b), e(b, c)"))
+        forbidden = (Constant("b"),)
+        assert list(
+            homomorphisms(source, target, forbidden_images=forbidden)
+        ) == _object_witnesses(source, target, forbidden_images=forbidden)
+
+    def test_compiled_homomorphisms_direct_entry_point(self):
+        source = AtomSet(parse_atoms("e(X, Y), e(Y, X)"))
+        target = AtomSet(parse_atoms("e(a, b), e(b, a), e(b, c)"))
+        assert list(
+            compiled_homomorphisms(source, target)
+        ) == _object_witnesses(source, target)
+
+    def test_injective_search_bails_to_object_path(self):
+        """Injective (isomorphism-style) searches are not compiled; the
+        router must hand them to the object engine, which enforces the
+        image-disjointness discipline the plans do not model."""
+        source = AtomSet(parse_atoms("e(X, Y), e(Y, Z)"))
+        target = AtomSet(parse_atoms("e(a, b), e(b, c)"))
+        assert list(
+            homomorphisms(source, target, injective=True)
+        ) == _object_witnesses(source, target, injective=True)
+
+
+# ---------------------------------------------------------------------------
+# the semi-naive trigger index
+# ---------------------------------------------------------------------------
+
+
+class TestCompiledTriggerIndex:
+    def test_pool_matches_rescan_after_core_retractions(self):
+        """The deep-retraction workload: a staircase core chase folds
+        freshly grown fragments every step (CoreMaintainer retractions
+        mid-chase), and the semi-naive pool must still equal a
+        from-scratch rescan of the final instance."""
+        get_cache().clear()
+        engine = ChaseEngine(staircase_kb(), variant=ChaseVariant.CORE)
+        result = engine.run(max_steps=12)
+        assert result.retractions > 0, "workload must exercise retractions"
+        assert isinstance(engine._index, CompiledTriggerIndex)
+        rescanned = {
+            (rule.name, trigger.full_image())
+            for rule in engine.kb.rules
+            for trigger in triggers(rule, result.final_instance)
+        }
+        assert set(engine._index._live.keys()) == rescanned
+
+    def test_core_run_equals_indexed_oracle_after_retractions(self):
+        get_cache().clear()
+        compiled = run_chase(
+            elevator_kb(), variant=ChaseVariant.CORE, max_steps=10
+        )
+        get_cache().clear()
+        indexed = run_chase(
+            elevator_kb(),
+            variant=ChaseVariant.CORE,
+            max_steps=10,
+            use_compiled=False,
+        )
+        assert compiled.applications == indexed.applications
+        assert compiled.retractions == indexed.retractions
+        assert compiled.final_instance == indexed.final_instance
+
+    def test_default_engine_installs_compiled_index(self):
+        get_cache().clear()
+        engine = ChaseEngine(elevator_kb(), variant=ChaseVariant.RESTRICTED)
+        engine.run(max_steps=2)
+        assert isinstance(engine._index, CompiledTriggerIndex)
+
+    def test_no_compiled_scope_falls_back_to_object_index(self):
+        kb = elevator_kb()
+        get_cache().clear()
+        with indexing.no_compiled():
+            engine = ChaseEngine(kb, variant=ChaseVariant.RESTRICTED)
+            engine.run(max_steps=4)
+            assert type(engine._index) is TriggerIndex
+
+    def test_use_compiled_false_falls_back_to_object_index(self):
+        get_cache().clear()
+        engine = ChaseEngine(
+            elevator_kb(), variant=ChaseVariant.RESTRICTED, use_compiled=False
+        )
+        engine.run(max_steps=4)
+        assert type(engine._index) is TriggerIndex
+
+    def test_no_index_disables_both_layers(self):
+        get_cache().clear()
+        engine = ChaseEngine(
+            elevator_kb(), variant=ChaseVariant.RESTRICTED, use_index=False
+        )
+        engine.run(max_steps=4)
+        assert engine._index is None
+
+    def test_scoped_off_mid_run_bails_per_delta(self):
+        """A CompiledTriggerIndex asked to absorb a delta while the
+        compiled layer is scoped off must take the object path — same
+        pool either way."""
+        kb = elevator_kb()
+        get_cache().clear()
+        engine = ChaseEngine(kb, variant=ChaseVariant.RESTRICTED)
+        engine.run(max_steps=2)
+        assert isinstance(engine._index, CompiledTriggerIndex)
+        with indexing.no_compiled():
+            engine.resume(extra_steps=2)
+        rescanned = {
+            (rule.name, trigger.full_image())
+            for rule in kb.rules
+            for trigger in triggers(rule, engine.current_instance)
+        }
+        assert set(engine._index._live.keys()) == rescanned
+
+
+# ---------------------------------------------------------------------------
+# snapshot round trip
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotRoundTrip:
+    def test_symbol_table_survives_save_load_resume(self, tmp_path):
+        """A compiled run checkpointed through the snapshot store and
+        restored in a fresh symbol-table world must resume to the same
+        instances as an uninterrupted compiled run — the interner is
+        process-local state the snapshot format must not depend on."""
+        kb = staircase_kb()
+        get_cache().clear()
+        straight = run_chase(kb, variant=ChaseVariant.CORE, max_steps=10)
+
+        get_cache().clear()
+        engine = ChaseEngine(kb, variant=ChaseVariant.CORE)
+        engine.run(max_steps=6)
+        store = SnapshotStore(tmp_path)
+        store.save(kb, engine.export_state())
+
+        # A fresh process: new interner codes, nothing shared.
+        reset_symbol_table()
+        get_cache().clear()
+        state = store.load(kb, ChaseVariant.CORE)
+        assert state is not None
+        resumed_engine = ChaseEngine(kb, variant=ChaseVariant.CORE)
+        resumed_engine.restore_state(state)
+        resumed_engine.resume(extra_steps=4)
+        assert resumed_engine.current_instance == straight.final_instance
+
+
+# ---------------------------------------------------------------------------
+# observability
+# ---------------------------------------------------------------------------
+
+
+class TestCompiledTelemetry:
+    def test_metrics_flow(self):
+        registry = MetricsRegistry()
+        get_cache().clear()
+        with observing(MetricsObserver(registry)):
+            run_chase(elevator_kb(), variant=ChaseVariant.RESTRICTED, max_steps=6)
+        assert registry.counter("compiled.plans").value > 0
+        assert registry.counter("compiled.delta_rounds").value > 0
+        assert registry.gauge("compiled.tuples").value > 0
+
+    def test_compile_and_join_plan_events_traced(self):
+        buffer = io.StringIO()
+        get_cache().clear()
+        with observing(TracingObserver(JsonlTracer(buffer))):
+            run_chase(elevator_kb(), variant=ChaseVariant.RESTRICTED, max_steps=4)
+        kinds = {
+            json.loads(line)["kind"]
+            for line in buffer.getvalue().splitlines()
+            if line.strip()
+        }
+        assert "compile" in kinds
+        assert "join_plan" in kinds
+
+    def test_no_events_when_compiled_disabled(self):
+        buffer = io.StringIO()
+        get_cache().clear()
+        with observing(TracingObserver(JsonlTracer(buffer))):
+            run_chase(
+                elevator_kb(),
+                variant=ChaseVariant.RESTRICTED,
+                max_steps=4,
+                use_compiled=False,
+            )
+        kinds = {
+            json.loads(line)["kind"]
+            for line in buffer.getvalue().splitlines()
+            if line.strip()
+        }
+        assert "compile" not in kinds
+        assert "join_plan" not in kinds

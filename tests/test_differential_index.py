@@ -1,14 +1,23 @@
-"""Differential tests: the indexed engine against the naive reference.
+"""Differential tests: compiled vs indexed vs naive engines.
 
-The indexed evaluation layer (positional atom index, incremental
-trigger index, homomorphism memo) must be a pure optimisation: for
-every KB and variant, a run with ``use_index=True`` and one with
-``use_index=False`` must select the same rule sequence, perform the
-same number of applications, and end in isomorphic instances.  (Only
-*isomorphic*, not equal: the two paths may pick different — equally
-valid — fold witnesses inside core retractions, so null names can
-differ.)  Random KBs come from :func:`repro.kbs.generators.random_kb`;
-hypothesis fuzzes the seed and shape.
+The evaluation layers must be pure optimisations, on two tiers:
+
+* **Indexed vs naive** (PR 2/3): for every KB and variant, a run with
+  ``use_index=True`` and one with ``use_index=False`` must select the
+  same rule sequence, perform the same number of applications, and end
+  in *isomorphic* instances.  (Only isomorphic, not equal: the two
+  paths may pick different — equally valid — fold witnesses inside core
+  retractions, so null names can differ.)
+* **Compiled vs indexed** (ISSUE 7): the compiled kernel replays the
+  indexed search's pools, selection order and tie-breaks over interned
+  int tuples, so it must produce **identical** witnesses — the two runs
+  are compared for *equality* (same rule sequence, same applications,
+  byte-identical final instances including null names), not just
+  isomorphism.
+
+Random KBs come from :func:`repro.kbs.generators.random_kb`; hypothesis
+fuzzes the seed and shape (``--hypothesis-seed`` reproduces a CI
+failure locally).
 """
 
 from hypothesis import HealthCheck, given, settings
@@ -41,23 +50,34 @@ def kb_strategy(draw):
     )
 
 
+def _rule_sequence(result):
+    return [
+        step.trigger.rule.name
+        for step in result.derivation.steps
+        if step.trigger is not None
+    ]
+
+
 def assert_equivalent_runs(kb, variant, max_steps=MAX_STEPS):
     get_cache().clear()
-    indexed = run_chase(kb, variant=variant, max_steps=max_steps)
+    compiled = run_chase(kb, variant=variant, max_steps=max_steps)
+    get_cache().clear()
+    indexed = run_chase(
+        kb, variant=variant, max_steps=max_steps, use_compiled=False
+    )
+    get_cache().clear()
     naive = run_chase(kb, variant=variant, max_steps=max_steps, use_index=False)
+
+    # Tier 1 — compiled vs indexed: identical witnesses, so equality.
+    assert compiled.terminated == indexed.terminated
+    assert compiled.applications == indexed.applications
+    assert _rule_sequence(compiled) == _rule_sequence(indexed)
+    assert compiled.final_instance == indexed.final_instance
+
+    # Tier 2 — indexed vs naive: same derivation shape, isomorphic end.
     assert indexed.terminated == naive.terminated
     assert indexed.applications == naive.applications
-    indexed_rules = [
-        step.trigger.rule.name
-        for step in indexed.derivation.steps
-        if step.trigger is not None
-    ]
-    naive_rules = [
-        step.trigger.rule.name
-        for step in naive.derivation.steps
-        if step.trigger is not None
-    ]
-    assert indexed_rules == naive_rules
+    assert _rule_sequence(indexed) == _rule_sequence(naive)
     for fast_step, slow_step in zip(
         indexed.derivation.steps, naive.derivation.steps
     ):
@@ -72,16 +92,24 @@ def test_indexed_run_matches_naive_on_random_kbs(kb, variant):
     assert_equivalent_runs(kb, variant)
 
 
-@given(kb=kb_strategy(), variant=st.sampled_from(ChaseVariant.ALL))
+@given(
+    kb=kb_strategy(),
+    variant=st.sampled_from(ChaseVariant.ALL),
+    use_compiled=st.booleans(),
+)
 @SETTINGS
-def test_trigger_index_pool_matches_rescan_on_random_kbs(kb, variant):
+def test_trigger_index_pool_matches_rescan_on_random_kbs(
+    kb, variant, use_compiled
+):
     """After an indexed run, the maintained live pool must equal a
     from-scratch ``triggers()`` rescan of the final instance — the
-    ISSUE's "identical trigger sets" clause."""
+    ISSUE's "identical trigger sets" clause.  Fuzzed over both index
+    implementations (object ``TriggerIndex`` and the compiled
+    semi-naive one)."""
     from repro.chase.engine import ChaseEngine
 
     get_cache().clear()
-    engine = ChaseEngine(kb, variant=variant)
+    engine = ChaseEngine(kb, variant=variant, use_compiled=use_compiled)
     result = engine.run(max_steps=MAX_STEPS)
     index = engine._index
     rescanned = {
