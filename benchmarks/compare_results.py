@@ -21,8 +21,15 @@ Usage (local or CI — stdlib only, no package install needed)::
 Beyond the regression check, the gate has a **floor mode**
 (``--min-speedup X``): instead of failing rows that got slower, it
 fails rows that are not at least ``X`` times *faster* than the
-baseline.  The compiled CI gate uses it to hold the compiled kernel to
-a same-machine speedup floor over the indexed engine::
+baseline; and a **ceiling mode** (``--max-ratio Y``) that fails rows
+whose ``current/baseline`` ratio exceeds ``Y`` — a cost ceiling for
+same-machine comparisons where the new path must never cost more than
+a fraction of the reference (``--max-ratio 0.8``: at most 80% of the
+baseline's time).  The two compose: with both set, a row passes only
+if it clears the floor *and* stays under the ceiling; either replaces
+the default ``--threshold`` regression check.  The compiled CI gate
+uses the floor to hold the compiled kernel to a same-machine speedup
+over the indexed engine::
 
     python benchmarks/compare_results.py perf_chase_compiled \
         --baselines benchmarks/results --baseline-name perf_chase_indexed \
@@ -126,6 +133,7 @@ def compare_table(
     metric: str,
     threshold: float,
     min_speedup: float | None = None,
+    max_ratio: float | None = None,
     ignore: frozenset = frozenset(),
 ):
     """Yield (key, base_value, cur_value, ratio, ok, drift) per baseline
@@ -134,9 +142,12 @@ def compare_table(
     drift maps each moved count field to its (baseline, current) pair.
 
     ``ratio`` is always current/baseline.  In the default regression
-    mode a row is ok iff ``ratio <= threshold``; with *min_speedup* set
-    the row is ok iff ``baseline/current >= min_speedup`` (i.e. the
-    current run is at least that many times faster)."""
+    mode a row is ok iff ``ratio <= threshold``.  With *min_speedup*
+    and/or *max_ratio* set the threshold check is replaced: the row is
+    ok iff ``baseline/current >= min_speedup`` (when set — the current
+    run at least that many times faster) and ``ratio <= max_ratio``
+    (when set — the current run costs at most that fraction of the
+    baseline)."""
     current_rows = {row_key(row, metric, ignore): row for row in current["rows"]}
     for base_row in baseline["rows"]:
         key = row_key(base_row, metric, ignore)
@@ -153,8 +164,12 @@ def compare_table(
             yield key, base_value, None, None, False, None
             continue
         ratio = cur_value / max(base_value, 1e-9)
-        if min_speedup is not None:
-            ok = base_value / max(cur_value, 1e-9) >= min_speedup
+        if min_speedup is not None or max_ratio is not None:
+            ok = True
+            if min_speedup is not None:
+                ok = ok and base_value / max(cur_value, 1e-9) >= min_speedup
+            if max_ratio is not None:
+                ok = ok and ratio <= max_ratio
         else:
             ok = ratio <= threshold
         yield key, base_value, cur_value, ratio, ok, None
@@ -192,6 +207,16 @@ def main(argv=None) -> int:
         help="floor mode: fail when baseline/current is below X — i.e. "
         "demand the current run be at least X times faster per row "
         "(replaces the --threshold regression check)",
+    )
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=None,
+        metavar="Y",
+        help="ceiling mode: fail when current/baseline exceeds Y — a "
+        "cost ceiling for same-machine comparisons (e.g. 0.8 demands "
+        "the current run take at most 80%% of the baseline's time; "
+        "composes with --min-speedup, replaces --threshold)",
     )
     parser.add_argument(
         "--baseline-name",
@@ -256,8 +281,13 @@ def main(argv=None) -> int:
             continue
         baseline = load_table(baseline_path)
         current = load_table(results_path)
-        if args.min_speedup is not None:
-            mode = f"min speedup: {args.min_speedup:g}x vs {args.baseline_name or name}"
+        if args.min_speedup is not None or args.max_ratio is not None:
+            parts = []
+            if args.min_speedup is not None:
+                parts.append(f"min speedup: {args.min_speedup:g}x")
+            if args.max_ratio is not None:
+                parts.append(f"max ratio: {args.max_ratio:g}")
+            mode = f"{', '.join(parts)} vs {args.baseline_name or name}"
         else:
             mode = f"threshold: {args.threshold:g}x"
         print(f"== {name} (metric: {args.metric}, {mode}) ==")
@@ -268,6 +298,7 @@ def main(argv=None) -> int:
             args.metric,
             args.threshold,
             min_speedup=args.min_speedup,
+            max_ratio=args.max_ratio,
             ignore=ignore,
         ):
             label = describe(key)
@@ -288,11 +319,17 @@ def main(argv=None) -> int:
                     print(f"  FAIL {label}: row missing from current results")
                 failures += 1
             elif not ok:
-                if args.min_speedup is not None:
+                if args.min_speedup is not None or args.max_ratio is not None:
                     speedup = base_value / max(cur_value, 1e-9)
+                    bounds = []
+                    if args.min_speedup is not None:
+                        bounds.append(f"floor {args.min_speedup:g}x")
+                    if args.max_ratio is not None:
+                        bounds.append(f"ceiling {args.max_ratio:g}")
                     print(
                         f"  FAIL {label}: {base_value:g} -> {cur_value:g} "
-                        f"({speedup:.2f}x speedup, floor {args.min_speedup:g}x)"
+                        f"({speedup:.2f}x speedup, ratio {ratio:.2f}, "
+                        f"{', '.join(bounds)})"
                     )
                 else:
                     print(
@@ -301,7 +338,7 @@ def main(argv=None) -> int:
                     )
                 failures += 1
             else:
-                if args.min_speedup is not None:
+                if args.min_speedup is not None or args.max_ratio is not None:
                     speedup = base_value / max(cur_value, 1e-9)
                     print(
                         f"  ok   {label}: {base_value:g} -> {cur_value:g} "
@@ -312,9 +349,9 @@ def main(argv=None) -> int:
                         f"  ok   {label}: {base_value:g} -> {cur_value:g} ({ratio:.2f}x)"
                     )
     if failures:
-        if args.min_speedup is not None:
+        if args.min_speedup is not None or args.max_ratio is not None:
             print(
-                f"{failures} row(s) below the {args.min_speedup:g}x speedup floor",
+                f"{failures} row(s) outside the configured speedup bounds",
                 file=sys.stderr,
             )
         else:

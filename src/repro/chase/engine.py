@@ -80,7 +80,11 @@ __all__ = [
     "ChaseVariant",
     "ChaseResult",
     "ChaseState",
+    "ChaseStateDelta",
     "ChaseEngine",
+    "diff_chase_states",
+    "apply_chase_state_delta",
+    "merge_facts_into_state",
     "run_chase",
 ]
 
@@ -202,6 +206,147 @@ class ChaseState:
             f"{len(self.instance)} atoms, "
             f"{'terminated' if self.terminated else 'resumable'})"
         )
+
+
+@dataclass
+class ChaseStateDelta:
+    """The difference between two checkpoints of one derivation.
+
+    Produced by :func:`diff_chase_states` and undone by
+    :func:`apply_chase_state_delta`; the snapshot store persists these
+    instead of full states, so a run that advanced a few steps costs a
+    few atoms on disk rather than a whole instance.  Scalars are stored
+    as the *child's* values (they do not compress); collections are
+    stored as set differences.  ``delta_since_core`` is replaced
+    wholesale — it is bounded by the core cadence and usually tiny.
+    """
+
+    fresh_count: int
+    terminated: bool
+    applications: int
+    applications_since_core: int
+    added_atoms: list = field(default_factory=list)
+    removed_atoms: list = field(default_factory=list)
+    added_applied_keys: list = field(default_factory=list)
+    removed_applied_keys: list = field(default_factory=list)
+    ages_set: list = field(default_factory=list)
+    ages_removed: list = field(default_factory=list)
+    delta_since_core: list = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChaseStateDelta(+{len(self.added_atoms)}/"
+            f"-{len(self.removed_atoms)} atoms, "
+            f"-> {self.applications} applications)"
+        )
+
+
+def diff_chase_states(parent: ChaseState, child: ChaseState) -> ChaseStateDelta:
+    """The delta taking *parent* to *child* (two checkpoints of the same
+    configured derivation); ``apply_chase_state_delta(parent, delta)``
+    reconstructs *child* exactly.
+
+    The two states must agree on the configuration fields (variant,
+    core cadence, fresh prefix) — a delta never crosses configurations.
+    """
+    for attr in ("variant", "core_every", "fresh_prefix"):
+        if getattr(parent, attr) != getattr(child, attr):
+            raise ValueError(
+                f"cannot diff states with different {attr}: "
+                f"{getattr(parent, attr)!r} vs {getattr(child, attr)!r}"
+            )
+    return ChaseStateDelta(
+        fresh_count=child.fresh_count,
+        terminated=child.terminated,
+        applications=child.applications,
+        applications_since_core=child.applications_since_core,
+        added_atoms=child.instance.difference(parent.instance).sorted_atoms(),
+        removed_atoms=parent.instance.difference(child.instance).sorted_atoms(),
+        added_applied_keys=list(child.applied_keys - parent.applied_keys),
+        removed_applied_keys=list(parent.applied_keys - child.applied_keys),
+        ages_set=[
+            (key, age)
+            for key, age in child.ages.items()
+            if parent.ages.get(key) != age
+        ],
+        ages_removed=[key for key in parent.ages if key not in child.ages],
+        delta_since_core=list(child.delta_since_core),
+    )
+
+
+def apply_chase_state_delta(
+    parent: ChaseState, delta: ChaseStateDelta
+) -> ChaseState:
+    """Reconstruct the child checkpoint from *parent* and *delta*.
+
+    Pure: *parent* is not mutated, so a chain of deltas can be replayed
+    against a base checkpoint read from disk.
+    """
+    instance = parent.instance.copy()
+    for atom in delta.removed_atoms:
+        instance.discard(atom)
+    for atom in delta.added_atoms:
+        instance.add(atom)
+    applied = set(parent.applied_keys)
+    applied.difference_update(delta.removed_applied_keys)
+    applied.update(delta.added_applied_keys)
+    ages = dict(parent.ages)
+    for key in delta.ages_removed:
+        ages.pop(key, None)
+    ages.update(delta.ages_set)
+    return ChaseState(
+        variant=parent.variant,
+        core_every=parent.core_every,
+        fresh_prefix=parent.fresh_prefix,
+        fresh_count=delta.fresh_count,
+        instance=instance,
+        applied_keys=applied,
+        ages=ages,
+        terminated=delta.terminated,
+        applications=delta.applications,
+        applications_since_core=delta.applications_since_core,
+        delta_since_core=list(delta.delta_since_core),
+    )
+
+
+def merge_facts_into_state(state: ChaseState, atoms) -> ChaseState:
+    """Graft extra input facts onto a checkpoint: the ancestor-resume
+    primitive.
+
+    Returns a new state whose instance additionally contains *atoms*;
+    the checkpointed derivation prefix is untouched, so restoring the
+    merged state and resuming is a fair continuation of a chase of the
+    *grown* KB — the ancestor's applications happened against a subset
+    of the facts (every trigger body that mapped into ``F_i`` still maps
+    into ``F_i ∪ atoms``), and the rebuilt trigger index enumerates the
+    new facts' triggers alongside the surviving old ones.  Soundness
+    preconditions (the injected atoms share no nulls with the ancestor's
+    facts or state) are the caller's responsibility —
+    :meth:`repro.service.snapshots.SnapshotStore.resolve_ancestor`
+    enforces them before handing out a state.
+
+    ``terminated`` is cleared when anything was actually new (the old
+    fixpoint says nothing about the grown instance), and the additions
+    are appended to ``delta_since_core`` so the incremental core
+    maintainer folds them into its next cadence retraction.
+    """
+    fresh = [atom for atom in atoms if atom not in state.instance]
+    instance = state.instance.copy()
+    for atom in fresh:
+        instance.add(atom)
+    return ChaseState(
+        variant=state.variant,
+        core_every=state.core_every,
+        fresh_prefix=state.fresh_prefix,
+        fresh_count=state.fresh_count,
+        instance=instance,
+        applied_keys=set(state.applied_keys),
+        ages=dict(state.ages),
+        terminated=state.terminated and not fresh,
+        applications=state.applications,
+        applications_since_core=state.applications_since_core,
+        delta_since_core=list(state.delta_since_core) + fresh,
+    )
 
 
 class ChaseEngine:

@@ -238,15 +238,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-snapshots",
         type=int,
         metavar="N",
-        help="bound the snapshot store to N entries (mtime-LRU "
-        "eviction; default unbounded)",
+        help="bound the snapshot store to N entries (access-counter "
+        "LRU eviction; default unbounded)",
     )
     serve.add_argument(
         "--max-snapshot-mb",
         type=float,
         metavar="MB",
-        help="bound the snapshot store to MB megabytes (mtime-LRU "
-        "eviction; default unbounded)",
+        help="bound the snapshot store to MB megabytes (access-counter "
+        "LRU eviction; default unbounded)",
+    )
+    serve.add_argument(
+        "--max-chain-depth",
+        type=int,
+        metavar="N",
+        help="delta records allowed per snapshot chain before the "
+        "store re-checkpoints a full base (default 8)",
+    )
+    serve.add_argument(
+        "--no-ancestor-resume",
+        action="store_true",
+        help="disable nearest-ancestor snapshot resolution on exact "
+        "snapshot misses (jobs chase cold instead)",
     )
     serve.add_argument(
         "--fault-dir",
@@ -768,6 +781,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fault_dir=args.fault_dir,
         max_snapshot_entries=args.max_snapshots,
         max_snapshot_bytes=max_snapshot_bytes,
+        max_chain_depth=args.max_chain_depth,
+        ancestor_resume=not args.no_ancestor_resume,
         trace_dir=args.trace_dir,
     )
     try:

@@ -142,6 +142,20 @@ def compiled_assignments(
     the same most-constrained-first order as the object-level code.  Pass
     the originating atomset as *source_set* to reuse its cached plan.
     """
+    if not isinstance(source_atoms, list):
+        # Direct callers may hand an AtomSet (or any iterable) straight
+        # in; its raw-set iteration order is hash-dependent, and the
+        # branch order below must match the object search's canonical
+        # one, so normalize exactly as ``_as_atom_list`` would.
+        from ..atomset import AtomSet
+
+        if isinstance(source_atoms, AtomSet):
+            if source_set is None:
+                source_set = source_atoms
+            source_atoms = source_atoms.sorted_atoms()
+        else:
+            source_atoms = sorted(set(source_atoms))
+
     table = symbol_table()
     encode_term = table.encode_term
 

@@ -200,11 +200,14 @@ class Observer:
         deadline_expired: bool,
         applications: int,
         seconds: float,
+        ancestor: bool = False,
     ) -> None:
-        """One service job finished: *warm* iff it resumed from a chase
-        snapshot, *incomplete* iff it degraded to partial sound answers,
-        *applications* the new rule applications it performed, *seconds*
-        its wall-clock latency (queueing included)."""
+        """One service job finished: *warm* iff it resumed from an exact
+        chase snapshot, *ancestor* iff it resumed incrementally from a
+        nearest-ancestor snapshot, *incomplete* iff it degraded to
+        partial sound answers, *applications* the new rule applications
+        it performed, *seconds* its wall-clock latency (queueing
+        included)."""
 
     def service_retry(
         self,
@@ -230,11 +233,21 @@ class Observer:
         corrupt: bool = False,
         atoms: int = 0,
         seconds: float = 0.0,
+        chain_depth: int = 0,
+        chain_broken: bool = False,
+        bytes_saved: int = 0,
+        ancestor: bool = False,
     ) -> None:
         """The snapshot store served one access: *op* is ``load``,
-        ``save``, or ``evict`` (an LRU eviction by a size-bounded
+        ``save``, ``resolve`` (an ancestor-resolution probe after an
+        exact miss), or ``evict`` (an LRU eviction by a size-bounded
         store); on loads *hit* reports whether a usable state came back
-        and *corrupt* whether an unreadable entry was discarded."""
+        and *corrupt* whether an unreadable entry was discarded.
+        ``chain_depth`` is the delta-chain length served or written,
+        ``chain_broken`` marks a damaged chain dropped for a cold
+        fallback, ``bytes_saved`` is the full-state size minus the
+        delta record a save actually wrote, and ``ancestor`` marks a
+        resolve that produced a usable ancestor entry."""
 
     # -- spans (repro.obs.spans) ---------------------------------------
 

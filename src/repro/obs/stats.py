@@ -191,6 +191,22 @@ def summarize_trace(events: Iterable[dict]) -> dict:
         "snapshot_evicted": sum(
             1 for e in snap_events if e.get("op") == "evict"
         ),
+        "snapshot_ancestor_probes": sum(
+            1 for e in snap_events if e.get("op") == "resolve"
+        ),
+        "snapshot_ancestor_hits": sum(
+            1
+            for e in snap_events
+            if e.get("op") == "resolve" and e.get("hit")
+        ),
+        "snapshot_chain_broken": sum(
+            1 for e in snap_events if e.get("chain_broken")
+        ),
+        "snapshot_bytes_saved": sum(
+            e.get("bytes_saved", 0)
+            for e in snap_events
+            if e.get("op") == "save"
+        ),
     }
 
     return {
@@ -358,6 +374,29 @@ def render_summary(summary: dict, step_stride: int = 1) -> str:
                 "service",
                 "snapshots evicted (LRU)",
                 service["snapshot_evicted"],
+            )
+        if service.get("snapshot_ancestor_probes"):
+            totals.add_row(
+                "service",
+                "ancestor probes",
+                service["snapshot_ancestor_probes"],
+            )
+            totals.add_row(
+                "service",
+                "ancestor hits",
+                service["snapshot_ancestor_hits"],
+            )
+        if service.get("snapshot_chain_broken"):
+            totals.add_row(
+                "service",
+                "snapshot chains broken",
+                service["snapshot_chain_broken"],
+            )
+        if service.get("snapshot_bytes_saved"):
+            totals.add_row(
+                "service",
+                "snapshot bytes saved (delta vs full)",
+                service["snapshot_bytes_saved"],
             )
     parts.append(totals.render())
 

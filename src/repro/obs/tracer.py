@@ -172,13 +172,19 @@ class MetricsObserver(Observer):
     ``service.incomplete``  counter    jobs degraded to partial answers
     ``service.deadline_expired``  counter  jobs halted by their deadline
     ``service.applications``  counter  new rule applications across jobs
+    ``service.ancestor_resumes``  counter  jobs resumed from an ancestor
     ``service.job_seconds``  timer     job wall-clock latency
     ``service.job_latency``  histogram  per-job latency (LATENCY_BOUNDS)
     ``snapshot.loads``      counter    snapshot-store load attempts
     ``snapshot.hits``       counter    loads returning a usable state
-    ``snapshot.corrupt``    counter    unreadable entries discarded
+    ``snapshot.corrupt``    counter    unreadable records discarded
     ``snapshot.saves``      counter    snapshot-store saves
     ``snapshot.evicted``    counter    snapshots evicted by LRU bounds
+    ``snapshot.ancestor_probes``  counter  nearest-ancestor resolutions
+    ``snapshot.ancestor_hits``  counter  resolutions that found an ancestor
+    ``snapshot.chain_broken``  counter  delta chains dropped as corrupt
+    ``snapshot.bytes_saved``  counter  bytes not written thanks to deltas
+    ``snapshot.delta_chain_depth``  gauge  chain length last touched
     ``span.<name>``         timer      closed-span durations, per phase
     ======================  =========  ==================================
 
@@ -308,6 +314,7 @@ class MetricsObserver(Observer):
         deadline_expired,
         applications,
         seconds,
+        ancestor=False,
     ) -> None:
         reg = self.registry
         reg.counter("service.jobs").inc()
@@ -317,6 +324,8 @@ class MetricsObserver(Observer):
             reg.counter("service.warm_hits").inc()
         else:
             reg.counter("service.warm_misses").inc()
+        if ancestor:
+            reg.counter("service.ancestor_resumes").inc()
         if incomplete:
             reg.counter("service.incomplete").inc()
         if deadline_expired:
@@ -326,7 +335,17 @@ class MetricsObserver(Observer):
         reg.histogram("service.job_latency", LATENCY_BOUNDS).observe(seconds)
 
     def snapshot_access(
-        self, *, op, hit, corrupt=False, atoms=0, seconds=0.0
+        self,
+        *,
+        op,
+        hit,
+        corrupt=False,
+        atoms=0,
+        seconds=0.0,
+        chain_depth=0,
+        chain_broken=False,
+        bytes_saved=0,
+        ancestor=False,
     ) -> None:
         reg = self.registry
         if op == "load":
@@ -335,10 +354,20 @@ class MetricsObserver(Observer):
                 reg.counter("snapshot.hits").inc()
             if corrupt:
                 reg.counter("snapshot.corrupt").inc()
+        elif op == "resolve":
+            reg.counter("snapshot.ancestor_probes").inc()
+            if hit:
+                reg.counter("snapshot.ancestor_hits").inc()
         elif op == "evict":
             reg.counter("snapshot.evicted").inc()
         else:
             reg.counter("snapshot.saves").inc()
+            if bytes_saved > 0:
+                reg.counter("snapshot.bytes_saved").inc(bytes_saved)
+        if chain_broken:
+            reg.counter("snapshot.chain_broken").inc()
+        if hit and chain_depth:
+            reg.gauge("snapshot.delta_chain_depth").set(chain_depth)
 
     def treewidth_search(self, *, k, verdict, budget_consumed) -> None:
         reg = self.registry

@@ -113,10 +113,16 @@ def _open_store(
     if not snapshot_dir:
         return None
     limits = limits or {}
+    kwargs = {}
+    if limits.get("max_chain_depth") is not None:
+        kwargs["max_chain_depth"] = limits["max_chain_depth"]
+    if limits.get("ancestor_resume") is not None:
+        kwargs["ancestor_resume"] = limits["ancestor_resume"]
     return SnapshotStore(
         snapshot_dir,
         max_entries=limits.get("max_entries"),
         max_bytes=limits.get("max_bytes"),
+        **kwargs,
     )
 
 
@@ -328,8 +334,14 @@ class JobExecutor:
         disables worker-side tracing.
     max_snapshot_entries, max_snapshot_bytes:
         Size bounds forwarded to the worker-side snapshot stores
-        (mtime-LRU eviction past either bound); None leaves the store
-        unbounded.
+        (access-counter LRU eviction past either bound); None leaves
+        the store unbounded.
+    max_chain_depth:
+        Delta-chain depth budget forwarded to the worker-side stores
+        (chains re-checkpoint past it); None keeps the store default.
+    ancestor_resume:
+        Whether workers may resolve nearest-ancestor snapshots on exact
+        misses and resume incrementally (default True).
     """
 
     def __init__(
@@ -342,6 +354,8 @@ class JobExecutor:
         max_snapshot_entries: Optional[int] = None,
         max_snapshot_bytes: Optional[int] = None,
         trace_dir: Optional[str] = None,
+        max_chain_depth: Optional[int] = None,
+        ancestor_resume: bool = True,
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
@@ -354,10 +368,17 @@ class JobExecutor:
         if self.trace_dir:
             os.makedirs(self.trace_dir, exist_ok=True)
         self._limits: Optional[dict] = None
-        if max_snapshot_entries is not None or max_snapshot_bytes is not None:
+        if (
+            max_snapshot_entries is not None
+            or max_snapshot_bytes is not None
+            or max_chain_depth is not None
+            or not ancestor_resume
+        ):
             self._limits = {
                 "max_entries": max_snapshot_entries,
                 "max_bytes": max_snapshot_bytes,
+                "max_chain_depth": max_chain_depth,
+                "ancestor_resume": ancestor_resume,
             }
         self._body = _run_job if workers > 0 else _run_job_local
         self._lock = threading.Lock()
@@ -640,6 +661,7 @@ class JobExecutor:
                         op=job.request.op,
                         ok=result.ok,
                         warm=result.warm,
+                        ancestor=result.ancestor,
                         incomplete=result.incomplete,
                         deadline_expired=result.deadline_expired,
                         applications=result.applications,

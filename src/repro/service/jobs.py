@@ -16,6 +16,15 @@ once:
   the derivation exactly, warm answers equal cold ones.  An ``entail``
   job whose query already maps into the restored instance answers with
   **zero** new rule applications.
+* **Ancestor resume.**  On an exact snapshot miss the job probes for
+  the nearest *ancestor* snapshot — same rules and chase config, facts
+  a subset of this KB's — injects the missing facts as a delta
+  (:func:`repro.chase.engine.merge_facts_into_state`) and resumes
+  incrementally instead of chasing cold.  The resumed derivation is a
+  fair prefix of a chase of the grown KB (every ancestor trigger body
+  still maps into the grown instance), so answers carry the same
+  soundness guarantees as warm ones and are gated by the same step
+  budget.  Such results report ``ancestor=True`` (never ``warm``).
 * **Deadline.**  ``timeout`` seconds (measured inside the job) arm a
   :class:`~repro.service.deadline.Deadline` polled by the engine's
   cooperative cancellation checkpoint between rule applications.
@@ -39,7 +48,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..chase.engine import ChaseEngine, ChaseVariant
+from ..chase.engine import ChaseEngine, ChaseVariant, merge_facts_into_state
 from ..logic.serialization import load_kb
 from ..obs.observer import Observer
 from ..obs.spans import span as _span
@@ -127,7 +136,10 @@ class JobResult:
     (zero on a pure warm hit); ``total_applications`` includes the
     snapshot prefix it resumed from.  ``incomplete`` marks degraded
     answers (deadline expiry before an exact verdict); a ``True``
-    ``entailed`` is sound even then.
+    ``entailed`` is sound even then.  ``warm`` marks an exact snapshot
+    resume; ``ancestor`` marks an incremental resume from a nearest-
+    ancestor snapshot (the missing facts were injected as a delta) —
+    the two are mutually exclusive.
     """
 
     op: str
@@ -137,6 +149,7 @@ class JobResult:
     method: Optional[str] = None
     incomplete: bool = False
     warm: bool = False
+    ancestor: bool = False
     applications: int = 0
     total_applications: int = 0
     atoms: int = 0
@@ -154,6 +167,7 @@ class JobResult:
             "method": self.method,
             "incomplete": self.incomplete,
             "warm": self.warm,
+            "ancestor": self.ancestor,
             "applications": self.applications,
             "total_applications": self.total_applications,
             "atoms": self.atoms,
@@ -218,20 +232,43 @@ def _execute(
         use_index=request.use_index,
     )
 
-    snapshot = None
+    entry = None
+    ancestor = False
     if store is not None:
         # Spans here use the ambient observer (the worker's tracer, or
         # the server's in workers=0 mode) so the store's own
         # snapshot_access events land inside the snapshot_load span.
         with _span("snapshot_load", variant=request.variant):
-            snapshot = store.load(kb, request.variant, request.core_every)
+            entry = store.load_entry(kb, request.variant, request.core_every)
+        if entry is None and store.ancestor_resume:
+            # Exact miss: probe for the nearest ancestor whose facts are
+            # a subset of this KB; resuming it plus the missing facts is
+            # a fair-derivation prefix of the grown KB (the resolve gate
+            # documents the soundness conditions it enforces).
+            with _span("snapshot_resolve", variant=request.variant):
+                entry = store.resolve_ancestor(
+                    kb,
+                    request.variant,
+                    request.core_every,
+                    max_applications=request.max_steps,
+                )
+            ancestor = entry is not None
+    snapshot = entry.state if entry is not None else None
     # A snapshot deeper than this job's budget is left alone: resuming
     # it would answer for a larger budget than the client asked for
     # (and differ from the cold run the budget defines).
-    warm = snapshot is not None and snapshot.applications <= request.max_steps
-    prior = snapshot.applications if warm else 0
-    if warm:
-        engine.restore_state(snapshot)
+    resumed = snapshot is not None and snapshot.applications <= request.max_steps
+    if not resumed:
+        ancestor = False
+    warm = resumed and not ancestor
+    prior = snapshot.applications if resumed else 0
+    if resumed:
+        if ancestor:
+            engine.restore_state(
+                merge_facts_into_state(snapshot, entry.missing_atoms)
+            )
+        else:
+            engine.restore_state(snapshot)
 
     hit = [False]
 
@@ -240,7 +277,7 @@ def _execute(
             hit[0] = True
 
     if request.op == "entail":
-        if warm and query.holds_in(engine.current_instance):
+        if resumed and query.holds_in(engine.current_instance):
             hit[0] = True
 
         def stopper() -> bool:
@@ -250,8 +287,8 @@ def _execute(
         stopper = deadline.expired
 
     step_hook = on_step if (query is not None and not hit[0]) else None
-    with _span("chase", variant=request.variant, warm=warm):
-        if warm:
+    with _span("chase", variant=request.variant, warm=warm, ancestor=ancestor):
+        if resumed:
             chase = engine.resume(
                 request.max_steps - prior, on_step=step_hook, should_stop=stopper
             )
@@ -265,13 +302,22 @@ def _execute(
     final = engine.current_instance
     expired = chase.stopped and not hit[0]
 
-    if store is not None and (snapshot is None or total > snapshot.applications):
+    if store is not None and (
+        snapshot is None or ancestor or total > snapshot.applications
+    ):
+        # Resumed saves pass the loaded entry back so the store appends
+        # a delta record to its chain instead of writing a full blob;
+        # an ancestor save files the grown KB's own (new) key, its
+        # chain sharing the ancestor's records.
         with _span("snapshot_save"):
-            store.save(kb, engine.export_state())
+            store.save(
+                kb, engine.export_state(), parent=entry if resumed else None
+            )
 
     result = JobResult(
         op=request.op,
         warm=warm,
+        ancestor=ancestor,
         applications=new_apps,
         total_applications=total,
         atoms=len(final),
@@ -287,11 +333,12 @@ def _execute(
 
     if hit[0]:
         result.entailed = True
-        result.method = (
-            "warm-snapshot-hit"
-            if warm and new_apps == 0
-            else "chase-prefix-hit"
-        )
+        if new_apps == 0 and warm:
+            result.method = "warm-snapshot-hit"
+        elif new_apps == 0 and ancestor:
+            result.method = "ancestor-snapshot-hit"
+        else:
+            result.method = "chase-prefix-hit"
         result.incomplete = False
     elif chase.terminated:
         result.entailed = False

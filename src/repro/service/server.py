@@ -129,6 +129,7 @@ class EntailmentServer:
         self.coalesced = 0
         self.jobs = 0
         self.warm_hits = 0
+        self.ancestor_hits = 0
         self.errors = 0
 
     # ------------------------------------------------------------------
@@ -433,6 +434,8 @@ class EntailmentServer:
         self.jobs += 1
         if result.warm:
             self.warm_hits += 1
+        if result.ancestor:
+            self.ancestor_hits += 1
         if not result.ok:
             self.errors += 1
         # Always feed the rolling window (the stats op works with no
@@ -449,6 +452,7 @@ class EntailmentServer:
                 seconds=round(time.perf_counter() - started, 6),
                 ok=result.ok,
                 warm=result.warm,
+                ancestor=result.ancestor,
             )
         return result
 
@@ -468,12 +472,22 @@ class EntailmentServer:
             "jobs": self.jobs,
             "warm_hits": self.warm_hits,
             "warm_hit_ratio": (self.warm_hits / self.jobs) if self.jobs else None,
+            "ancestor_hits": self.ancestor_hits,
             "errors": self.errors,
             "retries": self.executor.retries,
             "pool_rebuilds": self.executor.pool_rebuilds,
             "snapshots_evicted": metrics.get("snapshot.evicted", {}).get(
                 "value", 0
             ),
+            "snapshot_ancestor_hits": metrics.get(
+                "snapshot.ancestor_hits", {}
+            ).get("value", 0),
+            "snapshot_chains_broken": metrics.get(
+                "snapshot.chain_broken", {}
+            ).get("value", 0),
+            "snapshot_bytes_saved": metrics.get(
+                "snapshot.bytes_saved", {}
+            ).get("value", 0),
             "pending": self.executor.pending,
             "inflight": len(self._inflight),
             "latency": self.latencies.summary(),

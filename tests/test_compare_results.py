@@ -119,8 +119,9 @@ class TestFloorMode:
         argv = _write_pair(tmp_path, [ROW], [{**ROW, "seconds": 2.0}])
         code, output = _run(gate, argv + ["--min-speedup", "5"], capsys)
         assert code == 1
-        assert "2.00x speedup, floor 5x" in output
-        assert "below the 5x speedup floor" in output
+        assert "2.00x speedup" in output
+        assert "floor 5x" in output
+        assert "outside the configured speedup bounds" in output
 
     def test_floor_mode_still_reports_semantic_drift(self, gate, tmp_path, capsys):
         """A blazing-fast row that computes something else is drift,
@@ -208,6 +209,49 @@ class TestFloorMode:
         assert code == 0
         assert "staircase" not in output
         assert "4.00x speedup" in output
+
+
+class TestCeilingMode:
+    """``--max-ratio`` (ISSUE 8): the snapshot CI gate's cost ceiling —
+    fail rows whose current/baseline ratio exceeds Y, so an incremental
+    resume must stay cheaper than a fraction of the cold chase even on
+    rows with no headroom for a speedup floor."""
+
+    def test_under_the_ceiling_passes(self, gate, tmp_path, capsys):
+        argv = _write_pair(tmp_path, [ROW], [{**ROW, "seconds": 2.0}])
+        code, output = _run(gate, argv + ["--max-ratio", "0.8"], capsys)
+        assert code == 0
+        assert "2.00x speedup" in output
+        assert "perf gate clean" in output
+
+    def test_over_the_ceiling_fails(self, gate, tmp_path, capsys):
+        argv = _write_pair(tmp_path, [ROW], [{**ROW, "seconds": 3.6}])
+        code, output = _run(gate, argv + ["--max-ratio", "0.8"], capsys)
+        assert code == 1
+        assert "ratio 0.90, ceiling 0.8" in output
+        assert "outside the configured speedup bounds" in output
+
+    def test_floor_and_ceiling_compose(self, gate, tmp_path, capsys):
+        """A row must clear the floor *and* stay under the ceiling: here
+        the speedup (1.33x) satisfies the 1.2x floor but the 0.75 ratio
+        breaks the 0.6 ceiling, so the composed gate fails."""
+        argv = _write_pair(tmp_path, [ROW], [{**ROW, "seconds": 3.0}])
+        code, output = _run(
+            gate,
+            argv + ["--min-speedup", "1.2", "--max-ratio", "0.6"],
+            capsys,
+        )
+        assert code == 1
+        assert "floor 1.2x, ceiling 0.6" in output
+
+    def test_ceiling_mode_still_reports_semantic_drift(self, gate, tmp_path, capsys):
+        """A dirt-cheap row that resumed into different work is drift,
+        not a pass — count fields stay in row identity in every mode."""
+        drifted = {**ROW, "applications": 36, "seconds": 0.1}
+        argv = _write_pair(tmp_path, [ROW], [drifted])
+        code, output = _run(gate, argv + ["--max-ratio", "0.8"], capsys)
+        assert code == 1
+        assert "SEMANTIC DRIFT" in output
 
 
 class TestDriftDetector:

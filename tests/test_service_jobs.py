@@ -265,3 +265,91 @@ class TestWarmStart:
         state = store.load(load_kb(STAIRCASE), "restricted", 1)
         assert state is not None
         assert state.applications == 20
+
+
+CHAIN = dump_kb(transitive_closure_kb(5))
+#: The same chain with one appended edge: a strict superset of CHAIN's
+#: facts under identical rules — the ancestor-resume serving case.
+CHAIN_GROWN = CHAIN.replace("[facts]", "[facts]\ne(v5, v6)", 1)
+
+
+class TestAncestorResume:
+    def test_grown_kb_resumes_from_ancestor(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        base = execute_job(
+            JobRequest(op="chase", kb_text=CHAIN, max_steps=200), store
+        )
+        assert base.terminated
+        incr = execute_job(
+            JobRequest(op="chase", kb_text=CHAIN_GROWN, max_steps=200), store
+        )
+        cold = execute_job(
+            JobRequest(op="chase", kb_text=CHAIN_GROWN, max_steps=200)
+        )
+        assert incr.ancestor and not incr.warm
+        assert incr.instance == cold.instance
+        assert incr.terminated
+        # only the new edge's consequences were derived
+        assert incr.applications < cold.applications
+        assert incr.total_applications == cold.total_applications
+
+    def test_entailed_in_ancestor_prefix_is_zero_work(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        execute_job(
+            JobRequest(op="chase", kb_text=CHAIN, max_steps=200), store
+        )
+        # the query holds already in the ancestor's closure
+        result = execute_job(
+            JobRequest(
+                op="entail",
+                kb_text=CHAIN_GROWN,
+                query="e(v0, v5)",
+                max_steps=200,
+            ),
+            store,
+        )
+        assert result.entailed is True
+        assert result.ancestor
+        assert result.applications == 0
+        assert result.method == "ancestor-snapshot-hit"
+
+    def test_ancestor_save_makes_next_request_warm(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        execute_job(
+            JobRequest(op="chase", kb_text=CHAIN, max_steps=200), store
+        )
+        first = execute_job(
+            JobRequest(op="chase", kb_text=CHAIN_GROWN, max_steps=200), store
+        )
+        second = execute_job(
+            JobRequest(op="chase", kb_text=CHAIN_GROWN, max_steps=200), store
+        )
+        assert first.ancestor
+        assert second.warm and not second.ancestor
+        assert second.applications == 0
+        assert second.instance == first.instance
+
+    def test_ancestor_resume_can_be_disabled(self, tmp_path):
+        store = SnapshotStore(tmp_path, ancestor_resume=False)
+        execute_job(
+            JobRequest(op="chase", kb_text=CHAIN, max_steps=200), store
+        )
+        incr = execute_job(
+            JobRequest(op="chase", kb_text=CHAIN_GROWN, max_steps=200), store
+        )
+        assert not incr.ancestor and not incr.warm
+
+    def test_too_deep_ancestor_not_used_for_small_budget(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        deep = execute_job(
+            JobRequest(op="chase", kb_text=CHAIN, max_steps=200), store
+        )
+        assert deep.applications > 3
+        small = execute_job(
+            JobRequest(op="chase", kb_text=CHAIN_GROWN, max_steps=3), store
+        )
+        cold = execute_job(
+            JobRequest(op="chase", kb_text=CHAIN_GROWN, max_steps=3)
+        )
+        assert not small.ancestor and not small.warm
+        assert small.instance == cold.instance

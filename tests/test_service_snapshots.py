@@ -105,36 +105,48 @@ class TestSnapshotStore:
         assert store.load(kb, "core", 1) is None
         assert store.load(elevator_kb(), "restricted", 1) is None
 
-    def test_corrupt_file_discarded(self, tmp_path):
+    def test_corrupt_record_discarded(self, tmp_path):
         kb = staircase_kb()
+        engine = ChaseEngine(kb, variant="restricted")
+        engine.run(3)
         store = SnapshotStore(tmp_path)
-        key = snapshot_key(kb, "restricted", 1)
-        path = store.path_for(key)
+        path = store.save(kb, engine.export_state())
         path.write_text("{ torn mid-wri")
         assert store.load(kb, "restricted", 1) is None
-        assert not path.exists()  # paid for only once
+        assert store.entry_count() == 0  # paid for only once
+        assert not path.exists()
 
-    def test_tampered_fingerprint_discarded(self, tmp_path):
+    def test_tampered_record_discarded(self, tmp_path):
+        # Records are content-addressed: any byte that changes no
+        # longer hashes to the file's name, so tampering is detected
+        # even when the result is perfectly well-formed JSON.
         kb = staircase_kb()
         engine = ChaseEngine(kb, variant="restricted")
         engine.run(3)
         store = SnapshotStore(tmp_path)
         path = store.save(kb, engine.export_state())
         payload = json.loads(path.read_text())
-        payload["kb_fingerprint"] = "0" * 64
+        payload["state"]["fresh_count"] = 999
         path.write_text(json.dumps(payload))
         assert store.load(kb, "restricted", 1) is None
+        assert not path.exists()
 
     def test_schema_mismatch_discarded(self, tmp_path):
-        kb = staircase_kb()
-        engine = ChaseEngine(kb, variant="restricted")
-        engine.run(3)
+        # A record written by a *future* store hashes correctly but
+        # carries an unknown schema number; reading it must classify
+        # it as broken, not crash or mis-decode.
+        import hashlib
+
+        from repro.service.snapshots import _ChainBroken, _dump_record
+
         store = SnapshotStore(tmp_path)
-        path = store.save(kb, engine.export_state())
-        payload = json.loads(path.read_text())
-        payload["schema"] = SNAPSHOT_SCHEMA + 1
-        path.write_text(json.dumps(payload))
-        assert store.load(kb, "restricted", 1) is None
+        blob = _dump_record(
+            {"schema": SNAPSHOT_SCHEMA + 1, "kind": "base", "state": {}}
+        )
+        record_hash = hashlib.sha256(blob).hexdigest()
+        store._write_blob(record_hash, blob)
+        with pytest.raises(_ChainBroken):
+            store._read_record(record_hash)
 
 
 def _saved(store, make_kb, steps=4, variant="restricted"):
@@ -180,12 +192,16 @@ class TestAdversarialCorruption:
                 events.append(kw)
 
         kb = staircase_kb()
+        engine = ChaseEngine(kb, variant="restricted")
+        engine.run(3)
         store = SnapshotStore(tmp_path)
-        store.path_for(snapshot_key(kb, "restricted", 1)).write_text("{}")
+        path = store.save(kb, engine.export_state())
+        path.write_text("{}")
         with observing(Spy()):
             assert store.load(kb, "restricted", 1) is None
         assert events[-1]["op"] == "load"
         assert events[-1]["corrupt"] and not events[-1]["hit"]
+        assert events[-1]["chain_broken"]
 
 
 class TestStoreHygiene:
@@ -200,11 +216,11 @@ class TestStoreHygiene:
         assert young.exists()  # a sibling mid-save is left alone
 
     def test_entry_bound_evicts_least_recently_used(self, tmp_path):
+        # Recency is the catalog's monotonic access counter — save
+        # order alone determines the victim, no clock involved.
         store = SnapshotStore(tmp_path, max_entries=2)
-        kb1, path1 = _saved(store, staircase_kb)
-        _backdate(path1, seconds_ago=300)
-        kb2, path2 = _saved(store, elevator_kb)
-        _backdate(path2, seconds_ago=150)
+        kb1, _ = _saved(store, staircase_kb)
+        kb2, _ = _saved(store, elevator_kb)
         kb3, _ = _saved(store, lambda: random_kb(seed=0))
         assert store.load(kb1, "restricted", 1) is None  # LRU, evicted
         assert store.load(kb2, "restricted", 1) is not None
@@ -216,19 +232,16 @@ class TestStoreHygiene:
         size = probe_path.stat().st_size
 
         store = SnapshotStore(tmp_path / "real", max_bytes=int(size * 1.5))
-        kb1, path1 = _saved(store, staircase_kb)
-        _backdate(path1, seconds_ago=300)
+        kb1, _ = _saved(store, staircase_kb)
         kb2, _ = _saved(store, elevator_kb)
         assert store.load(kb1, "restricted", 1) is None
         assert store.load(kb2, "restricted", 1) is not None
 
     def test_load_refreshes_recency(self, tmp_path):
         store = SnapshotStore(tmp_path, max_entries=2)
-        kb1, path1 = _saved(store, staircase_kb)
-        _backdate(path1, seconds_ago=300)
-        kb2, path2 = _saved(store, elevator_kb)
-        _backdate(path2, seconds_ago=150)
-        # kb1 is older on disk, but a load marks it used just now …
+        kb1, _ = _saved(store, staircase_kb)
+        kb2, _ = _saved(store, elevator_kb)
+        # kb1 was saved first, but a load bumps its access counter …
         assert store.load(kb1, "restricted", 1) is not None
         kb3, _ = _saved(store, lambda: random_kb(seed=0))
         # … so the eviction falls on kb2 instead.
@@ -245,8 +258,7 @@ class TestStoreHygiene:
 
         store = SnapshotStore(tmp_path, max_entries=1)
         with observing(Spy()):
-            _, path1 = _saved(store, staircase_kb)
-            _backdate(path1, seconds_ago=300)
+            _saved(store, staircase_kb)
             _saved(store, elevator_kb)
         assert sum(1 for e in events if e["op"] == "evict") == 1
 
@@ -267,8 +279,7 @@ class TestStoreHygiene:
         # still drain out so the store gets as close to the bound as it
         # can.
         store = SnapshotStore(tmp_path, max_bytes=1)
-        kb1, path1 = _saved(store, staircase_kb)
-        _backdate(path1, seconds_ago=300)
+        kb1, _ = _saved(store, staircase_kb)
         kb2, _ = _saved(store, elevator_kb)
         assert store.load(kb1, "restricted", 1) is None  # older: evicted
         assert store.load(kb2, "restricted", 1) is not None  # newest: kept
