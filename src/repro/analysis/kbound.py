@@ -1,0 +1,114 @@
+"""Bounded probing for k-boundedness of the (oblivious) chase.
+
+Delivorias, Leclère, Mugnier and Ulliana (arXiv:1810.09304 /
+2004.10030) study *k-bounded* rulesets: those whose chase saturates
+within ``k`` breadth-first levels on every instance.  Deciding
+k-boundedness in general is hard; what the planner needs is far
+cheaper — a *probe* that runs the first ``k`` breadth levels of the
+oblivious chase on the KB at hand and reports the level at which a
+fixpoint was reached, if any.
+
+Breadth level ``i`` applies every not-yet-applied trigger of the level
+``i-1`` instance (triggers are collected *before* any of the level's
+atoms are added, which is what makes the levels breadth-first), with
+the oblivious trigger identity — rule plus full body image — as the
+dedup key.  By construction the reported fixpoint level is monotone in
+the probing budget: raising ``k_max`` never changes a fixpoint already
+found at a lower level, it can only discover one past the old horizon.
+
+The probe is instance-specific (it certifies this KB, not the ruleset
+uniformly), so the planner treats its verdict as advisory routing: the
+strategy it selects still carries the budgets that make a wrong route
+degrade to a sound "undecided" answer rather than a wrong one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..chase.trigger import triggers
+from ..logic.kb import KnowledgeBase
+from ..logic.substitution import Substitution
+from ..logic.terms import FreshVariableSource, Term, Variable
+
+__all__ = ["BreadthProbe", "probe_k_bound"]
+
+#: Fresh-null prefix distinct from the engine's ``_n`` so probe nulls
+#: can never collide with nulls a chase of the same KB would mint.
+_PROBE_PREFIX = "_kbp"
+
+
+@dataclass
+class BreadthProbe:
+    """Outcome of probing the first ``k_max`` breadth levels.
+
+    ``fixpoint_level`` is the breadth level at which the oblivious
+    chase of this KB saturated (0 = the facts are already closed), or
+    None if no fixpoint was seen within the probe's budgets.
+    ``exhausted`` distinguishes "no fixpoint within k_max levels" from
+    "the atom budget cut the probe short".
+    """
+
+    fixpoint_level: Optional[int]
+    levels: list = field(default_factory=list)  #: atom count after each level
+    applications: int = 0
+    exhausted: bool = False
+
+    @property
+    def bounded(self) -> bool:
+        return self.fixpoint_level is not None
+
+
+def probe_k_bound(
+    kb: KnowledgeBase,
+    k_max: int = 8,
+    atom_budget: int = 2000,
+) -> BreadthProbe:
+    """Run the first *k_max* breadth levels of the oblivious chase.
+
+    Deterministic: rules are visited in ruleset order and triggers in
+    their canonical sort order, and fresh nulls come from a private
+    source, so the same KB always yields the same probe.
+    """
+    instance = kb.facts.copy()
+    fresh = FreshVariableSource(prefix=_PROBE_PREFIX)
+    applied: set = set()
+    probe = BreadthProbe(fixpoint_level=None)
+    for level in range(1, k_max + 1):
+        pending = []
+        for rule in kb.rules:
+            for trigger in triggers(rule, instance):
+                key = (rule.name, trigger.full_image())
+                if key in applied:
+                    continue
+                pending.append((key, trigger))
+        if not pending:
+            probe.fixpoint_level = level - 1
+            return probe
+        grew = False
+        for key, trigger in pending:
+            applied.add(key)
+            probe.applications += 1
+            rule = trigger.rule
+            safe_map: dict[Variable, Term] = {
+                var: trigger.mapping.apply_term(var) for var in rule.frontier
+            }
+            for var in sorted(rule.existential, key=lambda v: v.name):
+                safe_map[var] = fresh.fresh(hint=var)
+            pi_safe = Substitution(safe_map)
+            for atom in rule.head.sorted_atoms():
+                if instance.add(pi_safe.apply_atom(atom)):
+                    grew = True
+        probe.levels.append(len(instance))
+        if not grew:
+            # The level applied triggers but derived nothing new: the
+            # instance saturated at this level (the next level would
+            # find no unapplied triggers).
+            probe.fixpoint_level = level
+            return probe
+        if len(instance) > atom_budget:
+            probe.exhausted = True
+            return probe
+    probe.exhausted = True
+    return probe

@@ -1,0 +1,385 @@
+"""The routing brain: KB analysis verdicts → per-job execution strategy.
+
+The paper's Prop. 13 landscape (fes / bts / core-bts and their
+separations) is a routing signal: which chase variant, core-maintenance
+cadence, and step budget a KB deserves depends on where it sits.  This
+module turns that observation into machinery:
+
+* :class:`Verdict` — the structured outcome of analyzing one ruleset:
+  every syntactic class the library detects (weakly acyclic, rule
+  acyclic, guarded, frontier guarded, sticky, linear), the linear-
+  fragment termination decision (:mod:`.linearity`), the breadth-level
+  k-boundedness probe (:mod:`.kbound`) and the budgeted fes certificate
+  (:func:`.classes.fes_certificate`).
+
+* :class:`Strategy` — a named execution recipe: chase variant, core
+  cadence, step budget, model-finder budget, ancestor-resume safety.
+  :func:`plan` maps a Verdict to a Strategy deterministically, so the
+  same ruleset fingerprint always routes the same way.
+
+* :class:`Planner` — verdict computation with a two-tier cache: an
+  in-process LRU keyed by the canonical ruleset fingerprint, backed by
+  the snapshot catalog (any object with ``load_verdict``/
+  ``save_verdict``) so warm shards skip re-analysis across processes.
+
+Soundness note: the probes (k-boundedness, fes) run on the *instance*
+while the cache key is the *ruleset* fingerprint, so a cached verdict
+may describe a sibling KB's facts.  That is deliberate — the verdict
+only routes; every strategy still carries the budgets under which a
+wrong route degrades to "undecided within budget" (`ok=True,
+entailed=None`), never to a wrong answer.  Answers always come from the
+chase/model-finder race itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from ..chase.engine import ChaseVariant
+from ..logic.kb import KnowledgeBase
+from ..logic.rules import RuleSet
+from ..logic.serialization import dump_ruleset
+from ..obs import observer as _observer_state
+from ..obs.spans import span as _span
+from .classes import fes_certificate
+from .guardedness import is_frontier_guarded, is_guarded
+from .kbound import probe_k_bound
+from .linearity import is_linear, linear_chase_terminates
+from .rule_dependencies import is_rule_acyclic
+from .sticky import is_sticky
+from .weak_acyclicity import is_weakly_acyclic
+
+__all__ = [
+    "Verdict",
+    "Strategy",
+    "Planner",
+    "plan",
+    "ruleset_fingerprint",
+    "default_planner",
+    "STRATEGY_NAMES",
+]
+
+
+def ruleset_fingerprint(rules: RuleSet) -> str:
+    """Canonical content hash of *rules* alone — the verdict-cache key.
+
+    Same definition as the snapshot catalog's ``rules_fingerprint``
+    (sha256 of the deterministic ruleset serialization), so verdicts and
+    snapshots of one ruleset share an identity."""
+    return hashlib.sha256(dump_ruleset(rules).encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Everything the analyzers concluded about one ruleset (+instance).
+
+    Syntactic fields describe the *ruleset* (cache-stable); ``k_bound``
+    and ``fes_applications`` were probed on the instance the verdict was
+    first computed for and are advisory under the ruleset cache key.
+    """
+
+    rules_fingerprint: str
+    rule_count: int
+    weakly_acyclic: bool
+    rule_acyclic: bool
+    guarded: bool
+    frontier_guarded: bool
+    sticky: bool
+    linear: bool
+    #: Linear-fragment decision: True = all variants terminate on all
+    #: instances, False = oblivious chase diverges, None = undecided
+    #: (not linear, or shape budget exhausted).
+    linear_terminating: Optional[bool] = None
+    #: Breadth level at which the oblivious chase of the probed instance
+    #: saturated, or None.
+    k_bound: Optional[int] = None
+    #: Core-chase applications of the probed instance's fes certificate,
+    #: or None.
+    fes_applications: Optional[int] = None
+    #: Chase applications the fes certification actually consumed
+    #: (equals fes_applications on success, the spent budget on failure).
+    fes_budget_consumed: int = 0
+
+    @property
+    def terminating(self) -> bool:
+        """All chase variants terminate on all instances (certified)."""
+        return bool(
+            self.weakly_acyclic or self.rule_acyclic or self.linear_terminating is True
+        )
+
+    @property
+    def bts_class(self) -> bool:
+        """Membership in a known bounded-treewidth-set class (decidable
+        CQ entailment even without termination)."""
+        return bool(
+            self.guarded or self.frontier_guarded or self.linear or self.sticky
+        )
+
+    @property
+    def decidable(self) -> bool:
+        return self.terminating or self.bts_class or self.fes_applications is not None
+
+    def to_obj(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "Verdict":
+        known = {f.name for f in fields(cls)}
+        return cls(**{key: value for key, value in obj.items() if key in known})
+
+
+#: The planner's closed set of strategy names (metrics use them as
+#: counter suffixes: ``planner.strategy.<name>``).
+STRATEGY_NAMES = (
+    "terminating-fast",
+    "bounded-probe",
+    "fes-core",
+    "bts-core",
+    "frontier-race",
+)
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """A per-job execution recipe the service applies wholesale."""
+
+    name: str
+    variant: str
+    core_every: int
+    max_steps: int
+    model_budget: int
+    ancestor_resume: bool = True
+    reason: str = ""
+
+    def to_obj(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "Strategy":
+        known = {f.name for f in fields(cls)}
+        picked = {key: value for key, value in obj.items() if key in known}
+        picked.setdefault("name", "override")
+        missing = {"variant", "core_every", "max_steps", "model_budget"} - set(picked)
+        if missing:
+            raise ValueError(f"strategy override missing fields: {sorted(missing)}")
+        if picked["variant"] not in ChaseVariant.ALL:
+            raise ValueError(f"unknown chase variant {picked['variant']!r}")
+        return cls(**picked)
+
+
+def plan(verdict: Verdict) -> Strategy:
+    """Map a :class:`Verdict` to a :class:`Strategy` — a pure function,
+    so equal verdicts (hence equal ruleset fingerprints) always route
+    identically.
+
+    The ladder mirrors Prop. 13's landscape, cheapest certainty first:
+
+    1. Certified terminating (weakly/rule-acyclic or linear-terminating)
+       → restricted chase, no core maintenance mid-run, generous steps,
+       model finder off: the restricted chase reaches a finite universal
+       model by itself.
+    2. Breadth probe saturated at level k → restricted with a budget
+       scaled to the probe; a small model-finder budget backstops the
+       instance-specific verdict under the ruleset-keyed cache.
+    3. fes-certified (core chase of the probed instance terminated) →
+       core variant with a relaxed cadence and a budget scaled to the
+       certificate.  fes guarantees the *core* chase terminates; the
+       restricted chase may not (the paper's staircase), hence core.
+    4. bts-class but not terminating (guarded/linear/sticky with an
+       infinite chase) → core chase with relaxed cadence under a
+       moderate budget, racing a real model-finder budget: the
+       countermodel side is what can answer "no" here.
+    5. Unknown territory → the frontier race: restricted chase under a
+       tight budget against the model finder, ancestor resume on.
+    """
+    if verdict.terminating:
+        cause = (
+            "weak acyclicity"
+            if verdict.weakly_acyclic
+            else "rule acyclicity" if verdict.rule_acyclic else "linear termination"
+        )
+        return Strategy(
+            name="terminating-fast",
+            variant=ChaseVariant.RESTRICTED,
+            core_every=1,
+            max_steps=1000,
+            model_budget=0,
+            reason=f"all-variant termination certified by {cause}",
+        )
+    if verdict.k_bound is not None:
+        return Strategy(
+            name="bounded-probe",
+            variant=ChaseVariant.RESTRICTED,
+            core_every=1,
+            max_steps=400,
+            model_budget=4,
+            reason=f"breadth probe saturated at level {verdict.k_bound}",
+        )
+    if verdict.fes_applications is not None:
+        return Strategy(
+            name="fes-core",
+            variant=ChaseVariant.CORE,
+            core_every=4,
+            max_steps=max(200, 2 * verdict.fes_applications),
+            model_budget=4,
+            reason=(
+                f"fes-certified: core chase terminated in "
+                f"{verdict.fes_applications} applications"
+            ),
+        )
+    if verdict.bts_class:
+        return Strategy(
+            name="bts-core",
+            variant=ChaseVariant.CORE,
+            core_every=4,
+            max_steps=200,
+            model_budget=6,
+            reason="bts-class ruleset with no termination certificate: "
+            "core chase raced against the model finder",
+        )
+    return Strategy(
+        name="frontier-race",
+        variant=ChaseVariant.RESTRICTED,
+        core_every=1,
+        max_steps=150,
+        model_budget=6,
+        reason="no certificate: tight restricted chase raced against "
+        "the model finder",
+    )
+
+
+class Planner:
+    """Compute, cache, and apply verdicts.
+
+    ``decide(kb, store=...)`` is the single entry point the service
+    uses: it returns ``(verdict, strategy, source)`` where *source* is
+    ``"memory"``, ``"store"``, or ``"computed"``, and emits the
+    ``planner_decision`` observability event.
+    """
+
+    def __init__(
+        self,
+        cache_size: int = 128,
+        fes_budget: int = 60,
+        k_max: int = 6,
+        k_atom_budget: int = 1500,
+        shape_budget: int = 4096,
+    ):
+        # fes_budget stays small by design: a core-chase probe on a KB
+        # whose core grows (the manager/elevator family) costs
+        # super-linearly per step, and a miss is amortized over every
+        # job that shares the ruleset fingerprint anyway.
+        self.cache_size = cache_size
+        self.fes_budget = fes_budget
+        self.k_max = k_max
+        self.k_atom_budget = k_atom_budget
+        self.shape_budget = shape_budget
+        self._cache: OrderedDict[str, Verdict] = OrderedDict()
+
+    # ------------------------------------------------------------------
+
+    def analyze(self, kb: KnowledgeBase, store=None) -> tuple[Verdict, str]:
+        """The cached analysis: memory LRU → snapshot catalog → compute."""
+        fingerprint = ruleset_fingerprint(kb.rules)
+        cached = self._cache.get(fingerprint)
+        if cached is not None:
+            self._cache.move_to_end(fingerprint)
+            return cached, "memory"
+        if store is not None:
+            persisted = store.load_verdict(fingerprint)
+            if persisted is not None:
+                verdict = Verdict.from_obj(persisted)
+                self._remember(fingerprint, verdict)
+                return verdict, "store"
+        with _span("analysis", rules_fingerprint=fingerprint[:16]):
+            verdict = self.compute(kb, fingerprint)
+        self._remember(fingerprint, verdict)
+        if store is not None:
+            store.save_verdict(fingerprint, verdict.to_obj())
+        return verdict, "computed"
+
+    def compute(self, kb: KnowledgeBase, fingerprint: Optional[str] = None) -> Verdict:
+        """Uncached analysis, cheapest criteria first; the instance
+        probes only run when no syntactic certificate settled
+        termination already."""
+        rules = kb.rules
+        if fingerprint is None:
+            fingerprint = ruleset_fingerprint(rules)
+        weakly_acyclic = is_weakly_acyclic(rules)
+        rule_acyclic = is_rule_acyclic(rules)
+        linear = is_linear(rules)
+        linear_terminating = (
+            linear_chase_terminates(rules, max_shapes=self.shape_budget)
+            if linear
+            else None
+        )
+        k_bound = None
+        fes_applications = None
+        fes_consumed = 0
+        terminating = weakly_acyclic or rule_acyclic or linear_terminating is True
+        if not terminating:
+            probe = probe_k_bound(
+                kb, k_max=self.k_max, atom_budget=self.k_atom_budget
+            )
+            k_bound = probe.fixpoint_level
+            if k_bound is None and len(kb.facts):
+                fes_applications, fes_consumed = fes_certificate(
+                    kb, max_steps=self.fes_budget
+                )
+        return Verdict(
+            rules_fingerprint=fingerprint,
+            rule_count=len(rules),
+            weakly_acyclic=weakly_acyclic,
+            rule_acyclic=rule_acyclic,
+            guarded=is_guarded(rules),
+            frontier_guarded=is_frontier_guarded(rules),
+            sticky=is_sticky(rules),
+            linear=linear,
+            linear_terminating=linear_terminating,
+            k_bound=k_bound,
+            fes_applications=fes_applications,
+            fes_budget_consumed=fes_consumed,
+        )
+
+    def decide(self, kb: KnowledgeBase, store=None) -> tuple[Verdict, Strategy, str]:
+        """Analyze (cached) and plan; emits ``planner_decision``."""
+        verdict, source = self.analyze(kb, store=store)
+        strategy = plan(verdict)
+        observer = _observer_state.current
+        if observer is not None:
+            observer.planner_decision(
+                rules_fingerprint=verdict.rules_fingerprint[:16],
+                strategy=strategy.name,
+                cached=source,
+                terminating=verdict.terminating,
+                bts=verdict.bts_class,
+                k_bound=verdict.k_bound,
+            )
+        return verdict, strategy, source
+
+    # ------------------------------------------------------------------
+
+    def _remember(self, fingerprint: str, verdict: Verdict) -> None:
+        self._cache[fingerprint] = verdict
+        self._cache.move_to_end(fingerprint)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def cache_clear(self) -> None:
+        self._cache.clear()
+
+
+#: Process-wide default planner (one per worker process): the in-memory
+#: verdict LRU persists across jobs; the snapshot catalog persists the
+#: verdicts across processes.
+_default: Optional[Planner] = None
+
+
+def default_planner() -> Planner:
+    global _default
+    if _default is None:
+        _default = Planner()
+    return _default

@@ -14,7 +14,7 @@ from typing import Optional
 
 from ..logic.kb import KnowledgeBase
 from ..logic.rules import RuleSet
-from .classes import certify_fes
+from .classes import fes_certificate
 from .guardedness import is_frontier_guarded, is_guarded
 from .rule_dependencies import is_rule_acyclic
 from .sticky import is_sticky
@@ -35,6 +35,11 @@ class RulesetReport:
     frontier_guarded: bool
     sticky: bool
     fes_applications: Optional[int] = None
+    #: Core-chase applications the fes certification actually performed
+    #: (equals ``fes_applications`` on success; on failure, the budget
+    #: consumed before giving up — not the cap).  None when no KB was
+    #: supplied, i.e. certification never ran.
+    fes_budget_consumed: Optional[int] = None
 
     @property
     def terminates_all_variants(self) -> bool:
@@ -76,8 +81,9 @@ def analyze_ruleset(
     """Run every syntactic criterion; when *kb* is given, also attempt
     the budgeted instance-level fes certificate."""
     certificate = None
+    consumed = None
     if kb is not None:
-        certificate = certify_fes(kb, max_steps=fes_budget)
+        certificate, consumed = fes_certificate(kb, max_steps=fes_budget)
     return RulesetReport(
         rule_count=len(rules),
         weakly_acyclic=is_weakly_acyclic(rules),
@@ -86,4 +92,5 @@ def analyze_ruleset(
         frontier_guarded=is_frontier_guarded(rules),
         sticky=is_sticky(rules),
         fes_applications=certificate,
+        fes_budget_consumed=consumed,
     )

@@ -10,9 +10,15 @@ bases (see :mod:`repro.logic.serialization` for the file format):
     registry afterwards, ``--json`` emits a machine-readable summary.
 ``entail``
     Decide a Boolean CQ with the Theorem-1 race.
+``analyze``
+    The full analyzer: every syntactic criterion, the linear-fragment
+    termination decision, the breadth-level k-boundedness probe, the
+    budgeted fes certificate, and the execution strategy the planner
+    derives from the verdict (``--json`` for the machine shape).
 ``classify``
-    Print the syntactic analysis (weak acyclicity, guardedness, rule
-    acyclicity) and the budgeted fes certificate.
+    Deprecated alias kept for scripts: the syntactic analysis (weak
+    acyclicity, guardedness, rule acyclicity) and the budgeted fes
+    certificate.  Prints a pointer to ``analyze`` on stderr.
 ``treewidth``
     Treewidth of an instance file (exact, with bounds fallback).
 ``stats``
@@ -47,7 +53,7 @@ Examples::
     python -m repro stats run.jsonl
     python -m repro entail kb.repro "mgr(ann, X)" --json
     python -m repro entail kb.repro "e(X, X)" --timeout 2.5
-    python -m repro classify kb.repro
+    python -m repro analyze kb.repro --json
     python -m repro treewidth instance.atoms
     python -m repro serve --port 7430 --workers 4 --snapshot-dir snaps/
 """
@@ -167,8 +173,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit a machine-readable JSON verdict instead of text",
     )
 
+    analyze = commands.add_parser(
+        "analyze",
+        help="full ruleset analysis: classes, termination/boundedness "
+        "probes, and the planner's strategy",
+    )
+    analyze.add_argument("kb", help="knowledge base file")
+    analyze.add_argument(
+        "--steps",
+        type=int,
+        default=200,
+        help="core-chase budget for the fes certificate (default 200)",
+    )
+    analyze.add_argument(
+        "--k-max",
+        type=int,
+        default=6,
+        help="breadth levels the k-boundedness probe explores (default 6)",
+    )
+    analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the verdict and strategy as JSON instead of text",
+    )
+
     classify = commands.add_parser(
-        "classify", help="syntactic analysis + fes certificate"
+        "classify",
+        help="(deprecated: use 'analyze') syntactic analysis + fes "
+        "certificate",
     )
     classify.add_argument("kb", help="knowledge base file")
     classify.add_argument("--steps", type=int, default=200)
@@ -260,6 +292,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable nearest-ancestor snapshot resolution on exact "
         "snapshot misses (jobs chase cold instead)",
+    )
+    serve.add_argument(
+        "--no-planner",
+        action="store_true",
+        help="disable planner routing: jobs run under their requests' "
+        "own chase configuration instead of the analyzer-derived "
+        "strategy (routing is on by default; per-request 'planner' / "
+        "'strategy' fields still override either way)",
     )
     serve.add_argument(
         "--fault-dir",
@@ -470,7 +510,9 @@ def _cmd_entail(args: argparse.Namespace) -> int:
     return 0 if verdict.entailed else 1
 
 
-def _cmd_classify(args: argparse.Namespace) -> int:
+def _classify_report(args: argparse.Namespace) -> int:
+    """The classify report body, shared by ``classify`` (deprecated)
+    and kept byte-stable on stdout for scripts that parse it."""
     kb = load_kb_file(args.kb)
     report = analyze_ruleset(kb.rules, kb=kb, fes_budget=args.steps)
     if args.json:
@@ -486,6 +528,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
                     "rule_acyclic": report.rule_acyclic,
                     "fes_applications": report.fes_applications,
                     "fes_budget": args.steps,
+                    "fes_budget_consumed": report.fes_budget_consumed,
                     "decidable_cq_entailment": report.decidable_cq_entailment,
                 },
                 indent=2,
@@ -506,6 +549,80 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             f"{report.fes_applications}"
         )
     print(f"decidable CQ entailment certified: {report.decidable_cq_entailment}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    print(
+        "repro classify is deprecated; use 'repro analyze' "
+        "(same classes, plus termination probes and the planner verdict)",
+        file=sys.stderr,
+    )
+    return _classify_report(args)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis.planner import Planner, plan
+
+    kb = load_kb_file(args.kb)
+    planner = Planner(fes_budget=args.steps, k_max=args.k_max)
+    verdict = planner.compute(kb)
+    strategy = plan(verdict)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "rules": len(kb.rules),
+                    "facts": len(kb.facts),
+                    "verdict": verdict.to_obj(),
+                    "terminating": verdict.terminating,
+                    "bts_class": verdict.bts_class,
+                    "decidable": verdict.decidable,
+                    "strategy": strategy.to_obj(),
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(f"rules: {len(kb.rules)}, facts: {len(kb.facts)}")
+    print(f"weakly acyclic:    {verdict.weakly_acyclic}")
+    print(f"guarded:           {verdict.guarded}")
+    print(f"frontier-guarded:  {verdict.frontier_guarded}")
+    print(f"sticky:            {verdict.sticky}")
+    print(f"rule-acyclic:      {verdict.rule_acyclic}")
+    print(f"linear:            {verdict.linear}")
+    if verdict.linear_terminating is None:
+        linear_line = "undecided (not linear, or shape budget exhausted)"
+    elif verdict.linear_terminating:
+        linear_line = "terminates (all variants, all instances)"
+    else:
+        linear_line = "diverges (oblivious chase, critical instance)"
+    print(f"linear termination: {linear_line}")
+    if verdict.k_bound is not None:
+        print(f"k-bounded (this instance): yes, breadth level {verdict.k_bound}")
+    else:
+        print("k-bounded (this instance): not within probe budget")
+    if verdict.fes_applications is not None:
+        print(
+            "fes (this instance): yes, core chase terminated in "
+            f"{verdict.fes_applications} "
+            f"(consumed {verdict.fes_budget_consumed})"
+        )
+    else:
+        print(
+            f"fes (this instance): unknown within {args.steps} steps "
+            f"(consumed {verdict.fes_budget_consumed})"
+        )
+    print(f"terminating (all variants): {verdict.terminating}")
+    print(f"bts class: {verdict.bts_class}")
+    print(f"decidable CQ entailment certified: {verdict.decidable}")
+    print(
+        f"strategy: {strategy.name} (variant={strategy.variant}, "
+        f"core_every={strategy.core_every}, max_steps={strategy.max_steps}, "
+        f"model_budget={strategy.model_budget}, "
+        f"ancestor_resume={strategy.ancestor_resume})"
+    )
+    print(f"  reason: {strategy.reason}")
     return 0
 
 
@@ -795,6 +912,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         default_timeout=args.timeout,
                         executor=executor,
                         fault_plan=fault_plan,
+                        planner=not args.no_planner,
                     )
                 )
             except KeyboardInterrupt:
@@ -821,6 +939,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "chase": _cmd_chase,
         "entail": _cmd_entail,
+        "analyze": _cmd_analyze,
         "classify": _cmd_classify,
         "treewidth": _cmd_treewidth,
         "stats": _cmd_stats,

@@ -225,6 +225,23 @@ class Observer:
         """The executor replaced a broken worker pool (a worker died and
         poisoned it); *pending* jobs were in flight at the swap."""
 
+    def planner_decision(
+        self,
+        *,
+        strategy: str,
+        cached: str,
+        rules_fingerprint: str = "",
+        terminating: bool = False,
+        bts: bool = False,
+        k_bound: Optional[int] = None,
+    ) -> None:
+        """The planner routed one job: *strategy* is the chosen strategy
+        name (one of :data:`repro.analysis.planner.STRATEGY_NAMES`),
+        *cached* where the verdict came from (``memory`` / ``store`` /
+        ``computed``), *terminating* / *bts* / *k_bound* the headline
+        verdict fields, *rules_fingerprint* a 16-hex prefix of the
+        verdict-cache key."""
+
     def snapshot_access(
         self,
         *,
@@ -377,6 +394,10 @@ class CompositeObserver(Observer):
     def service_pool_rebuild(self, **kw) -> None:
         for obs in self.observers:
             obs.service_pool_rebuild(**kw)
+
+    def planner_decision(self, **kw) -> None:
+        for obs in self.observers:
+            obs.planner_decision(**kw)
 
     def snapshot_access(self, **kw) -> None:
         for obs in self.observers:

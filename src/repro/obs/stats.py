@@ -133,6 +133,23 @@ def summarize_trace(events: Iterable[dict]) -> dict:
         "renamed": sum(e["renamed"] for e in robust_events),
     }
 
+    plan_events = [e for e in events if e.get("kind") == "planner_decision"]
+    plan_computed = sum(1 for e in plan_events if e.get("cached") == "computed")
+    plan_hits = len(plan_events) - plan_computed
+    strategies: dict[str, int] = {}
+    for e in plan_events:
+        name = e.get("strategy", "?")
+        strategies[name] = strategies.get(name, 0) + 1
+    planner = {
+        "decisions": len(plan_events),
+        "computed": plan_computed,
+        "cache_hits": plan_hits,
+        "cache_hit_ratio": (
+            plan_hits / len(plan_events) if plan_events else None
+        ),
+        "strategies": strategies,
+    }
+
     request_events = [e for e in events if e.get("kind") == "service_request"]
     job_events = [e for e in events if e.get("kind") == "service_job"]
     retry_events = [e for e in events if e.get("kind") == "service_retry"]
@@ -219,6 +236,7 @@ def summarize_trace(events: Iterable[dict]) -> dict:
         "homomorphism": homomorphism,
         "treewidth": treewidth,
         "robust": robust,
+        "planner": planner,
         "service": service,
     }
 
@@ -308,6 +326,19 @@ def render_summary(summary: dict, step_stride: int = 1) -> str:
     if robust["steps"]:
         totals.add_row("robust", "steps", robust["steps"])
         totals.add_row("robust", "variables renamed", robust["renamed"])
+    planner = summary.get("planner", {"decisions": 0})
+    if planner["decisions"]:
+        totals.add_row("planner", "decisions", planner["decisions"])
+        totals.add_row("planner", "verdicts computed", planner["computed"])
+        totals.add_row("planner", "cache hits", planner["cache_hits"])
+        if planner["cache_hit_ratio"] is not None:
+            totals.add_row(
+                "planner",
+                "cache-hit ratio",
+                round(planner["cache_hit_ratio"], 4),
+            )
+        for name, n in sorted(planner["strategies"].items()):
+            totals.add_row("planner", f"strategy {name}", n)
     service = summary.get("service", {"jobs": 0, "requests": 0})
     if service["jobs"] or service["requests"]:
         totals.add_row("service", "requests", service["requests"])

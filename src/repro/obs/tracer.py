@@ -64,6 +64,7 @@ EVENT_KINDS = (
     "service_job",
     "service_retry",
     "service_pool_rebuild",
+    "planner_decision",
     "snapshot_access",
     "treewidth_search",
     "robust_step",
@@ -175,6 +176,9 @@ class MetricsObserver(Observer):
     ``service.ancestor_resumes``  counter  jobs resumed from an ancestor
     ``service.job_seconds``  timer     job wall-clock latency
     ``service.job_latency``  histogram  per-job latency (LATENCY_BOUNDS)
+    ``planner.verdicts``    counter    verdicts computed from scratch
+    ``planner.cache_hits``  counter    verdicts served from a cache tier
+    ``planner.strategy.<name>``  counter  jobs routed to each strategy
     ``snapshot.loads``      counter    snapshot-store load attempts
     ``snapshot.hits``       counter    loads returning a usable state
     ``snapshot.corrupt``    counter    unreadable records discarded
@@ -334,6 +338,23 @@ class MetricsObserver(Observer):
         reg.timer("service.job_seconds").record(seconds)
         reg.histogram("service.job_latency", LATENCY_BOUNDS).observe(seconds)
 
+    def planner_decision(
+        self,
+        *,
+        strategy,
+        cached,
+        rules_fingerprint="",
+        terminating=False,
+        bts=False,
+        k_bound=None,
+    ) -> None:
+        reg = self.registry
+        if cached == "computed":
+            reg.counter("planner.verdicts").inc()
+        else:
+            reg.counter("planner.cache_hits").inc()
+        reg.counter(f"planner.strategy.{strategy}").inc()
+
     def snapshot_access(
         self,
         *,
@@ -471,6 +492,10 @@ class TracingObserver(MetricsObserver):
     def service_pool_rebuild(self, **kw) -> None:
         self.tracer.emit("service_pool_rebuild", **kw)
         super().service_pool_rebuild(**kw)
+
+    def planner_decision(self, **kw) -> None:
+        self.tracer.emit("planner_decision", **kw)
+        super().planner_decision(**kw)
 
     def snapshot_access(self, **kw) -> None:
         self.tracer.emit("snapshot_access", **kw)

@@ -10,6 +10,13 @@ chase state) are materialized only inside the worker.
 through, so warm-start, deadline, and degradation semantics are defined
 once:
 
+* **Planner routing.**  A request flagged ``planner=True`` has its
+  chase configuration (variant, core cadence, step budget, model-finder
+  budget, ancestor-resume eligibility) replaced by the strategy the
+  analysis planner derives from the KB's ruleset verdict
+  (:meth:`repro.analysis.planner.Planner.decide`, cached by ruleset
+  fingerprint in-process and in the snapshot catalog).  An explicit
+  ``strategy`` dict on the request overrides the planner entirely.
 * **Warm start.**  With a :class:`~repro.service.snapshots.SnapshotStore`
   attached, the job first tries to restore the checkpointed chase for
   (KB, variant, core cadence) and resume it; since restore continues
@@ -48,6 +55,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+import json
+
+from ..analysis.planner import Strategy, default_planner
 from ..chase.engine import ChaseEngine, ChaseVariant, merge_facts_into_state
 from ..logic.serialization import load_kb
 from ..obs.observer import Observer
@@ -77,6 +87,14 @@ class JobRequest:
     worker-side events join the caller's trace; it identifies *this
     delivery*, not the answer, so — like ``id`` — it stays out of
     :meth:`dedup_key` and coalesced requests share one job.
+
+    ``planner`` routes the job through the analysis planner
+    (:class:`repro.analysis.planner.Planner`), replacing the request's
+    chase configuration with the verdict-derived
+    :class:`~repro.analysis.planner.Strategy`.  ``strategy`` is an
+    explicit per-request override (a ``Strategy.to_obj`` dict, or any
+    dict with the required config fields) and wins over the planner.
+    Both shape the answer, so both participate in :meth:`dedup_key`.
     """
 
     op: str
@@ -88,6 +106,8 @@ class JobRequest:
     timeout: Optional[float] = None
     use_index: bool = True
     model_budget: int = 0
+    planner: bool = False
+    strategy: Optional[dict] = None
     id: Optional[str] = None
     trace: Optional[dict] = None
 
@@ -103,10 +123,16 @@ class JobRequest:
             self.timeout,
             self.use_index,
             self.model_budget,
+            self.planner,
+            (
+                json.dumps(self.strategy, sort_keys=True)
+                if self.strategy is not None
+                else None
+            ),
         )
 
     def to_obj(self) -> dict:
-        return {
+        obj = {
             "op": self.op,
             "kb_text": self.kb_text,
             "query": self.query,
@@ -119,6 +145,13 @@ class JobRequest:
             "id": self.id,
             "trace": self.trace,
         }
+        # Emitted only when set, keeping the wire shape of pre-planner
+        # requests byte-stable.
+        if self.planner:
+            obj["planner"] = True
+        if self.strategy is not None:
+            obj["strategy"] = self.strategy
+        return obj
 
     @classmethod
     def from_obj(cls, obj: dict) -> "JobRequest":
@@ -139,7 +172,8 @@ class JobResult:
     ``entailed`` is sound even then.  ``warm`` marks an exact snapshot
     resume; ``ancestor`` marks an incremental resume from a nearest-
     ancestor snapshot (the missing facts were injected as a delta) —
-    the two are mutually exclusive.
+    the two are mutually exclusive.  ``strategy`` names the planner (or
+    override) strategy the job ran under, None on the plain config path.
     """
 
     op: str
@@ -156,6 +190,7 @@ class JobResult:
     terminated: bool = False
     deadline_expired: bool = False
     seconds: float = 0.0
+    strategy: Optional[str] = None
     instance: Optional[list] = field(default=None, repr=False)
 
     def to_obj(self) -> dict:
@@ -175,6 +210,8 @@ class JobResult:
             "deadline_expired": self.deadline_expired,
             "seconds": self.seconds,
         }
+        if self.strategy is not None:
+            obj["strategy"] = self.strategy
         if self.instance is not None:
             obj["instance"] = self.instance
         return obj
@@ -223,11 +260,33 @@ def _execute(
             raise ValueError("entail jobs need a query")
         query = boolean_cq(request.query)
 
+    # Strategy resolution: an explicit per-request override wins, then
+    # planner routing (verdict → strategy, cached by ruleset
+    # fingerprint), then the request's own chase configuration.
+    strategy: Optional[Strategy] = None
+    if request.strategy is not None:
+        strategy = Strategy.from_obj(request.strategy)
+    elif request.planner:
+        _, strategy, _ = default_planner().decide(kb, store=store)
+    variant = strategy.variant if strategy is not None else request.variant
+    core_every = (
+        strategy.core_every if strategy is not None else request.core_every
+    )
+    max_steps = (
+        strategy.max_steps if strategy is not None else request.max_steps
+    )
+    model_budget = (
+        strategy.model_budget if strategy is not None else request.model_budget
+    )
+    ancestor_allowed = (
+        strategy.ancestor_resume if strategy is not None else True
+    )
+
     deadline = Deadline(request.timeout)
     engine = ChaseEngine(
         kb,
-        variant=request.variant,
-        core_every=request.core_every,
+        variant=variant,
+        core_every=core_every,
         observer=observer,
         use_index=request.use_index,
     )
@@ -238,26 +297,26 @@ def _execute(
         # Spans here use the ambient observer (the worker's tracer, or
         # the server's in workers=0 mode) so the store's own
         # snapshot_access events land inside the snapshot_load span.
-        with _span("snapshot_load", variant=request.variant):
-            entry = store.load_entry(kb, request.variant, request.core_every)
-        if entry is None and store.ancestor_resume:
+        with _span("snapshot_load", variant=variant):
+            entry = store.load_entry(kb, variant, core_every)
+        if entry is None and store.ancestor_resume and ancestor_allowed:
             # Exact miss: probe for the nearest ancestor whose facts are
             # a subset of this KB; resuming it plus the missing facts is
             # a fair-derivation prefix of the grown KB (the resolve gate
             # documents the soundness conditions it enforces).
-            with _span("snapshot_resolve", variant=request.variant):
+            with _span("snapshot_resolve", variant=variant):
                 entry = store.resolve_ancestor(
                     kb,
-                    request.variant,
-                    request.core_every,
-                    max_applications=request.max_steps,
+                    variant,
+                    core_every,
+                    max_applications=max_steps,
                 )
             ancestor = entry is not None
     snapshot = entry.state if entry is not None else None
     # A snapshot deeper than this job's budget is left alone: resuming
     # it would answer for a larger budget than the client asked for
     # (and differ from the cold run the budget defines).
-    resumed = snapshot is not None and snapshot.applications <= request.max_steps
+    resumed = snapshot is not None and snapshot.applications <= max_steps
     if not resumed:
         ancestor = False
     warm = resumed and not ancestor
@@ -287,14 +346,14 @@ def _execute(
         stopper = deadline.expired
 
     step_hook = on_step if (query is not None and not hit[0]) else None
-    with _span("chase", variant=request.variant, warm=warm, ancestor=ancestor):
+    with _span("chase", variant=variant, warm=warm, ancestor=ancestor):
         if resumed:
             chase = engine.resume(
-                request.max_steps - prior, on_step=step_hook, should_stop=stopper
+                max_steps - prior, on_step=step_hook, should_stop=stopper
             )
         else:
             chase = engine.run(
-                request.max_steps, on_step=step_hook, should_stop=stopper
+                max_steps, on_step=step_hook, should_stop=stopper
             )
 
     new_apps = chase.applications
@@ -318,6 +377,7 @@ def _execute(
         op=request.op,
         warm=warm,
         ancestor=ancestor,
+        strategy=strategy.name if strategy is not None else None,
         applications=new_apps,
         total_applications=total,
         atoms=len(final),
@@ -346,10 +406,10 @@ def _execute(
     elif expired:
         result.entailed = None
         result.method = "deadline-expired"
-    elif request.model_budget > 0 and not deadline.expired():
-        with _span("countermodel", budget=request.model_budget):
+    elif model_budget > 0 and not deadline.expired():
+        with _span("countermodel", budget=model_budget):
             counter = find_countermodel(
-                kb, query, max_domain=request.model_budget
+                kb, query, max_domain=model_budget
             )
         if counter.found:
             result.entailed = False

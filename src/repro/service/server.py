@@ -86,6 +86,12 @@ class EntailmentServer:
     rolling_window:
         How many recent job latencies the ``stats`` op's percentile
         summary covers (:class:`~repro.obs.spans.RollingLatencies`).
+    planner:
+        When True, requests that neither set ``planner`` themselves nor
+        carry an explicit ``strategy`` override are routed through the
+        analysis planner (the worker derives a per-ruleset strategy,
+        cached by fingerprint).  Clients keep full control: sending
+        ``"planner": false`` or a ``strategy`` dict opts a request out.
 
     Tracing
     -------
@@ -108,12 +114,14 @@ class EntailmentServer:
         default_timeout: Optional[float] = None,
         fault_plan: Optional[FaultPlan] = None,
         rolling_window: int = 512,
+        planner: bool = False,
     ):
         self.executor = executor
         self.host = host
         self.port = port
         self.default_timeout = default_timeout
         self.fault_plan = fault_plan
+        self.planner = planner
         self.registry = executor.registry
         self.latencies = RollingLatencies(rolling_window)
         self._inflight: dict[tuple, asyncio.Future] = {}
@@ -131,6 +139,8 @@ class EntailmentServer:
         self.warm_hits = 0
         self.ancestor_hits = 0
         self.errors = 0
+        #: jobs answered per planner strategy name
+        self.strategies: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -307,6 +317,15 @@ class EntailmentServer:
             request = JobRequest.from_obj(obj)
             if request.timeout is None:
                 request.timeout = self.default_timeout
+            # Server-level planner default: applied before dedup_key so
+            # routed and unrouted forms of the same question never
+            # coalesce onto each other's job.
+            if (
+                self.planner
+                and "planner" not in obj
+                and request.strategy is None
+            ):
+                request.planner = True
         except (ValueError, TypeError) as exc:
             return {"ok": False, "error": f"bad request: {exc}"}
 
@@ -432,6 +451,10 @@ class EntailmentServer:
                 error=f"executor failure: {type(exc).__name__}: {exc}",
             )
         self.jobs += 1
+        if result.strategy is not None:
+            self.strategies[result.strategy] = (
+                self.strategies.get(result.strategy, 0) + 1
+            )
         if result.warm:
             self.warm_hits += 1
         if result.ancestor:
@@ -488,6 +511,16 @@ class EntailmentServer:
             "snapshot_bytes_saved": metrics.get(
                 "snapshot.bytes_saved", {}
             ).get("value", 0),
+            "planner": {
+                "enabled": self.planner,
+                "strategies": dict(sorted(self.strategies.items())),
+                "verdicts": metrics.get("planner.verdicts", {}).get(
+                    "value", 0
+                ),
+                "cache_hits": metrics.get("planner.cache_hits", {}).get(
+                    "value", 0
+                ),
+            },
             "pending": self.executor.pending,
             "inflight": len(self._inflight),
             "latency": self.latencies.summary(),
@@ -508,13 +541,16 @@ async def serve(
     executor: Optional[JobExecutor] = None,
     fault_plan: Optional[FaultPlan] = None,
     trace_dir: Optional[str] = None,
+    planner: bool = False,
 ) -> None:
     """Run a server until a shutdown request arrives.
 
     Prints ``repro serve listening on HOST:PORT`` once ready (the CI
     smoke harness parses this line to find the ephemeral port).
     *trace_dir* is forwarded to an executor this call creates itself
-    (per-worker span sinks); it is ignored when *executor* is given."""
+    (per-worker span sinks); it is ignored when *executor* is given.
+    *planner* turns on server-level planner routing (see
+    :class:`EntailmentServer`)."""
     own_executor = executor is None
     if executor is None:
         executor = JobExecutor(
@@ -526,6 +562,7 @@ async def serve(
         port=port,
         default_timeout=default_timeout,
         fault_plan=fault_plan,
+        planner=planner,
     )
     await server.start()
     print(f"repro serve listening on {server.host}:{server.port}", flush=True)

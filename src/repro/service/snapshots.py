@@ -351,6 +351,11 @@ CREATE TABLE IF NOT EXISTS snapshots (
 );
 CREATE INDEX IF NOT EXISTS snapshots_ancestry
     ON snapshots (rules_fingerprint, variant, core_every, fact_count);
+CREATE TABLE IF NOT EXISTS verdicts (
+    rules_fingerprint TEXT PRIMARY KEY,
+    verdict TEXT NOT NULL,
+    created REAL NOT NULL
+);
 """
 
 
@@ -939,6 +944,37 @@ class SnapshotStore:
         None — :meth:`load_entry` without the chain context."""
         entry = self.load_entry(kb, variant, core_every)
         return entry.state if entry is not None else None
+
+    # -- analysis verdicts ---------------------------------------------
+
+    def load_verdict(self, rules_fp: str) -> Optional[dict]:
+        """The persisted analysis verdict for a ruleset fingerprint, or
+        None.  Verdicts are pure functions of the rules (plus advisory
+        instance probes), so the catalog shares them across workers and
+        restarts; an unparseable row is treated as a miss."""
+        with self._db() as conn:
+            row = conn.execute(
+                "SELECT verdict FROM verdicts WHERE rules_fingerprint = ?",
+                (rules_fp,),
+            ).fetchone()
+        if row is None:
+            return None
+        try:
+            payload = json.loads(row[0])
+        except ValueError:
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def save_verdict(self, rules_fp: str, obj: dict) -> None:
+        """Persist an analysis verdict keyed by ruleset fingerprint.
+        Last writer wins; racing writers computed the same verdict, so
+        the replace is harmless."""
+        with self._db() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO verdicts "
+                "(rules_fingerprint, verdict, created) VALUES (?, ?, ?)",
+                (rules_fp, json.dumps(obj, sort_keys=True), time.time()),
+            )
 
     # -- ancestor resolution -------------------------------------------
 

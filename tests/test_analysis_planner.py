@@ -1,0 +1,374 @@
+"""Tests for the analysis planner subsystem: the linear-fragment
+termination decider, the breadth-level k-boundedness probe, the
+consumed-budget fes certificate, and the verdict → strategy planner
+(cache tiers, observability events, and the service integration)."""
+
+import pytest
+
+from repro.analysis import (
+    STRATEGY_NAMES,
+    Planner,
+    Strategy,
+    Verdict,
+    fes_certificate,
+    is_linear,
+    linear_chase_terminates,
+    plan,
+    probe_k_bound,
+    ruleset_fingerprint,
+)
+from repro.chase.engine import ChaseVariant
+from repro.kbs.witnesses import manager_kb, transitive_closure_kb
+from repro.logic.kb import KnowledgeBase
+from repro.logic.parser import parse_atoms, parse_rule
+from repro.logic.rules import RuleSet
+from repro.logic.serialization import dump_kb
+from repro.obs import MetricsObserver, MetricsRegistry, observing
+from repro.service.jobs import JobRequest, JobResult, execute_job
+from repro.service.snapshots import SnapshotStore
+
+
+def rules_of(*texts):
+    return RuleSet(parse_rule(text, name=f"r{i}") for i, text in enumerate(texts))
+
+
+def kb_of(facts_text, *rule_texts):
+    return KnowledgeBase(parse_atoms(facts_text), rules_of(*rule_texts))
+
+
+# ---------------------------------------------------------------------------
+# linear-fragment termination decider
+# ---------------------------------------------------------------------------
+
+
+class TestLinearTermination:
+    def test_self_refreshing_loop_diverges(self):
+        rules = rules_of("p(X) -> p(Z)")
+        assert is_linear(rules)
+        assert linear_chase_terminates(rules) is False
+
+    def test_terminating_chain(self):
+        rules = rules_of("p(X) -> q(X, Z)", "q(X, Y) -> r(Y)")
+        assert linear_chase_terminates(rules) is True
+
+    def test_dead_null_cycle_terminates(self):
+        # The fresh null dies at the next edge: p over the critical
+        # constant is a duplicate, so the naive "generative edge in an
+        # SCC" criterion would wrongly flag this as diverging.
+        rules = rules_of("p(X) -> r(X, Z)", "r(X, Y) -> p(X)")
+        assert linear_chase_terminates(rules) is True
+
+    def test_alternating_refresh_diverges(self):
+        rules = rules_of("p(X) -> q(X, Z)", "q(X, Y) -> p(Y)")
+        assert linear_chase_terminates(rules) is False
+
+    def test_non_linear_is_undecided(self):
+        rules = rules_of("e(X, Y), e(Y, Z) -> e(X, Z)")
+        assert not is_linear(rules)
+        assert linear_chase_terminates(rules) is None
+
+    def test_manager_ruleset_diverges(self):
+        rules = manager_kb().rules
+        assert is_linear(rules)
+        assert linear_chase_terminates(rules) is False
+
+    def test_shape_budget_exhaustion_is_undecided(self):
+        rules = rules_of("p(X) -> q(X, Z)", "q(X, Y) -> p(Y)")
+        assert linear_chase_terminates(rules, max_shapes=1) is None
+
+
+# ---------------------------------------------------------------------------
+# breadth-level k-boundedness probe
+# ---------------------------------------------------------------------------
+
+
+class TestKBoundProbe:
+    def test_terminating_kb_saturates(self):
+        probe = probe_k_bound(transitive_closure_kb(3), k_max=8)
+        assert probe.bounded
+        assert probe.fixpoint_level is not None
+        assert probe.applications > 0
+
+    def test_diverging_kb_never_saturates(self):
+        probe = probe_k_bound(manager_kb(), k_max=3, atom_budget=200)
+        assert not probe.bounded
+        assert probe.fixpoint_level is None
+
+    def test_monotone_in_k_max(self):
+        small = probe_k_bound(transitive_closure_kb(3), k_max=8)
+        large = probe_k_bound(transitive_closure_kb(3), k_max=16)
+        assert small.fixpoint_level == large.fixpoint_level
+
+    def test_atom_budget_reports_exhaustion(self):
+        probe = probe_k_bound(manager_kb(), k_max=10, atom_budget=5)
+        assert probe.exhausted
+        assert probe.fixpoint_level is None
+
+
+# ---------------------------------------------------------------------------
+# fes certificate reports consumed budget
+# ---------------------------------------------------------------------------
+
+
+class TestFesCertificate:
+    def test_success_consumed_equals_certificate(self):
+        certificate, consumed = fes_certificate(
+            transitive_closure_kb(3), max_steps=100
+        )
+        assert certificate is not None
+        assert consumed == certificate
+
+    def test_failure_reports_spent_budget_not_cap(self):
+        certificate, consumed = fes_certificate(manager_kb(), max_steps=7)
+        assert certificate is None
+        assert 0 < consumed <= 7
+
+
+# ---------------------------------------------------------------------------
+# Verdict / Strategy plumbing
+# ---------------------------------------------------------------------------
+
+
+def make_verdict(**overrides):
+    base = dict(
+        rules_fingerprint="f" * 64,
+        rule_count=1,
+        weakly_acyclic=False,
+        rule_acyclic=False,
+        guarded=False,
+        frontier_guarded=False,
+        sticky=False,
+        linear=False,
+    )
+    base.update(overrides)
+    return Verdict(**base)
+
+
+class TestVerdictStrategy:
+    def test_verdict_round_trip(self):
+        verdict = make_verdict(weakly_acyclic=True, k_bound=2)
+        assert Verdict.from_obj(verdict.to_obj()) == verdict
+
+    def test_strategy_round_trip(self):
+        strategy = plan(make_verdict(guarded=True))
+        assert Strategy.from_obj(strategy.to_obj()) == strategy
+
+    def test_strategy_override_defaults_name(self):
+        strategy = Strategy.from_obj(
+            {"variant": "core", "core_every": 2, "max_steps": 50, "model_budget": 0}
+        )
+        assert strategy.name == "override"
+
+    def test_strategy_override_rejects_missing_fields(self):
+        with pytest.raises(ValueError):
+            Strategy.from_obj({"variant": "core"})
+
+    def test_strategy_override_rejects_unknown_variant(self):
+        with pytest.raises(ValueError):
+            Strategy.from_obj(
+                {"variant": "turbo", "core_every": 1, "max_steps": 1, "model_budget": 0}
+            )
+
+    def test_plan_ladder(self):
+        assert plan(make_verdict(weakly_acyclic=True)).name == "terminating-fast"
+        assert plan(make_verdict(linear=True, linear_terminating=True)).name == (
+            "terminating-fast"
+        )
+        assert plan(make_verdict(k_bound=3)).name == "bounded-probe"
+        assert plan(make_verdict(fes_applications=9)).name == "fes-core"
+        assert plan(make_verdict(guarded=True)).name == "bts-core"
+        assert plan(make_verdict()).name == "frontier-race"
+
+    def test_plan_names_are_closed(self):
+        for verdict in (
+            make_verdict(weakly_acyclic=True),
+            make_verdict(k_bound=1),
+            make_verdict(fes_applications=1),
+            make_verdict(sticky=True),
+            make_verdict(),
+        ):
+            assert plan(verdict).name in STRATEGY_NAMES
+
+    def test_terminating_fast_disables_model_finder(self):
+        strategy = plan(make_verdict(rule_acyclic=True))
+        assert strategy.model_budget == 0
+        assert strategy.variant == ChaseVariant.RESTRICTED
+
+    def test_fes_core_scales_budget_to_certificate(self):
+        strategy = plan(make_verdict(fes_applications=300))
+        assert strategy.variant == ChaseVariant.CORE
+        assert strategy.max_steps == 600
+
+
+# ---------------------------------------------------------------------------
+# Planner caching
+# ---------------------------------------------------------------------------
+
+
+class TestPlannerCache:
+    def test_memory_tier(self):
+        planner = Planner()
+        kb = transitive_closure_kb(3)
+        first, source1 = planner.analyze(kb)
+        second, source2 = planner.analyze(kb)
+        assert (source1, source2) == ("computed", "memory")
+        assert first == second
+
+    def test_store_tier_shares_across_planners(self, tmp_path):
+        store = SnapshotStore(tmp_path / "snaps")
+        kb = transitive_closure_kb(3)
+        verdict, source = Planner().analyze(kb, store=store)
+        assert source == "computed"
+        revived, source2 = Planner().analyze(kb, store=store)
+        assert source2 == "store"
+        assert revived == verdict
+
+    def test_cache_clear_recomputes(self):
+        planner = Planner()
+        kb = transitive_closure_kb(3)
+        planner.analyze(kb)
+        planner.cache_clear()
+        assert planner.analyze(kb)[1] == "computed"
+
+    def test_lru_eviction(self):
+        planner = Planner(cache_size=1)
+        first = transitive_closure_kb(3)
+        second = manager_kb()
+        planner.analyze(first)
+        planner.analyze(second)  # evicts first
+        assert planner.analyze(first)[1] == "computed"
+
+    def test_fingerprint_matches_snapshot_catalog(self):
+        from repro.service.snapshots import rules_fingerprint
+
+        kb = manager_kb()
+        assert ruleset_fingerprint(kb.rules) == rules_fingerprint(kb)
+
+    def test_decide_emits_metrics(self):
+        registry = MetricsRegistry()
+        planner = Planner()
+        kb = transitive_closure_kb(3)
+        with observing(MetricsObserver(registry)):
+            _, strategy, _ = planner.decide(kb)
+            planner.decide(kb)
+        snapshot = registry.snapshot()
+        assert snapshot["planner.verdicts"]["value"] == 1
+        assert snapshot["planner.cache_hits"]["value"] == 1
+        assert snapshot[f"planner.strategy.{strategy.name}"]["value"] == 2
+
+
+# ---------------------------------------------------------------------------
+# routing spot checks on the witness KBs
+# ---------------------------------------------------------------------------
+
+
+class TestRouting:
+    def test_transitive_closure_routes_terminating(self):
+        _, strategy, _ = Planner().decide(transitive_closure_kb(3))
+        assert strategy.name == "terminating-fast"
+
+    def test_manager_routes_bts(self):
+        _, strategy, _ = Planner().decide(manager_kb())
+        assert strategy.name == "bts-core"
+
+    def test_unknown_ruleset_routes_frontier_race(self):
+        # Frontier {X, Z} split across body atoms (not frontier-guarded),
+        # Y marked and repeated (not sticky), an existential cycle (not
+        # weakly acyclic), two body atoms (not linear) — and diverging.
+        kb = kb_of(
+            "e(a, b), e(b, c)", "e(X, Y), e(Y, Z) -> e(X, Z), e(Z, W)"
+        )
+        verdict, strategy, _ = Planner(
+            fes_budget=5, k_max=2, k_atom_budget=50
+        ).decide(kb)
+        assert not verdict.decidable
+        assert strategy.name == "frontier-race"
+
+
+# ---------------------------------------------------------------------------
+# service integration
+# ---------------------------------------------------------------------------
+
+
+class TestServiceIntegration:
+    def entail_request(self, kb, query, **extra):
+        return JobRequest(
+            op="entail", kb_text=dump_kb(kb), query=query, **extra
+        )
+
+    def test_planner_routed_job_reports_strategy(self, tmp_path):
+        store = SnapshotStore(tmp_path / "snaps")
+        request = self.entail_request(
+            transitive_closure_kb(3), "e(v0, v3)", planner=True
+        )
+        result = execute_job(request, store=store)
+        assert result.ok
+        assert result.entailed is True
+        assert result.strategy == "terminating-fast"
+
+    def test_planner_answers_match_plain_config(self, tmp_path):
+        kb = transitive_closure_kb(3)
+        for query, want in (("e(v0, v3)", True), ("e(v3, v0)", False)):
+            plain = execute_job(self.entail_request(kb, query))
+            routed = execute_job(
+                self.entail_request(kb, query, planner=True),
+                store=SnapshotStore(tmp_path / f"s-{want}"),
+            )
+            assert plain.entailed == routed.entailed == want
+
+    def test_explicit_strategy_override_wins(self):
+        request = self.entail_request(
+            transitive_closure_kb(3),
+            "e(v0, v3)",
+            planner=True,
+            strategy={
+                "name": "pinned",
+                "variant": ChaseVariant.CORE,
+                "core_every": 1,
+                "max_steps": 100,
+                "model_budget": 0,
+            },
+        )
+        result = execute_job(request)
+        assert result.ok
+        assert result.strategy == "pinned"
+        assert result.entailed is True
+
+    def test_bad_strategy_override_fails_cleanly(self):
+        request = self.entail_request(
+            transitive_closure_kb(3), "e(v0, v3)", strategy={"variant": "core"}
+        )
+        result = execute_job(request)
+        assert not result.ok
+        assert "missing fields" in result.error
+
+    def test_plain_path_reports_no_strategy(self):
+        result = execute_job(self.entail_request(transitive_closure_kb(3), "e(v0, v3)"))
+        assert result.strategy is None
+        assert "strategy" not in result.to_obj()
+
+    def test_dedup_key_distinguishes_routing(self):
+        kb = transitive_closure_kb(3)
+        plain = self.entail_request(kb, "e(v0, v3)")
+        routed = self.entail_request(kb, "e(v0, v3)", planner=True)
+        pinned = self.entail_request(
+            kb,
+            "e(v0, v3)",
+            strategy={"variant": "core", "core_every": 1, "max_steps": 9, "model_budget": 0},
+        )
+        keys = {plain.dedup_key(), routed.dedup_key(), pinned.dedup_key()}
+        assert len(keys) == 3
+
+    def test_request_wire_shape_is_stable(self):
+        plain = self.entail_request(transitive_closure_kb(3), "e(v0, v3)")
+        assert "planner" not in plain.to_obj()
+        assert "strategy" not in plain.to_obj()
+        routed = JobRequest.from_obj(
+            {**plain.to_obj(), "planner": True, "strategy": None}
+        )
+        assert routed.planner is True
+        assert routed.to_obj()["planner"] is True
+
+    def test_result_round_trips_strategy(self):
+        result = JobResult(op="entail", strategy="bts-core")
+        assert JobResult.from_obj(result.to_obj()).strategy == "bts-core"

@@ -144,6 +144,64 @@ class TestClassifyCommand:
         main(["classify", kb_file])
         assert "core chase terminated" in capsys.readouterr().out
 
+    def test_deprecation_warning_on_stderr_only(self, kb_file, capsys):
+        code = main(["classify", kb_file])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "deprecated" in captured.err
+        assert "repro analyze" in captured.err
+        assert "deprecated" not in captured.out
+
+
+class TestAnalyzeCommand:
+    def test_reports_verdict_and_strategy(self, kb_file, capsys):
+        code = main(["analyze", kb_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        for needle in (
+            "weakly acyclic",
+            "linear termination",
+            "k-bounded",
+            "strategy: terminating-fast",
+            "reason:",
+        ):
+            assert needle in out
+
+    def test_bts_ruleset_routes_core(self, manager_file, capsys):
+        code = main(["analyze", manager_file, "--steps", "10", "--k-max", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "strategy: bts-core" in out
+        assert "diverges" in out
+
+    def test_json_shape(self, kb_file, capsys):
+        code = main(["analyze", kb_file, "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["verdict"]["weakly_acyclic"] is True
+        assert report["terminating"] is True
+        assert report["strategy"]["name"] == "terminating-fast"
+        assert report["strategy"]["model_budget"] == 0
+
+    def test_subsumes_classify_json_fields(self, kb_file, capsys):
+        main(["classify", kb_file, "--json"])
+        classify = json.loads(capsys.readouterr().out)
+        main(["analyze", kb_file, "--json"])
+        analyze = json.loads(capsys.readouterr().out)
+        for field in (
+            "weakly_acyclic",
+            "guarded",
+            "frontier_guarded",
+            "sticky",
+            "rule_acyclic",
+        ):
+            assert analyze["verdict"][field] == classify[field]
+        # analyze skips the instance probes once termination is already
+        # syntactically certified; classify always runs the fes probe.
+        assert analyze["terminating"] is True
+        assert analyze["verdict"]["fes_applications"] is None
+        assert classify["fes_applications"] is not None
+
 
 class TestTreewidthCommand:
     def test_grid_width(self, tmp_path, capsys):
@@ -174,6 +232,19 @@ class TestEntailClassifyJson:
         assert code == 0
         assert report["weakly_acyclic"] is True
         assert report["fes_applications"] is not None
+
+    def test_classify_json_reports_consumed_budget(self, kb_file, capsys):
+        main(["classify", kb_file, "--json"])
+        report = json.loads(capsys.readouterr().out)
+        # On success the consumed budget is exactly the certificate, not
+        # the --steps cap.
+        assert report["fes_budget_consumed"] == report["fes_applications"]
+        assert report["fes_budget_consumed"] < report["fes_budget"]
+
+    def test_serve_planner_flags_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["serve"]).no_planner is False
+        assert parser.parse_args(["serve", "--no-planner"]).no_planner is True
 
 
 class TestStatsCommand:

@@ -1,0 +1,90 @@
+"""Property-based tests (hypothesis) for the analyzer and planner over
+randomly generated rulesets.
+
+Two invariant families:
+
+* **Monotonicity under rule deletion** — every syntactic class the
+  analyzer detects (guardedness, linearity, stickiness, weak
+  acyclicity) is closed under taking subsets of the ruleset, so a class
+  that holds for the full set must hold after deleting any single rule.
+* **Probe/planner determinism** — the breadth probe's fixpoint level is
+  stable when the level cap grows past it, and the planner is a pure
+  function of the ruleset fingerprint: equal fingerprints always route
+  to the identical strategy.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    Planner,
+    is_guarded,
+    is_linear,
+    is_sticky,
+    is_weakly_acyclic,
+    plan,
+    probe_k_bound,
+    ruleset_fingerprint,
+)
+from repro.kbs.generators import random_kb
+from repro.logic.kb import KnowledgeBase
+from repro.logic.rules import RuleSet
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+kb_seeds = st.integers(min_value=0, max_value=400)
+
+
+def generated_kb(seed: int) -> KnowledgeBase:
+    return random_kb(rule_count=4, fact_count=6, seed=seed)
+
+
+def without_rule(kb: KnowledgeBase, index: int) -> RuleSet:
+    rules = list(kb.rules)
+    del rules[index % len(rules)]
+    return RuleSet(rules)
+
+
+MONOTONE_CLASSES = (is_guarded, is_linear, is_sticky, is_weakly_acyclic)
+
+
+@SETTINGS
+@given(seed=kb_seeds, index=st.integers(min_value=0, max_value=3))
+def test_classes_preserved_under_rule_deletion(seed, index):
+    kb = generated_kb(seed)
+    smaller = without_rule(kb, index)
+    for criterion in MONOTONE_CLASSES:
+        if criterion(kb.rules):
+            assert criterion(smaller), (
+                f"{criterion.__name__} lost by deleting rule {index}"
+            )
+
+
+@SETTINGS
+@given(seed=kb_seeds, k_extra=st.integers(min_value=1, max_value=6))
+def test_k_bound_verdict_monotone_in_k(seed, k_extra):
+    kb = generated_kb(seed)
+    small = probe_k_bound(kb, k_max=3, atom_budget=400)
+    if small.fixpoint_level is None:
+        return  # nothing certified; a larger cap may or may not settle it
+    large = probe_k_bound(kb, k_max=3 + k_extra, atom_budget=400)
+    assert large.fixpoint_level == small.fixpoint_level
+
+
+@SETTINGS
+@given(seed=kb_seeds)
+def test_planner_is_deterministic_per_fingerprint(seed):
+    kb = generated_kb(seed)
+    twin = KnowledgeBase(kb.facts, kb.rules, name="renamed-twin")
+    assert ruleset_fingerprint(kb.rules) == ruleset_fingerprint(twin.rules)
+    options = dict(fes_budget=10, k_max=3, k_atom_budget=300)
+    first = Planner(**options).decide(kb)
+    second = Planner(**options).decide(twin)
+    assert first[0] == second[0]  # verdict
+    assert first[1] == second[1]  # strategy
+    # plan() itself is pure: replanning the cached verdict changes nothing
+    assert plan(first[0]) == first[1]
