@@ -64,11 +64,11 @@ MIN_FLEET_SPEEDUP = 1.5
 FLEET_ROWS = (
     ("transitive-9", lambda: transitive_closure_kb(9), "e(v0, v8)", "terminating-fast"),
     ("transitive-9", lambda: transitive_closure_kb(9), "e(v8, v0)", "terminating-fast"),
-    ("layered-6x2", lambda: layered_kb(6, fanout=2), "l6(X)", "terminating-fast"),
-    ("layered-6x2", lambda: layered_kb(6, fanout=2), "nosuch(X)", "terminating-fast"),
-    ("guarded-chain", guarded_chain_kb, "q(X, Y)", "bts-core"),
-    ("managers", manager_kb, "mgr(ann, Y)", "bts-core"),
-    ("managers", manager_kb, "emp(X)", "bts-core"),
+    ("layered-6x2", lambda: layered_kb(6, fanout=2), "l6(X)", "rewrite-first"),
+    ("layered-6x2", lambda: layered_kb(6, fanout=2), "nosuch(X)", "rewrite-first"),
+    ("guarded-chain", guarded_chain_kb, "q(X, Y)", "rewrite-first"),
+    ("managers", manager_kb, "mgr(ann, Y)", "rewrite-first"),
+    ("managers", manager_kb, "emp(X)", "rewrite-first"),
     ("staircase", staircase_kb, "v(X, Y)", "frontier-race"),
     ("staircase", staircase_kb, "v(X, Y), v(Y, Z)", "frontier-race"),
 )

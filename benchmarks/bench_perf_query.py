@@ -1,18 +1,60 @@
-"""P1e — query evaluation: backtracking vs tree-decomposition DP.
+"""Query-side perf: UCQ rewriting, compiled-plan cache, batched eval.
 
-The decomposition-based evaluator (repro.query.decomposed) exists
-because of the paper's treewidth theme; this bench compares it with the
-plain backtracking evaluator on path queries over path instances —
-a family where both are fast — and on a crafted query whose naive
-variable order is bad, where the DP's bag-local joins shine.
+Two layers:
+
+* the original micro-benches — backtracking vs tree-decomposition DP on
+  path/grid queries (the paper's treewidth theme);
+* ``bench_perf_query_table`` — the CI ``query-gate`` table.  Every
+  workload/query pair is answered in two modes, back to back on the
+  same machine:
+
+  - **race** — ``rewrite=False``: the Theorem-1 forward-chase /
+    countermodel race, from scratch per request (the pre-rewriting
+    serving path);
+  - **accel** — planner-routed ``rewrite-first``: the cached compiled
+    UCQ plan evaluated against the base facts, falling back to the race
+    only when the plan is inconclusive.
+
+  Three row kinds: ``rewrite`` rows (analyzer-identified linear/guarded
+  rulesets — the accel side must answer from the plan alone and beat
+  the race by :data:`MIN_REWRITE_SPEEDUP`); ``fallback`` rows
+  (non-rewritable rulesets — the accel side degrades to the race plus a
+  memoized negative plan, and must cost at most
+  :data:`MAX_FALLBACK_RATIO` of the plain race); one ``batch`` row (a
+  ``batch_entail`` job over distinct CQs vs the same CQs as sequential
+  jobs).  Each mode's seconds are archived as twin tables
+  (``results/perf_query.json`` / ``results/perf_query_race.json``) so
+  the CI gate can hold the same-machine floor and ceiling with
+  ``compare_results.py --min-speedup / --max-ratio``; identical
+  entailment answers per row are asserted in-bench.
+
+  The table finishes with the repeated-distinct-query smoke: a fresh
+  two-tier plan cache serving :data:`SMOKE_REPEATS` rounds of the same
+  distinct-query set must report a hit ratio >=
+  :data:`MIN_SMOKE_HIT_RATIO` (the steady-state serving claim).
 """
+
+import time
 
 import pytest
 
-from repro.kbs.generators import grid_instance, path_instance
+from repro.kbs.generators import grid_instance, layered_kb, path_instance
+from repro.kbs.witnesses import (
+    guarded_chain_kb,
+    manager_kb,
+    transitive_closure_kb,
+)
+from repro.kbs.staircase import staircase_kb
+from repro.logic.homcache import get_cache
 from repro.logic.homomorphism import maps_into
-from repro.query import boolean_cq
+from repro.logic.serialization import dump_kb
+from repro.query import boolean_cq, default_plan_cache
 from repro.query.decomposed import DecomposedQuery
+from repro.query.plans import QueryPlanCache
+from repro.service.jobs import JobRequest, execute_job
+from repro.util import Table
+
+from conftest import quiesced_gc, save_table
 
 PATH_QUERY = boolean_cq("e(A, B), e(B, C), e(C, D), e(D, E), e(E, F)")
 GRID_QUERY = boolean_cq(
@@ -44,3 +86,206 @@ def bench_decomposed_grid_query(benchmark, n):
     compiled = DecomposedQuery(GRID_QUERY)
     result = benchmark(lambda: compiled.holds_in(instance))
     assert result == maps_into(GRID_QUERY.atoms, instance)
+
+
+# ---------------------------------------------------------------------------
+# the query-gate table (CI: query-gate)
+# ---------------------------------------------------------------------------
+
+#: Same-machine floor on ``rewrite`` rows: the cached-plan path must be
+#: at least this many times faster than the per-request race.
+MIN_REWRITE_SPEEDUP = 2.0
+
+#: Same-machine ceiling on ``fallback`` rows: attempting (and memoizing
+#: the refusal of) a rewrite on a non-rewritable ruleset may cost at
+#: most this fraction more than the plain race.
+MAX_FALLBACK_RATIO = 1.25
+
+#: Serving steady state: each mode answers every row this many times;
+#: the plan is computed once and reused on the later repetitions, the
+#: race pays its full cost every time — exactly the serving asymmetry
+#: the tentpole exists for.
+ROW_REPS = 5
+
+#: (workload, kb factory, query, kind).  The rewrite rows cover both
+#: fragments (layered/managers linear, guarded-chain guarded) and both
+#: answers, picked where the race does real work — a deep chase before
+#: the hit, or a fixpoint/countermodel refutation.  (An entailed query
+#: the race hits on its first steps has no 2x headroom: both modes are
+#: dominated by request parsing.  The speedup claim is about the
+#: requests that were expensive.)  The fallback rows are the analyzer's
+#: None-fragment witnesses.
+GATE_ROWS = (
+    ("layered-6x2", lambda: layered_kb(6, fanout=2), "l6(X)", "rewrite"),
+    ("layered-6x2", lambda: layered_kb(6, fanout=2), "nosuch(X)", "rewrite"),
+    ("managers", manager_kb, "emp(X), mgr(X, X)", "rewrite"),
+    ("guarded-chain", guarded_chain_kb, "q(X, Y), q(Y, Z)", "rewrite"),
+    ("transitive-7", lambda: transitive_closure_kb(7), "e(v0, v6)", "fallback"),
+    ("staircase", staircase_kb, "v(X, Y), v(Y, Z)", "fallback"),
+)
+
+#: The distinct-CQ batch row: one ``batch_entail`` job vs the same CQs
+#: as sequential single-query jobs (non-rewritable ruleset, so the
+#: amortization measured is the shared parse + single chase).
+BATCH_WORKLOAD = ("transitive-7", lambda: transitive_closure_kb(7))
+BATCH_QUERIES = (
+    "e(v0, v6)",
+    "e(v6, v0)",
+    "e(v1, v5)",
+    "e(X, X)",
+    "e(v0, X), e(X, v6)",
+    "e(v2, v2)",
+)
+
+#: The repeated-distinct-query smoke: SMOKE_REPEATS rounds over the
+#: distinct set must keep the two-tier plan cache above the floor.
+SMOKE_QUERIES = (
+    "mgr(X, Y)",
+    "mgr(ann, Y)",
+    "emp(X)",
+    "mgr(X, Y), emp(Y)",
+    "emp(X), mgr(X, X)",
+    "mgr(X, Y), mgr(Y, Z)",
+)
+SMOKE_REPEATS = 10
+MIN_SMOKE_HIT_RATIO = 0.8
+
+#: The chase configuration both modes share (restricted chase, the
+#: step and countermodel budgets the serving default uses): the only
+#: difference between the two timed jobs is the ``rewrite`` flag, so
+#: the measured delta is the rewriting layer and nothing else.
+RACE_CONFIG = dict(max_steps=200, model_budget=6)
+
+
+def _timed(thunk, reps=ROW_REPS):
+    get_cache().clear()
+    with quiesced_gc():
+        started = time.perf_counter()
+        results = [thunk() for _ in range(reps)]
+        return time.perf_counter() - started, results
+
+
+def bench_perf_query_table():
+    """Archive the rewrite-vs-race twin tables + the hit-ratio smoke.
+
+    Both modes run the same explicit chase configuration and differ
+    only in the ``rewrite`` flag — no planner, so neither side is
+    charged the analysis probes (their cost and amortization are the
+    analyzer-gate's claim, bench_perf_analyze) and the measured delta
+    is the rewriting layer alone.  The race side is the serving path
+    exactly as PR 9 left it."""
+    headers = ["workload", "query", "kind", "entailed", "seconds"]
+    accel = Table(
+        headers, title="perf: cached rewriting plans + batched eval"
+    )
+    race = Table(
+        headers, title="perf: per-request Theorem-1 race (reference)"
+    )
+    default_plan_cache().clear()
+
+    for workload, make_kb, query, kind in GATE_ROWS:
+        kb_text = dump_kb(make_kb())
+        race_seconds, race_results = _timed(
+            lambda: execute_job(
+                JobRequest(
+                    op="entail", kb_text=kb_text, query=query,
+                    rewrite=False, **RACE_CONFIG,
+                )
+            )
+        )
+        accel_seconds, accel_results = _timed(
+            lambda: execute_job(
+                JobRequest(
+                    op="entail", kb_text=kb_text, query=query,
+                    rewrite=True, **RACE_CONFIG,
+                )
+            )
+        )
+        for result in race_results + accel_results:
+            assert result.ok, result.error
+        answer = race_results[0].entailed
+        assert all(r.entailed == answer for r in race_results + accel_results), (
+            f"{workload}/{query}: rewrite and race answers disagree"
+        )
+        if kind == "rewrite":
+            assert accel_results[-1].method in (
+                "ucq-rewrite-hit", "ucq-rewrite-miss",
+            ), f"{workload}/{query}: expected a plan answer, got {accel_results[-1].method}"
+            speedup = race_seconds / max(accel_seconds, 1e-9)
+            assert speedup >= MIN_REWRITE_SPEEDUP, (
+                f"{workload}/{query}: rewriting only {speedup:.2f}x faster "
+                f"(floor {MIN_REWRITE_SPEEDUP}x)"
+            )
+        else:
+            ratio = accel_seconds / max(race_seconds, 1e-9)
+            assert ratio <= MAX_FALLBACK_RATIO, (
+                f"{workload}/{query}: fallback costs {ratio:.2f}x the race "
+                f"(ceiling {MAX_FALLBACK_RATIO})"
+            )
+        race.add_row(workload, query, kind, answer, round(race_seconds, 4))
+        accel.add_row(workload, query, kind, answer, round(accel_seconds, 4))
+
+    # -- the distinct-CQ batch row --------------------------------------
+    batch_name, batch_factory = BATCH_WORKLOAD
+    batch_text = dump_kb(batch_factory())
+    seq_seconds, seq_rounds = _timed(
+        lambda: [
+            execute_job(
+                JobRequest(
+                    op="entail", kb_text=batch_text, query=q, **RACE_CONFIG
+                )
+            )
+            for q in BATCH_QUERIES
+        ]
+    )
+    batch_seconds, batch_rounds = _timed(
+        lambda: execute_job(
+            JobRequest(
+                op="batch_entail",
+                kb_text=batch_text,
+                queries=list(BATCH_QUERIES),
+                **RACE_CONFIG,
+            )
+        )
+    )
+    sequential = seq_rounds[0]
+    batched = batch_rounds[0]
+    assert batched.ok, batched.error
+    batch_answers = [row["entailed"] for row in batched.results]
+    assert batch_answers == [job.entailed for job in sequential], (
+        "batched verdicts diverge from sequential jobs"
+    )
+    batch_speedup = seq_seconds / max(batch_seconds, 1e-9)
+    assert batch_speedup > 1.0, (
+        f"batch_entail slower than sequential jobs ({batch_speedup:.2f}x)"
+    )
+    label = f"{len(BATCH_QUERIES)} distinct CQs"
+    race.add_row(batch_name, label, "batch", True, round(seq_seconds, 4))
+    accel.add_row(batch_name, label, "batch", True, round(batch_seconds, 4))
+
+    # -- the repeated-distinct-query hit-ratio smoke --------------------
+    cache = QueryPlanCache()
+    kb = manager_kb()
+    for _ in range(SMOKE_REPEATS):
+        for text in SMOKE_QUERIES:
+            cache.plan_for(kb, boolean_cq(text))
+    assert cache.hit_ratio >= MIN_SMOKE_HIT_RATIO, (
+        f"plan-cache hit ratio {cache.hit_ratio:.3f} below "
+        f"{MIN_SMOKE_HIT_RATIO} on the repeated-distinct-query smoke"
+    )
+
+    note = (
+        f"{ROW_REPS} reps per mode per row; in-bench floors: rewrite rows "
+        f">={MIN_REWRITE_SPEEDUP}x vs the race, fallback rows <="
+        f"{MAX_FALLBACK_RATIO}x, batch row {batch_speedup:.1f}x over "
+        f"sequential; plan-cache smoke {len(SMOKE_QUERIES)} distinct CQs x "
+        f"{SMOKE_REPEATS} rounds -> hit ratio {cache.hit_ratio:.3f} "
+        f"(floor {MIN_SMOKE_HIT_RATIO})."
+    )
+    save_table("perf_query", accel, note)
+    save_table(
+        "perf_query_race",
+        race,
+        "Reference timings for the same rows on the per-request race "
+        "path, measured back to back on the same machine.",
+    )

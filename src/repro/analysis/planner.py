@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, fields, replace
 from typing import Optional
 
 from ..chase.engine import ChaseVariant
@@ -119,6 +119,14 @@ class Verdict:
         )
 
     @property
+    def rewritable(self) -> bool:
+        """The ruleset is a UCQ-rewriting candidate (see
+        :mod:`repro.query.rewriting`): linear rulesets rewrite exactly
+        (a finite unification set), guarded ones soundly under budget
+        with a race fallback."""
+        return bool(self.linear or self.guarded)
+
+    @property
     def decidable(self) -> bool:
         return self.terminating or self.bts_class or self.fes_applications is not None
 
@@ -139,6 +147,7 @@ STRATEGY_NAMES = (
     "fes-core",
     "bts-core",
     "frontier-race",
+    "rewrite-first",
 )
 
 
@@ -152,6 +161,10 @@ class Strategy:
     max_steps: int
     model_budget: int
     ancestor_resume: bool = True
+    #: Attempt the UCQ-rewriting fast path before the chase race; the
+    #: remaining fields are the sound fallback when the rewriting is
+    #: incomplete or inconclusive.
+    rewrite: bool = False
     reason: str = ""
 
     def to_obj(self) -> dict:
@@ -194,7 +207,29 @@ def plan(verdict: Verdict) -> Strategy:
        countermodel side is what can answer "no" here.
     5. Unknown territory → the frontier race: restricted chase under a
        tight budget against the model finder, ancestor resume on.
+
+    On top of the ladder: when the verdict is *rewritable* (linear or
+    guarded — see :mod:`repro.query.rewriting`) the chosen rung is
+    wrapped as ``rewrite-first``: entailment jobs try the backward
+    UCQ-rewriting fast path before chasing, with the rung's own budgets
+    as the sound fallback when the rewriting is incomplete.
     """
+    base = _chase_ladder(verdict)
+    if verdict.rewritable:
+        fragment = "linear" if verdict.linear else "guarded"
+        return replace(
+            base,
+            name="rewrite-first",
+            rewrite=True,
+            reason=(
+                f"{fragment} ruleset: backward UCQ rewriting first, "
+                f"falling back to {base.name} ({base.reason})"
+            ),
+        )
+    return base
+
+
+def _chase_ladder(verdict: Verdict) -> Strategy:
     if verdict.terminating:
         cause = (
             "weak acyclicity"

@@ -168,6 +168,21 @@ def build_parser() -> argparse.ArgumentParser:
         "UNDECIDED with the incomplete flag set",
     )
     entail.add_argument(
+        "--rewrite",
+        dest="rewrite",
+        action="store_true",
+        default=None,
+        help="attempt the backward UCQ-rewriting fast path before the "
+        "chase race (the default for linear/guarded rulesets; the race "
+        "remains the sound fallback when rewriting is inconclusive)",
+    )
+    entail.add_argument(
+        "--no-rewrite",
+        dest="rewrite",
+        action="store_false",
+        help="skip the rewriting fast path and run the pure Theorem-1 race",
+    )
+    entail.add_argument(
         "--json",
         action="store_true",
         help="emit a machine-readable JSON verdict instead of text",
@@ -478,15 +493,24 @@ def _metrics_snapshot_table(snapshot: dict) -> Table:
 
 
 def _cmd_entail(args: argparse.Namespace) -> int:
+    from .query.rewriting import decide_by_rewriting
+
     kb = load_kb_file(args.kb)
     deadline = Deadline(args.timeout) if args.timeout is not None else None
-    verdict = decide_entailment(
-        kb,
-        boolean_cq(args.query),
-        chase_budget=args.chase_budget,
-        model_domain_budget=args.model_budget,
-        should_stop=deadline,
-    )
+    verdict = None
+    if args.rewrite is not False:
+        # Auto-attempts on rewritable rulesets; returns None (and the
+        # race below answers) when the fragment check fails or the
+        # budgeted saturation is inconclusive.
+        verdict = decide_by_rewriting(kb, boolean_cq(args.query))
+    if verdict is None:
+        verdict = decide_entailment(
+            kb,
+            boolean_cq(args.query),
+            chase_budget=args.chase_budget,
+            model_domain_budget=args.model_budget,
+            should_stop=deadline,
+        )
     if args.json:
         print(
             json.dumps(
@@ -578,6 +602,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                     "terminating": verdict.terminating,
                     "bts_class": verdict.bts_class,
                     "decidable": verdict.decidable,
+                    "rewritable": verdict.rewritable,
                     "strategy": strategy.to_obj(),
                 },
                 indent=2,
@@ -616,6 +641,12 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(f"terminating (all variants): {verdict.terminating}")
     print(f"bts class: {verdict.bts_class}")
     print(f"decidable CQ entailment certified: {verdict.decidable}")
+    if verdict.rewritable:
+        fragment = "linear" if verdict.linear else "guarded"
+        rewritable_line = f"yes ({fragment} fragment, UCQ rewriting applies)"
+    else:
+        rewritable_line = "no"
+    print(f"rewritable: {rewritable_line}")
     print(
         f"strategy: {strategy.name} (variant={strategy.variant}, "
         f"core_every={strategy.core_every}, max_steps={strategy.max_steps}, "

@@ -242,6 +242,24 @@ class Observer:
         verdict fields, *rules_fingerprint* a 16-hex prefix of the
         verdict-cache key."""
 
+    def query_rewrite(
+        self,
+        *,
+        source: str,
+        fragment: str = "",
+        complete: bool = False,
+        disjuncts: int = 0,
+        pruned: int = 0,
+    ) -> None:
+        """The query-plan cache served one lookup: *source* is where the
+        plan came from (``memory`` / ``store`` / ``computed``),
+        *fragment* the rewritable fragment (``linear`` / ``guarded``, or
+        ``""`` when the ruleset is not rewritable), *complete* whether
+        the piece-rewriting saturation reached its fixpoint within
+        budget (an incomplete plan forces the Theorem-1 race fallback
+        on a miss), *disjuncts* the kept UCQ size, *pruned* how many
+        candidates dedup/subsumption dropped."""
+
     def snapshot_access(
         self,
         *,
@@ -398,6 +416,10 @@ class CompositeObserver(Observer):
     def planner_decision(self, **kw) -> None:
         for obs in self.observers:
             obs.planner_decision(**kw)
+
+    def query_rewrite(self, **kw) -> None:
+        for obs in self.observers:
+            obs.query_rewrite(**kw)
 
     def snapshot_access(self, **kw) -> None:
         for obs in self.observers:

@@ -150,6 +150,35 @@ def summarize_trace(events: Iterable[dict]) -> dict:
         "strategies": strategies,
     }
 
+    rewrite_events = [e for e in events if e.get("kind") == "query_rewrite"]
+    rewrite_computed = sum(
+        1 for e in rewrite_events if e.get("source") == "computed"
+    )
+    rewrite_hits = len(rewrite_events) - rewrite_computed
+    query = {
+        "plan_lookups": len(rewrite_events),
+        "computed": rewrite_computed,
+        "plan_cache_hits": rewrite_hits,
+        "plan_cache_hit_ratio": (
+            rewrite_hits / len(rewrite_events) if rewrite_events else None
+        ),
+        "rewrites": sum(
+            1
+            for e in rewrite_events
+            if e.get("source") == "computed" and e.get("fragment")
+        ),
+        "disjuncts_pruned": sum(
+            e.get("pruned", 0)
+            for e in rewrite_events
+            if e.get("source") == "computed"
+        ),
+        "fallbacks": sum(
+            1
+            for e in rewrite_events
+            if e.get("fragment") and not e.get("complete")
+        ),
+    }
+
     request_events = [e for e in events if e.get("kind") == "service_request"]
     job_events = [e for e in events if e.get("kind") == "service_job"]
     retry_events = [e for e in events if e.get("kind") == "service_retry"]
@@ -237,6 +266,7 @@ def summarize_trace(events: Iterable[dict]) -> dict:
         "treewidth": treewidth,
         "robust": robust,
         "planner": planner,
+        "query": query,
         "service": service,
     }
 
@@ -339,6 +369,19 @@ def render_summary(summary: dict, step_stride: int = 1) -> str:
             )
         for name, n in sorted(planner["strategies"].items()):
             totals.add_row("planner", f"strategy {name}", n)
+    query = summary.get("query", {"plan_lookups": 0})
+    if query["plan_lookups"]:
+        totals.add_row("query", "plan lookups", query["plan_lookups"])
+        totals.add_row("query", "rewrites computed", query["rewrites"])
+        totals.add_row("query", "plan-cache hits", query["plan_cache_hits"])
+        if query["plan_cache_hit_ratio"] is not None:
+            totals.add_row(
+                "query",
+                "plan-cache hit ratio",
+                round(query["plan_cache_hit_ratio"], 4),
+            )
+        totals.add_row("query", "disjuncts pruned", query["disjuncts_pruned"])
+        totals.add_row("query", "race fallbacks", query["fallbacks"])
     service = summary.get("service", {"jobs": 0, "requests": 0})
     if service["jobs"] or service["requests"]:
         totals.add_row("service", "requests", service["requests"])

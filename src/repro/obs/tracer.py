@@ -65,6 +65,7 @@ EVENT_KINDS = (
     "service_retry",
     "service_pool_rebuild",
     "planner_decision",
+    "query_rewrite",
     "snapshot_access",
     "treewidth_search",
     "robust_step",
@@ -179,6 +180,11 @@ class MetricsObserver(Observer):
     ``planner.verdicts``    counter    verdicts computed from scratch
     ``planner.cache_hits``  counter    verdicts served from a cache tier
     ``planner.strategy.<name>``  counter  jobs routed to each strategy
+    ``query.plan_lookups``  counter    query-plan cache lookups
+    ``query.plan_cache_hits``  counter  plans served from memory/store
+    ``query.rewrites``      counter    rewriting saturations computed
+    ``query.disjuncts_pruned``  counter  candidates dropped by subsumption
+    ``query.rewrite_fallbacks``  counter  incomplete plans (race fallback)
     ``snapshot.loads``      counter    snapshot-store load attempts
     ``snapshot.hits``       counter    loads returning a usable state
     ``snapshot.corrupt``    counter    unreadable records discarded
@@ -355,6 +361,26 @@ class MetricsObserver(Observer):
             reg.counter("planner.cache_hits").inc()
         reg.counter(f"planner.strategy.{strategy}").inc()
 
+    def query_rewrite(
+        self,
+        *,
+        source,
+        fragment="",
+        complete=False,
+        disjuncts=0,
+        pruned=0,
+    ) -> None:
+        reg = self.registry
+        reg.counter("query.plan_lookups").inc()
+        if source == "computed":
+            if fragment:
+                reg.counter("query.rewrites").inc()
+            reg.counter("query.disjuncts_pruned").inc(pruned)
+        else:
+            reg.counter("query.plan_cache_hits").inc()
+        if fragment and not complete:
+            reg.counter("query.rewrite_fallbacks").inc()
+
     def snapshot_access(
         self,
         *,
@@ -496,6 +522,10 @@ class TracingObserver(MetricsObserver):
     def planner_decision(self, **kw) -> None:
         self.tracer.emit("planner_decision", **kw)
         super().planner_decision(**kw)
+
+    def query_rewrite(self, **kw) -> None:
+        self.tracer.emit("query_rewrite", **kw)
+        super().query_rewrite(**kw)
 
     def snapshot_access(self, **kw) -> None:
         self.tracer.emit("snapshot_access", **kw)

@@ -11,6 +11,18 @@ from .entailment import (
     entails_via_terminating_chase,
 )
 from .modelfinder import ModelSearchResult, find_countermodel, find_finite_model
+from .plans import (
+    CompiledQueryPlan,
+    QueryPlanCache,
+    default_plan_cache,
+    query_shape,
+)
+from .rewriting import (
+    RewriteResult,
+    decide_by_rewriting,
+    rewritable_fragment,
+    rewrite_ucq,
+)
 from .ucq import UnionQuery, decide_union_entailment
 
 __all__ = [
@@ -30,4 +42,12 @@ __all__ = [
     "decide_union_entailment",
     "find_countermodel",
     "find_finite_model",
+    "CompiledQueryPlan",
+    "QueryPlanCache",
+    "RewriteResult",
+    "decide_by_rewriting",
+    "default_plan_cache",
+    "query_shape",
+    "rewritable_fragment",
+    "rewrite_ucq",
 ]

@@ -181,7 +181,7 @@ def decide_entailment(
         return EntailmentVerdict(
             False,
             "finite-countermodel",
-            chase_budget,
+            yes.chase_steps,
             countermodel=no.model,
         )
-    return EntailmentVerdict(None, "race-undecided", chase_budget)
+    return EntailmentVerdict(None, "race-undecided", yes.chase_steps)

@@ -15,12 +15,13 @@ refuted by different models while the union is still entailed).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
+from ..chase.engine import ChaseVariant, run_chase
 from ..logic.atomset import AtomSet
 from ..logic.kb import KnowledgeBase
 from .cq import ConjunctiveQuery
-from .entailment import EntailmentVerdict, chase_entails_prefix
+from .entailment import EntailmentVerdict
 from .modelfinder import find_finite_model
 
 __all__ = ["UnionQuery", "decide_union_entailment"]
@@ -63,28 +64,82 @@ def decide_union_entailment(
     query: UnionQuery,
     chase_budget: int = 200,
     model_domain_budget: int = 8,
+    chase_variant: str = ChaseVariant.RESTRICTED,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> EntailmentVerdict:
     """Decide ``K ⊨ ⋁ disjuncts`` by the Theorem-1 race, lifted to UCQs.
 
-    "Yes" side: any disjunct mapping into the growing chase aggregation
-    certifies entailment.  "No" side: one finite model avoiding **every**
-    disjunct at once refutes it.
+    "Yes" side: ONE fair chase, shared by every disjunct — each step's
+    growing aggregation is tested against all still-open disjuncts, so
+    the budget (and the per-step observability traffic) does not scale
+    with the disjunct count.  A terminated chase is a finite universal
+    model: if no disjunct maps into it the whole union is refuted
+    exactly, with no countermodel search.  "No" side (budget exhausted
+    only): one finite model avoiding **every** disjunct at once refutes
+    it — per-disjunct countermodels would be unsound.
+
+    ``should_stop`` (e.g. a service deadline) cuts the run short exactly
+    as in :func:`~repro.query.entailment.decide_entailment`: a stop
+    before any verdict returns an undecided result flagged
+    ``incomplete``, and the countermodel side is skipped.
     """
-    for disjunct in query.disjuncts:
-        verdict = chase_entails_prefix(kb, disjunct, max_steps=chase_budget)
-        if verdict.entailed is True:
-            return verdict
-        if verdict.entailed is False and len(query) == 1:
-            return verdict
+    aggregation = AtomSet()
+    hit = [False]
+    steps_until_hit = [0]
+
+    def on_step(step) -> None:
+        if hit[0]:
+            return
+        added = aggregation.update(step.instance)
+        if added == 0 and step.index > 0:
+            # unchanged aggregation: the previous per-disjunct tests
+            # still stand (and repeats are memoized anyway)
+            return
+        if query.holds_in(aggregation):
+            hit[0] = True
+            steps_until_hit[0] = step.index
+
+    def stopper() -> bool:
+        return hit[0] or (should_stop is not None and should_stop())
+
+    result = run_chase(
+        kb,
+        variant=chase_variant,
+        max_steps=chase_budget,
+        on_step=on_step,
+        should_stop=stopper,
+    )
+    if hit[0]:
+        return EntailmentVerdict(True, "chase-prefix-hit", steps_until_hit[0])
+    if result.terminated:
+        # The fixpoint is a finite universal model avoiding every
+        # disjunct (the per-step test covered them all): exact "no".
+        return EntailmentVerdict(
+            False,
+            "chase-fixpoint-miss",
+            result.applications,
+            witness_instance=result.final_instance,
+        )
+    if result.stopped:
+        return EntailmentVerdict(
+            None, "chase-stopped", result.applications, incomplete=True
+        )
+    if should_stop is not None and should_stop():
+        return EntailmentVerdict(
+            None, "chase-stopped", result.applications, incomplete=True
+        )
     # "no" side: a model avoiding all disjuncts simultaneously; emulate
     # by searching with a combined avoidance predicate
     for budget in range(1, model_domain_budget + 1):
-        result = _find_model_avoiding_all(kb, query, budget)
-        if result is not None:
+        result_model = _find_model_avoiding_all(kb, query, budget)
+        if result_model is not None:
             return EntailmentVerdict(
-                False, "finite-countermodel", chase_budget, countermodel=result
+                False,
+                "finite-countermodel",
+                result.applications,
+                countermodel=result_model,
             )
-    return EntailmentVerdict(None, "race-undecided", chase_budget)
+    return EntailmentVerdict(None, "race-undecided", result.applications)
 
 
 class _UnionAvoidance:

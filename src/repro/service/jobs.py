@@ -52,6 +52,7 @@ model).
 from __future__ import annotations
 
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -64,6 +65,7 @@ from ..obs.observer import Observer
 from ..obs.spans import span as _span
 from ..query import boolean_cq
 from ..query.modelfinder import find_countermodel
+from ..query.plans import QueryPlanCache, default_plan_cache
 from .deadline import Deadline
 from .snapshots import SnapshotStore
 
@@ -100,6 +102,9 @@ class JobRequest:
     op: str
     kb_text: str
     query: Optional[str] = None
+    #: For ``batch_entail``: the distinct Boolean CQ texts to evaluate
+    #: against one loaded snapshot in a single indexed pass.
+    queries: Optional[list] = None
     variant: str = ChaseVariant.RESTRICTED
     core_every: int = 1
     max_steps: int = 200
@@ -108,6 +113,10 @@ class JobRequest:
     model_budget: int = 0
     planner: bool = False
     strategy: Optional[dict] = None
+    #: UCQ-rewriting control: True forces the rewrite attempt, False
+    #: disables it, None follows the resolved strategy's ``rewrite``
+    #: flag (i.e. planner routing).
+    rewrite: Optional[bool] = None
     id: Optional[str] = None
     trace: Optional[dict] = None
 
@@ -117,6 +126,7 @@ class JobRequest:
             self.op,
             self.kb_text,
             self.query,
+            tuple(self.queries) if self.queries is not None else None,
             self.variant,
             self.core_every,
             self.max_steps,
@@ -129,6 +139,7 @@ class JobRequest:
                 if self.strategy is not None
                 else None
             ),
+            self.rewrite,
         )
 
     def to_obj(self) -> dict:
@@ -151,6 +162,10 @@ class JobRequest:
             obj["planner"] = True
         if self.strategy is not None:
             obj["strategy"] = self.strategy
+        if self.queries is not None:
+            obj["queries"] = list(self.queries)
+        if self.rewrite is not None:
+            obj["rewrite"] = self.rewrite
         return obj
 
     @classmethod
@@ -192,6 +207,10 @@ class JobResult:
     seconds: float = 0.0
     strategy: Optional[str] = None
     instance: Optional[list] = field(default=None, repr=False)
+    #: For ``batch_entail``: one primitive dict per input query (in
+    #: order) with ``query`` / ``entailed`` / ``method`` /
+    #: ``chase_steps`` / ``incomplete`` keys.
+    results: Optional[list] = None
 
     def to_obj(self) -> dict:
         obj = {
@@ -214,6 +233,8 @@ class JobResult:
             obj["strategy"] = self.strategy
         if self.instance is not None:
             obj["instance"] = self.instance
+        if self.results is not None:
+            obj["results"] = self.results
         return obj
 
     @classmethod
@@ -246,23 +267,32 @@ def execute_job(
     return result
 
 
-def _execute(
-    request: JobRequest,
-    store: Optional[SnapshotStore],
-    observer: Optional[Observer],
-) -> JobResult:
-    if request.op not in ("chase", "entail"):
-        raise ValueError(f"unknown job op {request.op!r}")
-    kb = load_kb(request.kb_text)
-    query = None
-    if request.op == "entail":
-        if not request.query:
-            raise ValueError("entail jobs need a query")
-        query = boolean_cq(request.query)
+#: Per-store plan caches: each snapshot store gets one QueryPlanCache
+#: bound to its ``query_plans`` table (the in-process tier lives as long
+#: as the store object); store-less jobs share the process default.
+_PLAN_CACHES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
-    # Strategy resolution: an explicit per-request override wins, then
-    # planner routing (verdict → strategy, cached by ruleset
-    # fingerprint), then the request's own chase configuration.
+
+def _plan_cache_for(store: Optional[SnapshotStore]) -> QueryPlanCache:
+    if store is None:
+        return default_plan_cache()
+    cache = _PLAN_CACHES.get(store)
+    if cache is None:
+        cache = QueryPlanCache(store=store)
+        _PLAN_CACHES[store] = cache
+    return cache
+
+
+def _resolve_strategy(
+    request: JobRequest,
+    kb,
+    store: Optional[SnapshotStore],
+) -> tuple:
+    """Strategy resolution: an explicit per-request override wins, then
+    planner routing (verdict → strategy, cached by ruleset fingerprint),
+    then the request's own chase configuration.  Returns the resolved
+    ``(strategy, variant, core_every, max_steps, model_budget,
+    ancestor_allowed, use_rewrite)``."""
     strategy: Optional[Strategy] = None
     if request.strategy is not None:
         strategy = Strategy.from_obj(request.strategy)
@@ -281,16 +311,34 @@ def _execute(
     ancestor_allowed = (
         strategy.ancestor_resume if strategy is not None else True
     )
-
-    deadline = Deadline(request.timeout)
-    engine = ChaseEngine(
-        kb,
-        variant=variant,
-        core_every=core_every,
-        observer=observer,
-        use_index=request.use_index,
+    if request.rewrite is not None:
+        use_rewrite = request.rewrite
+    else:
+        use_rewrite = strategy.rewrite if strategy is not None else False
+    return (
+        strategy,
+        variant,
+        core_every,
+        max_steps,
+        model_budget,
+        ancestor_allowed,
+        use_rewrite,
     )
 
+
+def _restore_from_store(
+    engine: ChaseEngine,
+    kb,
+    store: Optional[SnapshotStore],
+    variant: str,
+    core_every: int,
+    max_steps: int,
+    ancestor_allowed: bool,
+) -> tuple:
+    """Warm-start *engine* from the store if a usable snapshot exists.
+
+    Returns ``(entry, resumed, ancestor, warm, prior)`` — the exact
+    semantics documented on :func:`execute_job`."""
     entry = None
     ancestor = False
     if store is not None:
@@ -328,6 +376,65 @@ def _execute(
             )
         else:
             engine.restore_state(snapshot)
+    return entry, resumed, ancestor, warm, prior
+
+
+def _execute(
+    request: JobRequest,
+    store: Optional[SnapshotStore],
+    observer: Optional[Observer],
+) -> JobResult:
+    if request.op == "batch_entail":
+        return _execute_batch(request, store, observer)
+    if request.op not in ("chase", "entail"):
+        raise ValueError(f"unknown job op {request.op!r}")
+    kb = load_kb(request.kb_text)
+    query = None
+    if request.op == "entail":
+        if not request.query:
+            raise ValueError("entail jobs need a query")
+        query = boolean_cq(request.query)
+
+    (
+        strategy,
+        variant,
+        core_every,
+        max_steps,
+        model_budget,
+        ancestor_allowed,
+        use_rewrite,
+    ) = _resolve_strategy(request, kb, store)
+
+    if request.op == "entail" and use_rewrite:
+        # Backward-rewriting fast path: answer from the base facts with
+        # no chase when the cached plan is conclusive; fall through to
+        # the race otherwise (incomplete saturation, or a non-rewritable
+        # ruleset behind an explicit rewrite=True).
+        qplan = _plan_cache_for(store).plan_for(kb, query, observer=observer)
+        with _span("rewrite_eval", disjuncts=len(qplan.disjuncts)):
+            answer = qplan.evaluate(kb.facts)
+        if answer is not None:
+            return JobResult(
+                op=request.op,
+                entailed=answer,
+                method="ucq-rewrite-hit" if answer else "ucq-rewrite-miss",
+                strategy=strategy.name if strategy is not None else None,
+                atoms=len(kb.facts),
+            )
+
+    deadline = Deadline(request.timeout)
+    engine = ChaseEngine(
+        kb,
+        variant=variant,
+        core_every=core_every,
+        observer=observer,
+        use_index=request.use_index,
+    )
+
+    entry, resumed, ancestor, warm, prior = _restore_from_store(
+        engine, kb, store, variant, core_every, max_steps, ancestor_allowed
+    )
+    snapshot = entry.state if entry is not None else None
 
     hit = [False]
 
@@ -421,3 +528,160 @@ def _execute(
         result.entailed = None
         result.method = "chase-budget-exhausted"
     return result
+
+
+def _execute_batch(
+    request: JobRequest,
+    store: Optional[SnapshotStore],
+    observer: Optional[Observer],
+) -> JobResult:
+    """Evaluate many *distinct* Boolean CQs against one loaded snapshot.
+
+    Complements the server's in-flight dedup (identical queries share
+    one job): the KB is parsed once, the snapshot loaded once, and ONE
+    chase runs — each step's instance is tested against every still-open
+    query, so the chase budget and the per-step observability traffic
+    are paid once for the whole batch.  Rewritable queries are answered
+    straight from the base facts by their cached plans and never touch
+    the chase at all.  Per-query verdicts use the same methods as the
+    single-query path.
+    """
+    if not request.queries:
+        raise ValueError("batch_entail jobs need a nonempty 'queries' list")
+    kb = load_kb(request.kb_text)
+    queries = [boolean_cq(text) for text in request.queries]
+
+    (
+        strategy,
+        variant,
+        core_every,
+        max_steps,
+        model_budget,
+        ancestor_allowed,
+        use_rewrite,
+    ) = _resolve_strategy(request, kb, store)
+
+    verdicts: list = [None] * len(queries)
+    open_queries = set(range(len(queries)))
+
+    def settle(index: int, entailed, method: str, steps: int, **extra) -> None:
+        verdicts[index] = {
+            "query": request.queries[index],
+            "entailed": entailed,
+            "method": method,
+            "chase_steps": steps,
+            "incomplete": bool(extra.get("incomplete", False)),
+        }
+        open_queries.discard(index)
+
+    if use_rewrite:
+        plan_cache = _plan_cache_for(store)
+        for i, query in enumerate(queries):
+            qplan = plan_cache.plan_for(kb, query, observer=observer)
+            with _span("rewrite_eval", disjuncts=len(qplan.disjuncts)):
+                answer = qplan.evaluate(kb.facts)
+            if answer is not None:
+                settle(
+                    i,
+                    answer,
+                    "ucq-rewrite-hit" if answer else "ucq-rewrite-miss",
+                    0,
+                )
+
+    deadline = Deadline(request.timeout)
+    new_apps = 0
+    total = 0
+    terminated = False
+    expired = False
+    warm = ancestor = False
+    final_atoms = len(kb.facts)
+
+    if open_queries:
+        engine = ChaseEngine(
+            kb,
+            variant=variant,
+            core_every=core_every,
+            observer=observer,
+            use_index=request.use_index,
+        )
+        entry, resumed, ancestor, warm, prior = _restore_from_store(
+            engine, kb, store, variant, core_every, max_steps, ancestor_allowed
+        )
+        snapshot = entry.state if entry is not None else None
+        if resumed:
+            restored = engine.current_instance
+            for i in sorted(open_queries):
+                if queries[i].holds_in(restored):
+                    settle(
+                        i,
+                        True,
+                        "warm-snapshot-hit" if warm else "ancestor-snapshot-hit",
+                        prior,
+                    )
+
+        def on_step(step) -> None:
+            for i in sorted(open_queries):
+                if queries[i].holds_in(step.instance):
+                    settle(i, True, "chase-prefix-hit", prior + step.index)
+
+        def stopper() -> bool:
+            return not open_queries or deadline.expired()
+
+        with _span("chase", variant=variant, warm=warm, ancestor=ancestor):
+            if resumed:
+                chase = engine.resume(
+                    max_steps - prior, on_step=on_step, should_stop=stopper
+                )
+            else:
+                chase = engine.run(
+                    max_steps, on_step=on_step, should_stop=stopper
+                )
+        new_apps = chase.applications
+        total = prior + new_apps
+        terminated = chase.terminated
+        expired = chase.stopped and bool(open_queries)
+        final = engine.current_instance
+        final_atoms = len(final)
+
+        if store is not None and (
+            snapshot is None or ancestor or total > snapshot.applications
+        ):
+            with _span("snapshot_save"):
+                store.save(
+                    kb,
+                    engine.export_state(),
+                    parent=entry if resumed else None,
+                )
+
+        for i in sorted(open_queries):
+            if terminated:
+                # The fixpoint is a finite universal model: every open
+                # query is exactly refuted by it at once.
+                settle(i, False, "chase-fixpoint-miss", total)
+            elif expired:
+                settle(i, None, "deadline-expired", total, incomplete=True)
+            elif model_budget > 0 and not deadline.expired():
+                with _span("countermodel", budget=model_budget):
+                    counter = find_countermodel(
+                        kb, queries[i], max_domain=model_budget
+                    )
+                if counter.found:
+                    settle(i, False, "finite-countermodel", total)
+                else:
+                    settle(i, None, "race-undecided", total)
+            else:
+                settle(i, None, "chase-budget-exhausted", total)
+
+    return JobResult(
+        op=request.op,
+        warm=warm,
+        ancestor=ancestor,
+        strategy=strategy.name if strategy is not None else None,
+        applications=new_apps,
+        total_applications=total,
+        atoms=final_atoms,
+        terminated=terminated,
+        deadline_expired=expired,
+        incomplete=any(v.get("incomplete") for v in verdicts if v),
+        results=verdicts,
+    )

@@ -8,6 +8,10 @@ op         behaviour
 entail     :class:`~repro.service.jobs.JobRequest` fields; answers the
            Boolean CQ (possibly warm from a snapshot)
 chase      same fields sans query; returns the (partial) final instance
+batch_entail  ``queries`` list instead of ``query``: many *distinct*
+           Boolean CQs against one loaded snapshot in a single indexed
+           pass (one chase, per-step tests for every open query); the
+           response carries a per-query ``results`` list
 batch      ``{"op": "batch", "requests": [...]}`` — member requests run
            concurrently, one response with a ``results`` list
 ping       liveness check
@@ -302,7 +306,7 @@ class EntailmentServer:
                         for member, result in zip(members, results)
                     ],
                 }
-        elif op in ("entail", "chase"):
+        elif op in ("entail", "chase", "batch_entail"):
             response = await self._answer(obj)
         else:
             response = {"ok": False, "error": f"unknown op {op!r}"}
@@ -520,6 +524,21 @@ class EntailmentServer:
                 "cache_hits": metrics.get("planner.cache_hits", {}).get(
                     "value", 0
                 ),
+            },
+            "query": {
+                "plan_lookups": metrics.get("query.plan_lookups", {}).get(
+                    "value", 0
+                ),
+                "plan_cache_hits": metrics.get(
+                    "query.plan_cache_hits", {}
+                ).get("value", 0),
+                "rewrites": metrics.get("query.rewrites", {}).get("value", 0),
+                "disjuncts_pruned": metrics.get(
+                    "query.disjuncts_pruned", {}
+                ).get("value", 0),
+                "rewrite_fallbacks": metrics.get(
+                    "query.rewrite_fallbacks", {}
+                ).get("value", 0),
             },
             "pending": self.executor.pending,
             "inflight": len(self._inflight),

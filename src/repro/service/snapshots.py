@@ -356,6 +356,13 @@ CREATE TABLE IF NOT EXISTS verdicts (
     verdict TEXT NOT NULL,
     created REAL NOT NULL
 );
+CREATE TABLE IF NOT EXISTS query_plans (
+    rules_fingerprint TEXT NOT NULL,
+    query_shape TEXT NOT NULL,
+    plan TEXT NOT NULL,
+    created REAL NOT NULL,
+    PRIMARY KEY (rules_fingerprint, query_shape)
+);
 """
 
 
@@ -974,6 +981,41 @@ class SnapshotStore:
                 "INSERT OR REPLACE INTO verdicts "
                 "(rules_fingerprint, verdict, created) VALUES (?, ?, ?)",
                 (rules_fp, json.dumps(obj, sort_keys=True), time.time()),
+            )
+
+    # -- compiled query plans ------------------------------------------
+
+    def load_query_plan(self, rules_fp: str, query_shape: str) -> Optional[dict]:
+        """The persisted rewriting plan for a ``(ruleset fingerprint,
+        canonical CQ shape)`` pair, or None.  Plans are pure functions of
+        the two keys, so the catalog shares them across pool workers and
+        restarts; an unparseable row is treated as a miss."""
+        with self._db() as conn:
+            row = conn.execute(
+                "SELECT plan FROM query_plans "
+                "WHERE rules_fingerprint = ? AND query_shape = ?",
+                (rules_fp, query_shape),
+            ).fetchone()
+        if row is None:
+            return None
+        try:
+            payload = json.loads(row[0])
+        except ValueError:
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def save_query_plan(
+        self, rules_fp: str, query_shape: str, obj: dict
+    ) -> None:
+        """Persist a rewriting plan.  Last writer wins; racing writers
+        computed the same deterministic plan, so the replace is
+        harmless."""
+        with self._db() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO query_plans "
+                "(rules_fingerprint, query_shape, plan, created) "
+                "VALUES (?, ?, ?, ?)",
+                (rules_fp, query_shape, json.dumps(obj, sort_keys=True), time.time()),
             )
 
     # -- ancestor resolution -------------------------------------------

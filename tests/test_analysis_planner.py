@@ -171,13 +171,23 @@ class TestVerdictStrategy:
 
     def test_plan_ladder(self):
         assert plan(make_verdict(weakly_acyclic=True)).name == "terminating-fast"
-        assert plan(make_verdict(linear=True, linear_terminating=True)).name == (
-            "terminating-fast"
-        )
         assert plan(make_verdict(k_bound=3)).name == "bounded-probe"
         assert plan(make_verdict(fes_applications=9)).name == "fes-core"
-        assert plan(make_verdict(guarded=True)).name == "bts-core"
+        assert plan(make_verdict(sticky=True)).name == "bts-core"
         assert plan(make_verdict()).name == "frontier-race"
+
+    def test_plan_rewritable_verdicts_route_rewrite_first(self):
+        # Rewritable (linear/guarded) verdicts wrap their chase rung as
+        # rewrite-first; the fallback budgets are the rung's own.
+        linear = plan(make_verdict(linear=True, linear_terminating=True))
+        assert linear.name == "rewrite-first"
+        assert linear.rewrite
+        assert linear.max_steps == 1000  # terminating-fast fallback
+        guarded = plan(make_verdict(guarded=True))
+        assert guarded.name == "rewrite-first"
+        assert guarded.rewrite
+        assert guarded.model_budget == 6  # bts-core fallback
+        assert not plan(make_verdict(sticky=True)).rewrite
 
     def test_plan_names_are_closed(self):
         for verdict in (
@@ -267,9 +277,11 @@ class TestRouting:
         _, strategy, _ = Planner().decide(transitive_closure_kb(3))
         assert strategy.name == "terminating-fast"
 
-    def test_manager_routes_bts(self):
-        _, strategy, _ = Planner().decide(manager_kb())
-        assert strategy.name == "bts-core"
+    def test_manager_routes_rewrite_first(self):
+        verdict, strategy, _ = Planner().decide(manager_kb())
+        assert verdict.rewritable
+        assert strategy.name == "rewrite-first"
+        assert strategy.rewrite
 
     def test_unknown_ruleset_routes_frontier_race(self):
         # Frontier {X, Z} split across body atoms (not frontier-guarded),

@@ -167,11 +167,15 @@ class TestAnalyzeCommand:
         ):
             assert needle in out
 
-    def test_bts_ruleset_routes_core(self, manager_file, capsys):
+    def test_bts_ruleset_routes_rewrite_first(self, manager_file, capsys):
         code = main(["analyze", manager_file, "--steps", "10", "--k-max", "3"])
         out = capsys.readouterr().out
         assert code == 0
-        assert "strategy: bts-core" in out
+        # Linear+guarded non-terminating ruleset: rewriting first, the
+        # bts-core rung as the fallback, and the rewritability row set.
+        assert "strategy: rewrite-first" in out
+        assert "falling back to bts-core" in out
+        assert "rewritable: yes" in out
         assert "diverges" in out
 
     def test_json_shape(self, kb_file, capsys):

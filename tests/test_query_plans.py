@@ -1,0 +1,340 @@
+"""Tests for compiled query plans (repro.query.plans), the plan-cache
+tiers, and the ``batch_entail`` service path."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.kbs.generators import layered_kb
+from repro.kbs.witnesses import manager_kb, transitive_closure_kb
+from repro.logic.parser import parse_atoms
+from repro.logic.serialization import dump_kb
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observer import observing
+from repro.obs.tracer import MetricsObserver
+from repro.query import (
+    CompiledQueryPlan,
+    QueryPlanCache,
+    boolean_cq,
+    query_shape,
+)
+from repro.service.jobs import JobRequest, execute_job
+from repro.service.snapshots import SnapshotStore
+
+MANAGERS = dump_kb(manager_kb())
+TC = dump_kb(transitive_closure_kb(3))
+
+
+class TestQueryShape:
+    def test_alpha_variants_share_a_shape(self):
+        a = query_shape(boolean_cq("mgr(X, Y), emp(Y)").atoms)
+        b = query_shape(boolean_cq("mgr(U, V), emp(V)").atoms)
+        assert a == b
+
+    def test_different_join_patterns_differ(self):
+        a = query_shape(boolean_cq("mgr(X, Y), emp(Y)").atoms)
+        b = query_shape(boolean_cq("mgr(X, Y), emp(X)").atoms)
+        assert a != b
+
+    def test_constants_are_not_variables(self):
+        a = query_shape(boolean_cq("mgr(ann, Y)").atoms)
+        b = query_shape(boolean_cq("mgr(X, Y)").atoms)
+        assert a != b
+        assert "c:ann" in a
+
+    def test_shape_ignores_atom_order(self):
+        a = query_shape(boolean_cq("emp(Y), mgr(X, Y)").atoms)
+        b = query_shape(boolean_cq("mgr(X, Y), emp(Y)").atoms)
+        assert a == b
+
+
+class TestPlanRoundTrip:
+    def test_plan_survives_catalog_json(self):
+        cache = QueryPlanCache()
+        plan = cache.plan_for(manager_kb(), boolean_cq("mgr(X, Y)"))
+        back = CompiledQueryPlan.from_obj(
+            json.loads(json.dumps(plan.to_obj()))
+        )
+        assert back.fragment == plan.fragment
+        assert back.complete == plan.complete
+        assert len(back.disjuncts) == len(plan.disjuncts)
+        facts = manager_kb().facts
+        assert back.evaluate(facts) == plan.evaluate(facts) is True
+
+    def test_malformed_payload_raises_value_error(self):
+        with pytest.raises(ValueError):
+            CompiledQueryPlan.from_obj({"disjuncts": [["not", "a", "str"]]})
+
+    def test_negative_plan_answers_none(self):
+        cache = QueryPlanCache()
+        plan = cache.plan_for(transitive_closure_kb(2), boolean_cq("e(X, Y)"))
+        assert not plan.rewritable
+        assert plan.evaluate(transitive_closure_kb(2).facts) is None
+
+
+class TestCacheTiers:
+    def test_memory_tier_hits_for_alpha_variants(self):
+        cache = QueryPlanCache()
+        kb = manager_kb()
+        first = cache.plan_for(kb, boolean_cq("mgr(X, Y)"))
+        second = cache.plan_for(kb, boolean_cq("mgr(A, B)"))
+        assert second is first  # same object: compiled joins stay warm
+        assert cache.lookups == 2 and cache.hits == 1
+        assert cache.hit_ratio == pytest.approx(0.5)
+
+    def test_store_tier_survives_a_fresh_process_cache(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        kb = manager_kb()
+        warm = QueryPlanCache(store=store)
+        warm.plan_for(kb, boolean_cq("mgr(X, Y)"))
+        # a second in-process cache simulates another pool worker
+        cold = QueryPlanCache(store=store)
+        plan = cold.plan_for(kb, boolean_cq("mgr(U, V)"))
+        assert cold.hits == 1
+        assert plan.evaluate(kb.facts) is True
+
+    def test_ruleset_change_invalidates(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        cache = QueryPlanCache(store=store)
+        query = boolean_cq("l4(X)")
+        shallow = cache.plan_for(layered_kb(2), query)
+        deep = cache.plan_for(layered_kb(4), query)
+        # different fingerprints: the deeper ruleset recomputes and the
+        # two plans coexist under distinct keys
+        assert cache.hits == 0
+        assert len(cache) == 2
+        assert len(deep.disjuncts) != len(shallow.disjuncts)
+
+    def test_corrupt_store_row_is_a_miss_not_a_crash(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        kb = manager_kb()
+        seeded = QueryPlanCache(store=store)
+        plan = seeded.plan_for(kb, boolean_cq("mgr(X, Y)"))
+        from repro.analysis.planner import ruleset_fingerprint
+
+        fp = ruleset_fingerprint(kb.rules)
+        shape = query_shape(boolean_cq("mgr(X, Y)").atoms)
+        store.save_query_plan(fp, shape, {"disjuncts": [[1, 2]]})
+        fresh = QueryPlanCache(store=store)
+        recomputed = fresh.plan_for(kb, boolean_cq("mgr(X, Y)"))
+        assert fresh.hits == 0  # corrupt row did not count as a hit
+        assert recomputed.evaluate(kb.facts) == plan.evaluate(kb.facts)
+
+    def test_memory_lru_evicts_oldest(self):
+        cache = QueryPlanCache(memory_limit=2)
+        kb = manager_kb()
+        cache.plan_for(kb, boolean_cq("mgr(X, Y)"))
+        cache.plan_for(kb, boolean_cq("emp(X)"))
+        cache.plan_for(kb, boolean_cq("mgr(ann, Y)"))
+        assert len(cache) == 2
+        cache.plan_for(kb, boolean_cq("mgr(X, Y)"))  # evicted: recompute
+        assert cache.hits == 0
+
+    def test_lookups_emit_observer_events(self):
+        registry = MetricsRegistry()
+        cache = QueryPlanCache()
+        kb = manager_kb()
+        with observing(MetricsObserver(registry)):
+            cache.plan_for(kb, boolean_cq("mgr(X, Y)"))
+            cache.plan_for(kb, boolean_cq("mgr(U, V)"))
+        snap = registry.snapshot()
+        assert snap["query.plan_lookups"]["value"] == 2
+        assert snap["query.rewrites"]["value"] == 1
+        assert snap["query.plan_cache_hits"]["value"] == 1
+
+
+class TestBatchEntailJob:
+    def test_mixed_batch_over_rewritable_kb(self):
+        result = execute_job(
+            JobRequest(
+                op="batch_entail",
+                kb_text=MANAGERS,
+                queries=["mgr(X, Y)", "emp(X), mgr(X, X)", "nosuch(X)"],
+                planner=True,
+                max_steps=60,
+                model_budget=4,
+            )
+        )
+        assert result.ok
+        assert result.op == "batch_entail"
+        assert result.strategy == "rewrite-first"
+        answers = {r["query"]: r["entailed"] for r in result.results}
+        assert answers["mgr(X, Y)"] is True
+        assert answers["nosuch(X)"] is False
+        methods = {r["query"]: r["method"] for r in result.results}
+        assert methods["mgr(X, Y)"] == "ucq-rewrite-hit"
+        assert methods["nosuch(X)"] == "ucq-rewrite-miss"
+
+    def test_batch_on_terminating_kb_settles_all_from_one_chase(self):
+        result = execute_job(
+            JobRequest(
+                op="batch_entail",
+                kb_text=TC,
+                queries=["e(v0, v3)", "e(v3, v0)", "e(v0, X), e(X, v3)"],
+                max_steps=200,
+            )
+        )
+        assert result.ok and result.terminated
+        answers = [r["entailed"] for r in result.results]
+        assert answers == [True, False, True]
+        miss = result.results[1]
+        assert miss["method"] == "chase-fixpoint-miss"
+        assert not result.incomplete
+
+    def test_batch_verdicts_match_single_query_jobs(self):
+        queries = ["e(v0, v2)", "e(v2, v0)", "e(X, X)"]
+        batch = execute_job(
+            JobRequest(op="batch_entail", kb_text=TC, queries=queries)
+        )
+        for row in batch.results:
+            single = execute_job(
+                JobRequest(op="entail", kb_text=TC, query=row["query"])
+            )
+            assert row["entailed"] == single.entailed, row["query"]
+
+    def test_batch_reuses_warm_snapshot(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        chase = JobRequest(op="chase", kb_text=TC, max_steps=200)
+        assert execute_job(chase, store=store).ok
+        result = execute_job(
+            JobRequest(
+                op="batch_entail",
+                kb_text=TC,
+                queries=["e(v0, v3)", "e(v3, v0)"],
+                max_steps=200,
+            ),
+            store=store,
+        )
+        assert result.warm
+        assert result.applications == 0
+        answers = [r["entailed"] for r in result.results]
+        assert answers == [True, False]
+        assert result.results[0]["method"] == "warm-snapshot-hit"
+
+    def test_empty_batch_is_error_result(self):
+        result = execute_job(
+            JobRequest(op="batch_entail", kb_text=MANAGERS, queries=[])
+        )
+        assert not result.ok
+        assert "queries" in result.error
+
+    def test_expired_deadline_leaves_open_queries_incomplete(self):
+        result = execute_job(
+            JobRequest(
+                op="batch_entail",
+                kb_text=dump_kb(transitive_closure_kb(6)),
+                queries=["e(v0, v6)", "e(v6, v0)"],
+                timeout=0.0,
+                max_steps=500,
+            )
+        )
+        assert result.ok
+        assert result.deadline_expired and result.incomplete
+        for row in result.results:
+            assert row["entailed"] is None
+            assert row["method"] == "deadline-expired"
+            assert row["incomplete"]
+
+    def test_request_round_trip_with_queries(self):
+        req = JobRequest(
+            op="batch_entail",
+            kb_text=MANAGERS,
+            queries=["mgr(X, Y)", "emp(X)"],
+            rewrite=True,
+        )
+        back = JobRequest.from_obj(req.to_obj())
+        assert back == req
+        assert back.dedup_key() == req.dedup_key()
+        other = JobRequest(
+            op="batch_entail", kb_text=MANAGERS, queries=["emp(X)"]
+        )
+        assert other.dedup_key() != req.dedup_key()
+
+
+class TestRewriteRouting:
+    def test_explicit_rewrite_false_forces_chase(self):
+        result = execute_job(
+            JobRequest(
+                op="entail",
+                kb_text=MANAGERS,
+                query="mgr(X, Y)",
+                planner=True,
+                rewrite=False,
+            )
+        )
+        assert result.entailed is True
+        assert result.method == "chase-prefix-hit"
+
+    def test_planner_routes_rewrite_hit_with_zero_applications(self):
+        result = execute_job(
+            JobRequest(
+                op="entail", kb_text=MANAGERS, query="mgr(X, Y)", planner=True
+            )
+        )
+        assert result.entailed is True
+        assert result.method == "ucq-rewrite-hit"
+        assert result.strategy == "rewrite-first"
+        assert not result.applications
+
+    def test_explicit_rewrite_true_without_planner(self):
+        result = execute_job(
+            JobRequest(
+                op="entail", kb_text=MANAGERS, query="nosuch(X)", rewrite=True
+            )
+        )
+        assert result.entailed is False
+        assert result.method == "ucq-rewrite-miss"
+
+    def test_inconclusive_rewrite_falls_back_to_race(self):
+        # transitive closure is not rewritable: rewrite=True must not
+        # change the verdict, only fail over to the race.
+        result = execute_job(
+            JobRequest(
+                op="entail",
+                kb_text=TC,
+                query="e(v0, v3)",
+                rewrite=True,
+                max_steps=200,
+            )
+        )
+        assert result.entailed is True
+        assert result.method == "chase-prefix-hit"
+
+
+class TestServerBatchOp:
+    def test_batch_entail_over_the_wire_and_stats(self, tmp_path):
+        from tests.test_service_server import (
+            request_lines,
+            shut_down,
+            start_server,
+        )
+
+        async def scenario():
+            server, executor, task = await start_server(tmp_path)
+            [batch] = await request_lines(
+                server.port,
+                [
+                    {
+                        "op": "batch_entail",
+                        "kb_text": MANAGERS,
+                        "queries": ["mgr(X, Y)", "nosuch(X)"],
+                        "planner": True,
+                        "id": "b1",
+                    }
+                ],
+            )
+            # stats only after the batch response: the counters are live
+            [stats] = await request_lines(
+                server.port, [{"op": "stats", "id": "s"}]
+            )
+            await shut_down(server, executor, task)
+            return batch, stats
+
+        batch, stats = asyncio.run(scenario())
+        assert batch["id"] == "b1" and batch["ok"]
+        answers = [r["entailed"] for r in batch["results"]]
+        assert answers == [True, False]
+        query_stats = stats["query"]
+        assert query_stats["plan_lookups"] >= 2
+        assert query_stats["rewrites"] >= 1

@@ -1,0 +1,205 @@
+"""Tests for the backward UCQ rewriting layer (repro.query.rewriting).
+
+The load-bearing property is the differential one: on every
+analyzer-identified rewritable KB, a conclusive rewriting verdict must
+equal the Theorem-1 race's verdict.  The unit tests pin the piece-
+unification validity conditions one by one — each is a soundness
+boundary (violating it would equate a chase null with something it is
+not equal to).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.kbs.elevator import elevator_kb
+from repro.kbs.generators import layered_kb, random_kb
+from repro.kbs.ontology import academia_kb
+from repro.kbs.staircase import staircase_kb
+from repro.kbs.witnesses import (
+    bts_not_fes_kb,
+    guarded_chain_kb,
+    manager_kb,
+    transitive_closure_kb,
+)
+from repro.logic.kb import KnowledgeBase
+from repro.logic.parser import parse_rules
+from repro.logic.rules import RuleSet
+from repro.logic.serialization import load_kb
+from repro.query import (
+    boolean_cq,
+    decide_by_rewriting,
+    decide_entailment,
+    rewritable_fragment,
+    rewrite_ucq,
+)
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def kb_of(facts: str, rules: str) -> KnowledgeBase:
+    return load_kb(f"[facts]\n{facts}\n[rules]\n{rules}\n")
+
+
+class TestFragmentCheck:
+    def test_linear_detected(self):
+        assert rewritable_fragment(manager_kb().rules) == "linear"
+        assert rewritable_fragment(academia_kb().rules) == "linear"
+
+    def test_guarded_but_not_linear_detected(self):
+        rules = parse_rules("[R] p(X, Y, Z), q(Y) -> r(X, W)")
+        # p(X,Y,Z) guards {X,Y,Z}; two body atoms, so not linear.
+        assert rewritable_fragment(RuleSet(rules)) == "guarded"
+
+    def test_unguarded_rejected(self):
+        assert rewritable_fragment(transitive_closure_kb(2).rules) is None
+        assert rewritable_fragment(staircase_kb().rules) is None
+        assert rewritable_fragment(elevator_kb().rules) is None
+
+
+class TestPieceValidity:
+    """Each invalid piece unifier corresponds to pretending a chase
+    null equals something it never equals; the rewriting must refuse it
+    and (the ruleset being linear, hence complete) answer False."""
+
+    def test_existential_never_unifies_with_constant(self):
+        # chase(p(a)) = {p(a), q(a, n)} with a fresh null n != b
+        kb = kb_of("p(a)", "[R] p(X) -> q(X, Z)")
+        verdict = decide_by_rewriting(kb, boolean_cq("q(a, b)"))
+        assert verdict is not None and verdict.entailed is False
+        # the frontier side still rewrites: q(a, Y) <- p(a)
+        hit = decide_by_rewriting(kb, boolean_cq("q(a, Y)"))
+        assert hit is not None and hit.entailed is True
+
+    def test_piece_privacy_blocks_escaping_variables(self):
+        # Y escapes the piece into r(Y); the null is private to q's
+        # second position, so q(X, Y), r(Y) must NOT rewrite through R.
+        kb = kb_of("p(a), r(b)", "[R] p(X) -> q(X, Z)")
+        verdict = decide_by_rewriting(kb, boolean_cq("q(X, Y), r(Y)"))
+        assert verdict is not None and verdict.entailed is False
+
+    def test_two_existentials_never_unify(self):
+        # chase makes two distinct nulls; q(Y, Y) would need them equal
+        kb = kb_of("p(a)", "[R] p(X) -> q(Z, W)")
+        verdict = decide_by_rewriting(kb, boolean_cq("q(Y, Y)"))
+        assert verdict is not None and verdict.entailed is False
+
+    def test_existential_never_unifies_with_frontier(self):
+        # q(Y, Y) through p(X) -> q(X, Z) would equate the null Z with
+        # the frontier X
+        kb = kb_of("p(a)", "[R] p(X) -> q(X, Z)")
+        verdict = decide_by_rewriting(kb, boolean_cq("q(Y, Y)"))
+        assert verdict is not None and verdict.entailed is False
+
+    def test_whole_head_piece_rewrites(self):
+        # both head atoms consumed at once, the shared existential stays
+        # internal to the piece: r0(X, Y), l1(Y) <- l0(X)
+        kb = layered_kb(2)
+        verdict = decide_by_rewriting(kb, boolean_cq("r0(X, Y), l1(Y)"))
+        assert verdict is not None and verdict.entailed is True
+
+
+class TestSaturation:
+    def test_layered_depth_saturates(self):
+        kb = layered_kb(4)
+        result = rewrite_ucq(kb.rules, boolean_cq("l4(X)"))
+        assert result.complete
+        # l4 <- l3 <- l2 <- l1 <- l0: one disjunct per layer
+        assert len(result.disjuncts) == 5
+
+    def test_subsumption_prunes_redundant_disjuncts(self):
+        kb = manager_kb()
+        result = rewrite_ucq(kb.rules, boolean_cq("mgr(X, Y), emp(Y)"))
+        assert result.complete
+        assert result.pruned > 0
+        # emp(X) subsumes everything else the saturation generates
+        assert len(result.disjuncts) == 1
+
+    def test_work_budget_marks_incomplete(self):
+        kb = layered_kb(4)
+        result = rewrite_ucq(kb.rules, boolean_cq("l4(X)"), max_work=1)
+        assert not result.complete
+
+    def test_disjunct_budget_marks_incomplete(self):
+        kb = layered_kb(6)
+        result = rewrite_ucq(kb.rules, boolean_cq("l6(X)"), max_disjuncts=2)
+        assert not result.complete
+
+    def test_incomplete_rewriting_never_answers_no(self):
+        kb = layered_kb(4)
+        # Budget too small to reach l0, and the facts only hold l0: an
+        # exact decision is impossible, so the caller must fall back.
+        verdict = decide_by_rewriting(
+            kb, boolean_cq("l4(X)"), max_disjuncts=2
+        )
+        assert verdict is None
+
+    def test_empty_ruleset_is_identity(self):
+        from repro.logic.parser import parse_atoms
+
+        kb = KnowledgeBase(parse_atoms("p(a)"), RuleSet([]), name="bare")
+        result = rewrite_ucq(kb.rules, boolean_cq("p(X)"))
+        assert result.complete
+        assert len(result.disjuncts) == 1
+
+
+class TestDifferentialAgainstRace:
+    """Conclusive rewriting verdicts == Theorem-1 race verdicts."""
+
+    FIXTURES = [
+        (manager_kb, ["mgr(X, Y)", "mgr(ann, Y)", "mgr(X, Y), emp(Y)", "nosuch(X)"]),
+        (guarded_chain_kb, ["q(X, Y)", "p(X, Y), q(Y, Z)", "p(b, X)"]),
+        (bts_not_fes_kb, ["r(X, Y), r(Y, Z)", "r(b, X)", "r(X, a)"]),
+        (academia_kb, [
+            "prof(X)",
+            "teaches(X, C)",
+            "memberOf(X, D)",
+            "supervises(X, Y), memberOf(X, D)",
+            "mentor(X, Y), mentor(Y, Z)",
+            "dean(X)",
+        ]),
+        (lambda: layered_kb(5), ["l5(X)", "l0(X), l3(Y)", "r0(X, Y), r0(Y, Z)"]),
+    ]
+
+    def test_fixture_differential(self):
+        for factory, queries in self.FIXTURES:
+            kb = factory()
+            assert rewritable_fragment(kb.rules) is not None
+            for text in queries:
+                query = boolean_cq(text)
+                rewritten = decide_by_rewriting(kb, query)
+                race = decide_entailment(kb, query, chase_budget=200)
+                assert rewritten is not None, (kb.name, text)
+                if race.entailed is not None:
+                    assert rewritten.entailed == race.entailed, (kb.name, text)
+
+    def test_non_rewritable_fixtures_fall_back(self):
+        # staircase/elevator sit outside the fragments: the rewriting
+        # layer must decline (None), leaving the race authoritative.
+        for factory, text in [
+            (staircase_kb, "room0(X)"),
+            (elevator_kb, "at(X, Y)"),
+            (lambda: transitive_closure_kb(3), "e(v0, v2)"),
+        ]:
+            kb = factory()
+            assert decide_by_rewriting(kb, boolean_cq(text)) is None
+
+    @SETTINGS
+    @given(seed=st.integers(0, 150), qpick=st.integers(0, 3))
+    def test_random_linear_kbs_agree_with_race(self, seed, qpick):
+        kb = random_kb(rule_count=3, fact_count=5, seed=seed)
+        linear_rules = [r for r in kb.rules if len(r.body) == 1]
+        if not linear_rules:
+            return
+        kb = KnowledgeBase(kb.facts, RuleSet(linear_rules), name=kb.name)
+        text = ["p(X, Y)", "q(X, Y), e(Y, Z)", "e(X, X)", "p(X, Y), q(Y, X)"][qpick]
+        query = boolean_cq(text)
+        rewritten = decide_by_rewriting(kb, query, max_disjuncts=128)
+        if rewritten is None:
+            return
+        race = decide_entailment(kb, query, chase_budget=150, model_domain_budget=4)
+        if race.entailed is not None:
+            assert rewritten.entailed == race.entailed

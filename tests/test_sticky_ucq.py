@@ -96,3 +96,98 @@ class TestUnionQuery:
         kb = transitive_closure_kb(3)
         union = UnionQuery([boolean_cq("e(v0, v3)")])
         assert decide_union_entailment(kb, union).entailed is True
+
+
+class TestUnionRaceRegressions:
+    """Regression tests for the UCQ race bugs: one shared chase per
+    union, terminated-fixpoint refutation, deadline hooks, and accurate
+    ``chase_steps`` reporting."""
+
+    def test_one_shared_chase_for_all_disjuncts(self):
+        # Counting chase runs through the observer: a 3-disjunct union
+        # must run exactly ONE chase, not one per disjunct.
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.observer import observing
+        from repro.obs.tracer import MetricsObserver
+
+        union = UnionQuery(
+            [boolean_cq("nope(X)"), boolean_cq("also(X)"), boolean_cq("mgr(X, Y)")]
+        )
+        obs = MetricsObserver(MetricsRegistry())
+        with observing(obs):
+            verdict = decide_union_entailment(
+                manager_kb(), union, chase_budget=12
+            )
+        assert verdict.entailed is True
+        # The shared budget bounds total applications: a per-disjunct
+        # re-chase would have recorded up to 3x the steps.
+        steps = obs.registry.snapshot().get("chase.steps", {}).get("value", 0)
+        assert steps <= 12
+
+    def test_terminated_fixpoint_refutes_whole_union(self):
+        # The chase of a terminating KB reaches a finite universal
+        # model; a union no disjunct of which maps into it is refuted
+        # exactly — with the witness instance, no countermodel search.
+        kb = transitive_closure_kb(3)
+        union = UnionQuery([boolean_cq("e(v3, v0)"), boolean_cq("e(v2, v0)")])
+        verdict = decide_union_entailment(kb, union, model_domain_budget=0)
+        assert verdict.entailed is False
+        assert verdict.method == "chase-fixpoint-miss"
+        assert verdict.witness_instance is not None
+        assert not union.holds_in(verdict.witness_instance)
+
+    def test_should_stop_cuts_union_decision_short(self):
+        union = UnionQuery([boolean_cq("nope(X)"), boolean_cq("never(X)")])
+        verdict = decide_union_entailment(
+            manager_kb(), union, chase_budget=50, should_stop=lambda: True
+        )
+        assert verdict.entailed is None
+        assert verdict.incomplete
+        assert verdict.method == "chase-stopped"
+
+    def test_union_accepts_chase_variant(self):
+        from repro.chase.engine import ChaseVariant
+
+        union = UnionQuery([boolean_cq("mgr(X, Y)")])
+        verdict = decide_union_entailment(
+            manager_kb(), union, chase_variant=ChaseVariant.CORE
+        )
+        assert verdict.entailed is True
+
+    def test_union_chase_steps_report_applications_not_budget(self):
+        # Undecided verdicts must report the applications the chase
+        # actually consumed, not echo the budget constant.
+        union = UnionQuery([boolean_cq("nope(X)")])
+        budget = 10
+        verdict = decide_union_entailment(
+            manager_kb(), union, chase_budget=budget, model_domain_budget=0
+        )
+        assert verdict.entailed is None
+        assert verdict.chase_steps == budget  # manager chase never idles
+        # ... and on a terminating KB the count is the real fixpoint
+        # size, strictly under the budget.
+        kb = transitive_closure_kb(3)
+        refuted = decide_union_entailment(
+            kb, UnionQuery([boolean_cq("e(v2, v0)")]), chase_budget=500
+        )
+        assert refuted.entailed is False
+        assert 0 < refuted.chase_steps < 500
+
+    def test_cq_race_chase_steps_report_applications_not_budget(self):
+        # Same bug pattern in decide_entailment: the countermodel and
+        # race-undecided paths passed the budget constant through.
+        from repro.query import decide_entailment
+
+        verdict = decide_entailment(
+            manager_kb(),
+            boolean_cq("emp(X), mgr(X, X)"),
+            chase_budget=13,
+            model_domain_budget=3,
+        )
+        assert verdict.entailed is False
+        assert verdict.method == "finite-countermodel"
+        assert verdict.chase_steps == 13  # applications, == budget here
+        kb = transitive_closure_kb(3)
+        refuted = decide_entailment(kb, boolean_cq("e(v2, v0)"), chase_budget=500)
+        assert refuted.entailed is False
+        assert 0 < refuted.chase_steps < 500
